@@ -1,0 +1,104 @@
+"""FIG-6 — fit quality vs number of folded instances.
+
+Paper claim: folding "takes advantage of long execution runs" — the
+profile sharpens as more instances contribute samples, so the analyst can
+trade run length for detail.  This figure answers the practical question
+"how many iterations does the application need to run": rate-profile error
+and boundary error as a function of the number of instances folded.
+
+The benchmark times the fold+fit at the largest instance count.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+import common
+from repro.analysis.experiments import default_core
+from repro.fitting.evaluation import evaluate_fit
+from repro.fitting.pwlr import fit_pwlr
+from repro.phases.compare import match_boundaries
+from repro.viz.ascii import ascii_line
+from repro.viz.series import FigureSeries
+from repro.workload.apps import multiphase_app
+
+EXP_ID = "FIG-6"
+CLAIM = "fit error decreases with folded-instance count, converging fast"
+
+INSTANCE_COUNTS = (15, 30, 60, 120, 250, 500)
+
+
+def _folded_and_truth():
+    app = multiphase_app(iterations=520, ranks=1)
+    artifacts = common.standard_artifacts(app, seed=10, key="fig6")
+    folded = artifacts.result.clusters[0].folded["PAPI_TOT_INS"]
+    truth = app.kernels()[0].base_rate_function(default_core())
+    return folded, truth
+
+
+def _row(n_instances: int) -> Dict[str, float]:
+    folded, truth = _folded_and_truth()
+    sub = folded.subset_instances(range(n_instances))
+    model = fit_pwlr(sub.x, sub.y)
+    evaluation = evaluate_fit(model, truth, "PAPI_TOT_INS")
+    score = match_boundaries(
+        model.breakpoints, truth.normalized_boundaries, tolerance=0.02
+    )
+    return {
+        "instances": n_instances,
+        "points": sub.n_points,
+        "rate_mae": evaluation.rate_relative_mae,
+        "recall": score.recall,
+        "boundary_mae": score.mean_abs_error if score.n_matched else float("nan"),
+    }
+
+
+def _rows() -> List[Dict]:
+    return [
+        common.cached_run(f"fig6-row-{n}", lambda n=n: _row(n))
+        for n in INSTANCE_COUNTS
+    ]
+
+
+def test_fig6_convergence(benchmark):
+    rows = _rows()
+    folded, _ = _folded_and_truth()
+    sub = folded.subset_instances(range(INSTANCE_COUNTS[-1]))
+    benchmark(fit_pwlr, sub.x, sub.y)
+    # shape claims: error shrinks with instances; by a few hundred
+    # instances all boundaries are found and the rate error is small
+    assert rows[-1]["rate_mae"] <= rows[0]["rate_mae"] + 1e-9
+    assert rows[-1]["recall"] == 1.0
+    assert rows[-1]["rate_mae"] < 0.08
+    # convergence is fast: already decent at ~60 instances
+    assert rows[2]["recall"] >= 0.65
+
+
+def main() -> None:
+    common.print_header(EXP_ID, CLAIM)
+    rows = _rows()
+    print(f"{'instances':>9} {'points':>7} {'rateMAE':>9} {'recall':>7} {'bndMAE':>8}")
+    for row in rows:
+        print(
+            f"{row['instances']:>9} {row['points']:>7} {row['rate_mae']:>9.4f} "
+            f"{row['recall']:>7.2f} {row['boundary_mae']:>8.4f}"
+        )
+    xs = np.array([row["instances"] for row in rows], dtype=float)
+    ys = np.array([row["rate_mae"] for row in rows])
+    print(
+        ascii_line(
+            [(np.log10(xs), ys)],
+            title="rate relMAE vs log10(instances)",
+            height=12,
+        )
+    )
+    series = FigureSeries("fig6_convergence")
+    for key in ("instances", "points", "rate_mae", "recall"):
+        series.add_column(key, [row[key] for row in rows])
+    print(f"series written to {common.save_series(series)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,106 @@
+"""TAB-3 — burst-clustering quality (the structure-detection substrate).
+
+Paper dependency: folding needs the González et al. clustering substrate to
+group equivalent bursts.  This table scores the from-scratch DBSCAN (and
+the aggregative refinement) against engine ground truth on all three
+case-study applications and the microbenchmark, across rank counts:
+purity (bursts grouped with their true kernel), coverage (non-noise
+fraction), and whether the true kernel count is recovered.
+
+The benchmark times DBSCAN on the largest burst set.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import common
+from repro.clustering.dbscan import DBSCAN, estimate_eps
+from repro.clustering.features import build_features
+from repro.clustering.quality import score_against_truth
+from repro.viz.series import FigureSeries
+from repro.workload.apps import (
+    cgpop_app,
+    dalton_app,
+    mrgenesis_app,
+    multiphase_app,
+    pmemd_app,
+)
+
+EXP_ID = "TAB-3"
+CLAIM = "burst clustering recovers application structure (purity ~1.0)"
+
+APPS = {
+    "multiphase": lambda ranks: multiphase_app(iterations=200, ranks=ranks),
+    "cgpop": lambda ranks: cgpop_app(iterations=120, ranks=ranks),
+    "pmemd": lambda ranks: pmemd_app(iterations=120, ranks=ranks),
+    "mrgenesis": lambda ranks: mrgenesis_app(iterations=120, ranks=ranks),
+    "dalton": lambda ranks: dalton_app(iterations=120, ranks=ranks),
+}
+RANK_COUNTS = (4, 8)
+
+
+def _row(app_name: str, ranks: int) -> Dict[str, float]:
+    artifacts = common.standard_artifacts(
+        APPS[app_name](ranks), seed=8, key=f"tab3-{app_name}-{ranks}"
+    )
+    quality = score_against_truth(
+        artifacts.result.bursts,
+        artifacts.result.clustering.labels,
+        artifacts.timeline,
+    )
+    return {
+        "app": app_name,
+        "ranks": ranks,
+        "bursts": len(artifacts.result.bursts),
+        "clusters": quality.n_clusters,
+        "true_kernels": quality.n_true_kernels,
+        "purity": quality.purity,
+        "coverage": quality.coverage,
+    }
+
+
+def _rows() -> List[Dict]:
+    return [
+        common.cached_run(f"tab3-row-{name}-{ranks}", lambda n=name, r=ranks: _row(n, r))
+        for name in APPS
+        for ranks in RANK_COUNTS
+    ]
+
+
+def test_tab3_clustering_quality(benchmark):
+    rows = _rows()
+    artifacts = common.standard_artifacts(
+        APPS["cgpop"](8), seed=8, key="tab3-cgpop-8"
+    )
+    features = build_features(artifacts.result.bursts)
+    eps = estimate_eps(features.values)
+    benchmark(DBSCAN(eps=eps, min_pts=8).fit, features.values)
+    # shape claims: purity ~1 everywhere, structure recovered, high coverage
+    for row in rows:
+        assert row["purity"] >= 0.99
+        assert row["coverage"] >= 0.9
+        assert row["clusters"] == row["true_kernels"]
+
+
+def main() -> None:
+    common.print_header(EXP_ID, CLAIM)
+    rows = _rows()
+    print(
+        f"{'app':<12} {'ranks':>5} {'bursts':>7} {'clusters':>9} "
+        f"{'true':>5} {'purity':>7} {'coverage':>9}"
+    )
+    for row in rows:
+        print(
+            f"{row['app']:<12} {row['ranks']:>5} {row['bursts']:>7} "
+            f"{row['clusters']:>9} {row['true_kernels']:>5} "
+            f"{row['purity']:>7.3f} {row['coverage']:>9.3f}"
+        )
+    series = FigureSeries("tab3_clustering")
+    for key in ("ranks", "bursts", "clusters", "true_kernels", "purity", "coverage"):
+        series.add_column(key, [row[key] for row in rows])
+    print(f"series written to {common.save_series(series)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,144 @@
+"""TAB-6 — counter extrapolation under PMU multiplexing (toolchain substrate).
+
+Claim reproduced (González et al., ICPADS 2010 — the substrate the
+paper's toolchain relies on when more counters are wanted than the PMU
+has registers): rotating counter groups across burst instances and
+projecting the missing values from per-cluster ratios recovers the full
+counter matrix "with minimum error".
+
+We trace cgpop under a 3-group schedule (pivots in every group), project
+the unmeasured values, and compare against an identical run traced with
+all counters: per-counter mean relative projection error, plus the
+hidden-holdout cross-validation error.  The benchmark times extrapolate().
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+import common
+from repro.analysis.experiments import default_core
+from repro.analysis.pipeline import FoldingAnalyzer
+from repro.clustering.bursts import extract_bursts
+from repro.counters.definitions import (
+    BR_MSP,
+    FP_OPS,
+    L1_DCM,
+    L3_TCM,
+    TOT_CYC,
+    TOT_INS,
+    VEC_INS,
+)
+from repro.counters.sets import CounterSet, MultiplexSchedule
+from repro.extrapolation import cross_validate, extrapolate
+from repro.runtime.engine import ExecutionEngine
+from repro.runtime.tracer import Tracer, TracerConfig
+from repro.viz.series import FigureSeries
+from repro.workload.apps import cgpop_app
+from repro.workload.variability import VariabilityModel
+
+EXP_ID = "TAB-6"
+CLAIM = "multiplexed counters projected from cluster ratios, ~1% error"
+
+EVALUATED = ("PAPI_L1_DCM", "PAPI_L3_TCM", "PAPI_FP_OPS", "PAPI_VEC_INS", "PAPI_BR_MSP")
+
+
+def _schedule() -> MultiplexSchedule:
+    return MultiplexSchedule(
+        sets=[
+            CounterSet([TOT_INS, TOT_CYC, L1_DCM, L3_TCM]),
+            CounterSet([TOT_INS, TOT_CYC, FP_OPS, VEC_INS]),
+            CounterSet([TOT_INS, TOT_CYC, BR_MSP, L3_TCM]),
+        ],
+        pivot_names=("PAPI_TOT_INS", "PAPI_TOT_CYC"),
+    )
+
+
+def _materialize():
+    def build():
+        app = cgpop_app(
+            iterations=150,
+            ranks=2,
+            variability=VariabilityModel(
+                duration_sigma=0.04,
+                phase_sigma=0.015,
+                outlier_prob=0.01,
+                outlier_scale=2.5,
+                counter_sigma=0.03,  # data-dependent event noise
+            ),
+        )
+        timeline = ExecutionEngine(default_core(), seed=15).run(app)
+        mux_trace = Tracer(TracerConfig(seed=15, multiplex=_schedule())).trace(timeline)
+        full_trace = Tracer(TracerConfig(seed=15)).trace(timeline)
+        result = FoldingAnalyzer().analyze(mux_trace)
+        truth_bursts = extract_bursts(full_trace)
+        return result, truth_bursts
+
+    return common.cached_run("tab6", build)
+
+
+def _rows() -> List[Dict[str, float]]:
+    result, truth_bursts = _materialize()
+    extrapolated = extrapolate(result.bursts, result.clustering.labels)
+    labels = result.clustering.labels
+    rows = []
+    for counter in EVALUATED:
+        truth = truth_bursts.deltas(counter)
+        deltas = extrapolated.deltas[counter]
+        projected = (
+            ~extrapolated.measured[counter] & (labels >= 0) & (truth > 0)
+        )
+        rel = np.abs(deltas[projected] - truth[projected]) / truth[projected]
+        cv_error, cv_n = cross_validate(
+            result.bursts, labels, counter, rng=np.random.default_rng(6)
+        )
+        rows.append(
+            {
+                "counter": counter,
+                "coverage": extrapolated.coverage(counter),
+                "n_projected": int(projected.sum()),
+                "proj_rel_err": float(rel.mean()),
+                "cv_rel_err": cv_error,
+            }
+        )
+    return rows
+
+
+def test_tab6_extrapolation(benchmark):
+    result, _ = _materialize()
+    benchmark(extrapolate, result.bursts, result.clustering.labels)
+    rows = common.cached_run("tab6-rows", _rows)
+    # shape claims: every evaluated counter projected for a substantial
+    # burst fraction with small relative error ("minimum error" claim)
+    for row in rows:
+        assert row["n_projected"] > 30, row["counter"]
+        # with 3% per-phase event noise the projection error is real
+        # but small — the "minimum error" claim
+        assert 0.0 < row["proj_rel_err"] < 0.06, row["counter"]
+        assert 0.0 < row["cv_rel_err"] < 0.06, row["counter"]
+
+
+def main() -> None:
+    common.print_header(EXP_ID, CLAIM)
+    rows = common.cached_run("tab6-rows", _rows)
+    print(
+        f"{'counter':<14} {'coverage':>9} {'projected':>10} "
+        f"{'rel.err':>9} {'cv err':>8}"
+    )
+    for row in rows:
+        print(
+            f"{row['counter']:<14} {row['coverage']:>9.2f} "
+            f"{row['n_projected']:>10} {row['proj_rel_err']:>9.4f} "
+            f"{row['cv_rel_err']:>8.4f}"
+        )
+    series = FigureSeries("tab6_extrapolation")
+    series.add_column("coverage", [r["coverage"] for r in rows])
+    series.add_column("proj_rel_err", [r["proj_rel_err"] for r in rows])
+    series.add_column("cv_rel_err", [r["cv_rel_err"] for r in rows])
+    print(f"series written to {common.save_series(series)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+"""Shared infrastructure for the benchmark harness.
+
+Every bench regenerates one table or figure of the paper (see DESIGN.md's
+experiment index and EXPERIMENTS.md for claim-vs-measured).  Benches are
+dual-mode:
+
+* ``pytest benchmarks/ --benchmark-only`` — each bench times its core
+  computation with pytest-benchmark and asserts the figure/table's *shape*
+  claims (who wins, rough factors, crossovers);
+* ``python benchmarks/bench_<exp>.py`` — prints the full table or an ASCII
+  rendering of the figure and writes the underlying series to
+  ``benchmarks/out/<exp>.csv``.
+
+Expensive artifacts (application runs) are memoized per process so the
+pytest session does each run once.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, Dict
+
+from repro.analysis.experiments import RunArtifacts, default_core, run_app
+from repro.viz.series import FigureSeries, write_csv
+
+_ARTIFACT_CACHE: Dict[str, RunArtifacts] = {}
+
+OUT_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "out")
+
+
+def cached_run(key: str, builder: Callable[[], RunArtifacts]) -> RunArtifacts:
+    """Memoize an experiment run under ``key`` for the process lifetime."""
+    if key not in _ARTIFACT_CACHE:
+        _ARTIFACT_CACHE[key] = builder()
+    return _ARTIFACT_CACHE[key]
+
+
+def standard_artifacts(
+    app, seed: int = 0, period_s: float = 0.02, key: str = ""
+) -> RunArtifacts:
+    """Run ``app`` through the standard pipeline, memoized by ``key``."""
+    cache_key = key or f"{app.name}:{seed}:{period_s}"
+    return cached_run(
+        cache_key, lambda: run_app(app, core=default_core(), seed=seed, period_s=period_s)
+    )
+
+
+def save_series(series: FigureSeries) -> str:
+    """Write a figure's series to ``benchmarks/out/<name>.csv``."""
+    os.makedirs(OUT_DIR, exist_ok=True)
+    path = os.path.join(OUT_DIR, f"{series.name}.csv")
+    write_csv(series, path)
+    return path
+
+
+def print_header(exp_id: str, claim: str) -> None:
+    """Standard bench banner: experiment id + the claim it reproduces."""
+    print("=" * 78)
+    print(f"{exp_id}: {claim}")
+    print("=" * 78)

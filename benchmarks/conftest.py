@@ -1,0 +1,7 @@
+"""Pytest bootstrap for the benchmark harness.
+
+Having a conftest here makes pytest insert this directory into
+``sys.path`` (rootdir-relative collection), so the bench modules'
+``import common`` resolves the same way it does when a bench is run
+standalone (``python benchmarks/bench_x.py``).
+"""

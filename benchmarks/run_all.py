@@ -1,0 +1,57 @@
+#!/usr/bin/env python
+"""Run every benchmark's table/figure generation in sequence.
+
+Equivalent to calling each ``bench_*.py`` standalone; artifacts land in
+``benchmarks/out/*.csv``.  Runs are memoized within the process, so the
+full sweep shares application runs between related experiments.
+
+Usage:  python benchmarks/run_all.py [exp-id ...]
+        python benchmarks/run_all.py fig1 tab4      # just those two
+"""
+
+from __future__ import annotations
+
+import importlib
+import sys
+import time
+
+BENCHES = [
+    "bench_fig1_folding_scatter",
+    "bench_fig2_rate_reconstruction",
+    "bench_fig3_vs_finegrain",
+    "bench_fig4_pwlr_vs_kernel",
+    "bench_fig5_source_mapping",
+    "bench_fig6_convergence",
+    "bench_fig7_periodicity",
+    "bench_tab1_phase_detection",
+    "bench_tab2_overhead",
+    "bench_tab3_clustering",
+    "bench_tab4_case_studies",
+    "bench_tab5_ablations",
+    "bench_tab6_extrapolation",
+    "bench_tab7_scaling",
+]
+
+
+def main(argv: list) -> int:
+    wanted = [arg.lower() for arg in argv]
+    selected = [
+        name
+        for name in BENCHES
+        if not wanted or any(w in name for w in wanted)
+    ]
+    if not selected:
+        print(f"no bench matches {argv}; available: {BENCHES}")
+        return 2
+    t_start = time.time()
+    for name in selected:
+        module = importlib.import_module(name)
+        t0 = time.time()
+        module.main()
+        print(f"[{name} done in {time.time() - t0:.1f}s]\n")
+    print(f"all {len(selected)} benches done in {time.time() - t_start:.1f}s")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

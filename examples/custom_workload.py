@@ -1,0 +1,105 @@
+#!/usr/bin/env python
+"""Build your own workload: custom behaviours, kernel, and machine.
+
+Shows the full workload-construction API: define behaviours from scratch,
+attach them to phases with a synthetic call tree, assemble an application
+with halo exchanges, and compare its phase report on two different machine
+configurations (big vs small last-level cache) — the same code behaving
+differently on different nodes, as real code does.
+
+Run:  python examples/custom_workload.py
+"""
+
+from repro import (
+    Application,
+    Behavior,
+    CommStep,
+    ComputeStep,
+    CoreModel,
+    Kernel,
+    NetworkModel,
+    PhaseSpec,
+    SourceModel,
+    VariabilityModel,
+    describe_application,
+)
+from repro.machine.presets import mn3_node, small_cache_node
+from repro.parallel.patterns import HaloExchangePattern
+from repro.workload.apps.builders import add_main_chain, make_callpath
+
+
+def build_app() -> Application:
+    source = SourceModel()
+    add_main_chain(
+        source,
+        "wave.f90",
+        [("wave_main", 1, 20), ("propagate", 40, 90), ("absorb_boundary", 110, 140)],
+    )
+
+    propagate = Behavior(
+        name="wave_stencil",
+        load_fraction=0.36,
+        store_fraction=0.14,
+        fp_fraction=0.40,
+        vector_fraction=0.30,
+        working_set_bytes=48 * 1024 * 1024,
+        access_regularity=0.8,
+        reuse_factor=2.0,
+        ilp=2.6,
+    )
+    boundary = Behavior(
+        name="absorbing_bc",
+        load_fraction=0.30,
+        store_fraction=0.10,
+        fp_fraction=0.35,
+        branch_fraction=0.15,
+        branch_miss_rate=0.08,
+        working_set_bytes=2 * 1024 * 1024,
+        access_regularity=0.5,
+        ilp=1.8,
+    )
+
+    kernel = Kernel(
+        name="wave.step",
+        phases=[
+            PhaseSpec(
+                name="wave.step.propagate",
+                behavior=propagate,
+                instructions=2.0e8,
+                callpath=make_callpath(
+                    source, [("wave_main", 10), ("propagate", 60)]
+                ),
+            ),
+            PhaseSpec(
+                name="wave.step.boundary",
+                behavior=boundary,
+                instructions=3.0e7,
+                callpath=make_callpath(
+                    source, [("wave_main", 12), ("absorb_boundary", 120)]
+                ),
+            ),
+        ],
+        variability=VariabilityModel(duration_sigma=0.03),
+    )
+    halo = HaloExchangePattern(NetworkModel(), message_bytes=64 * 1024.0)
+    return Application(
+        name="wave2d",
+        source=source,
+        steps=[ComputeStep(kernel), CommStep(halo)],
+        iterations=150,
+        ranks=4,
+    )
+
+
+def main() -> None:
+    app = build_app()
+    # Machine presets: the reference node vs the lean small-L3 node —
+    # same code, different bottleneck diagnosis.
+    for spec in (mn3_node(), small_cache_node()):
+        description = describe_application(app, CoreModel(spec), seed=5)
+        print(f"===== machine: {spec.name} (L3 {spec.levels[-1].size_bytes >> 20} MB)")
+        print(description.report)
+
+
+if __name__ == "__main__":
+    main()

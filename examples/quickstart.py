@@ -1,0 +1,31 @@
+#!/usr/bin/env python
+"""Quickstart: describe a first-time-seen application in ~20 lines.
+
+Runs the CGPOP-like ocean solver on the synthetic node, traces it with
+minimal instrumentation + 20 ms sampling, folds the samples, fits the
+piece-wise linear regressions, and prints the phase report with ranked
+optimization hints — the paper's methodology end to end.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import CoreModel, MachineSpec, cgpop_app, describe_application
+
+
+def main() -> None:
+    # 1. The machine the application "runs" on (2.6 GHz, 32K/256K/20M caches).
+    core = CoreModel(MachineSpec())
+
+    # 2. The application: a CG ocean solver, 8 ranks, 200 iterations.
+    app = cgpop_app(iterations=200, ranks=8)
+
+    # 3. Run + trace + analyze + hint, all in one call.
+    description = describe_application(app, core, seed=42)
+
+    print(description.report)
+    print(f"simulated wall time: {description.wall_time_s:.2f} s")
+    print(f"trace records:       {description.trace.n_records}")
+
+
+if __name__ == "__main__":
+    main()

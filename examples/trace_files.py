@@ -1,0 +1,58 @@
+#!/usr/bin/env python
+"""Trace persistence: write, inspect, read back, analyze offline.
+
+Real workflows separate tracing (on the cluster) from analysis (on the
+laptop).  This example runs the MD-like application, writes its trace to
+disk in the library's Paraver-like text format, prints summary statistics,
+reads it back, and runs the analysis on the reloaded trace — demonstrating
+that the format carries everything the pipeline needs.
+
+Run:  python examples/trace_files.py
+"""
+
+import os
+import tempfile
+
+from repro import (
+    CoreModel,
+    ExecutionEngine,
+    FoldingAnalyzer,
+    MachineSpec,
+    Tracer,
+    TracerConfig,
+    compute_stats,
+    pmemd_app,
+    read_trace,
+    render_report,
+    write_trace,
+)
+
+
+def main() -> None:
+    core = CoreModel(MachineSpec())
+    app = pmemd_app(iterations=120, ranks=4)
+
+    timeline = ExecutionEngine(core, seed=3).run(app)
+    trace = Tracer(TracerConfig(seed=3)).trace(timeline)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        path = os.path.join(tmp, "pmemd.rpt")
+        write_trace(trace, path)
+        size_kb = os.path.getsize(path) / 1024
+        print(f"wrote {path} ({size_kb:.0f} KiB, {trace.n_records} records)")
+
+        reloaded = read_trace(path)
+        stats = compute_stats(reloaded)
+        print(
+            f"reloaded: ranks={stats.n_ranks} duration={stats.duration:.2f}s "
+            f"compute={stats.compute_fraction:.1%} "
+            f"samples={stats.n_samples} probes={stats.n_probes}"
+        )
+
+        result = FoldingAnalyzer().analyze(reloaded)
+        print()
+        print(render_report(result))
+
+
+if __name__ == "__main__":
+    main()

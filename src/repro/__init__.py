@@ -1,0 +1,194 @@
+"""repro — folding + piece-wise linear regression phase detection.
+
+A from-scratch Python reproduction of *Identifying Code Phases Using
+Piece-Wise Linear Regressions* (Servat, Llort, González, Giménez, Labarta —
+IPDPS 2014), including every substrate the method needs: a synthetic node
+model with exact counter ground truth, synthetic MPI applications, a
+minimal-instrumentation + coarse-sampling tracer, burst clustering,
+folding, the piece-wise linear regression, phase/source mapping, and the
+analysis methodology.
+
+Quick start::
+
+    from repro import (
+        CoreModel, MachineSpec, describe_application, cgpop_app
+    )
+    core = CoreModel(MachineSpec())
+    description = describe_application(cgpop_app(iterations=150, ranks=4), core)
+    print(description.report)
+
+See DESIGN.md for the architecture and EXPERIMENTS.md for the reproduced
+tables/figures.
+"""
+
+from repro.machine import (
+    BEHAVIOR_LIBRARY,
+    Behavior,
+    CacheLevelSpec,
+    CoreModel,
+    MachineSpec,
+    RateFunction,
+    RateSegment,
+)
+from repro.counters import (
+    Counter,
+    CounterRegistry,
+    CounterSet,
+    DEFAULT_REGISTRY,
+    MultiplexSchedule,
+    compute_metrics,
+)
+from repro.source import CallFrame, CallPath, CodeLocation, Routine, SourceFile, SourceModel
+from repro.workload import (
+    Application,
+    CommStep,
+    ComputeStep,
+    Kernel,
+    PhaseSpec,
+    VariabilityModel,
+    random_kernel,
+)
+from repro.workload.apps import (
+    cgpop_app,
+    cgpop_optimized,
+    dalton_app,
+    dalton_optimized,
+    mrgenesis_app,
+    mrgenesis_optimized,
+    multiphase_app,
+    pmemd_app,
+    pmemd_optimized,
+    two_phase_app,
+)
+from repro.parallel import NetworkModel
+from repro.runtime import (
+    ExecutionEngine,
+    ExecutionTimeline,
+    InstrumentationConfig,
+    OverheadModel,
+    SamplerConfig,
+    Tracer,
+    TracerConfig,
+)
+from repro.trace import (
+    Trace,
+    compute_stats,
+    merge_traces,
+    read_trace,
+    trim_trace,
+    write_trace,
+)
+from repro.clustering import DBSCAN, extract_bursts, build_features, spmd_score
+from repro.extrapolation import extrapolate
+from repro.signal import detect_period, representative_window
+from repro.folding import fold_cluster, select_instances
+from repro.fitting import (
+    KernelSmoother,
+    PiecewiseLinearModel,
+    PWLRConfig,
+    evaluate_fit,
+    fit_pwlr,
+)
+from repro.phases import detect_phases, map_phases_to_source, match_boundaries
+from repro.analysis import (
+    AnalyzerConfig,
+    CaseStudyResult,
+    FoldingAnalyzer,
+    bootstrap_phase_rates,
+    compare_results,
+    describe_application,
+    generate_hints,
+    render_comparison,
+    render_report,
+    run_case_study,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # machine
+    "MachineSpec",
+    "CacheLevelSpec",
+    "CoreModel",
+    "Behavior",
+    "BEHAVIOR_LIBRARY",
+    "RateFunction",
+    "RateSegment",
+    # counters
+    "Counter",
+    "CounterRegistry",
+    "CounterSet",
+    "MultiplexSchedule",
+    "DEFAULT_REGISTRY",
+    "compute_metrics",
+    # source
+    "SourceFile",
+    "Routine",
+    "CodeLocation",
+    "SourceModel",
+    "CallFrame",
+    "CallPath",
+    # workload
+    "PhaseSpec",
+    "VariabilityModel",
+    "Kernel",
+    "Application",
+    "ComputeStep",
+    "CommStep",
+    "random_kernel",
+    "multiphase_app",
+    "two_phase_app",
+    "cgpop_app",
+    "cgpop_optimized",
+    "pmemd_app",
+    "pmemd_optimized",
+    "mrgenesis_app",
+    "mrgenesis_optimized",
+    "dalton_app",
+    "dalton_optimized",
+    # parallel + runtime
+    "NetworkModel",
+    "ExecutionEngine",
+    "ExecutionTimeline",
+    "Tracer",
+    "TracerConfig",
+    "SamplerConfig",
+    "InstrumentationConfig",
+    "OverheadModel",
+    # trace
+    "Trace",
+    "write_trace",
+    "read_trace",
+    "merge_traces",
+    "trim_trace",
+    "compute_stats",
+    # analysis chain
+    "extract_bursts",
+    "build_features",
+    "DBSCAN",
+    "spmd_score",
+    "extrapolate",
+    "bootstrap_phase_rates",
+    "compare_results",
+    "render_comparison",
+    "detect_period",
+    "representative_window",
+    "select_instances",
+    "fold_cluster",
+    "fit_pwlr",
+    "PWLRConfig",
+    "PiecewiseLinearModel",
+    "KernelSmoother",
+    "evaluate_fit",
+    "detect_phases",
+    "map_phases_to_source",
+    "match_boundaries",
+    "FoldingAnalyzer",
+    "AnalyzerConfig",
+    "render_report",
+    "generate_hints",
+    "describe_application",
+    "run_case_study",
+    "CaseStudyResult",
+]

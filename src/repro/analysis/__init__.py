@@ -1,0 +1,62 @@
+"""End-to-end analysis: trace in, phase report out.
+
+:mod:`repro.analysis.pipeline` chains the full mechanism (bursts →
+clustering → folding → piece-wise linear regression → phases → source
+mapping); :mod:`repro.analysis.report` renders the results as text tables;
+:mod:`repro.analysis.hints` derives optimization recommendations per phase;
+:mod:`repro.analysis.methodology` implements the paper's methodology for
+describing (and then improving) a first-time-seen application;
+:mod:`repro.analysis.experiments` holds the sweep helpers benchmarks use.
+"""
+
+from repro.analysis.pipeline import (
+    AnalyzerConfig,
+    AnalysisResult,
+    ClusterAnalysis,
+    FoldingAnalyzer,
+)
+from repro.analysis.report import render_report
+from repro.analysis.hints import Hint, generate_hints
+from repro.analysis.methodology import (
+    CaseStudyResult,
+    describe_application,
+    run_case_study,
+)
+from repro.analysis.uncertainty import RateInterval, bootstrap_phase_rates
+from repro.analysis.scaling import (
+    ScalingPoint,
+    ScalingStudy,
+    render_scaling,
+    run_scaling_study,
+)
+from repro.analysis.tracking import (
+    ClusterDelta,
+    ClusterMatch,
+    compare_results,
+    match_clusters,
+    render_comparison,
+)
+
+__all__ = [
+    "RateInterval",
+    "bootstrap_phase_rates",
+    "ScalingPoint",
+    "ScalingStudy",
+    "run_scaling_study",
+    "render_scaling",
+    "ClusterMatch",
+    "ClusterDelta",
+    "match_clusters",
+    "compare_results",
+    "render_comparison",
+    "AnalyzerConfig",
+    "FoldingAnalyzer",
+    "AnalysisResult",
+    "ClusterAnalysis",
+    "render_report",
+    "Hint",
+    "generate_hints",
+    "CaseStudyResult",
+    "describe_application",
+    "run_case_study",
+]

@@ -1,0 +1,113 @@
+"""Sweep helpers shared by the benchmark harness.
+
+These wrap the common experiment shapes — run an app at a sampling period,
+fold one cluster, score detection against ground truth — so each bench
+script stays a thin parameterization of a shared, tested code path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.analysis.pipeline import AnalysisResult, AnalyzerConfig, FoldingAnalyzer
+from repro.clustering.quality import truth_labels_for
+from repro.errors import AnalysisError
+from repro.machine.cpu import CoreModel
+from repro.machine.spec import MachineSpec
+from repro.phases.compare import BoundaryScore, match_boundaries
+from repro.runtime.engine import ExecutionEngine, ExecutionTimeline
+from repro.runtime.sampler import SamplerConfig
+from repro.runtime.tracer import Tracer, TracerConfig
+from repro.trace.records import Trace
+from repro.workload.application import Application
+
+__all__ = [
+    "RunArtifacts",
+    "run_app",
+    "default_core",
+    "cluster_kernel_map",
+    "detection_scores",
+]
+
+
+@dataclass
+class RunArtifacts:
+    """Everything one experiment run produced."""
+
+    app: Application
+    core: CoreModel
+    timeline: ExecutionTimeline
+    trace: Trace
+    result: AnalysisResult
+
+
+def default_core() -> CoreModel:
+    """The reference machine every benchmark uses."""
+    return CoreModel(MachineSpec())
+
+
+def run_app(
+    app: Application,
+    core: Optional[CoreModel] = None,
+    seed: int = 0,
+    period_s: float = 0.02,
+    tracer_config: Optional[TracerConfig] = None,
+    analyzer_config: Optional[AnalyzerConfig] = None,
+) -> RunArtifacts:
+    """Run, trace and analyze ``app`` — the standard experiment prologue."""
+    core = core or default_core()
+    timeline = ExecutionEngine(core, seed=seed).run(app)
+    cfg = tracer_config or TracerConfig(sampler=SamplerConfig(period_s=period_s))
+    trace = Tracer(cfg).trace(timeline)
+    result = FoldingAnalyzer(analyzer_config).analyze(trace)
+    return RunArtifacts(
+        app=app, core=core, timeline=timeline, trace=trace, result=result
+    )
+
+
+def cluster_kernel_map(artifacts: RunArtifacts) -> Dict[int, str]:
+    """Detected cluster id → dominant ground-truth kernel name."""
+    truth = np.array(truth_labels_for(artifacts.result.bursts, artifacts.timeline))
+    labels = artifacts.result.clustering.labels
+    mapping: Dict[int, str] = {}
+    for cluster in artifacts.result.clusters:
+        mask = labels == cluster.cluster_id
+        names, counts = np.unique(truth[mask], return_counts=True)
+        mapping[cluster.cluster_id] = str(names[int(np.argmax(counts))])
+    return mapping
+
+def detection_scores(
+    artifacts: RunArtifacts, tolerance: float = 0.02
+) -> Dict[str, BoundaryScore]:
+    """Per-kernel boundary scores for every analyzed cluster.
+
+    Maps each analyzed cluster to its dominant ground-truth kernel, then
+    scores the detected phase boundaries against that kernel's exact
+    normalized boundaries.  When several clusters map to one kernel the
+    one covering more time wins (the other is a clustering artifact and
+    would double-count).
+    """
+    mapping = cluster_kernel_map(artifacts)
+    kernels = {k.name: k for k in artifacts.app.kernels()}
+    best_cluster_for: Dict[str, int] = {}
+    share: Dict[str, float] = {}
+    for cluster in artifacts.result.clusters:
+        kernel_name = mapping[cluster.cluster_id]
+        if cluster.time_share > share.get(kernel_name, -1.0):
+            share[kernel_name] = cluster.time_share
+            best_cluster_for[kernel_name] = cluster.cluster_id
+
+    scores: Dict[str, BoundaryScore] = {}
+    for kernel_name, cluster_id in best_cluster_for.items():
+        kernel = kernels.get(kernel_name)
+        if kernel is None:
+            raise AnalysisError(f"unknown kernel in truth mapping: {kernel_name}")
+        truth_bounds = kernel.truth_boundaries(artifacts.core)
+        detected = artifacts.result.cluster(cluster_id).phase_set.boundaries
+        scores[kernel_name] = match_boundaries(
+            detected, truth_bounds, tolerance=tolerance
+        )
+    return scores

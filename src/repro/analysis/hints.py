@@ -1,0 +1,216 @@
+"""Optimization-hint engine.
+
+Implements the qualification step of the paper's methodology: each detected
+phase's derived metrics are matched against rules that name the limiting
+processor resource and suggest the class of code transformation that
+relieves it.  Hints are ranked by estimated impact — the phase's share of
+total compute time scaled by how badly the rule fired — so the first hint
+is where the developer should look first.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.analysis.pipeline import AnalysisResult, ClusterAnalysis
+from repro.errors import AnalysisError
+from repro.phases.detect import Phase
+
+__all__ = ["Hint", "generate_hints", "HINT_RULES"]
+
+
+@dataclass(frozen=True)
+class Hint:
+    """One ranked recommendation."""
+
+    cluster_id: int
+    phase_index: int
+    kind: str
+    message: str
+    severity: float
+    time_share: float
+    routine: Optional[str]
+
+    @property
+    def impact(self) -> float:
+        """Ranking key: how much run time the hint could plausibly touch."""
+        return self.severity * self.time_share
+
+    @property
+    def is_run_level(self) -> bool:
+        """Whether the hint is about the run, not a specific phase."""
+        return self.cluster_id < 0
+
+    def describe(self) -> str:
+        """One-line rendering used by reports."""
+        if self.is_run_level:
+            return f"[{self.impact:5.1%}] run-level: {self.message}"
+        where = f" in {self.routine}" if self.routine else ""
+        return (
+            f"[{self.impact:5.1%}] cluster {self.cluster_id} phase "
+            f"{self.phase_index}{where}: {self.message}"
+        )
+
+
+def _memory_bound(phase: Phase) -> Optional[Tuple[str, str, float]]:
+    l3 = phase.metrics.get("L3_MPKI")
+    ipc = phase.metrics.get("IPC")
+    if l3 is None or ipc is None:
+        return None
+    if l3 > 2.0 and ipc < 1.2:
+        severity = min(1.0, l3 / 10.0)
+        return (
+            "memory_bound",
+            f"IPC {ipc:.2f} with {l3:.1f} L3 misses/kins — phase streams far "
+            "beyond the last-level cache; consider cache blocking, loop "
+            "fusion, or software prefetching",
+            severity,
+        )
+    return None
+
+
+def _branch_bound(phase: Phase) -> Optional[Tuple[str, str, float]]:
+    miss_ratio = phase.metrics.get("BR_MISS_RATIO")
+    ipc = phase.metrics.get("IPC")
+    if miss_ratio is None or ipc is None:
+        return None
+    if miss_ratio > 0.04 and ipc < 1.5:
+        severity = min(1.0, miss_ratio / 0.15)
+        return (
+            "branch_bound",
+            f"{miss_ratio:.1%} of branches mispredict (IPC {ipc:.2f}) — "
+            "data-dependent control flow; consider if-conversion, sorting "
+            "inputs, or branchless reformulation",
+            severity,
+        )
+    return None
+
+
+def _vectorizable(phase: Phase) -> Optional[Tuple[str, str, float]]:
+    vec = phase.metrics.get("VEC_RATIO")
+    ipc = phase.metrics.get("IPC")
+    gflops = phase.metrics.get("GFLOPS")
+    if vec is None or ipc is None or gflops is None:
+        return None
+    if vec < 0.25 and ipc > 1.8 and gflops > 0.5:
+        severity = min(1.0, (0.25 - vec) * 3.0)
+        return (
+            "vectorizable",
+            f"high-IPC FP phase ({ipc:.2f} IPC, {gflops:.1f} GFLOPS) with "
+            f"only {vec:.0%} SIMD instructions — the compiler is not "
+            "vectorizing; check dependences/alignment or use intrinsics",
+            severity,
+        )
+    return None
+
+
+def _tlb_bound(phase: Phase) -> Optional[Tuple[str, str, float]]:
+    rates = phase.rates
+    ins = rates.get("PAPI_TOT_INS")
+    tlb = rates.get("PAPI_TLB_DM")
+    ipc = phase.metrics.get("IPC")
+    if not ins or tlb is None or ipc is None:
+        return None
+    tlb_mpki = 1000.0 * tlb / ins
+    if tlb_mpki > 1.0 and ipc < 1.0:
+        severity = min(1.0, tlb_mpki / 5.0)
+        return (
+            "tlb_bound",
+            f"{tlb_mpki:.1f} DTLB misses/kins — scattered access over a "
+            "large footprint; consider huge pages or data-layout changes",
+            severity,
+        )
+    return None
+
+
+#: Rule registry, applied in order; each returns (kind, message, severity).
+HINT_RULES: Sequence[Callable[[Phase], Optional[Tuple[str, str, float]]]] = (
+    _memory_bound,
+    _branch_bound,
+    _vectorizable,
+    _tlb_bound,
+)
+
+
+#: Parallel efficiency below this triggers the run-level hint.
+PARALLEL_EFFICIENCY_THRESHOLD = 0.92
+
+
+def _run_level_hints(result: AnalysisResult) -> List[Hint]:
+    """Hints about the run as a whole (cluster_id/phase_index = -1).
+
+    The methodology's preflight: when parallel efficiency is poor, the
+    first-order problem is *between* ranks (imbalance or serialization —
+    e.g. a master/worker collection bottleneck), and node-level phase
+    tuning is secondary.  A non-SPMD structure verdict sharpens the
+    message when available.
+    """
+    efficiency = result.trace_stats.parallel_efficiency
+    if efficiency >= PARALLEL_EFFICIENCY_THRESHOLD:
+        return []
+    structure = ""
+    if result.spmd is not None and not result.spmd.is_spmd:
+        structure = (
+            " — the burst structure is not SPMD (alignment identity "
+            f"{result.spmd.score:.2f}), consistent with a master/worker "
+            "serialization bottleneck"
+        )
+    lost = 1.0 - efficiency
+    return [
+        Hint(
+            cluster_id=-1,
+            phase_index=-1,
+            kind="parallel_inefficiency",
+            message=(
+                f"parallel efficiency is {efficiency:.2f}: "
+                f"{lost:.0%} of aggregate compute capacity is lost to "
+                f"waiting{structure}; address the inter-rank structure "
+                "before node-level phase tuning"
+            ),
+            severity=min(1.0, 2.0 * lost),
+            time_share=lost,
+            routine=None,
+        )
+    ]
+
+
+def generate_hints(
+    result: AnalysisResult,
+    rules: Sequence[Callable[[Phase], Optional[Tuple[str, str, float]]]] = HINT_RULES,
+    max_hints: int = 10,
+) -> List[Hint]:
+    """Derive ranked hints from an analysis result."""
+    if max_hints < 1:
+        raise AnalysisError(f"max_hints must be >= 1, got {max_hints}")
+    hints: List[Hint] = _run_level_hints(result)
+    for cluster in result.clusters:
+        total = sum(p.duration_s for p in cluster.phase_set)
+        for phase in cluster.phase_set:
+            phase_share = cluster.time_share * (phase.duration_s / total)
+            routine = _routine_of(cluster, phase.index)
+            for rule in rules:
+                fired = rule(phase)
+                if fired is None:
+                    continue
+                kind, message, severity = fired
+                hints.append(
+                    Hint(
+                        cluster_id=cluster.cluster_id,
+                        phase_index=phase.index,
+                        kind=kind,
+                        message=message,
+                        severity=severity,
+                        time_share=phase_share,
+                        routine=routine,
+                    )
+                )
+    hints.sort(key=lambda h: -h.impact)
+    return hints[:max_hints]
+
+
+def _routine_of(cluster: ClusterAnalysis, phase_index: int) -> Optional[str]:
+    for attribution in cluster.attributions:
+        if attribution.phase_index == phase_index and attribution.attributed:
+            return attribution.dominant_routine
+    return None

@@ -1,0 +1,138 @@
+"""The paper's methodology, executable.
+
+Two entry points:
+
+* :func:`describe_application` — the "first-time-seen application"
+  procedure: run, trace, analyze, report, hint.  Everything an analyst
+  needs to understand the node-level behaviour of an unknown code.
+* :func:`run_case_study` — the optimization loop of the evaluation
+  section: describe the application, apply a small code transformation
+  (the caller provides it, typically guided by the top hint), re-run the
+  *identical* experiment, and quantify the speedup.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
+
+from repro.analysis.hints import Hint, generate_hints
+from repro.analysis.pipeline import AnalysisResult, AnalyzerConfig, FoldingAnalyzer
+from repro.analysis.report import render_report
+from repro.errors import AnalysisError
+from repro.machine.cpu import CoreModel
+from repro.runtime.engine import ExecutionEngine, ExecutionTimeline
+from repro.runtime.tracer import Tracer, TracerConfig
+from repro.trace.records import Trace
+from repro.workload.application import Application
+
+__all__ = ["Description", "CaseStudyResult", "describe_application", "run_case_study"]
+
+
+@dataclass
+class Description:
+    """Outcome of describing one application."""
+
+    app: Application
+    timeline: ExecutionTimeline
+    trace: Trace
+    result: AnalysisResult
+    hints: List[Hint]
+
+    @property
+    def report(self) -> str:
+        """Rendered text report (tables + hints)."""
+        return render_report(self.result, self.hints)
+
+    @property
+    def wall_time_s(self) -> float:
+        """Simulated wall time of the run (slowest rank)."""
+        return self.timeline.duration
+
+
+@dataclass(frozen=True)
+class CaseStudyResult:
+    """Before/after comparison of one code transformation."""
+
+    app_name: str
+    base_wall_s: float
+    optimized_wall_s: float
+    transformation: str
+    guiding_hint: Optional[Hint]
+
+    def __post_init__(self) -> None:
+        if self.base_wall_s <= 0 or self.optimized_wall_s <= 0:
+            raise AnalysisError("wall times must be positive")
+
+    @property
+    def speedup(self) -> float:
+        """base / optimized (>1 means the transformation helped)."""
+        return self.base_wall_s / self.optimized_wall_s
+
+    @property
+    def improvement_percent(self) -> float:
+        """Run-time reduction in percent."""
+        return 100.0 * (1.0 - self.optimized_wall_s / self.base_wall_s)
+
+    def __str__(self) -> str:
+        return (
+            f"{self.app_name}: {self.transformation} -> "
+            f"{self.speedup:.3f}x ({self.improvement_percent:.1f}% faster)"
+        )
+
+
+def describe_application(
+    app: Application,
+    core: CoreModel,
+    tracer_config: Optional[TracerConfig] = None,
+    analyzer_config: Optional[AnalyzerConfig] = None,
+    seed: int = 0,
+) -> Description:
+    """Run the full methodology on ``app`` (run → trace → analyze → hint)."""
+    timeline = ExecutionEngine(core, seed=seed).run(app)
+    trace = Tracer(tracer_config or TracerConfig()).trace(timeline)
+    result = FoldingAnalyzer(analyzer_config).analyze(trace)
+    hints = generate_hints(result)
+    return Description(
+        app=app, timeline=timeline, trace=trace, result=result, hints=hints
+    )
+
+
+def run_case_study(
+    app: Application,
+    optimizer: Callable[[Application], Application],
+    core: CoreModel,
+    transformation_name: str,
+    tracer_config: Optional[TracerConfig] = None,
+    analyzer_config: Optional[AnalyzerConfig] = None,
+    seed: int = 0,
+) -> Tuple[CaseStudyResult, Description, Description]:
+    """Describe, transform, re-run — the evaluation-section loop.
+
+    Returns the comparison plus both descriptions so callers can inspect
+    the phase tables before and after.  The same seed drives both runs, so
+    the only difference between them is the transformation itself.
+    """
+    before = describe_application(
+        app,
+        core,
+        tracer_config=tracer_config,
+        analyzer_config=analyzer_config,
+        seed=seed,
+    )
+    optimized_app = optimizer(app)
+    after = describe_application(
+        optimized_app,
+        core,
+        tracer_config=tracer_config,
+        analyzer_config=analyzer_config,
+        seed=seed,
+    )
+    result = CaseStudyResult(
+        app_name=app.name,
+        base_wall_s=before.wall_time_s,
+        optimized_wall_s=after.wall_time_s,
+        transformation=transformation_name,
+        guiding_hint=before.hints[0] if before.hints else None,
+    )
+    return result, before, after

@@ -1,0 +1,279 @@
+"""The folding analysis pipeline.
+
+:class:`FoldingAnalyzer` is the library's main entry point: it consumes a
+:class:`~repro.trace.records.Trace` (nothing else — no ground truth) and
+produces an :class:`AnalysisResult` with, per detected cluster, the folded
+counters, the fitted piece-wise linear models, the phases with their
+metrics, and the phase-to-source attributions.
+
+Clusters too small to fold meaningfully are reported as skipped with the
+reason, never silently dropped.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.clustering.alignment import SPMDReport, spmd_score
+from repro.clustering.bursts import BurstSet, extract_bursts
+from repro.clustering.dbscan import DBSCAN, DBSCANResult, estimate_eps
+from repro.clustering.features import FeatureMatrix, build_features
+from repro.clustering.refinement import refine_clusters
+from repro.errors import AnalysisError, FoldingError
+from repro.fitting.pwlr import PWLRConfig
+from repro.folding.callstack import FoldedCallstacks, fold_callstacks
+from repro.folding.filtering import (
+    FilterReport,
+    clip_to_unit_range,
+    enforce_instance_monotonicity,
+)
+from repro.folding.fold import FoldedCounter, fold_cluster
+from repro.folding.instances import ClusterInstances, select_instances
+from repro.folding.reconstruct import Reconstruction
+from repro.phases.detect import PhaseSet, detect_phases
+from repro.phases.mapping import PhaseSourceAttribution, map_phases_to_source
+from repro.trace.records import Trace
+from repro.trace.stats import TraceStats, compute_stats
+
+__all__ = ["AnalyzerConfig", "ClusterAnalysis", "AnalysisResult", "FoldingAnalyzer"]
+
+
+@dataclass(frozen=True)
+class AnalyzerConfig:
+    """Configuration of the full pipeline.
+
+    ``counters=None`` folds every counter present in the trace.  ``eps=None``
+    estimates the DBSCAN radius with the k-dist heuristic.  The remaining
+    knobs expose the stages' parameters under their own names; ablation
+    benches toggle ``prune_outliers``/``monotonicity_filter``/``pwlr``.
+    """
+
+    counters: Optional[Tuple[str, ...]] = None
+    pivot: str = "PAPI_TOT_INS"
+    pwlr: PWLRConfig = field(default_factory=PWLRConfig)
+    eps: Optional[float] = None
+    min_pts: int = 8
+    use_refinement: bool = False
+    min_instances: int = 8
+    min_cluster_fraction: float = 0.02
+    prune_outliers: bool = True
+    iqr_factor: float = 1.5
+    range_tolerance: float = 0.02
+    monotonicity_filter: bool = True
+    min_folded_points: int = 16
+    min_burst_duration_s: float = 0.0
+    check_spmd: bool = False
+
+    def __post_init__(self) -> None:
+        if self.min_pts < 1:
+            raise AnalysisError(f"min_pts must be >= 1: {self.min_pts}")
+        if self.min_instances < 2:
+            raise AnalysisError(f"min_instances must be >= 2: {self.min_instances}")
+        if not 0.0 <= self.min_cluster_fraction < 1.0:
+            raise AnalysisError(
+                f"min_cluster_fraction must be in [0, 1): {self.min_cluster_fraction}"
+            )
+        if self.eps is not None and self.eps <= 0:
+            raise AnalysisError(f"eps must be positive when given: {self.eps}")
+
+
+@dataclass
+class ClusterAnalysis:
+    """Full analysis of one burst cluster."""
+
+    cluster_id: int
+    n_members: int
+    time_share: float
+    instances: ClusterInstances
+    folded: Dict[str, FoldedCounter]
+    filter_reports: List[FilterReport]
+    phase_set: PhaseSet
+    attributions: List[PhaseSourceAttribution]
+    callstacks: Optional[FoldedCallstacks]
+    reconstructions: Dict[str, Reconstruction]
+
+    @property
+    def n_phases(self) -> int:
+        """Detected phase count."""
+        return len(self.phase_set)
+
+
+@dataclass
+class AnalysisResult:
+    """Everything the pipeline produced for one trace.
+
+    ``spmd`` is populated when the analyzer was configured with
+    ``check_spmd=True``: the sequence-alignment validation that the
+    detected structure really is SPMD (a low score flags a clustering
+    problem or a genuinely non-SPMD code).
+    """
+
+    app_name: str
+    trace_stats: TraceStats
+    bursts: BurstSet
+    features: FeatureMatrix
+    clustering: DBSCANResult
+    clusters: List[ClusterAnalysis]
+    skipped: Dict[int, str]
+    spmd: Optional["SPMDReport"] = None
+
+    @property
+    def n_clusters_analyzed(self) -> int:
+        """Clusters that made it through folding and fitting."""
+        return len(self.clusters)
+
+    def cluster(self, cluster_id: int) -> ClusterAnalysis:
+        """Analysis of one cluster by id."""
+        for cluster in self.clusters:
+            if cluster.cluster_id == cluster_id:
+                return cluster
+        raise AnalysisError(
+            f"cluster {cluster_id} was not analyzed "
+            f"(skipped: {self.skipped.get(cluster_id, 'not found')})"
+        )
+
+    def dominant_cluster(self) -> ClusterAnalysis:
+        """The cluster covering the most compute time."""
+        if not self.clusters:
+            raise AnalysisError("no clusters were analyzed")
+        return max(self.clusters, key=lambda c: c.time_share)
+
+
+class FoldingAnalyzer:
+    """Trace → :class:`AnalysisResult` (the paper's mechanism end to end)."""
+
+    def __init__(self, config: Optional[AnalyzerConfig] = None) -> None:
+        self.config = config or AnalyzerConfig()
+
+    # ------------------------------------------------------------------
+    def analyze(self, trace: Trace) -> AnalysisResult:
+        """Run the full pipeline on ``trace``."""
+        cfg = self.config
+        stats = compute_stats(trace)
+        bursts = extract_bursts(trace, min_duration=cfg.min_burst_duration_s)
+
+        counters = list(cfg.counters) if cfg.counters else bursts.counter_names
+        if cfg.pivot not in counters:
+            raise AnalysisError(
+                f"pivot {cfg.pivot!r} not among analyzed counters {counters}"
+            )
+
+        features = build_features(bursts)
+        clustering = self._cluster(features)
+
+        durations = bursts.durations()
+        total_compute = float(durations.sum())
+
+        clusters: List[ClusterAnalysis] = []
+        skipped: Dict[int, str] = {}
+        for cluster_id in range(clustering.n_clusters):
+            members = clustering.members(cluster_id)
+            share = float(durations[members].sum() / total_compute)
+            if share < cfg.min_cluster_fraction:
+                skipped[cluster_id] = (
+                    f"covers {share:.1%} of compute time "
+                    f"(< {cfg.min_cluster_fraction:.1%} threshold)"
+                )
+                continue
+            try:
+                clusters.append(
+                    self._analyze_cluster(
+                        bursts, clustering.labels, cluster_id, counters, share
+                    )
+                )
+            except FoldingError as exc:
+                skipped[cluster_id] = str(exc)
+        if not clusters:
+            raise AnalysisError(
+                f"no cluster could be analyzed; skipped: {skipped}"
+            )
+        spmd: Optional[SPMDReport] = None
+        if cfg.check_spmd:
+            spmd = spmd_score(bursts, clustering.labels)
+        return AnalysisResult(
+            app_name=trace.app_name,
+            trace_stats=stats,
+            bursts=bursts,
+            features=features,
+            clustering=clustering,
+            clusters=clusters,
+            skipped=skipped,
+            spmd=spmd,
+        )
+
+    # ------------------------------------------------------------------
+    def _cluster(self, features: FeatureMatrix) -> DBSCANResult:
+        cfg = self.config
+        if cfg.use_refinement:
+            return refine_clusters(features.values, min_pts=cfg.min_pts)
+        eps = cfg.eps if cfg.eps is not None else estimate_eps(
+            features.values, k=cfg.min_pts
+        )
+        return DBSCAN(eps=eps, min_pts=cfg.min_pts).fit(features.values)
+
+    def _analyze_cluster(
+        self,
+        bursts: BurstSet,
+        labels: np.ndarray,
+        cluster_id: int,
+        counters: Sequence[str],
+        time_share: float,
+    ) -> ClusterAnalysis:
+        cfg = self.config
+        instances = select_instances(
+            bursts,
+            labels,
+            cluster_id,
+            prune_outliers=cfg.prune_outliers,
+            iqr_factor=cfg.iqr_factor,
+            min_instances=cfg.min_instances,
+        )
+        folded = fold_cluster(
+            instances,
+            counters,
+            min_points=cfg.min_folded_points,
+            required=[cfg.pivot],
+        )
+
+        reports: List[FilterReport] = []
+        for counter in list(folded):
+            fc, r_range = clip_to_unit_range(folded[counter], cfg.range_tolerance)
+            reports.append(r_range)
+            if cfg.monotonicity_filter:
+                fc, r_mono = enforce_instance_monotonicity(fc)
+                reports.append(r_mono)
+            folded[counter] = fc
+
+        phase_set = detect_phases(
+            folded, cluster_id=cluster_id, pivot=cfg.pivot, config=cfg.pwlr
+        )
+
+        try:
+            callstacks: Optional[FoldedCallstacks] = fold_callstacks(instances)
+            attributions = map_phases_to_source(phase_set, callstacks)
+        except FoldingError:
+            # No stack samples in this cluster: phases stand unattributed.
+            callstacks = None
+            attributions = []
+
+        reconstructions = {
+            counter: Reconstruction.from_folded(
+                folded[counter], phase_set.counter_models[counter]
+            )
+            for counter in folded
+        }
+        return ClusterAnalysis(
+            cluster_id=cluster_id,
+            n_members=int(np.sum(labels == cluster_id)),
+            time_share=time_share,
+            instances=instances,
+            folded=folded,
+            filter_reports=reports,
+            phase_set=phase_set,
+            attributions=attributions,
+            callstacks=callstacks,
+            reconstructions=reconstructions,
+        )

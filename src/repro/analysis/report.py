@@ -1,0 +1,123 @@
+"""Text rendering of analysis results.
+
+Produces the per-cluster phase tables the paper's tooling shows an analyst:
+normalized span, absolute time, MIPS/IPC/MPKI metrics and the source
+attribution, preceded by a run summary and followed by the ranked hints.
+Everything is fixed-width plain text so it reads the same in a terminal, a
+log file, or a pytest failure message.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.analysis.hints import Hint
+from repro.analysis.pipeline import AnalysisResult, ClusterAnalysis
+
+__all__ = ["render_report", "render_cluster", "format_table"]
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
+    """Fixed-width table with a header underline (no external deps)."""
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    def fmt(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells)).rstrip()
+    lines = [fmt(headers), fmt(["-" * w for w in widths])]
+    lines.extend(fmt(row) for row in rows)
+    return "\n".join(lines)
+
+
+def render_cluster(cluster: ClusterAnalysis) -> str:
+    """Render one cluster's phase table."""
+    header = (
+        f"Cluster {cluster.cluster_id}: {cluster.time_share:.1%} of compute "
+        f"time, {len(cluster.instances)} instances folded "
+        f"({cluster.instances.n_pruned_duration} pruned), "
+        f"{cluster.n_phases} phase(s), mean instance "
+        f"{cluster.phase_set.mean_duration * 1e3:.2f} ms"
+    )
+    att_by_index = {a.phase_index: a for a in cluster.attributions}
+    rows: List[List[str]] = []
+    for phase in cluster.phase_set:
+        attribution = att_by_index.get(phase.index)
+        source = attribution.describe() if attribution else "n/a"
+        rows.append(
+            [
+                str(phase.index),
+                f"{phase.x_start:.3f}-{phase.x_end:.3f}",
+                f"{phase.duration_s * 1e3:.3f}",
+                _metric(phase, "MIPS", "{:.0f}"),
+                _metric(phase, "IPC", "{:.2f}"),
+                _metric(phase, "GFLOPS", "{:.2f}"),
+                _metric(phase, "L3_MPKI", "{:.2f}"),
+                _metric(phase, "BR_MISS_RATIO", "{:.3f}"),
+                _metric(phase, "VEC_RATIO", "{:.2f}"),
+                source,
+            ]
+        )
+    table = format_table(
+        [
+            "ph",
+            "span",
+            "ms",
+            "MIPS",
+            "IPC",
+            "GFLOPS",
+            "L3MPKI",
+            "BRmiss",
+            "VEC",
+            "source",
+        ],
+        rows,
+    )
+    return f"{header}\n{table}"
+
+
+def _metric(phase, name: str, fmt: str) -> str:
+    value = phase.metrics.get(name)
+    return fmt.format(value) if value is not None else "-"
+
+
+def render_report(
+    result: AnalysisResult, hints: Optional[Sequence[Hint]] = None
+) -> str:
+    """Render the complete analysis report."""
+    stats = result.trace_stats
+    lines = [
+        f"=== Folding analysis: {result.app_name or '(unnamed)'} ===",
+        (
+            f"ranks={stats.n_ranks} duration={stats.duration:.3f}s "
+            f"compute={stats.compute_fraction:.1%} "
+            f"parallel-eff={stats.parallel_efficiency:.2f}"
+        ),
+        (
+            f"bursts={len(result.bursts)} samples={stats.n_samples} "
+            f"(mean period {stats.mean_sample_period * 1e3:.1f} ms) "
+            f"clusters={result.clustering.n_clusters} "
+            f"noise={result.clustering.noise_fraction:.1%}"
+        ),
+    ]
+    if result.spmd is not None:
+        verdict = "SPMD" if result.spmd.is_spmd else "NOT SPMD"
+        lines.append(
+            f"structure check: alignment identity {result.spmd.score:.2f} "
+            f"vs rank {result.spmd.reference_rank} -> {verdict}"
+        )
+    lines.append("")
+    for cluster in sorted(result.clusters, key=lambda c: -c.time_share):
+        lines.append(render_cluster(cluster))
+        lines.append("")
+    if result.skipped:
+        lines.append("Skipped clusters:")
+        for cluster_id, reason in sorted(result.skipped.items()):
+            lines.append(f"  {cluster_id}: {reason}")
+        lines.append("")
+    if hints:
+        lines.append("Hints (ranked by estimated impact):")
+        for hint in hints:
+            lines.append("  " + hint.describe())
+        lines.append("")
+    return "\n".join(lines)

@@ -1,0 +1,141 @@
+"""Scaling studies: how behaviour evolves with the rank count.
+
+The co-authors' Dalton papers motivate this view: node-level phase
+analysis says *what* each region does, but whether the application can
+use more processors is a scaling question — parallel efficiency and the
+per-cluster time balance as functions of the rank count.  This module
+runs the same application across a ladder of rank counts and tabulates
+both, so a master/worker bottleneck (efficiency falling with every
+doubling) is visible at a glance and can be compared before/after a fix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.analysis.report import format_table
+from repro.errors import AnalysisError
+from repro.machine.cpu import CoreModel
+from repro.runtime.engine import ExecutionEngine
+from repro.runtime.tracer import Tracer, TracerConfig
+from repro.trace.stats import compute_stats
+from repro.workload.application import Application
+
+__all__ = ["ScalingPoint", "ScalingStudy", "run_scaling_study", "render_scaling"]
+
+
+@dataclass(frozen=True)
+class ScalingPoint:
+    """Measurements at one rank count."""
+
+    ranks: int
+    wall_s: float
+    aggregate_compute_s: float
+    parallel_efficiency: float
+    comm_fraction: float
+
+    def __post_init__(self) -> None:
+        if self.ranks < 1:
+            raise AnalysisError(f"ranks must be >= 1: {self.ranks}")
+        if self.wall_s <= 0:
+            raise AnalysisError(f"wall time must be positive: {self.wall_s}")
+
+    @property
+    def speedup_base(self) -> float:
+        """Aggregate compute per wall second — the useful-throughput rate."""
+        return self.aggregate_compute_s / self.wall_s
+
+
+@dataclass
+class ScalingStudy:
+    """A ladder of scaling points for one application configuration."""
+
+    app_name: str
+    points: List[ScalingPoint]
+
+    def __post_init__(self) -> None:
+        if not self.points:
+            raise AnalysisError("scaling study needs at least one point")
+        ranks = [p.ranks for p in self.points]
+        if ranks != sorted(ranks):
+            raise AnalysisError(f"points must be ordered by ranks: {ranks}")
+
+    def relative_speedup(self) -> List[float]:
+        """Useful throughput relative to the smallest rank count."""
+        base = self.points[0].speedup_base
+        return [p.speedup_base / base for p in self.points]
+
+    def scaling_efficiency(self) -> List[float]:
+        """Relative speedup divided by the ideal (linear) speedup."""
+        base_ranks = self.points[0].ranks
+        return [
+            rel / (p.ranks / base_ranks)
+            for rel, p in zip(self.relative_speedup(), self.points)
+        ]
+
+    @property
+    def scales_well(self) -> bool:
+        """Conventional bar: >= 70% scaling efficiency at the top count."""
+        return self.scaling_efficiency()[-1] >= 0.70
+
+
+def run_scaling_study(
+    app_builder: Callable[[int], Application],
+    core: CoreModel,
+    rank_counts: Sequence[int],
+    seed: int = 0,
+    tracer_config: Optional[TracerConfig] = None,
+) -> ScalingStudy:
+    """Run ``app_builder(ranks)`` for every rank count and measure.
+
+    The builder must return the *same workload per rank* at every count
+    (weak scaling) or handle the division itself (strong scaling) — the
+    study just measures what it is given.
+    """
+    if not rank_counts:
+        raise AnalysisError("rank_counts must be non-empty")
+    if sorted(rank_counts) != list(rank_counts):
+        raise AnalysisError(f"rank_counts must be increasing: {rank_counts}")
+    points: List[ScalingPoint] = []
+    app_name = ""
+    for ranks in rank_counts:
+        app = app_builder(int(ranks))
+        app_name = app.name
+        timeline = ExecutionEngine(core, seed=seed).run(app)
+        trace = Tracer(tracer_config or TracerConfig(seed=seed)).trace(timeline)
+        stats = compute_stats(trace)
+        points.append(
+            ScalingPoint(
+                ranks=int(ranks),
+                wall_s=timeline.duration,
+                aggregate_compute_s=stats.compute_time_total,
+                parallel_efficiency=stats.parallel_efficiency,
+                comm_fraction=1.0 - stats.compute_fraction,
+            )
+        )
+    return ScalingStudy(app_name=app_name, points=points)
+
+
+def render_scaling(study: ScalingStudy) -> str:
+    """Text table of a scaling study."""
+    rows = []
+    for point, rel, eff in zip(
+        study.points, study.relative_speedup(), study.scaling_efficiency()
+    ):
+        rows.append(
+            [
+                str(point.ranks),
+                f"{point.wall_s:.3f}",
+                f"{point.parallel_efficiency:.2f}",
+                f"{point.comm_fraction:.1%}",
+                f"{rel:.2f}x",
+                f"{eff:.2f}",
+            ]
+        )
+    table = format_table(
+        ["ranks", "wall (s)", "par.eff", "comm", "rel.speedup", "scal.eff"],
+        rows,
+    )
+    verdict = "scales well" if study.scales_well else "scaling bottleneck"
+    return f"{study.app_name}: {verdict}\n{table}"

@@ -1,0 +1,177 @@
+"""Tracking clusters across runs (before/after, machine A/machine B).
+
+Reimplements the idea of Llort et al., *On the usefulness of object
+tracking techniques in performance analysis* (SC 2013): when the same
+application runs under different conditions — after a code change, on a
+different machine, at a different scale — the interesting question is how
+each computation region's behaviour *moved*.  Clusters are matched across
+the two analyses by proximity in behaviour space (per-instruction event
+signatures, which survive duration changes), and matched pairs are
+compared metric by metric.
+
+The output answers "the stencil cluster: IPC 0.62 → 0.81, L3 MPKI
+60.6 → 38.2, time share 85% → 79%" — the evidence that a transformation
+did what the hint promised, beyond the bare wall-clock delta.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.analysis.pipeline import AnalysisResult, ClusterAnalysis
+from repro.analysis.report import format_table
+from repro.errors import AnalysisError
+
+__all__ = ["ClusterMatch", "ClusterDelta", "match_clusters", "compare_results", "render_comparison"]
+
+#: Per-instruction signature counters (duration-free, so an optimization
+#: that only speeds a cluster up leaves its signature nearly unchanged).
+SIGNATURE_COUNTERS = (
+    "PAPI_L1_DCM",
+    "PAPI_L3_TCM",
+    "PAPI_FP_OPS",
+    "PAPI_BR_MSP",
+    "PAPI_VEC_INS",
+)
+
+#: Metrics reported per matched cluster.
+TRACKED_METRICS = ("MIPS", "IPC", "GFLOPS", "L3_MPKI", "BR_MISS_RATIO", "VEC_RATIO")
+
+
+@dataclass(frozen=True)
+class ClusterMatch:
+    """One matched cluster pair and its behaviour-space distance."""
+
+    before_id: int
+    after_id: int
+    distance: float
+
+    def __post_init__(self) -> None:
+        if self.distance < 0:
+            raise AnalysisError(f"negative match distance: {self.distance}")
+
+
+@dataclass(frozen=True)
+class ClusterDelta:
+    """Metric movement of one matched cluster."""
+
+    match: ClusterMatch
+    time_share: Tuple[float, float]
+    metrics: Dict[str, Tuple[Optional[float], Optional[float]]]
+
+    def moved(self, metric: str, relative_threshold: float = 0.1) -> bool:
+        """Whether ``metric`` changed by more than ``relative_threshold``."""
+        before, after = self.metrics.get(metric, (None, None))
+        if before is None or after is None or before == 0:
+            return False
+        return abs(after - before) / abs(before) > relative_threshold
+
+
+def _signature(cluster: ClusterAnalysis) -> np.ndarray:
+    """Duration-free behaviour signature: events per instruction."""
+    instances = cluster.instances
+    instructions = instances.totals("PAPI_TOT_INS")
+    valid = np.isfinite(instructions) & (instructions > 0)
+    if not valid.any():
+        raise AnalysisError(
+            f"cluster {cluster.cluster_id}: no instruction totals for signature"
+        )
+    out = []
+    for counter in SIGNATURE_COUNTERS:
+        totals = instances.totals(counter)
+        mask = valid & np.isfinite(totals)
+        out.append(float((totals[mask] / instructions[mask]).mean()) if mask.any() else 0.0)
+    return np.asarray(out)
+
+
+def match_clusters(
+    before: AnalysisResult, after: AnalysisResult
+) -> List[ClusterMatch]:
+    """Greedy nearest-first matching of analyzed clusters.
+
+    Distances are Euclidean between log-scaled signatures (event ratios
+    span orders of magnitude); each cluster matches at most once, pairs
+    taken in order of increasing distance — the standard assignment
+    heuristic, adequate for the handful of clusters real apps have.
+    """
+    before_sigs = {c.cluster_id: _signature(c) for c in before.clusters}
+    after_sigs = {c.cluster_id: _signature(c) for c in after.clusters}
+
+    def scaled(signature: np.ndarray) -> np.ndarray:
+        return np.log10(signature + 1e-6)
+
+    pairs: List[Tuple[float, int, int]] = []
+    for b_id, b_sig in before_sigs.items():
+        for a_id, a_sig in after_sigs.items():
+            distance = float(np.linalg.norm(scaled(b_sig) - scaled(a_sig)))
+            pairs.append((distance, b_id, a_id))
+    pairs.sort()
+    used_b, used_a = set(), set()
+    matches: List[ClusterMatch] = []
+    for distance, b_id, a_id in pairs:
+        if b_id in used_b or a_id in used_a:
+            continue
+        used_b.add(b_id)
+        used_a.add(a_id)
+        matches.append(ClusterMatch(before_id=b_id, after_id=a_id, distance=distance))
+    return matches
+
+
+def compare_results(
+    before: AnalysisResult, after: AnalysisResult
+) -> List[ClusterDelta]:
+    """Metric movement for every matched cluster, ordered by time share."""
+    deltas: List[ClusterDelta] = []
+    for match in match_clusters(before, after):
+        cluster_b = before.cluster(match.before_id)
+        cluster_a = after.cluster(match.after_id)
+        metrics: Dict[str, Tuple[Optional[float], Optional[float]]] = {}
+        for metric in TRACKED_METRICS:
+            try:
+                value_b: Optional[float] = cluster_b.phase_set.weighted_metric(metric)
+            except Exception:
+                value_b = None
+            try:
+                value_a: Optional[float] = cluster_a.phase_set.weighted_metric(metric)
+            except Exception:
+                value_a = None
+            metrics[metric] = (value_b, value_a)
+        deltas.append(
+            ClusterDelta(
+                match=match,
+                time_share=(cluster_b.time_share, cluster_a.time_share),
+                metrics=metrics,
+            )
+        )
+    deltas.sort(key=lambda d: -d.time_share[0])
+    return deltas
+
+
+def render_comparison(
+    before: AnalysisResult, after: AnalysisResult
+) -> str:
+    """Text table of cluster movements between two analyses."""
+    deltas = compare_results(before, after)
+    if not deltas:
+        return "no clusters could be matched between the two analyses"
+    rows = []
+    for delta in deltas:
+        row = [
+            f"{delta.match.before_id}->{delta.match.after_id}",
+            f"{delta.time_share[0]:.1%}->{delta.time_share[1]:.1%}",
+        ]
+        for metric in ("MIPS", "IPC", "L3_MPKI", "BR_MISS_RATIO", "VEC_RATIO"):
+            value_b, value_a = delta.metrics[metric]
+            if value_b is None or value_a is None:
+                row.append("-")
+            else:
+                fmt = "{:.0f}" if metric == "MIPS" else "{:.3g}"
+                row.append(f"{fmt.format(value_b)}->{fmt.format(value_a)}")
+        rows.append(row)
+    return format_table(
+        ["cluster", "time share", "MIPS", "IPC", "L3MPKI", "BRmiss", "VEC"],
+        rows,
+    )

@@ -1,0 +1,205 @@
+"""Command-line interface.
+
+Mirrors the real toolchain's workflow split::
+
+    python -m repro apps                          # list built-in applications
+    python -m repro trace --app cgpop -o run.rpt  # "run" + trace to a file
+    python -m repro stats run.rpt                 # trace health summary
+    python -m repro analyze run.rpt               # folding analysis + report
+    python -m repro demo --app pmemd --optimize   # full methodology + case study
+
+All commands are deterministic given ``--seed``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional
+
+from repro.analysis.hints import generate_hints
+from repro.analysis.methodology import describe_application, run_case_study
+from repro.analysis.pipeline import FoldingAnalyzer
+from repro.analysis.report import render_report
+from repro.machine.cpu import CoreModel
+from repro.machine.spec import MachineSpec
+from repro.runtime.engine import ExecutionEngine
+from repro.runtime.sampler import SamplerConfig
+from repro.runtime.tracer import Tracer, TracerConfig
+from repro.trace.reader import read_trace
+from repro.trace.stats import compute_stats
+from repro.trace.writer import write_trace
+from repro.workload.apps import (
+    cgpop_app,
+    cgpop_optimized,
+    dalton_app,
+    dalton_optimized,
+    mrgenesis_app,
+    mrgenesis_optimized,
+    multiphase_app,
+    pmemd_app,
+    pmemd_optimized,
+)
+
+__all__ = ["main", "APP_BUILDERS"]
+
+APP_BUILDERS: Dict[str, Callable] = {
+    "multiphase": multiphase_app,
+    "cgpop": cgpop_app,
+    "pmemd": pmemd_app,
+    "mrgenesis": mrgenesis_app,
+    "dalton": dalton_app,
+}
+
+OPTIMIZERS: Dict[str, tuple] = {
+    "cgpop": (cgpop_optimized, "cache blocking of the stencil"),
+    "pmemd": (pmemd_optimized, "vectorization of the force loop"),
+    "mrgenesis": (mrgenesis_optimized, "if-conversion of the Riemann solver"),
+    "dalton": (dalton_optimized, "master/worker collection restructuring"),
+}
+
+
+def _build_app(args: argparse.Namespace):
+    try:
+        builder = APP_BUILDERS[args.app]
+    except KeyError:
+        raise SystemExit(
+            f"unknown app {args.app!r}; choose from {sorted(APP_BUILDERS)}"
+        )
+    return builder(iterations=args.iterations, ranks=args.ranks)
+
+
+def _core() -> CoreModel:
+    return CoreModel(MachineSpec())
+
+
+def _add_app_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--app", default="cgpop", help=f"application ({sorted(APP_BUILDERS)})"
+    )
+    parser.add_argument("--iterations", type=int, default=150)
+    parser.add_argument("--ranks", type=int, default=4)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--period-ms", type=float, default=20.0, help="sampling period (ms)"
+    )
+
+
+def _cmd_apps(_args: argparse.Namespace) -> int:
+    for name, builder in sorted(APP_BUILDERS.items()):
+        doc = (builder.__doc__ or "").strip().splitlines()[0]
+        print(f"{name:<12} {doc}")
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    app = _build_app(args)
+    timeline = ExecutionEngine(_core(), seed=args.seed).run(app)
+    config = TracerConfig(
+        sampler=SamplerConfig(period_s=args.period_ms / 1e3), seed=args.seed
+    )
+    trace = Tracer(config).trace(timeline)
+    write_trace(trace, args.output)
+    print(
+        f"wrote {args.output}: {trace.n_records} records, "
+        f"{trace.n_ranks} ranks, {trace.duration:.3f}s simulated"
+    )
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    trace = read_trace(args.trace)
+    stats = compute_stats(trace)
+    print(f"application:        {trace.app_name or '(unnamed)'}")
+    print(f"ranks:              {stats.n_ranks}")
+    print(f"duration:           {stats.duration:.3f} s")
+    print(f"states/probes/samples: {stats.n_states}/{stats.n_probes}/{stats.n_samples}")
+    print(f"compute fraction:   {stats.compute_fraction:.1%}")
+    print(f"parallel efficiency:{stats.parallel_efficiency:>7.2f}")
+    print(f"mean sample period: {stats.mean_sample_period * 1e3:.2f} ms")
+    print(f"samples inside MPI: {stats.samples_in_mpi_fraction:.1%}")
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    trace = read_trace(args.trace)
+    result = FoldingAnalyzer().analyze(trace)
+    hints = generate_hints(result)
+    print(render_report(result, hints))
+    return 0
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    app = _build_app(args)
+    core = _core()
+    if args.optimize:
+        if args.app not in OPTIMIZERS:
+            raise SystemExit(
+                f"no built-in optimization for {args.app!r}; "
+                f"available: {sorted(OPTIMIZERS)}"
+            )
+        optimizer, name = OPTIMIZERS[args.app]
+        result, before, after = run_case_study(
+            app, optimizer, core, name, seed=args.seed
+        )
+        print(before.report)
+        print(f"transformation: {name}")
+        print(
+            f"wall time {result.base_wall_s:.3f}s -> {result.optimized_wall_s:.3f}s  "
+            f"({result.speedup:.3f}x, {result.improvement_percent:.1f}% faster)"
+        )
+        print("\ncluster movement (before -> after):")
+        from repro.analysis.tracking import render_comparison
+
+        print(render_comparison(before.result, after.result))
+    else:
+        description = describe_application(app, core, seed=args.seed)
+        print(description.report)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI's argument parser (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Folding + piece-wise linear regression phase detection",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("apps", help="list built-in applications").set_defaults(
+        func=_cmd_apps
+    )
+
+    p_trace = sub.add_parser("trace", help="run an app and write its trace")
+    _add_app_options(p_trace)
+    p_trace.add_argument("-o", "--output", required=True, help="trace file path")
+    p_trace.set_defaults(func=_cmd_trace)
+
+    p_stats = sub.add_parser("stats", help="summarize a trace file")
+    p_stats.add_argument("trace", help="trace file path")
+    p_stats.set_defaults(func=_cmd_stats)
+
+    p_analyze = sub.add_parser("analyze", help="folding analysis of a trace file")
+    p_analyze.add_argument("trace", help="trace file path")
+    p_analyze.set_defaults(func=_cmd_analyze)
+
+    p_demo = sub.add_parser("demo", help="full methodology on a built-in app")
+    _add_app_options(p_demo)
+    p_demo.add_argument(
+        "--optimize",
+        action="store_true",
+        help="also apply the app's case-study transformation and compare",
+    )
+    p_demo.set_defaults(func=_cmd_demo)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,34 @@
+"""Computation-burst extraction and structure detection.
+
+The folding mechanism needs groups of *equivalent* burst instances.  This
+package recovers them the way the BSC toolchain does (González et al.,
+IPDPS 2009; IPDPSW 2012): extract computation bursts from the trace's
+instrumentation probes (:mod:`repro.clustering.bursts`), build normalized
+feature vectors (:mod:`repro.clustering.features`), group them with a
+from-scratch density-based DBSCAN (:mod:`repro.clustering.dbscan`) or the
+multi-eps aggregative refinement (:mod:`repro.clustering.refinement`), and
+score the result (:mod:`repro.clustering.quality`).
+"""
+
+from repro.clustering.bursts import BurstSet, ComputationBurst, extract_bursts
+from repro.clustering.features import FeatureMatrix, build_features
+from repro.clustering.dbscan import DBSCAN, DBSCANResult
+from repro.clustering.refinement import refine_clusters
+from repro.clustering.quality import ClusterQuality, score_against_truth
+from repro.clustering.alignment import SPMDReport, align_identity, spmd_score
+
+__all__ = [
+    "SPMDReport",
+    "align_identity",
+    "spmd_score",
+    "ComputationBurst",
+    "BurstSet",
+    "extract_bursts",
+    "FeatureMatrix",
+    "build_features",
+    "DBSCAN",
+    "DBSCANResult",
+    "refine_clusters",
+    "ClusterQuality",
+    "score_against_truth",
+]

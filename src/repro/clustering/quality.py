@@ -1,0 +1,150 @@
+"""Clustering quality scores.
+
+Two families: supervised scores against the engine's ground truth (only
+benchmarks use these — the pipeline itself never sees truth), and an
+unsupervised silhouette for parameter diagnostics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ClusteringError
+from repro.clustering.bursts import BurstSet
+from repro.runtime.engine import ExecutionTimeline
+
+__all__ = ["ClusterQuality", "score_against_truth", "truth_labels_for", "silhouette"]
+
+
+@dataclass(frozen=True)
+class ClusterQuality:
+    """Supervised clustering scores.
+
+    ``purity``: weighted mean over clusters of the dominant-truth-label
+    share.  ``coverage``: fraction of non-noise bursts.  ``recovered``:
+    detected-cluster count vs true kernel count.
+    """
+
+    purity: float
+    coverage: float
+    n_clusters: int
+    n_true_kernels: int
+    dominant_truth_by_cluster: Dict[int, str]
+
+    @property
+    def recovered(self) -> bool:
+        """Whether the detected structure matches the true kernel count."""
+        return self.n_clusters == self.n_true_kernels
+
+
+def truth_labels_for(bursts: BurstSet, timeline: ExecutionTimeline) -> List[str]:
+    """Ground-truth kernel name for each extracted burst.
+
+    Bursts are matched to :class:`~repro.runtime.engine.BurstTruth`
+    intervals by rank + midpoint containment; a burst that matches nothing
+    (cannot happen with a consistent trace) raises.
+    """
+    by_rank: Dict[int, list] = {}
+    for truth in timeline.all_bursts():
+        by_rank.setdefault(truth.rank, []).append(truth)
+    labels: List[str] = []
+    for burst in bursts:
+        mid = 0.5 * (burst.t_start + burst.t_end)
+        match = None
+        for truth in by_rank.get(burst.rank, ()):
+            if truth.t_start - 1e-12 <= mid <= truth.t_end + 1e-12:
+                match = truth
+                break
+        if match is None:
+            raise ClusteringError(
+                f"burst rank={burst.rank} t={mid:.6f} matches no ground-truth burst"
+            )
+        labels.append(match.kernel_name)
+    return labels
+
+
+def score_against_truth(
+    bursts: BurstSet,
+    labels: np.ndarray,
+    timeline: ExecutionTimeline,
+) -> ClusterQuality:
+    """Score cluster ``labels`` of ``bursts`` against engine ground truth."""
+    labels = np.asarray(labels)
+    if labels.shape[0] != len(bursts):
+        raise ClusteringError(
+            f"{labels.shape[0]} labels for {len(bursts)} bursts"
+        )
+    truth = np.array(truth_labels_for(bursts, timeline))
+    clustered = labels >= 0
+    coverage = float(np.mean(clustered))
+    n_clusters = int(labels.max()) + 1 if np.any(clustered) else 0
+
+    dominant: Dict[int, str] = {}
+    agree = 0
+    total = 0
+    for cluster in range(n_clusters):
+        mask = labels == cluster
+        names, counts = np.unique(truth[mask], return_counts=True)
+        top = int(np.argmax(counts))
+        dominant[cluster] = str(names[top])
+        agree += int(counts[top])
+        total += int(mask.sum())
+    purity = agree / total if total else 0.0
+    n_true = len(set(truth.tolist()))
+    return ClusterQuality(
+        purity=purity,
+        coverage=coverage,
+        n_clusters=n_clusters,
+        n_true_kernels=n_true,
+        dominant_truth_by_cluster=dominant,
+    )
+
+
+def silhouette(
+    points: np.ndarray,
+    labels: np.ndarray,
+    max_points: int = 2000,
+    rng: Optional[np.random.Generator] = None,
+) -> float:
+    """Mean silhouette coefficient (subsampled for large inputs).
+
+    Noise points are excluded.  Returns 0.0 when fewer than two clusters
+    exist (silhouette undefined) — callers treat that as "no structure".
+    """
+    points = np.asarray(points, dtype=float)
+    labels = np.asarray(labels)
+    mask = labels >= 0
+    points, labels = points[mask], labels[mask]
+    if points.shape[0] == 0 or len(np.unique(labels)) < 2:
+        return 0.0
+    if points.shape[0] > max_points:
+        rng = rng or np.random.default_rng(0)
+        keep = rng.choice(points.shape[0], size=max_points, replace=False)
+        points, labels = points[keep], labels[keep]
+        if len(np.unique(labels)) < 2:
+            return 0.0
+    # Full pairwise distances on the (subsampled) points.
+    d = np.sqrt(
+        np.maximum(
+            0.0,
+            np.sum(points**2, axis=1)[:, None]
+            + np.sum(points**2, axis=1)[None, :]
+            - 2.0 * points @ points.T,
+        )
+    )
+    scores = np.empty(points.shape[0])
+    for i in range(points.shape[0]):
+        own = labels == labels[i]
+        own_count = own.sum() - 1
+        a = d[i, own].sum() / own_count if own_count > 0 else 0.0
+        b = np.inf
+        for other in np.unique(labels):
+            if other == labels[i]:
+                continue
+            b = min(b, d[i, labels == other].mean())
+        denom = max(a, b)
+        scores[i] = (b - a) / denom if denom > 0 else 0.0
+    return float(scores.mean())

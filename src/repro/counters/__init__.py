@@ -1,0 +1,64 @@
+"""Hardware performance-counter model.
+
+The real system (Extrae + PAPI) reads hardware counters; this package models
+the same vocabulary in software: a registry of counter definitions with
+PAPI-style names (:mod:`repro.counters.definitions`), counter *sets* and
+multiplexing groups as a real PMU would impose (:mod:`repro.counters.sets`),
+and derived metrics computed from raw counter rates
+(:mod:`repro.counters.derived`).
+"""
+
+from repro.counters.definitions import (
+    Counter,
+    CounterKind,
+    CounterRegistry,
+    DEFAULT_REGISTRY,
+    BR_INS,
+    BR_MSP,
+    FP_OPS,
+    L1_DCM,
+    L2_DCM,
+    L3_TCM,
+    LD_INS,
+    SR_INS,
+    TLB_DM,
+    TOT_CYC,
+    TOT_INS,
+    VEC_INS,
+)
+from repro.counters.sets import CounterSet, MultiplexSchedule
+from repro.counters.derived import (
+    DerivedMetric,
+    STANDARD_METRICS,
+    compute_metrics,
+    ipc,
+    mips,
+    mpki,
+)
+
+__all__ = [
+    "Counter",
+    "CounterKind",
+    "CounterRegistry",
+    "DEFAULT_REGISTRY",
+    "CounterSet",
+    "MultiplexSchedule",
+    "DerivedMetric",
+    "STANDARD_METRICS",
+    "compute_metrics",
+    "ipc",
+    "mips",
+    "mpki",
+    "TOT_INS",
+    "TOT_CYC",
+    "L1_DCM",
+    "L2_DCM",
+    "L3_TCM",
+    "FP_OPS",
+    "LD_INS",
+    "SR_INS",
+    "BR_INS",
+    "BR_MSP",
+    "VEC_INS",
+    "TLB_DM",
+]

@@ -1,0 +1,193 @@
+"""Counter definitions and the counter registry.
+
+Counters are identified by PAPI-style preset names (``PAPI_TOT_INS``,
+``PAPI_L2_DCM``, ...).  A :class:`Counter` is an immutable description; the
+:class:`CounterRegistry` maps names to definitions and assigns the stable
+integer ids that the trace format stores (the analog of a Paraver ``.pcf``
+counter section).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+__all__ = [
+    "CounterKind",
+    "Counter",
+    "CounterRegistry",
+    "DEFAULT_REGISTRY",
+    "TOT_INS",
+    "TOT_CYC",
+    "L1_DCM",
+    "L2_DCM",
+    "L3_TCM",
+    "FP_OPS",
+    "LD_INS",
+    "SR_INS",
+    "BR_INS",
+    "BR_MSP",
+    "VEC_INS",
+    "TLB_DM",
+]
+
+
+class CounterKind(enum.Enum):
+    """Broad category of a hardware event, used by derived-metric rules."""
+
+    INSTRUCTIONS = "instructions"
+    CYCLES = "cycles"
+    CACHE = "cache"
+    BRANCH = "branch"
+    FLOATING_POINT = "floating_point"
+    MEMORY = "memory"
+    TLB = "tlb"
+    OTHER = "other"
+
+
+@dataclass(frozen=True)
+class Counter:
+    """Immutable definition of one hardware counter.
+
+    Attributes
+    ----------
+    name:
+        PAPI-style preset name, e.g. ``"PAPI_TOT_INS"``.
+    kind:
+        Category used when deriving metrics.
+    description:
+        Human-readable description shown in reports.
+    per_instruction_max:
+        Loose physical upper bound on events per instruction (e.g. a load
+        instruction causes at most one L1 data miss).  The machine model
+        validates its rate functions against this bound; ``None`` disables
+        the check (cycles can exceed one per instruction on stalls).
+    """
+
+    name: str
+    kind: CounterKind
+    description: str
+    per_instruction_max: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if not self.name or not self.name.isupper():
+            raise ValueError(
+                f"counter names must be non-empty upper-case identifiers, got {self.name!r}"
+            )
+        if self.per_instruction_max is not None and self.per_instruction_max <= 0:
+            raise ValueError(
+                f"{self.name}: per_instruction_max must be positive or None"
+            )
+
+    @property
+    def short_name(self) -> str:
+        """Name without the ``PAPI_`` prefix, used in compact table output."""
+        return self.name[5:] if self.name.startswith("PAPI_") else self.name
+
+
+# The standard preset counters used throughout the reproduction.  The
+# per-instruction bounds are deliberately loose: they are sanity rails for
+# the machine model, not a microarchitectural claim.
+TOT_INS = Counter("PAPI_TOT_INS", CounterKind.INSTRUCTIONS, "Instructions completed", 1.0)
+TOT_CYC = Counter("PAPI_TOT_CYC", CounterKind.CYCLES, "Total cycles", None)
+L1_DCM = Counter("PAPI_L1_DCM", CounterKind.CACHE, "Level 1 data cache misses", 1.0)
+L2_DCM = Counter("PAPI_L2_DCM", CounterKind.CACHE, "Level 2 data cache misses", 1.0)
+L3_TCM = Counter("PAPI_L3_TCM", CounterKind.CACHE, "Level 3 total cache misses", 1.0)
+FP_OPS = Counter("PAPI_FP_OPS", CounterKind.FLOATING_POINT, "Floating point operations", 8.0)
+LD_INS = Counter("PAPI_LD_INS", CounterKind.MEMORY, "Load instructions", 1.0)
+SR_INS = Counter("PAPI_SR_INS", CounterKind.MEMORY, "Store instructions", 1.0)
+BR_INS = Counter("PAPI_BR_INS", CounterKind.BRANCH, "Branch instructions", 1.0)
+BR_MSP = Counter("PAPI_BR_MSP", CounterKind.BRANCH, "Mispredicted branches", 1.0)
+VEC_INS = Counter("PAPI_VEC_INS", CounterKind.INSTRUCTIONS, "Vector/SIMD instructions", 1.0)
+TLB_DM = Counter("PAPI_TLB_DM", CounterKind.TLB, "Data TLB misses", 1.0)
+
+_STANDARD = [
+    TOT_INS,
+    TOT_CYC,
+    L1_DCM,
+    L2_DCM,
+    L3_TCM,
+    FP_OPS,
+    LD_INS,
+    SR_INS,
+    BR_INS,
+    BR_MSP,
+    VEC_INS,
+    TLB_DM,
+]
+
+
+@dataclass
+class CounterRegistry:
+    """Name → definition mapping with stable integer ids.
+
+    Ids start at 42000000 + k, matching the Paraver convention of placing
+    hardware-counter event types in the 42xxxxxx range; the trace writer
+    stores ids, and the reader resolves them back through the registry.
+    """
+
+    _counters: Dict[str, Counter] = field(default_factory=dict)
+    _ids: Dict[str, int] = field(default_factory=dict)
+    base_id: int = 42000000
+
+    def register(self, counter: Counter) -> int:
+        """Register ``counter`` and return its id (idempotent by name)."""
+        existing = self._counters.get(counter.name)
+        if existing is not None:
+            if existing != counter:
+                raise ValueError(
+                    f"counter {counter.name} already registered with a different definition"
+                )
+            return self._ids[counter.name]
+        cid = self.base_id + len(self._counters)
+        self._counters[counter.name] = counter
+        self._ids[counter.name] = cid
+        return cid
+
+    def get(self, name: str) -> Counter:
+        """Look up a counter by name; raises ``KeyError`` with suggestions."""
+        try:
+            return self._counters[name]
+        except KeyError:
+            known = ", ".join(sorted(self._counters))
+            raise KeyError(f"unknown counter {name!r}; known: {known}") from None
+
+    def id_of(self, name: str) -> int:
+        """Stable integer id of counter ``name``."""
+        self.get(name)
+        return self._ids[name]
+
+    def by_id(self, cid: int) -> Counter:
+        """Reverse lookup: id → definition."""
+        for name, known_id in self._ids.items():
+            if known_id == cid:
+                return self._counters[name]
+        raise KeyError(f"no counter registered with id {cid}")
+
+    def names(self) -> List[str]:
+        """All registered counter names, in registration order."""
+        return list(self._counters)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._counters
+
+    def __iter__(self) -> Iterator[Counter]:
+        return iter(self._counters.values())
+
+    def __len__(self) -> int:
+        return len(self._counters)
+
+    @classmethod
+    def standard(cls) -> "CounterRegistry":
+        """Registry pre-populated with the standard preset counters."""
+        registry = cls()
+        for counter in _STANDARD:
+            registry.register(counter)
+        return registry
+
+
+#: Module-level registry with the standard presets.  Components that do not
+#: need a custom registry share this one (it is never mutated by the library
+#: after import).
+DEFAULT_REGISTRY = CounterRegistry.standard()

@@ -1,0 +1,188 @@
+"""Derived metrics computed from raw counter rates.
+
+The paper's framework (Servat et al., ParCo 2013) argues that raw counters
+are hard to read and maps them to metrics tied to processor functional units.
+This module implements that projection: a :class:`DerivedMetric` is a named
+function of a ``{counter_name: rate}`` mapping, with an explicit list of
+required counters so missing inputs fail loudly rather than silently
+producing NaN.
+
+Rates are events **per second**; time-normalized metrics (MIPS, GFLOPS) fall
+out directly, and per-instruction metrics (IPC, MPKI) are ratios of rates,
+so they are equally valid on per-phase slopes from the piece-wise linear fit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Mapping, Sequence
+
+__all__ = [
+    "DerivedMetric",
+    "STANDARD_METRICS",
+    "compute_metrics",
+    "ipc",
+    "mips",
+    "mpki",
+]
+
+
+def ipc(rates: Mapping[str, float]) -> float:
+    """Instructions per cycle from instruction and cycle rates."""
+    cyc = rates["PAPI_TOT_CYC"]
+    if cyc <= 0:
+        raise ValueError(f"cycle rate must be positive, got {cyc}")
+    return rates["PAPI_TOT_INS"] / cyc
+
+
+def mips(rates: Mapping[str, float]) -> float:
+    """Millions of instructions per second."""
+    return rates["PAPI_TOT_INS"] / 1e6
+
+
+def mpki(rates: Mapping[str, float], miss_counter: str) -> float:
+    """Misses of ``miss_counter`` per kilo-instruction."""
+    ins = rates["PAPI_TOT_INS"]
+    if ins <= 0:
+        raise ValueError(f"instruction rate must be positive, got {ins}")
+    return 1000.0 * rates[miss_counter] / ins
+
+
+@dataclass(frozen=True)
+class DerivedMetric:
+    """A named derived metric.
+
+    Attributes
+    ----------
+    name:
+        Short identifier used as a report column header (``"IPC"``).
+    unit:
+        Display unit (``"ins/cyc"``).
+    requires:
+        Counter names the formula consumes; :func:`compute_metrics` checks
+        availability before calling ``formula``.
+    formula:
+        Maps ``{counter_name: rate_per_second}`` to the metric value.
+    higher_is_better:
+        Direction used by the hint engine when ranking phases.
+    """
+
+    name: str
+    unit: str
+    requires: Sequence[str]
+    formula: Callable[[Mapping[str, float]], float]
+    higher_is_better: bool = True
+
+    def available(self, rates: Mapping[str, float]) -> bool:
+        """Whether all required counters are present in ``rates``."""
+        return all(name in rates for name in self.requires)
+
+    def compute(self, rates: Mapping[str, float]) -> float:
+        """Evaluate the metric; raises ``KeyError`` on missing counters."""
+        missing = [name for name in self.requires if name not in rates]
+        if missing:
+            raise KeyError(
+                f"metric {self.name} requires counters {missing} which are absent"
+            )
+        return float(self.formula(rates))
+
+
+STANDARD_METRICS: List[DerivedMetric] = [
+    DerivedMetric(
+        "MIPS", "Mins/s", ("PAPI_TOT_INS",), mips, higher_is_better=True
+    ),
+    DerivedMetric(
+        "IPC", "ins/cyc", ("PAPI_TOT_INS", "PAPI_TOT_CYC"), ipc, higher_is_better=True
+    ),
+    DerivedMetric(
+        "GFLOPS",
+        "Gflop/s",
+        ("PAPI_FP_OPS",),
+        lambda r: r["PAPI_FP_OPS"] / 1e9,
+        higher_is_better=True,
+    ),
+    DerivedMetric(
+        "L1_MPKI",
+        "miss/kins",
+        ("PAPI_L1_DCM", "PAPI_TOT_INS"),
+        lambda r: mpki(r, "PAPI_L1_DCM"),
+        higher_is_better=False,
+    ),
+    DerivedMetric(
+        "L2_MPKI",
+        "miss/kins",
+        ("PAPI_L2_DCM", "PAPI_TOT_INS"),
+        lambda r: mpki(r, "PAPI_L2_DCM"),
+        higher_is_better=False,
+    ),
+    DerivedMetric(
+        "L3_MPKI",
+        "miss/kins",
+        ("PAPI_L3_TCM", "PAPI_TOT_INS"),
+        lambda r: mpki(r, "PAPI_L3_TCM"),
+        higher_is_better=False,
+    ),
+    DerivedMetric(
+        "BR_MISS_RATIO",
+        "misp/branch",
+        ("PAPI_BR_MSP", "PAPI_BR_INS"),
+        lambda r: (r["PAPI_BR_MSP"] / r["PAPI_BR_INS"]) if r["PAPI_BR_INS"] > 0 else 0.0,
+        higher_is_better=False,
+    ),
+    DerivedMetric(
+        "VEC_RATIO",
+        "vec/ins",
+        ("PAPI_VEC_INS", "PAPI_TOT_INS"),
+        lambda r: (r["PAPI_VEC_INS"] / r["PAPI_TOT_INS"]) if r["PAPI_TOT_INS"] > 0 else 0.0,
+        higher_is_better=True,
+    ),
+    DerivedMetric(
+        "MEM_RATIO",
+        "mem/ins",
+        ("PAPI_LD_INS", "PAPI_SR_INS", "PAPI_TOT_INS"),
+        lambda r: ((r["PAPI_LD_INS"] + r["PAPI_SR_INS"]) / r["PAPI_TOT_INS"])
+        if r["PAPI_TOT_INS"] > 0
+        else 0.0,
+        higher_is_better=False,
+    ),
+]
+
+
+def compute_metrics(
+    rates: Mapping[str, float],
+    metrics: Sequence[DerivedMetric] = tuple(STANDARD_METRICS),
+    skip_unavailable: bool = True,
+) -> Dict[str, float]:
+    """Evaluate every metric whose inputs are available.
+
+    With ``skip_unavailable=False`` a missing counter raises instead of
+    silently dropping the metric — used by the report stage, which promises
+    specific columns.
+    """
+    import math
+
+    out: Dict[str, float] = {}
+    for metric in metrics:
+        if metric.available(rates):
+            try:
+                value = metric.compute(rates)
+            except ValueError:
+                # Degenerate inputs (e.g. a zero cycle rate in a fitted
+                # zero-slope segment) make the ratio undefined; treat the
+                # metric as unavailable rather than poisoning the report.
+                if not skip_unavailable:
+                    raise
+                continue
+            if not math.isfinite(value):
+                # A denormal denominator can overflow a ratio to inf —
+                # same treatment as an undefined metric.
+                if not skip_unavailable:
+                    raise ValueError(
+                        f"metric {metric.name} evaluated non-finite ({value})"
+                    )
+                continue
+            out[metric.name] = value
+        elif not skip_unavailable:
+            missing = [n for n in metric.requires if n not in rates]
+            raise KeyError(f"metric {metric.name} missing counters {missing}")
+    return out

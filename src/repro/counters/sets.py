@@ -1,0 +1,129 @@
+"""Counter sets and PMU multiplexing.
+
+A real PMU exposes a handful of programmable counter registers, so a tracer
+that wants more events than registers must *multiplex*: rotate through groups
+of counters, reading each group on a subset of burst instances, and later
+project the missing values (González et al., "Performance data extrapolation
+in parallel codes", ICPADS 2010).  The folding pipeline supports the same
+constraint: a :class:`MultiplexSchedule` decides which :class:`CounterSet` is
+live for a given burst instance, and the folding stage simply folds each
+counter with the instances where it was live.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple
+
+from repro.counters.definitions import Counter
+
+__all__ = ["CounterSet", "MultiplexSchedule"]
+
+
+@dataclass(frozen=True)
+class CounterSet:
+    """An ordered group of counters measured simultaneously.
+
+    ``max_registers`` models the PMU width; a set wider than the PMU is a
+    configuration error caught at construction.
+    """
+
+    counters: Tuple[Counter, ...]
+    max_registers: int = 8
+
+    def __init__(
+        self, counters: Sequence[Counter], max_registers: int = 8
+    ) -> None:
+        object.__setattr__(self, "counters", tuple(counters))
+        object.__setattr__(self, "max_registers", int(max_registers))
+        if not self.counters:
+            raise ValueError("a CounterSet needs at least one counter")
+        names = [c.name for c in self.counters]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate counters in set: {names}")
+        if len(self.counters) > self.max_registers:
+            raise ValueError(
+                f"counter set of {len(self.counters)} counters exceeds the "
+                f"{self.max_registers} available PMU registers"
+            )
+
+    @property
+    def names(self) -> List[str]:
+        """Counter names in set order."""
+        return [c.name for c in self.counters]
+
+    def __contains__(self, item: object) -> bool:
+        if isinstance(item, Counter):
+            return item in self.counters
+        return any(c.name == item for c in self.counters)
+
+    def __len__(self) -> int:
+        return len(self.counters)
+
+    def __iter__(self):
+        return iter(self.counters)
+
+
+@dataclass
+class MultiplexSchedule:
+    """Round-robin rotation over counter sets, keyed by burst instance index.
+
+    The first set always contains the *pivot* counters (by convention
+    instructions and cycles) that every group must share so that instances
+    measured under different groups remain comparable — the same requirement
+    the extrapolation paper imposes.  ``pivot_names`` records them; the
+    constructor verifies every set carries the pivots.
+
+    .. warning:: **Aliasing.** The rotation is keyed by the per-rank burst
+       index.  If the application executes ``k`` bursts per iteration and
+       ``k`` shares a factor with ``len(sets)``, some burst clusters will
+       always see the same group (e.g. two sets + two bursts/iteration
+       means the first kernel never measures set 1's counters).  Choose a
+       set count coprime to the app's bursts-per-iteration — exactly the
+       scheduling concern real multiplexing tracers face.
+    """
+
+    sets: List[CounterSet]
+    pivot_names: Tuple[str, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if not self.sets:
+            raise ValueError("MultiplexSchedule needs at least one counter set")
+        for pivot in self.pivot_names:
+            for i, cset in enumerate(self.sets):
+                if pivot not in cset:
+                    raise ValueError(
+                        f"pivot counter {pivot} missing from set #{i} ({cset.names})"
+                    )
+
+    def set_for_instance(self, instance_index: int) -> CounterSet:
+        """Counter set live during burst instance ``instance_index``."""
+        if instance_index < 0:
+            raise ValueError(f"instance index must be >= 0, got {instance_index}")
+        return self.sets[instance_index % len(self.sets)]
+
+    def instances_for_counter(self, name: str, n_instances: int) -> List[int]:
+        """Indices (< ``n_instances``) of instances where ``name`` was live."""
+        live_sets = [i for i, cset in enumerate(self.sets) if name in cset]
+        if not live_sets:
+            raise KeyError(f"counter {name} is in no set of this schedule")
+        stride = len(self.sets)
+        return [
+            k
+            for k in range(n_instances)
+            if (k % stride) in live_sets
+        ]
+
+    def all_counter_names(self) -> List[str]:
+        """Union of counter names across all sets (stable order)."""
+        seen: List[str] = []
+        for cset in self.sets:
+            for name in cset.names:
+                if name not in seen:
+                    seen.append(name)
+        return seen
+
+    @classmethod
+    def single(cls, counter_set: CounterSet) -> "MultiplexSchedule":
+        """A degenerate schedule measuring one set on every instance."""
+        return cls(sets=[counter_set], pivot_names=tuple(counter_set.names))

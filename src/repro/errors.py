@@ -1,0 +1,63 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All library errors derive from :class:`ReproError` so callers can catch a
+single base class.  Each subsystem raises the most specific subclass that
+applies; error messages always include enough context (counter names, burst
+ids, parameter values) to diagnose a failure without re-running with a
+debugger attached.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "MachineModelError",
+    "WorkloadError",
+    "TraceFormatError",
+    "ClusteringError",
+    "FoldingError",
+    "FittingError",
+    "PhaseError",
+    "AnalysisError",
+]
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the :mod:`repro` library."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """A configuration object is internally inconsistent or out of range."""
+
+
+class MachineModelError(ReproError):
+    """The synthetic machine model was asked for something unphysical."""
+
+
+class WorkloadError(ReproError):
+    """A workload/application definition is malformed."""
+
+
+class TraceFormatError(ReproError):
+    """A trace file or record stream violates the trace format contract."""
+
+
+class ClusteringError(ReproError):
+    """Burst clustering failed (e.g. empty input, bad parameters)."""
+
+
+class FoldingError(ReproError):
+    """The folding stage cannot produce a folded sample set."""
+
+
+class FittingError(ReproError):
+    """Piece-wise linear regression (or the baseline smoother) failed."""
+
+
+class PhaseError(ReproError):
+    """Phase construction or phase/source mapping failed."""
+
+
+class AnalysisError(ReproError):
+    """The end-to-end analysis pipeline failed."""

@@ -1,0 +1,22 @@
+"""Performance-data extrapolation under PMU multiplexing.
+
+Reimplements the substrate of González, Giménez, Labarta — *Performance
+data extrapolation in parallel codes* (ICPADS 2010): when the PMU cannot
+count every event simultaneously, the tracer rotates counter sets across
+burst instances; because instances of one cluster repeat the same
+computation, the missing values of each burst can be projected from the
+cluster's measured instances with minimal error.
+
+:func:`~repro.extrapolation.project.extrapolate` fills the gaps (per
+cluster, per counter, scaled by each burst's pivot-counter total) and
+:func:`~repro.extrapolation.project.cross_validate` quantifies the
+projection error by hiding measured values and predicting them.
+"""
+
+from repro.extrapolation.project import (
+    ExtrapolationResult,
+    cross_validate,
+    extrapolate,
+)
+
+__all__ = ["ExtrapolationResult", "extrapolate", "cross_validate"]

@@ -1,0 +1,177 @@
+"""Projection of unmeasured counters from cluster statistics.
+
+The model is the one the extrapolation paper exploits: within a cluster,
+every instance performs the same computation, so the ratio
+``events(counter) / events(pivot)`` is (nearly) constant across instances.
+A burst that did not measure ``counter`` but did measure the pivot —
+the pivot is in every multiplexing group by construction — gets::
+
+    projected_delta = cluster_ratio(counter) * burst_delta(pivot)
+
+Noise bursts (label -1) belong to no cluster and are left unprojected.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.clustering.bursts import BurstSet
+from repro.errors import AnalysisError
+
+__all__ = ["ExtrapolationResult", "extrapolate", "cross_validate"]
+
+
+@dataclass
+class ExtrapolationResult:
+    """Complete per-burst counter totals plus provenance.
+
+    ``deltas[counter]`` is an array over bursts; ``measured[counter]`` is
+    a boolean mask (True = value came from the PMU, False = projected).
+    ``cluster_ratios[cluster][counter]`` records the per-cluster
+    events-per-pivot-event ratios used for projection.
+    """
+
+    pivot: str
+    deltas: Dict[str, np.ndarray]
+    measured: Dict[str, np.ndarray]
+    cluster_ratios: Dict[int, Dict[str, float]]
+
+    @property
+    def counters(self) -> List[str]:
+        """Counter names covered by the result."""
+        return list(self.deltas)
+
+    def coverage(self, counter: str) -> float:
+        """Fraction of bursts whose value was actually measured."""
+        mask = self.measured[counter]
+        return float(mask.mean()) if mask.size else 0.0
+
+    def projected_fraction(self, counter: str) -> float:
+        """Fraction of bursts whose value is a projection (non-NaN only)."""
+        finite = np.isfinite(self.deltas[counter])
+        if not finite.any():
+            return 0.0
+        projected = finite & ~self.measured[counter]
+        return float(projected.sum() / finite.sum())
+
+
+def _cluster_ratio(
+    bursts: BurstSet,
+    member_indices: np.ndarray,
+    counter: str,
+    pivot_deltas: np.ndarray,
+) -> Optional[float]:
+    """Mean events-per-pivot-event over the members that measured both."""
+    values = []
+    for index in member_indices:
+        delta = bursts[int(index)].delta_or_nan(counter)
+        pivot = pivot_deltas[int(index)]
+        if np.isfinite(delta) and np.isfinite(pivot) and pivot > 0:
+            values.append(delta / pivot)
+    if not values:
+        return None
+    return float(np.mean(values))
+
+
+def extrapolate(
+    bursts: BurstSet,
+    labels: np.ndarray,
+    pivot: str = "PAPI_TOT_INS",
+    counters: Optional[Sequence[str]] = None,
+) -> ExtrapolationResult:
+    """Fill unmeasured counter totals from per-cluster ratios.
+
+    The pivot counter must be measured in every burst (it anchors the
+    projection); a multiplexing schedule that drops the pivot from some
+    group is a configuration error surfaced here.
+    """
+    labels = np.asarray(labels)
+    if labels.shape[0] != len(bursts):
+        raise AnalysisError(f"{labels.shape[0]} labels for {len(bursts)} bursts")
+    names = list(counters) if counters else bursts.counter_names
+    if pivot not in names:
+        raise AnalysisError(f"pivot {pivot!r} not among counters {names}")
+    pivot_deltas = bursts.deltas_or_nan(pivot)
+    if not np.all(np.isfinite(pivot_deltas)):
+        missing = int(np.sum(~np.isfinite(pivot_deltas)))
+        raise AnalysisError(
+            f"pivot {pivot} unmeasured in {missing} burst(s); every "
+            "multiplexing group must include the pivot"
+        )
+
+    cluster_ids = [int(c) for c in np.unique(labels) if c >= 0]
+    members = {c: np.flatnonzero(labels == c) for c in cluster_ids}
+    ratios: Dict[int, Dict[str, float]] = {c: {} for c in cluster_ids}
+
+    deltas: Dict[str, np.ndarray] = {}
+    measured: Dict[str, np.ndarray] = {}
+    for counter in names:
+        raw = bursts.deltas_or_nan(counter)
+        mask = np.isfinite(raw)
+        filled = raw.copy()
+        for cluster in cluster_ids:
+            ratio = _cluster_ratio(bursts, members[cluster], counter, pivot_deltas)
+            if ratio is None:
+                continue  # counter never measured in this cluster
+            ratios[cluster][counter] = ratio
+            for index in members[cluster]:
+                if not mask[index]:
+                    filled[index] = ratio * pivot_deltas[index]
+        deltas[counter] = filled
+        measured[counter] = mask
+    return ExtrapolationResult(
+        pivot=pivot, deltas=deltas, measured=measured, cluster_ratios=ratios
+    )
+
+
+def cross_validate(
+    bursts: BurstSet,
+    labels: np.ndarray,
+    counter: str,
+    pivot: str = "PAPI_TOT_INS",
+    holdout_fraction: float = 0.25,
+    rng: Optional[np.random.Generator] = None,
+) -> Tuple[float, int]:
+    """Projection error measured on hidden ground truth.
+
+    Hides ``holdout_fraction`` of the bursts that *did* measure
+    ``counter``, recomputes the cluster ratios without them, projects the
+    hidden values, and returns ``(mean relative error, n_evaluated)``.
+    """
+    if not 0.0 < holdout_fraction < 1.0:
+        raise AnalysisError(
+            f"holdout_fraction must be in (0, 1), got {holdout_fraction}"
+        )
+    rng = rng or np.random.default_rng(0)
+    labels = np.asarray(labels)
+    raw = bursts.deltas_or_nan(counter)
+    pivot_deltas = bursts.deltas_or_nan(pivot)
+    candidates = np.flatnonzero(np.isfinite(raw) & (labels >= 0) & (raw > 0))
+    if candidates.size < 8:
+        raise AnalysisError(
+            f"too few measured bursts ({candidates.size}) to cross-validate {counter}"
+        )
+    n_hold = max(1, int(candidates.size * holdout_fraction))
+    held = rng.choice(candidates, size=n_hold, replace=False)
+    held_set = set(int(i) for i in held)
+
+    errors: List[float] = []
+    for cluster in (int(c) for c in np.unique(labels) if c >= 0):
+        member_indices = np.flatnonzero(labels == cluster)
+        training = np.array(
+            [i for i in member_indices if int(i) not in held_set], dtype=int
+        )
+        ratio = _cluster_ratio(bursts, training, counter, pivot_deltas)
+        if ratio is None:
+            continue
+        for index in member_indices:
+            if int(index) in held_set:
+                predicted = ratio * pivot_deltas[int(index)]
+                truth = raw[int(index)]
+                errors.append(abs(predicted - truth) / truth)
+    if not errors:
+        raise AnalysisError(f"no held-out burst was predictable for {counter}")
+    return float(np.mean(errors)), len(errors)

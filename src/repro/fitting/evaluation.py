@@ -1,0 +1,93 @@
+"""Scoring fitted models against exact ground truth.
+
+Only benchmarks/tests use this module — it needs the machine model's
+:class:`~repro.machine.rates.RateFunction`, which a real tool never has.
+Curve error is measured on the normalized cumulative curve; rate error on
+its derivative (the quantity analysts actually read).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import FittingError
+from repro.machine.rates import RateFunction
+from repro.util.stats import r_squared
+
+__all__ = ["FitEvaluation", "evaluate_fit", "evaluate_series"]
+
+
+@dataclass(frozen=True)
+class FitEvaluation:
+    """Errors of one fitted curve vs ground truth on a common grid."""
+
+    curve_mae: float
+    curve_max_error: float
+    curve_r2: float
+    rate_relative_mae: float
+    n_grid: int
+
+    def __str__(self) -> str:
+        return (
+            f"curve MAE={self.curve_mae:.4g} max={self.curve_max_error:.4g} "
+            f"R2={self.curve_r2:.5f}; rate relMAE={self.rate_relative_mae:.4g}"
+        )
+
+
+def evaluate_series(
+    y_fit: np.ndarray,
+    rate_fit: np.ndarray,
+    y_true: np.ndarray,
+    rate_true: np.ndarray,
+) -> FitEvaluation:
+    """Score precomputed fitted/true series on a shared grid."""
+    y_fit = np.asarray(y_fit, dtype=float)
+    y_true = np.asarray(y_true, dtype=float)
+    rate_fit = np.asarray(rate_fit, dtype=float)
+    rate_true = np.asarray(rate_true, dtype=float)
+    if not (y_fit.shape == y_true.shape == rate_fit.shape == rate_true.shape):
+        raise FittingError("evaluation series must share one grid")
+    if y_fit.size < 2:
+        raise FittingError(f"grid too small: {y_fit.size}")
+    curve_err = np.abs(y_fit - y_true)
+    scale = float(np.mean(np.abs(rate_true)))
+    if scale <= 0:
+        raise FittingError("ground-truth rates are all zero")
+    rate_rel = np.abs(rate_fit - rate_true) / scale
+    return FitEvaluation(
+        curve_mae=float(curve_err.mean()),
+        curve_max_error=float(curve_err.max()),
+        curve_r2=r_squared(y_true, y_fit),
+        rate_relative_mae=float(rate_rel.mean()),
+        n_grid=int(y_fit.size),
+    )
+
+
+def evaluate_fit(
+    model,
+    truth: RateFunction,
+    counter: str,
+    n_grid: int = 512,
+    edge_trim: float = 0.005,
+) -> FitEvaluation:
+    """Score a :class:`~repro.fitting.pwlr.PiecewiseLinearModel` vs truth.
+
+    ``edge_trim`` excludes the extreme edges of [0,1] where the derivative
+    comparison is dominated by which side of a boundary the grid point
+    falls on.  Truth is the normalized cumulative curve of ``counter`` and
+    its exact piecewise-constant derivative.
+    """
+    if n_grid < 16:
+        raise FittingError(f"n_grid must be >= 16, got {n_grid}")
+    if not 0.0 <= edge_trim < 0.5:
+        raise FittingError(f"edge_trim must be in [0, 0.5), got {edge_trim}")
+    grid = np.linspace(edge_trim, 1.0 - edge_trim, n_grid)
+    y_true = truth.normalized_cumulative(grid, counter)
+    # Exact normalized derivative: rate / (total / duration).
+    scale = truth.total(counter) / truth.duration
+    rate_true = truth.rate_at(grid * truth.duration, counter) / scale
+    y_fit = model.predict(grid)
+    rate_fit = model.slope_at(grid)
+    return evaluate_series(y_fit, rate_fit, y_true, rate_true)

@@ -1,0 +1,53 @@
+"""Weighted least squares on small design matrices.
+
+The PWLR search performs hundreds of solves on tall-skinny matrices
+(thousands of folded samples, fewer than ~15 columns), so this wraps
+:func:`numpy.linalg.lstsq` with the sqrt-weight transform and gives the
+residual sum of squares directly.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.errors import FittingError
+
+__all__ = ["weighted_lstsq"]
+
+
+def weighted_lstsq(
+    design: np.ndarray,
+    target: np.ndarray,
+    weights: Optional[np.ndarray] = None,
+) -> Tuple[np.ndarray, float]:
+    """Solve ``min ||W^(1/2) (A c - y)||^2``; return ``(c, weighted_sse)``.
+
+    Weights default to 1.  Rank deficiency is tolerated (lstsq returns the
+    minimum-norm solution) because near-duplicate breakpoints can make two
+    hinge columns almost identical during the search; the search discards
+    such configurations by their BIC anyway.
+    """
+    design = np.asarray(design, dtype=float)
+    target = np.asarray(target, dtype=float)
+    if design.ndim != 2:
+        raise FittingError(f"design must be 2-D, got shape {design.shape}")
+    if target.ndim != 1 or target.size != design.shape[0]:
+        raise FittingError(
+            f"target shape {target.shape} mismatches design {design.shape}"
+        )
+    if weights is not None:
+        weights = np.asarray(weights, dtype=float)
+        if weights.shape != target.shape:
+            raise FittingError(
+                f"weights shape {weights.shape} mismatches target {target.shape}"
+            )
+        if np.any(weights < 0):
+            raise FittingError("weights must be non-negative")
+        sqrt_w = np.sqrt(weights)
+        design = design * sqrt_w[:, None]
+        target = target * sqrt_w
+    coeffs, _, _, _ = np.linalg.lstsq(design, target, rcond=None)
+    residuals = target - design @ coeffs
+    return coeffs, float(residuals @ residuals)

@@ -1,0 +1,72 @@
+"""Model-selection criteria for the breakpoint search.
+
+BIC under the Gaussian-residual likelihood, with the standard
+``n log(SSE/n) + p log(n)`` form; AIC included for the ablation bench,
+which compares both criteria.  ``merge_insignificant`` implements the
+post-selection pass that removes boundaries between segments whose slopes
+are practically identical — a breakpoint placed inside a homogeneous phase
+reduces SSE a little but describes no real structure.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.errors import FittingError
+
+__all__ = ["bic", "aic", "merge_insignificant"]
+
+#: SSE floor avoiding log(0) for perfect fits on exact synthetic data.
+_SSE_FLOOR = 1e-18
+
+
+def bic(sse: float, n: int, n_params: int) -> float:
+    """Bayesian information criterion (lower is better)."""
+    if n < 1:
+        raise FittingError(f"n must be >= 1, got {n}")
+    if n_params < 0:
+        raise FittingError(f"n_params must be >= 0, got {n_params}")
+    if sse < 0:
+        raise FittingError(f"sse must be >= 0, got {sse}")
+    return n * math.log(max(sse, _SSE_FLOOR) / n) + n_params * math.log(n)
+
+
+def aic(sse: float, n: int, n_params: int) -> float:
+    """Akaike information criterion (lower is better)."""
+    if n < 1:
+        raise FittingError(f"n must be >= 1, got {n}")
+    if n_params < 0:
+        raise FittingError(f"n_params must be >= 0, got {n_params}")
+    if sse < 0:
+        raise FittingError(f"sse must be >= 0, got {sse}")
+    return n * math.log(max(sse, _SSE_FLOOR) / n) + 2.0 * n_params
+
+
+def merge_insignificant(model, tol: float = 0.12) -> np.ndarray:
+    """Breakpoints to keep after merging similar-slope neighbors.
+
+    Two adjacent segments are merged when their slope difference is below
+    ``tol`` times the mean absolute slope of the model.  Returns the
+    retained interior breakpoints (the caller refits at them).
+    """
+    if tol < 0:
+        raise FittingError(f"tol must be >= 0, got {tol}")
+    slopes = np.asarray(model.slopes, dtype=float)
+    breaks = np.asarray(model.breakpoints, dtype=float)
+    if breaks.size == 0:
+        return breaks
+    scale = float(np.mean(np.abs(slopes)))
+    if scale == 0.0:
+        # All-flat model: every boundary is insignificant.
+        return np.array([])
+    keep = []
+    left_slope = slopes[0]
+    for i, boundary in enumerate(breaks):
+        right_slope = slopes[i + 1]
+        if abs(right_slope - left_slope) >= tol * scale:
+            keep.append(float(boundary))
+            left_slope = right_slope
+        # else: merged — left_slope persists as the reference
+    return np.asarray(keep)

@@ -1,0 +1,509 @@
+"""Continuous piece-wise linear regression with breakpoint search.
+
+The model on normalized time x in [0, 1] is::
+
+    y(x) = a + s_1 * len(seg_1 ∩ [0,x]) + ... + s_m * len(seg_m ∩ [0,x])
+
+i.e. continuous, linear within each segment, with per-segment slopes
+``s_j`` and interior breakpoints ``b_1 < ... < b_{m-1}``.  Because folded
+accumulated counters are non-decreasing and pinned to (0,0)-(1,1), the fit
+supports two physically-motivated options used by the default pipeline (and
+switched off by the ablation bench):
+
+* **anchoring** — heavy pseudo-observations at (0,0) and (1,1);
+* **monotonicity** — slopes constrained >= 0 via NNLS.
+
+Breakpoint *positions* are searched greedily over a candidate grid with
+local refinement, and the breakpoint *count* is selected by BIC (see
+:mod:`repro.fitting.model_selection`), followed by a merge pass that
+removes boundaries between segments with statistically indistinguishable
+slopes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+from scipy.optimize import minimize_scalar, nnls
+
+from repro.errors import FittingError
+from repro.fitting.linear import weighted_lstsq
+from repro.fitting import model_selection
+
+__all__ = [
+    "PiecewiseLinearModel",
+    "PWLRConfig",
+    "fit_fixed_breakpoints",
+    "fit_pwlr",
+    "refit_slopes",
+]
+
+
+@dataclass(frozen=True)
+class PiecewiseLinearModel:
+    """A fitted continuous piece-wise linear curve on [0, 1].
+
+    ``breakpoints`` are the interior boundaries; ``slopes`` has one entry
+    per segment (``len(breakpoints) + 1``).  ``sse``/``n_points`` describe
+    the fit on the data it was estimated from.
+    """
+
+    breakpoints: np.ndarray
+    slopes: np.ndarray
+    intercept: float
+    sse: float
+    n_points: int
+
+    def __post_init__(self) -> None:
+        bp = np.asarray(self.breakpoints, dtype=float)
+        sl = np.asarray(self.slopes, dtype=float)
+        object.__setattr__(self, "breakpoints", bp)
+        object.__setattr__(self, "slopes", sl)
+        if bp.size and (np.any(bp <= 0.0) or np.any(bp >= 1.0)):
+            raise FittingError(f"interior breakpoints must lie in (0,1): {bp}")
+        if bp.size > 1 and np.any(np.diff(bp) <= 0):
+            raise FittingError(f"breakpoints must be strictly increasing: {bp}")
+        if sl.size != bp.size + 1:
+            raise FittingError(
+                f"{sl.size} slopes for {bp.size} breakpoints (need {bp.size + 1})"
+            )
+        if self.n_points < 0:
+            raise FittingError(f"negative n_points: {self.n_points}")
+
+    # ------------------------------------------------------------------
+    @property
+    def knots(self) -> np.ndarray:
+        """All segment boundaries including 0 and 1."""
+        return np.concatenate([[0.0], self.breakpoints, [1.0]])
+
+    @property
+    def n_segments(self) -> int:
+        """Number of linear segments."""
+        return int(self.slopes.size)
+
+    @property
+    def segment_lengths(self) -> np.ndarray:
+        """Length of each segment on the normalized axis."""
+        return np.diff(self.knots)
+
+    def knot_values(self) -> np.ndarray:
+        """Model value at each knot (continuity makes this well defined)."""
+        return self.intercept + np.concatenate(
+            [[0.0], np.cumsum(self.slopes * self.segment_lengths)]
+        )
+
+    def predict(self, x) -> np.ndarray:
+        """Evaluate the curve at ``x`` (vectorized)."""
+        xs = np.atleast_1d(np.asarray(x, dtype=float))
+        knots = self.knots
+        values = self.knot_values()
+        idx = np.clip(np.searchsorted(knots, xs, side="right") - 1, 0, self.n_segments - 1)
+        out = values[idx] + self.slopes[idx] * (xs - knots[idx])
+        return out if np.ndim(x) else float(out[0])
+
+    def slope_at(self, x) -> np.ndarray:
+        """Segment slope at ``x`` (vectorized; right-continuous)."""
+        xs = np.atleast_1d(np.asarray(x, dtype=float))
+        idx = np.clip(
+            np.searchsorted(self.knots, xs, side="right") - 1, 0, self.n_segments - 1
+        )
+        out = self.slopes[idx]
+        return out if np.ndim(x) else float(out[0])
+
+    def segments(self) -> List[Tuple[float, float, float]]:
+        """List of ``(x_start, x_end, slope)`` triples."""
+        knots = self.knots
+        return [
+            (float(knots[i]), float(knots[i + 1]), float(self.slopes[i]))
+            for i in range(self.n_segments)
+        ]
+
+    @property
+    def rmse(self) -> float:
+        """Root mean squared error on the fitting data."""
+        return float(np.sqrt(self.sse / self.n_points)) if self.n_points else 0.0
+
+
+@dataclass(frozen=True)
+class PWLRConfig:
+    """Knobs of the automatic fit.
+
+    Attributes
+    ----------
+    max_breakpoints:
+        Upper bound on interior breakpoints (phases - 1).
+    n_candidates:
+        Size of the uniform candidate grid the search works on.
+    min_separation:
+        Minimum distance between breakpoints (and to the edges); phases
+        finer than this are not representable.
+    anchor:
+        Pin the curve to (0,0) and (1,1) with heavy pseudo-points.
+    anchor_weight:
+        Weight of each pseudo-point relative to the whole sample.
+    monotone:
+        Constrain slopes to be >= 0 (accumulated counters cannot shrink).
+    bic_patience:
+        Keep adding breakpoints this many steps past a BIC worsening
+        before giving up (escapes single-step local minima).
+    merge_slope_tol:
+        After selection, merge adjacent segments whose slopes differ by
+        less than this fraction of the mean absolute slope.
+    refine_passes:
+        Local-refinement sweeps over breakpoint positions per added point.
+    min_phase_span:
+        Phases narrower than this are considered boundary-blur artifacts
+        (instance-to-instance jitter smears each true boundary into a
+        knee, which a PWL fit splits with two nearby breakpoints) and are
+        merged into their weaker-boundary neighbor by the phase-detection
+        stage.
+    """
+
+    max_breakpoints: int = 11
+    n_candidates: int = 96
+    min_separation: float = 0.01
+    anchor: bool = True
+    anchor_weight: float = 0.25
+    monotone: bool = True
+    bic_patience: int = 2
+    merge_slope_tol: float = 0.12
+    refine_passes: int = 2
+    min_phase_span: float = 0.02
+
+    def __post_init__(self) -> None:
+        if self.max_breakpoints < 0:
+            raise FittingError(f"max_breakpoints must be >= 0: {self.max_breakpoints}")
+        if self.n_candidates < 2:
+            raise FittingError(f"n_candidates must be >= 2: {self.n_candidates}")
+        if not 0.0 < self.min_separation < 0.5:
+            raise FittingError(f"min_separation must be in (0, 0.5): {self.min_separation}")
+        if self.anchor_weight <= 0:
+            raise FittingError(f"anchor_weight must be > 0: {self.anchor_weight}")
+        if self.bic_patience < 0:
+            raise FittingError(f"bic_patience must be >= 0: {self.bic_patience}")
+        if self.merge_slope_tol < 0:
+            raise FittingError(f"merge_slope_tol must be >= 0: {self.merge_slope_tol}")
+        if self.refine_passes < 0:
+            raise FittingError(f"refine_passes must be >= 0: {self.refine_passes}")
+        if not 0.0 <= self.min_phase_span < 0.5:
+            raise FittingError(
+                f"min_phase_span must be in [0, 0.5): {self.min_phase_span}"
+            )
+
+
+# ----------------------------------------------------------------------
+# fixed-breakpoint fit
+# ----------------------------------------------------------------------
+def _segment_basis(x: np.ndarray, breakpoints: np.ndarray) -> np.ndarray:
+    """Column j = length of segment j intersected with [0, x].
+
+    With this parameterization the coefficient of column j *is* the slope
+    of segment j, which makes the monotonicity constraint a plain
+    non-negativity constraint.
+    """
+    knots = np.concatenate([[0.0], breakpoints, [1.0]])
+    lo = knots[:-1]
+    hi = knots[1:]
+    return np.clip(x[:, None], lo[None, :], hi[None, :]) - lo[None, :]
+
+
+def fit_fixed_breakpoints(
+    x: np.ndarray,
+    y: np.ndarray,
+    breakpoints: Sequence[float],
+    anchor: bool = True,
+    anchor_weight: float = 0.25,
+    monotone: bool = True,
+) -> PiecewiseLinearModel:
+    """Least-squares continuous PWL fit with known breakpoints.
+
+    ``anchor_weight`` is the fraction of the total sample weight assigned
+    to *each* of the two pseudo-points (0,0) and (1,1).
+    """
+    x = np.asarray(x, dtype=float)
+    y = np.asarray(y, dtype=float)
+    if x.ndim != 1 or x.shape != y.shape:
+        raise FittingError(f"x/y must be equal-length 1-D arrays: {x.shape} vs {y.shape}")
+    if x.size < 2:
+        raise FittingError(f"need at least 2 points to fit, got {x.size}")
+    bp = np.sort(np.asarray(breakpoints, dtype=float))
+    if bp.size and (bp[0] <= 0.0 or bp[-1] >= 1.0):
+        raise FittingError(f"breakpoints must be interior to (0,1): {bp}")
+
+    n = x.size
+    if anchor:
+        w_anchor = anchor_weight * n
+        x_fit = np.concatenate([x, [0.0, 1.0]])
+        y_fit = np.concatenate([y, [0.0, 1.0]])
+        weights = np.concatenate([np.ones(n), [w_anchor, w_anchor]])
+    else:
+        x_fit, y_fit, weights = x, y, np.ones(n)
+
+    basis = _segment_basis(x_fit, bp)
+    if monotone:
+        # NNLS with a free intercept: a = a_plus - a_minus, both >= 0.
+        design = np.column_stack([np.ones_like(x_fit), -np.ones_like(x_fit), basis])
+        sqrt_w = np.sqrt(weights)
+        coeffs, _ = nnls(design * sqrt_w[:, None], y_fit * sqrt_w)
+        intercept = float(coeffs[0] - coeffs[1])
+        slopes = coeffs[2:]
+        predictions = intercept + basis @ slopes
+        residuals = (y_fit - predictions) * sqrt_w
+        sse_w = float(residuals @ residuals)
+    else:
+        design = np.column_stack([np.ones_like(x_fit), basis])
+        coeffs, sse_w = weighted_lstsq(design, y_fit, weights)
+        intercept = float(coeffs[0])
+        slopes = coeffs[1:]
+
+    # Report the *data* SSE (anchors excluded) so BIC compares models on
+    # the same likelihood.
+    model = PiecewiseLinearModel(
+        breakpoints=bp,
+        slopes=np.asarray(slopes, dtype=float),
+        intercept=intercept,
+        sse=0.0,
+        n_points=n,
+    )
+    data_residuals = y - model.predict(x)
+    return PiecewiseLinearModel(
+        breakpoints=bp,
+        slopes=model.slopes,
+        intercept=model.intercept,
+        sse=float(data_residuals @ data_residuals),
+        n_points=n,
+    )
+
+
+# ----------------------------------------------------------------------
+# automatic breakpoint search
+# ----------------------------------------------------------------------
+def fit_pwlr(
+    x: np.ndarray,
+    y: np.ndarray,
+    config: Optional[PWLRConfig] = None,
+) -> PiecewiseLinearModel:
+    """Automatic continuous PWL fit: greedy breakpoint insertion + BIC.
+
+    Algorithm:
+
+    1. start from the single-segment fit;
+    2. repeatedly add the candidate breakpoint that minimizes SSE, then
+       locally refine every breakpoint on the candidate grid;
+    3. keep the BIC-best model seen, stopping ``bic_patience`` steps after
+       BIC stops improving or at ``max_breakpoints``;
+    4. merge adjacent segments with indistinguishable slopes and refit.
+    """
+    cfg = config or PWLRConfig()
+    x = np.asarray(x, dtype=float)
+    y = np.asarray(y, dtype=float)
+    if x.size < 8:
+        raise FittingError(f"need at least 8 points for the search, got {x.size}")
+
+    grid = np.linspace(cfg.min_separation, 1.0 - cfg.min_separation, cfg.n_candidates)
+
+    def fast_fit(breaks: Sequence[float]) -> PiecewiseLinearModel:
+        # Search with the unconstrained solver (plain lstsq): orders of
+        # magnitude faster than NNLS and equally good at *ranking*
+        # breakpoint configurations by SSE.
+        return fit_fixed_breakpoints(
+            x,
+            y,
+            breaks,
+            anchor=cfg.anchor,
+            anchor_weight=cfg.anchor_weight,
+            monotone=False,
+        )
+
+    def final_fit(breaks: Sequence[float]) -> PiecewiseLinearModel:
+        return fit_fixed_breakpoints(
+            x,
+            y,
+            breaks,
+            anchor=cfg.anchor,
+            anchor_weight=cfg.anchor_weight,
+            monotone=cfg.monotone,
+        )
+
+    current: List[float] = []
+    model = fast_fit(current)
+    best_breaks: List[float] = []
+    best_bic = model_selection.bic(model.sse, model.n_points, _n_params(model))
+    worsening = 0
+
+    while len(current) < cfg.max_breakpoints:
+        addition = _best_addition(fast_fit, current, grid, cfg.min_separation)
+        if addition is None:
+            break
+        current, model = addition
+        for _ in range(cfg.refine_passes):
+            current, model = _refine_positions(
+                fast_fit, current, model, grid, cfg.min_separation
+            )
+        # Refine positions off-grid before judging this k: BIC must compare
+        # each breakpoint count at its best achievable positions, not at
+        # grid-quantized ones (a sharp knee between grid points otherwise
+        # makes k+2 staircases look better than the true k).
+        current = _continuous_refine(fast_fit, current, cfg.min_separation, passes=1)
+        model = fast_fit(current)
+        candidate_bic = model_selection.bic(model.sse, model.n_points, _n_params(model))
+        if candidate_bic < best_bic:
+            best_bic = candidate_bic
+            best_breaks = list(current)
+            worsening = 0
+        else:
+            worsening += 1
+            if worsening > cfg.bic_patience:
+                break
+
+    # Continuous position refinement: the grid quantizes breakpoints, and
+    # with sharp knees that quantization splits one true boundary into two
+    # neighboring grid points.  A bounded 1-D minimization per breakpoint
+    # recovers the exact position (exact on noiseless data).
+    best_breaks = _continuous_refine(fast_fit, best_breaks, cfg.min_separation)
+
+    best_model = final_fit(best_breaks)
+    while True:
+        before = best_model.breakpoints.size
+        if cfg.merge_slope_tol > 0 and best_model.breakpoints.size:
+            merged_breaks = model_selection.merge_insignificant(
+                best_model, tol=cfg.merge_slope_tol
+            )
+            if merged_breaks.size < best_model.breakpoints.size:
+                best_model = final_fit(list(merged_breaks))
+        if cfg.min_phase_span > 0 and best_model.breakpoints.size:
+            cleaned = _drop_narrowest_sliver(best_model, cfg.min_phase_span)
+            if cleaned is not None:
+                best_model = final_fit(cleaned)
+        if best_model.breakpoints.size == before:
+            break
+    return best_model
+
+
+def _n_params(model: PiecewiseLinearModel) -> int:
+    """Free parameters: intercept + slopes + breakpoint positions."""
+    return 1 + model.n_segments + model.breakpoints.size
+
+
+def _best_addition(fit_at, current: List[float], grid: np.ndarray, min_sep: float):
+    """Try every candidate; return (breaks, model) of the best insertion."""
+    best = None
+    best_sse = np.inf
+    for candidate in grid:
+        if any(abs(candidate - b) < min_sep for b in current):
+            continue
+        trial_breaks = sorted(current + [float(candidate)])
+        trial = fit_at(trial_breaks)
+        if trial.sse < best_sse:
+            best_sse = trial.sse
+            best = (trial_breaks, trial)
+    return best
+
+
+def _refine_positions(
+    fit_at,
+    current: List[float],
+    model: PiecewiseLinearModel,
+    grid: np.ndarray,
+    min_sep: float,
+    window: int = 5,
+):
+    """Coordinate descent on breakpoint positions, ``window`` grid steps wide."""
+    breaks = list(current)
+    best_model = model
+    for i in range(len(breaks)):
+        others = breaks[:i] + breaks[i + 1 :]
+        anchor_idx = int(np.argmin(np.abs(grid - breaks[i])))
+        lo = max(0, anchor_idx - window)
+        hi = min(grid.size, anchor_idx + window + 1)
+        best_pos = breaks[i]
+        for candidate in grid[lo:hi]:
+            if any(abs(candidate - b) < min_sep for b in others):
+                continue
+            trial_breaks = sorted(others + [float(candidate)])
+            trial = fit_at(trial_breaks)
+            if trial.sse < best_model.sse - 1e-15:
+                best_model = trial
+                best_pos = float(candidate)
+        breaks[i] = best_pos
+        breaks.sort()
+    return breaks, best_model
+
+
+def _continuous_refine(
+    fast_fit,
+    breaks: List[float],
+    min_sep: float,
+    passes: int = 2,
+    xatol: float = 1e-5,
+) -> List[float]:
+    """Coordinate descent with continuous (off-grid) breakpoint positions."""
+    breaks = sorted(float(b) for b in breaks)
+    for _ in range(passes):
+        for i in range(len(breaks)):
+            lo = (breaks[i - 1] + min_sep) if i > 0 else min_sep
+            hi = (breaks[i + 1] - min_sep) if i < len(breaks) - 1 else 1.0 - min_sep
+            if hi <= lo:
+                continue
+            others = breaks[:i] + breaks[i + 1 :]
+
+            def objective(position: float) -> float:
+                return fast_fit(sorted(others + [float(position)])).sse
+
+            result = minimize_scalar(
+                objective, bounds=(lo, hi), method="bounded", options={"xatol": xatol}
+            )
+            if result.fun <= objective(breaks[i]):
+                breaks[i] = float(result.x)
+        breaks.sort()
+    return breaks
+
+
+def _drop_narrowest_sliver(
+    model: PiecewiseLinearModel, min_phase_span: float
+) -> Optional[List[float]]:
+    """Breakpoints after removing the weaker boundary of the narrowest
+    too-narrow segment; ``None`` when no segment is below the span floor."""
+    breaks = [float(b) for b in model.breakpoints]
+    spans = model.segment_lengths
+    narrow = np.flatnonzero(spans < min_phase_span)
+    if narrow.size == 0:
+        return None
+    segment = int(narrow[np.argmin(spans[narrow])])
+    adjacent = [b for b in (segment - 1, segment) if 0 <= b < len(breaks)]
+    scale = float(np.mean(np.abs(model.slopes))) or 1.0
+
+    def strength(boundary_index: int) -> float:
+        return abs(
+            float(model.slopes[boundary_index + 1] - model.slopes[boundary_index])
+        ) / scale
+
+    weakest = min(adjacent, key=strength)
+    breaks.pop(weakest)
+    return breaks
+
+
+def refit_slopes(
+    x: np.ndarray,
+    y: np.ndarray,
+    model: PiecewiseLinearModel,
+    anchor: bool = True,
+    anchor_weight: float = 0.25,
+    monotone: bool = True,
+) -> PiecewiseLinearModel:
+    """Fit a *different counter*'s slopes at ``model``'s breakpoints.
+
+    The pipeline finds breakpoints once on the pivot counter (instructions)
+    and re-estimates per-segment slopes for every other counter at those
+    shared boundaries, so all metrics describe the same phases.
+    """
+    return fit_fixed_breakpoints(
+        x,
+        y,
+        model.breakpoints,
+        anchor=anchor,
+        anchor_weight=anchor_weight,
+        monotone=monotone,
+    )

@@ -1,0 +1,41 @@
+"""The folding mechanism (Servat et al.).
+
+Folding combines minimal instrumentation with coarse-grain sampling: all
+samples captured across the many instances of one burst cluster are mapped
+into a single *synthetic instance* on normalized time [0, 1], with each
+counter normalized to its per-instance total.  A handful of samples per
+instance times thousands of instances yields a dense picture of the burst's
+internal evolution at negligible tracing cost.
+
+Stages, each its own module:
+
+* :mod:`repro.folding.instances` — select a cluster's burst instances and
+  prune duration outliers (perturbed iterations would smear the fold);
+* :mod:`repro.folding.fold` — normalize samples into folded sample sets;
+* :mod:`repro.folding.filtering` — reject samples violating the physical
+  invariants (range, per-instance monotonicity) that quantization and
+  jitter can break;
+* :mod:`repro.folding.callstack` — fold call-stack samples for the
+  phase-to-source mapping;
+* :mod:`repro.folding.reconstruct` — de-normalize a fitted model back to
+  absolute time and event rates.
+"""
+
+from repro.folding.instances import ClusterInstances, select_instances
+from repro.folding.fold import FoldedCounter, fold_cluster
+from repro.folding.filtering import FilterReport, clip_to_unit_range, enforce_instance_monotonicity
+from repro.folding.callstack import FoldedCallstacks, fold_callstacks
+from repro.folding.reconstruct import Reconstruction
+
+__all__ = [
+    "ClusterInstances",
+    "select_instances",
+    "FoldedCounter",
+    "fold_cluster",
+    "FilterReport",
+    "clip_to_unit_range",
+    "enforce_instance_monotonicity",
+    "FoldedCallstacks",
+    "fold_callstacks",
+    "Reconstruction",
+]

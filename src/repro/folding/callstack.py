@@ -1,0 +1,153 @@
+"""Folding of call-stack samples.
+
+Counters tell *what* the processor did; call stacks tell *where*.  Folding
+the sampled stacks onto the same normalized time axis places routines and
+source lines along the synthetic instance, which is what lets the phase
+stage translate "segment [0.31, 0.58]" into "the stencil loop in
+btrop_operator (solvers.f90:160)".
+"""
+
+from __future__ import annotations
+
+from collections import Counter as TallyCounter
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import FoldingError
+from repro.folding.instances import ClusterInstances
+from repro.trace.records import FrameTriple
+
+__all__ = ["FoldedCallstacks", "fold_callstacks"]
+
+
+@dataclass
+class FoldedCallstacks:
+    """Call-stack samples of one cluster on normalized time.
+
+    ``x`` is sorted; ``stacks[i]`` is the frame tuple of sample ``i``
+    (outermost first; empty tuples — in-MPI samples — are excluded at
+    construction).
+    """
+
+    x: np.ndarray
+    stacks: List[Tuple[FrameTriple, ...]]
+    n_instances: int
+
+    def __post_init__(self) -> None:
+        if self.x.size != len(self.stacks):
+            raise FoldingError(
+                f"{self.x.size} positions vs {len(self.stacks)} stacks"
+            )
+        if any(not s for s in self.stacks):
+            raise FoldingError("folded call stacks must be non-empty")
+
+    @property
+    def n_points(self) -> int:
+        """Number of folded stack samples."""
+        return int(self.x.size)
+
+    # ------------------------------------------------------------------
+    def _window(self, x0: float, x1: float) -> np.ndarray:
+        if not 0.0 <= x0 < x1 <= 1.0 + 1e-12:
+            raise FoldingError(f"invalid normalized window [{x0}, {x1}]")
+        lo = int(np.searchsorted(self.x, x0, side="left"))
+        hi = int(np.searchsorted(self.x, x1, side="right"))
+        return np.arange(lo, hi)
+
+    def n_samples_in(self, x0: float, x1: float) -> int:
+        """Number of stack samples inside normalized window ``[x0, x1]``."""
+        return int(self._window(x0, x1).size)
+
+    def routine_shares(self, x0: float, x1: float) -> Dict[str, float]:
+        """Leaf-routine occurrence shares inside ``[x0, x1]``."""
+        idx = self._window(x0, x1)
+        if idx.size == 0:
+            return {}
+        tally: TallyCounter = TallyCounter()
+        for i in idx:
+            routine, _path, _line = self.stacks[i][-1]
+            tally[routine] += 1
+        total = float(idx.size)
+        return {name: count / total for name, count in tally.most_common()}
+
+    def line_shares(self, x0: float, x1: float) -> Dict[Tuple[str, int], float]:
+        """Leaf ``(file, line)`` shares inside ``[x0, x1]``."""
+        idx = self._window(x0, x1)
+        if idx.size == 0:
+            return {}
+        tally: TallyCounter = TallyCounter()
+        for i in idx:
+            _routine, path, line = self.stacks[i][-1]
+            tally[(path, line)] += 1
+        total = float(idx.size)
+        return {key: count / total for key, count in tally.most_common()}
+
+    def dominant_routine(self, x0: float, x1: float) -> Optional[str]:
+        """Most frequent leaf routine in the window (None if no samples)."""
+        shares = self.routine_shares(x0, x1)
+        if not shares:
+            return None
+        return max(shares, key=shares.get)
+
+    def dominant_sequence(self, n_bins: int = 50) -> List[Optional[str]]:
+        """Dominant leaf routine per normalized-time bin (gantt strip)."""
+        if n_bins < 1:
+            raise FoldingError(f"n_bins must be >= 1, got {n_bins}")
+        out: List[Optional[str]] = []
+        edges = np.linspace(0.0, 1.0, n_bins + 1)
+        for lo, hi in zip(edges[:-1], edges[1:]):
+            out.append(self.dominant_routine(float(lo), float(min(hi, 1.0))))
+        return out
+
+    def common_prefix(self, x0: float, x1: float) -> Tuple[FrameTriple, ...]:
+        """Longest call-path prefix shared by all samples in the window.
+
+        Identifies the enclosing routine of a phase even when the leaf
+        alternates between helpers.
+        """
+        idx = self._window(x0, x1)
+        if idx.size == 0:
+            return ()
+        prefix = list(self.stacks[idx[0]])
+        for i in idx[1:]:
+            stack = self.stacks[i]
+            keep = 0
+            for a, b in zip(prefix, stack):
+                if a != b:
+                    break
+                keep += 1
+            prefix = prefix[:keep]
+            if not prefix:
+                break
+        return tuple(prefix)
+
+
+def fold_callstacks(instances: ClusterInstances) -> FoldedCallstacks:
+    """Fold the call-stack dimension of ``instances``' samples.
+
+    In-MPI samples (empty stacks) are skipped — they cannot occur strictly
+    inside a burst in a consistent trace, but a real unwinder occasionally
+    fails, and those failures must not poison the mapping.
+    """
+    xs: List[float] = []
+    stacks: List[Tuple[FrameTriple, ...]] = []
+    for burst in instances:
+        duration = burst.duration
+        for sample in burst.samples:
+            if not sample.frames:
+                continue
+            xs.append((sample.time - burst.t_start) / duration)
+            stacks.append(sample.frames)
+    if not xs:
+        raise FoldingError(
+            "no call-stack samples available in this cluster's instances"
+        )
+    x = np.asarray(xs)
+    order = np.argsort(x, kind="stable")
+    return FoldedCallstacks(
+        x=x[order],
+        stacks=[stacks[int(i)] for i in order],
+        n_instances=len(instances),
+    )

@@ -1,0 +1,164 @@
+"""Sample folding: many instances → one synthetic normalized instance.
+
+For a sample taken at time ``t`` inside burst instance ``i`` (which spans
+``[t0, t1]`` with counter snapshots ``C(t0)``/``C(t1)`` from the probes):
+
+* normalized time     ``x = (t - t0) / (t1 - t0)``
+* normalized progress ``y = (C(t) - C(t0)) / (C(t1) - C(t0))``
+
+Both land in [0, 1] (up to quantization), and — because every instance does
+the same work — the points of *all* instances lie on the same curve: the
+cumulative fraction of the counter as a function of normalized time.  Its
+derivative is the counter rate profile, and its breakpoints are the phases.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import FoldingError
+from repro.folding.instances import ClusterInstances
+
+__all__ = ["FoldedCounter", "fold_cluster"]
+
+
+@dataclass
+class FoldedCounter:
+    """Folded sample set of one counter over one cluster.
+
+    Arrays are index-aligned and sorted by ``x``.  ``instance_ids`` maps
+    each point back to its source instance (needed by the monotonicity
+    filter and by convergence sweeps).
+    """
+
+    counter: str
+    x: np.ndarray
+    y: np.ndarray
+    instance_ids: np.ndarray
+    n_instances: int
+    mean_duration: float
+    mean_total: float
+
+    def __post_init__(self) -> None:
+        if not (self.x.shape == self.y.shape == self.instance_ids.shape):
+            raise FoldingError(
+                f"{self.counter}: misaligned folded arrays "
+                f"({self.x.shape}, {self.y.shape}, {self.instance_ids.shape})"
+            )
+        if self.mean_duration <= 0:
+            raise FoldingError(f"{self.counter}: non-positive mean duration")
+        if self.mean_total <= 0:
+            raise FoldingError(f"{self.counter}: non-positive mean total")
+
+    @property
+    def n_points(self) -> int:
+        """Number of folded samples."""
+        return int(self.x.size)
+
+    def replaced(self, keep: np.ndarray) -> "FoldedCounter":
+        """New folded set restricted to the boolean mask ``keep``."""
+        return FoldedCounter(
+            counter=self.counter,
+            x=self.x[keep],
+            y=self.y[keep],
+            instance_ids=self.instance_ids[keep],
+            n_instances=self.n_instances,
+            mean_duration=self.mean_duration,
+            mean_total=self.mean_total,
+        )
+
+    def subset_instances(self, instance_ids: Sequence[int]) -> "FoldedCounter":
+        """Folded set using only samples from ``instance_ids`` (sweeps)."""
+        wanted = np.isin(self.instance_ids, np.asarray(list(instance_ids)))
+        out = self.replaced(wanted)
+        out.n_instances = len(set(int(i) for i in instance_ids))
+        return out
+
+    def density(self, n_bins: int = 20) -> np.ndarray:
+        """Samples per normalized-time bin (coverage diagnostic)."""
+        if n_bins < 1:
+            raise FoldingError(f"n_bins must be >= 1, got {n_bins}")
+        hist, _ = np.histogram(self.x, bins=n_bins, range=(0.0, 1.0))
+        return hist
+
+
+def fold_cluster(
+    instances: ClusterInstances,
+    counters: Sequence[str],
+    min_points: int = 16,
+    required: Optional[Sequence[str]] = None,
+) -> Dict[str, FoldedCounter]:
+    """Fold the samples of ``instances`` for each counter in ``counters``.
+
+    Samples whose per-instance counter span is non-positive (a counter that
+    did not advance — possible for rare events like TLB misses in a
+    cache-resident burst) are skipped for that counter only.  A counter
+    ending with fewer than ``min_points`` folded samples is dropped from
+    the result — unless it is listed in ``required`` (default: all
+    requested counters), in which case a
+    :class:`~repro.errors.FoldingError` is raised.
+    """
+    if not counters:
+        raise FoldingError("no counters requested for folding")
+    required_set = set(counters if required is None else required)
+    unknown_required = required_set - set(counters)
+    if unknown_required:
+        raise FoldingError(
+            f"required counters not in requested set: {sorted(unknown_required)}"
+        )
+    xs: List[float] = []
+    ids: List[int] = []
+    per_counter_y: Dict[str, List[float]] = {c: [] for c in counters}
+    per_counter_x: Dict[str, List[float]] = {c: [] for c in counters}
+    per_counter_ids: Dict[str, List[int]] = {c: [] for c in counters}
+
+    for instance_id, burst in enumerate(instances):
+        duration = burst.duration
+        for sample in burst.samples:
+            x = (sample.time - burst.t_start) / duration
+            for counter in counters:
+                start = burst.start_counters.get(counter)
+                end = burst.end_counters.get(counter)
+                value = sample.counters.get(counter)
+                if start is None or end is None or value is None:
+                    continue
+                span = end - start
+                if span <= 0:
+                    continue
+                y = (value - start) / span
+                per_counter_x[counter].append(x)
+                per_counter_y[counter].append(y)
+                per_counter_ids[counter].append(instance_id)
+
+    out: Dict[str, FoldedCounter] = {}
+    for counter in counters:
+        x = np.asarray(per_counter_x[counter])
+        y = np.asarray(per_counter_y[counter])
+        inst = np.asarray(per_counter_ids[counter], dtype=int)
+        if x.size < min_points:
+            if counter in required_set:
+                raise FoldingError(
+                    f"counter {counter}: only {x.size} folded samples "
+                    f"(need >= {min_points}); increase run length or sampling rate"
+                )
+            continue  # optional counter with too little support: drop it
+        order = np.argsort(x, kind="stable")
+        totals = instances.totals(counter)
+        positive = totals[np.isfinite(totals) & (totals > 0)]
+        if positive.size == 0:
+            if counter in required_set:
+                raise FoldingError(f"counter {counter}: zero events in every instance")
+            continue
+        out[counter] = FoldedCounter(
+            counter=counter,
+            x=x[order],
+            y=y[order],
+            instance_ids=inst[order],
+            n_instances=len(instances),
+            mean_duration=instances.mean_duration,
+            mean_total=float(positive.mean()),
+        )
+    return out

@@ -1,0 +1,132 @@
+"""Instance selection and outlier pruning for folding.
+
+Folding assumes the instances of a cluster are *repetitions of the same
+computation*.  Instances dilated by external noise (preemption, I/O) have
+the same counter totals but a distorted internal time axis; folding them
+would smear every phase boundary.  Following the folding papers, instances
+whose duration falls outside the Tukey fences of the cluster's duration
+distribution are excluded before normalization.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import FoldingError
+from repro.clustering.bursts import BurstSet, ComputationBurst
+from repro.util.stats import iqr_bounds
+
+__all__ = ["ClusterInstances", "select_instances"]
+
+
+@dataclass
+class ClusterInstances:
+    """The burst instances of one cluster retained for folding."""
+
+    cluster_id: int
+    bursts: List[ComputationBurst]
+    n_candidates: int
+    n_pruned_duration: int
+
+    def __post_init__(self) -> None:
+        if not self.bursts:
+            raise FoldingError(
+                f"cluster {self.cluster_id}: no instances left after pruning "
+                f"({self.n_candidates} candidates, {self.n_pruned_duration} pruned)"
+            )
+
+    def __len__(self) -> int:
+        return len(self.bursts)
+
+    def __iter__(self):
+        return iter(self.bursts)
+
+    @property
+    def durations(self) -> np.ndarray:
+        """Per-instance durations (seconds)."""
+        return np.array([b.duration for b in self.bursts])
+
+    @property
+    def mean_duration(self) -> float:
+        """Mean instance duration — the fold's time de-normalization scale."""
+        return float(self.durations.mean())
+
+    def totals(self, counter: str) -> np.ndarray:
+        """Per-instance totals of ``counter`` (NaN where unmeasured —
+        multiplexed instances carry only their scheduled counter set)."""
+        return np.array([b.delta_or_nan(counter) for b in self.bursts])
+
+    def mean_total(self, counter: str) -> float:
+        """Mean per-instance total over the instances that measured it."""
+        totals = self.totals(counter)
+        measured = totals[np.isfinite(totals)]
+        if measured.size == 0:
+            raise FoldingError(
+                f"counter {counter} was measured in no instance of "
+                f"cluster {self.cluster_id}"
+            )
+        return float(measured.mean())
+
+    @property
+    def n_samples(self) -> int:
+        """Samples attached across retained instances."""
+        return sum(len(b.samples) for b in self.bursts)
+
+    def summary(self) -> Dict[str, float]:
+        """Small stats dict used in reports."""
+        durations = self.durations
+        return {
+            "instances": float(len(self.bursts)),
+            "pruned": float(self.n_pruned_duration),
+            "mean_duration_s": float(durations.mean()),
+            "cv_duration": float(durations.std() / durations.mean()),
+            "samples": float(self.n_samples),
+        }
+
+
+def select_instances(
+    bursts: BurstSet,
+    labels: np.ndarray,
+    cluster_id: int,
+    prune_outliers: bool = True,
+    iqr_factor: float = 1.5,
+    min_instances: int = 8,
+) -> ClusterInstances:
+    """Select cluster ``cluster_id``'s instances, pruning duration outliers.
+
+    Raises :class:`~repro.errors.FoldingError` when fewer than
+    ``min_instances`` survive — folding a handful of instances cannot
+    produce a meaningful profile, and silently degrading would poison the
+    downstream fit.
+    """
+    labels = np.asarray(labels)
+    if labels.shape[0] != len(bursts):
+        raise FoldingError(f"{labels.shape[0]} labels for {len(bursts)} bursts")
+    member_idx = np.flatnonzero(labels == cluster_id)
+    if member_idx.size == 0:
+        raise FoldingError(f"cluster {cluster_id} has no members")
+    members = [bursts[int(i)] for i in member_idx]
+    n_candidates = len(members)
+
+    n_pruned = 0
+    if prune_outliers and n_candidates >= 4:
+        durations = np.array([b.duration for b in members])
+        low, high = iqr_bounds(durations, factor=iqr_factor)
+        keep = (durations >= low) & (durations <= high)
+        n_pruned = int(np.sum(~keep))
+        members = [b for b, k in zip(members, keep) if k]
+
+    if len(members) < min_instances:
+        raise FoldingError(
+            f"cluster {cluster_id}: only {len(members)} instances after "
+            f"pruning (need >= {min_instances})"
+        )
+    return ClusterInstances(
+        cluster_id=cluster_id,
+        bursts=members,
+        n_candidates=n_candidates,
+        n_pruned_duration=n_pruned,
+    )

@@ -1,0 +1,38 @@
+"""Synthetic node model — the substitute for real hardware with PAPI.
+
+The reproduction cannot read real performance counters from Python, so this
+package provides the closest synthetic equivalent (DESIGN.md substitution
+table): a machine specification (:mod:`repro.machine.spec`), an analytical
+cache model (:mod:`repro.machine.cache`), and a core model
+(:mod:`repro.machine.cpu`) that converts a *behaviour* — an abstract
+characterization of what a piece of code does per instruction — into exact
+per-counter **rate functions** over time (:mod:`repro.machine.rates`).
+
+Because the rates are known in closed form, every experiment has ground
+truth: the accumulated counter value at any instant is the exact integral of
+the rate function, which is what lets the benchmarks *score* the folding +
+piece-wise-linear-regression reconstruction instead of only eyeballing it.
+"""
+
+from repro.machine.spec import CacheLevelSpec, MachineSpec
+from repro.machine.behavior import Behavior, BEHAVIOR_LIBRARY
+from repro.machine.cache import CacheHierarchyModel
+from repro.machine.cpu import CoreModel, PhasePerformance
+from repro.machine.rates import RateFunction, RateSegment
+from repro.machine.presets import PRESETS, mn3_node, small_cache_node, wide_vector_node
+
+__all__ = [
+    "MachineSpec",
+    "CacheLevelSpec",
+    "Behavior",
+    "BEHAVIOR_LIBRARY",
+    "CacheHierarchyModel",
+    "CoreModel",
+    "PhasePerformance",
+    "RateFunction",
+    "RateSegment",
+    "PRESETS",
+    "mn3_node",
+    "wide_vector_node",
+    "small_cache_node",
+]

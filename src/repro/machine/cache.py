@@ -1,0 +1,118 @@
+"""Analytical cache-hierarchy model.
+
+Maps a :class:`~repro.machine.behavior.Behavior` to per-level miss ratios
+using a smooth capacity model: the probability that a memory access misses a
+level grows from ~0 when the effective working set fits comfortably to ~1
+when it is far larger, with a logistic transition around the level's
+capacity.  Regular (prefetch-friendly) access both lowers the *penalty* of a
+miss (handled by the core model) and, for streaming patterns, bounds the
+miss *ratio* by one miss per cache line rather than one per access.
+
+This is a first-order model in the spirit of analytical cache models
+(stack-distance approximations); it is deliberately simple, deterministic,
+and smooth in its inputs, which is what the ground-truth machinery needs.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.machine.behavior import Behavior
+from repro.machine.spec import CacheLevelSpec, MachineSpec
+
+__all__ = ["CacheHierarchyModel", "CacheAccessProfile"]
+
+
+@dataclass(frozen=True)
+class CacheAccessProfile:
+    """Per-level miss ratios for one behaviour on one machine.
+
+    ``miss_ratio[level]`` is misses per *memory access instruction* at that
+    level (conditional on having missed all inner levels already — i.e.
+    these are global, not local, miss ratios: L2 misses <= L1 misses).
+    """
+
+    level_names: List[str]
+    miss_per_access: List[float]
+    memory_miss_per_access: float
+
+    def __post_init__(self) -> None:
+        if len(self.level_names) != len(self.miss_per_access):
+            raise ValueError("level_names and miss_per_access must align")
+        prev = 1.0
+        for name, ratio in zip(self.level_names, self.miss_per_access):
+            if not 0.0 <= ratio <= prev + 1e-12:
+                raise ValueError(
+                    f"global miss ratios must be non-increasing outward; "
+                    f"{name} has {ratio} after {prev}"
+                )
+            prev = ratio
+
+    def miss_ratio(self, level_name: str) -> float:
+        """Global miss ratio (per memory access) of ``level_name``."""
+        try:
+            idx = self.level_names.index(level_name)
+        except ValueError:
+            raise KeyError(
+                f"unknown cache level {level_name!r}; known: {self.level_names}"
+            ) from None
+        return self.miss_per_access[idx]
+
+
+class CacheHierarchyModel:
+    """Computes :class:`CacheAccessProfile` objects for behaviours.
+
+    The transition sharpness ``steepness`` controls how abruptly the miss
+    ratio rises once the working set exceeds a level's capacity; the default
+    gives roughly a decade of working-set growth between 10% and 90% of the
+    asymptotic miss ratio, which matches the smooth knees measured on real
+    hardware cache sweeps.
+    """
+
+    def __init__(self, spec: MachineSpec, steepness: float = 2.2) -> None:
+        if steepness <= 0:
+            raise ValueError(f"steepness must be positive, got {steepness}")
+        self.spec = spec
+        self.steepness = float(steepness)
+
+    def profile(self, behavior: Behavior) -> CacheAccessProfile:
+        """Per-level global miss ratios for ``behavior`` on this machine."""
+        names: List[str] = []
+        ratios: List[float] = []
+        upstream = 1.0  # fraction of accesses that reach this level
+        for level in self.spec.levels:
+            local_miss = self._local_miss_ratio(behavior, level)
+            global_miss = upstream * local_miss
+            # Guard numeric drift: global ratios are non-increasing outward.
+            global_miss = min(global_miss, upstream)
+            names.append(level.name)
+            ratios.append(global_miss)
+            upstream = global_miss
+        return CacheAccessProfile(
+            level_names=names,
+            miss_per_access=ratios,
+            memory_miss_per_access=upstream,
+        )
+
+    def _local_miss_ratio(self, behavior: Behavior, level: CacheLevelSpec) -> float:
+        """Miss ratio at ``level`` for accesses that reached it."""
+        effective_ws = behavior.working_set_bytes / max(behavior.reuse_factor, 1.0)
+        capacity = float(level.size_bytes)
+        # Logistic in log2(working set / capacity): 0.5 exactly at capacity.
+        x = math.log2(max(effective_ws, 1.0) / capacity)
+        capacity_miss = 1.0 / (1.0 + math.exp(-self.steepness * x))
+        # Streaming bound: sequential access misses at most once per line.
+        line_elems = level.line_bytes / 8.0  # assume 8-byte elements
+        streaming_floor = 1.0 / line_elems
+        regular = behavior.access_regularity
+        # Interpolate between random (full capacity miss) and streaming
+        # (capacity miss capped by the per-line bound).
+        sequential_miss = min(capacity_miss, streaming_floor) if capacity_miss > 0 else 0.0
+        miss = regular * sequential_miss + (1.0 - regular) * capacity_miss
+        return min(max(miss, 0.0), 1.0)
+
+    def miss_table(self, behaviors: Dict[str, Behavior]) -> Dict[str, CacheAccessProfile]:
+        """Profiles for a whole behaviour library (report/debug helper)."""
+        return {name: self.profile(b) for name, b in behaviors.items()}

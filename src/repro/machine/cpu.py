@@ -1,0 +1,197 @@
+"""Core model: behaviour → absolute counter rates.
+
+Combines a :class:`~repro.machine.behavior.Behavior` with the machine spec
+and cache model to produce a :class:`PhasePerformance`: cycles per
+instruction plus events-per-instruction for every standard counter.  From
+there, rates per second follow from the clock:
+
+* ``cycle rate`` = clock (the core is always running during a phase),
+* ``instruction rate`` = clock / CPI,
+* ``counter rate`` = events-per-instruction x instruction rate.
+
+The CPI model is a simple additive stall model (in the style of first-order
+analytical CPU models):
+
+``CPI = 1/ILP + miss_cycles + branch_cycles``
+
+where miss cycles charge each cache level's *extra* latency to the fraction
+of instructions missing it (discounted when access is regular, because
+prefetching overlaps latency), and branch cycles charge a flush penalty per
+mispredicted branch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping
+
+from repro.errors import MachineModelError
+from repro.machine.behavior import Behavior
+from repro.machine.cache import CacheHierarchyModel
+from repro.machine.spec import MachineSpec
+
+__all__ = ["PhasePerformance", "CoreModel"]
+
+#: Pipeline-flush penalty per mispredicted branch, in cycles.
+BRANCH_MISS_PENALTY_CYCLES = 16.0
+
+#: Fraction of outer-level latency hidden by prefetch at full regularity.
+PREFETCH_HIDE_FRACTION = 0.85
+
+#: Outstanding misses a core overlaps per unit of exploitable ILP.  Miss
+#: stall cycles are divided by ``ilp * MLP_PER_ILP`` (>= 1): an out-of-order
+#: core with independent loads (gather-style irregular access) still overlaps
+#: several misses, so even pointer-heavy phases keep IPC ~ 0.05-0.2 rather
+#: than the serial-latency worst case.
+MLP_PER_ILP = 2.0
+
+
+@dataclass(frozen=True)
+class PhasePerformance:
+    """Resolved performance of one behaviour on one machine.
+
+    ``events_per_instruction`` maps counter names to mean events per retired
+    instruction (cycles included, as CPI).  ``rates(clock_hz)`` turns this
+    into absolute events/second.
+    """
+
+    behavior_name: str
+    cpi: float
+    events_per_instruction: Mapping[str, float]
+
+    def __post_init__(self) -> None:
+        if self.cpi <= 0:
+            raise MachineModelError(
+                f"behavior {self.behavior_name}: CPI must be positive, got {self.cpi}"
+            )
+
+    @property
+    def ipc(self) -> float:
+        """Instructions per cycle."""
+        return 1.0 / self.cpi
+
+    def instruction_rate(self, clock_hz: float) -> float:
+        """Retired instructions per second at ``clock_hz``."""
+        return clock_hz / self.cpi
+
+    def rates(self, clock_hz: float) -> Dict[str, float]:
+        """Absolute counter rates (events/second) at ``clock_hz``."""
+        ins_rate = self.instruction_rate(clock_hz)
+        out = {
+            name: per_ins * ins_rate
+            for name, per_ins in self.events_per_instruction.items()
+        }
+        out["PAPI_TOT_INS"] = ins_rate
+        out["PAPI_TOT_CYC"] = clock_hz
+        return out
+
+    def seconds_for_instructions(self, instructions: float, clock_hz: float) -> float:
+        """Wall time to retire ``instructions`` at ``clock_hz``."""
+        if instructions < 0:
+            raise MachineModelError(f"negative instruction count: {instructions}")
+        return instructions * self.cpi / clock_hz
+
+
+class CoreModel:
+    """Behaviour → :class:`PhasePerformance` resolver with memoization.
+
+    The resolver is pure: the same behaviour always yields the same
+    performance, so results are cached by behaviour identity (behaviours are
+    frozen dataclasses and hash by value).
+    """
+
+    def __init__(self, spec: MachineSpec, cache_model: CacheHierarchyModel = None) -> None:
+        self.spec = spec
+        self.cache_model = cache_model or CacheHierarchyModel(spec)
+        self._cache: Dict[Behavior, PhasePerformance] = {}
+
+    def performance(self, behavior: Behavior) -> PhasePerformance:
+        """Resolve ``behavior`` into CPI + events-per-instruction."""
+        cached = self._cache.get(behavior)
+        if cached is not None:
+            return cached
+        profile = self.cache_model.profile(behavior)
+        mem_fraction = behavior.memory_fraction
+
+        # --- events per instruction -------------------------------------
+        events: Dict[str, float] = {
+            "PAPI_LD_INS": behavior.load_fraction,
+            "PAPI_SR_INS": behavior.store_fraction,
+            "PAPI_BR_INS": behavior.branch_fraction,
+            "PAPI_BR_MSP": behavior.branch_fraction * behavior.branch_miss_rate,
+            "PAPI_VEC_INS": behavior.vector_fraction,
+            # Each vector FP instruction performs simd_lanes operations.
+            "PAPI_FP_OPS": behavior.fp_fraction
+            * (
+                (1.0 - behavior.vector_fraction)
+                + behavior.vector_fraction * self.spec.simd_lanes
+            ),
+        }
+        level_names = [lvl.name for lvl in self.spec.levels]
+        counter_by_level = {"L1D": "PAPI_L1_DCM", "L2": "PAPI_L2_DCM", "L3": "PAPI_L3_TCM"}
+        for name, miss_per_access in zip(level_names, profile.miss_per_access):
+            counter = counter_by_level.get(name)
+            if counter is not None:
+                events[counter] = mem_fraction * miss_per_access
+        # TLB misses: scale with irregularity and working-set pages.  The
+        # 0.01 coefficient keeps the worst case (random access over a huge
+        # footprint) near ~5 misses/kilo-instruction, matching measured
+        # DTLB behaviour on large-page-less x86 nodes.
+        pages = behavior.working_set_bytes / 4096.0
+        tlb_pressure = min(1.0, pages / 512.0)  # 512-entry DTLB analog
+        events["PAPI_TLB_DM"] = (
+            mem_fraction * (1.0 - behavior.access_regularity) * tlb_pressure * 0.01
+        )
+
+        # --- CPI stall model ---------------------------------------------
+        cpi = 1.0 / min(behavior.ilp, float(self.spec.issue_width))
+        mlp = max(1.0, behavior.ilp * MLP_PER_ILP)
+        hidden = PREFETCH_HIDE_FRACTION * behavior.access_regularity
+        prev_latency = 0.0
+        for lvl, miss_per_access in zip(self.spec.levels, profile.miss_per_access):
+            extra = lvl.latency_cycles - prev_latency
+            cpi += mem_fraction * miss_per_access * extra * (1.0 - hidden) / mlp
+            prev_latency = lvl.latency_cycles
+        mem_extra = self.spec.memory_latency_cycles - prev_latency
+        cpi += (
+            mem_fraction
+            * profile.memory_miss_per_access
+            * mem_extra
+            * (1.0 - hidden)
+            / mlp
+        )
+        # Bandwidth bound: a streaming phase cannot move more than the
+        # machine's bytes/cycle; charge extra cycles if demand exceeds it.
+        bytes_per_ins = (
+            mem_fraction
+            * profile.memory_miss_per_access
+            * self.spec.levels[0].line_bytes
+        )
+        if bytes_per_ins > 0:
+            bw_cpi = bytes_per_ins / self.spec.memory_bandwidth_bytes_per_cycle
+            cpi = max(cpi, bw_cpi)
+        cpi += events["PAPI_BR_MSP"] * BRANCH_MISS_PENALTY_CYCLES
+
+        perf = PhasePerformance(
+            behavior_name=behavior.name, cpi=cpi, events_per_instruction=events
+        )
+        self._validate(perf)
+        self._cache[behavior] = perf
+        return perf
+
+    def _validate(self, perf: PhasePerformance) -> None:
+        """Sanity-check events/instruction against counter physical bounds."""
+        from repro.counters.definitions import DEFAULT_REGISTRY
+
+        for name, per_ins in perf.events_per_instruction.items():
+            if per_ins < 0:
+                raise MachineModelError(
+                    f"{perf.behavior_name}: negative rate for {name}: {per_ins}"
+                )
+            if name in DEFAULT_REGISTRY:
+                bound = DEFAULT_REGISTRY.get(name).per_instruction_max
+                if bound is not None and per_ins > bound + 1e-9:
+                    raise MachineModelError(
+                        f"{perf.behavior_name}: {name} rate {per_ins:.3f}/ins "
+                        f"exceeds physical bound {bound}"
+                    )

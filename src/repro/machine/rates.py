@@ -1,0 +1,253 @@
+"""Ground-truth counter rate functions.
+
+A :class:`RateFunction` is a piecewise-constant, multi-counter rate over a
+time interval ``[0, T]``: each :class:`RateSegment` holds constant
+events/second for every counter.  This is the exact object the paper's model
+*assumes* about applications — that a computation region is a sequence of
+phases, each with an (approximately) constant rate per counter — which makes
+the piece-wise linear accumulated-counter curve the exact ground truth for
+the regression stage.
+
+Everything here is exact and vectorized: ``cumulative(ts)`` evaluates the
+integral of the rate function at an array of timestamps in O(log n) per
+timestamp via ``searchsorted`` over precomputed per-segment prefix sums.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import MachineModelError
+from repro.source.callpath import CallPath
+
+__all__ = ["RateSegment", "RateFunction"]
+
+_TIME_TOL = 1e-12
+
+
+@dataclass(frozen=True)
+class RateSegment:
+    """One constant-rate interval ``[t_start, t_end)``.
+
+    ``label`` names the ground-truth phase (behaviour name); ``callpath`` is
+    the call stack active during the segment, used by the sampler to emit
+    call-stack samples consistent with the counters.
+    """
+
+    t_start: float
+    t_end: float
+    rates: Mapping[str, float]
+    label: str = ""
+    callpath: Optional[CallPath] = None
+
+    def __post_init__(self) -> None:
+        if not self.t_end > self.t_start:
+            raise MachineModelError(
+                f"segment {self.label!r}: empty or inverted interval "
+                f"[{self.t_start}, {self.t_end}]"
+            )
+        for name, rate in self.rates.items():
+            if rate < 0 or not np.isfinite(rate):
+                raise MachineModelError(
+                    f"segment {self.label!r}: invalid rate {rate} for {name}"
+                )
+
+    @property
+    def duration(self) -> float:
+        """Segment length in seconds."""
+        return self.t_end - self.t_start
+
+    def events(self, counter: str) -> float:
+        """Total events of ``counter`` produced over the whole segment."""
+        return self.rates.get(counter, 0.0) * self.duration
+
+
+class RateFunction:
+    """A contiguous sequence of :class:`RateSegment` starting at t=0.
+
+    Provides exact evaluation of rates and accumulated counts, the list of
+    ground-truth phase boundaries (used to score detection), and structural
+    helpers (concatenation, time scaling) used by the workload layer.
+    """
+
+    def __init__(self, segments: Sequence[RateSegment]) -> None:
+        if not segments:
+            raise MachineModelError("a RateFunction needs at least one segment")
+        self.segments: Tuple[RateSegment, ...] = tuple(segments)
+        if abs(self.segments[0].t_start) > _TIME_TOL:
+            raise MachineModelError(
+                f"rate function must start at t=0, got {self.segments[0].t_start}"
+            )
+        for prev, nxt in zip(self.segments, self.segments[1:]):
+            if abs(prev.t_end - nxt.t_start) > _TIME_TOL * max(1.0, prev.t_end):
+                raise MachineModelError(
+                    f"gap/overlap between segments at t={prev.t_end} vs {nxt.t_start}"
+                )
+        self._starts = np.array([s.t_start for s in self.segments])
+        self._ends = np.array([s.t_end for s in self.segments])
+        self._counter_cache: Dict[str, Tuple[np.ndarray, np.ndarray]] = {}
+
+    # ------------------------------------------------------------------
+    # basic queries
+    # ------------------------------------------------------------------
+    @property
+    def duration(self) -> float:
+        """Total duration ``T`` of the function's domain ``[0, T]``."""
+        return float(self._ends[-1])
+
+    @property
+    def counters(self) -> List[str]:
+        """Union of counter names across all segments (stable order)."""
+        seen: List[str] = []
+        for seg in self.segments:
+            for name in seg.rates:
+                if name not in seen:
+                    seen.append(name)
+        return seen
+
+    @property
+    def boundaries(self) -> np.ndarray:
+        """Interior segment boundaries (excludes 0 and T)."""
+        return self._ends[:-1].copy()
+
+    @property
+    def normalized_boundaries(self) -> np.ndarray:
+        """Interior boundaries divided by total duration — in (0, 1)."""
+        return self.boundaries / self.duration
+
+    def segment_at(self, t: float) -> RateSegment:
+        """Segment containing time ``t`` (right-open intervals; t=T maps to last)."""
+        if t < -_TIME_TOL or t > self.duration * (1 + _TIME_TOL):
+            raise MachineModelError(
+                f"t={t} outside rate function domain [0, {self.duration}]"
+            )
+        idx = int(np.searchsorted(self._ends, t, side="right"))
+        idx = min(idx, len(self.segments) - 1)
+        return self.segments[idx]
+
+    def rate_at(self, t, counter: str):
+        """Instantaneous rate of ``counter`` at time(s) ``t`` (vectorized)."""
+        ts = np.asarray(t, dtype=float)
+        idx = np.clip(
+            np.searchsorted(self._ends, ts, side="right"), 0, len(self.segments) - 1
+        )
+        rates = np.array([s.rates.get(counter, 0.0) for s in self.segments])
+        out = rates[idx]
+        return float(out) if np.isscalar(t) else out
+
+    def callpath_at(self, t: float) -> Optional[CallPath]:
+        """Ground-truth call path active at time ``t``."""
+        return self.segment_at(t).callpath
+
+    # ------------------------------------------------------------------
+    # integration
+    # ------------------------------------------------------------------
+    def _prefix(self, counter: str) -> Tuple[np.ndarray, np.ndarray]:
+        """(per-segment rate array, cumulative events at segment starts)."""
+        cached = self._counter_cache.get(counter)
+        if cached is not None:
+            return cached
+        rates = np.array([s.rates.get(counter, 0.0) for s in self.segments])
+        seg_events = rates * (self._ends - self._starts)
+        prefix = np.concatenate([[0.0], np.cumsum(seg_events)[:-1]])
+        self._counter_cache[counter] = (rates, prefix)
+        return rates, prefix
+
+    def cumulative(self, t, counter: str):
+        """Exact accumulated events of ``counter`` from 0 to time(s) ``t``."""
+        ts = np.asarray(t, dtype=float)
+        if np.any(ts < -_TIME_TOL) or np.any(ts > self.duration * (1 + _TIME_TOL) + _TIME_TOL):
+            raise MachineModelError(
+                f"timestamps outside domain [0, {self.duration}]"
+            )
+        ts = np.clip(ts, 0.0, self.duration)
+        rates, prefix = self._prefix(counter)
+        idx = np.clip(
+            np.searchsorted(self._ends, ts, side="right"), 0, len(self.segments) - 1
+        )
+        out = prefix[idx] + rates[idx] * (ts - self._starts[idx])
+        return float(out) if np.isscalar(t) else out
+
+    def integrate(self, t0: float, t1: float, counter: str) -> float:
+        """Events of ``counter`` produced in ``[t0, t1]``."""
+        if t1 < t0:
+            raise MachineModelError(f"inverted interval [{t0}, {t1}]")
+        return float(self.cumulative(t1, counter) - self.cumulative(t0, counter))
+
+    def total(self, counter: str) -> float:
+        """Events of ``counter`` over the whole function."""
+        return float(self.cumulative(self.duration, counter))
+
+    def normalized_cumulative(self, x, counter: str):
+        """Accumulated fraction of ``counter`` at normalized time(s) ``x``.
+
+        This is the exact curve the folding stage reconstructs: x in [0,1],
+        y in [0,1], continuous piece-wise linear with slope changes at
+        :attr:`normalized_boundaries`.
+        """
+        xs = np.asarray(x, dtype=float)
+        total = self.total(counter)
+        if total <= 0:
+            raise MachineModelError(f"counter {counter} has zero total events")
+        out = self.cumulative(xs * self.duration, counter) / total
+        return float(out) if np.isscalar(x) else out
+
+    # ------------------------------------------------------------------
+    # structure
+    # ------------------------------------------------------------------
+    def scaled(self, time_factor: float) -> "RateFunction":
+        """Same phases, durations multiplied by ``time_factor``.
+
+        Rates are divided by the factor so per-segment *totals* stay put —
+        this models iteration-to-iteration duration noise where an instance
+        runs slower but does the same work (the folding normalization is
+        exactly invariant to this, which tests assert).
+        """
+        if time_factor <= 0:
+            raise MachineModelError(f"time_factor must be positive, got {time_factor}")
+        segs = [
+            RateSegment(
+                t_start=s.t_start * time_factor,
+                t_end=s.t_end * time_factor,
+                rates={k: v / time_factor for k, v in s.rates.items()},
+                label=s.label,
+                callpath=s.callpath,
+            )
+            for s in self.segments
+        ]
+        return RateFunction(segs)
+
+    @staticmethod
+    def concat(functions: Sequence["RateFunction"]) -> "RateFunction":
+        """Concatenate rate functions back to back (shifting times)."""
+        if not functions:
+            raise MachineModelError("cannot concatenate zero rate functions")
+        segs: List[RateSegment] = []
+        offset = 0.0
+        for fn in functions:
+            for s in fn.segments:
+                segs.append(
+                    RateSegment(
+                        t_start=s.t_start + offset,
+                        t_end=s.t_end + offset,
+                        rates=dict(s.rates),
+                        label=s.label,
+                        callpath=s.callpath,
+                    )
+                )
+            offset += fn.duration
+        return RateFunction(segs)
+
+    def __len__(self) -> int:
+        return len(self.segments)
+
+    def __repr__(self) -> str:
+        labels = ",".join(s.label or "?" for s in self.segments[:6])
+        more = "..." if len(self.segments) > 6 else ""
+        return (
+            f"RateFunction({len(self.segments)} segments, "
+            f"T={self.duration:.6g}s: {labels}{more})"
+        )

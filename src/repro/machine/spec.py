@@ -1,0 +1,105 @@
+"""Machine specification: clock, cache hierarchy, memory.
+
+The defaults describe a node loosely modeled on the 2013-era Intel Sandy
+Bridge machines the BSC tools ran on (MareNostrum III): 2.6 GHz, 32 KB L1D,
+256 KB L2, 20 MB shared L3.  Nothing downstream depends on these exact
+numbers — they only have to be internally consistent — but realistic values
+keep the reproduced figures in familiar units (GHz clocks, MIPS in the
+thousands).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from repro.errors import ConfigurationError
+
+__all__ = ["CacheLevelSpec", "MachineSpec"]
+
+
+@dataclass(frozen=True)
+class CacheLevelSpec:
+    """One level of the data-cache hierarchy."""
+
+    name: str
+    size_bytes: int
+    line_bytes: int
+    latency_cycles: float
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0:
+            raise ConfigurationError(f"{self.name}: cache size must be positive")
+        if self.line_bytes <= 0 or self.size_bytes % self.line_bytes:
+            raise ConfigurationError(
+                f"{self.name}: line size {self.line_bytes} must divide "
+                f"cache size {self.size_bytes}"
+            )
+        if self.latency_cycles <= 0:
+            raise ConfigurationError(f"{self.name}: latency must be positive")
+
+    @property
+    def lines(self) -> int:
+        """Number of cache lines in this level."""
+        return self.size_bytes // self.line_bytes
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """Complete node description consumed by the core and cache models."""
+
+    name: str = "mn3-node"
+    clock_hz: float = 2.6e9
+    issue_width: int = 4
+    simd_lanes: int = 4
+    memory_latency_cycles: float = 180.0
+    memory_bandwidth_bytes_per_cycle: float = 8.0
+    cache_levels: Tuple[CacheLevelSpec, ...] = field(
+        default_factory=lambda: (
+            CacheLevelSpec("L1D", 32 * 1024, 64, 4.0),
+            CacheLevelSpec("L2", 256 * 1024, 64, 12.0),
+            CacheLevelSpec("L3", 20 * 1024 * 1024, 64, 38.0),
+        )
+    )
+
+    def __post_init__(self) -> None:
+        if self.clock_hz <= 0:
+            raise ConfigurationError(f"clock_hz must be positive, got {self.clock_hz}")
+        if self.issue_width < 1:
+            raise ConfigurationError(f"issue_width must be >= 1, got {self.issue_width}")
+        if self.simd_lanes < 1:
+            raise ConfigurationError(f"simd_lanes must be >= 1, got {self.simd_lanes}")
+        if self.memory_latency_cycles <= 0:
+            raise ConfigurationError("memory_latency_cycles must be positive")
+        if self.memory_bandwidth_bytes_per_cycle <= 0:
+            raise ConfigurationError("memory_bandwidth_bytes_per_cycle must be positive")
+        if not self.cache_levels:
+            raise ConfigurationError("at least one cache level is required")
+        sizes = [lvl.size_bytes for lvl in self.cache_levels]
+        if sizes != sorted(sizes):
+            raise ConfigurationError(
+                f"cache levels must be ordered smallest to largest, got sizes {sizes}"
+            )
+        latencies = [lvl.latency_cycles for lvl in self.cache_levels]
+        if latencies != sorted(latencies):
+            raise ConfigurationError(
+                f"cache latencies must be non-decreasing outward, got {latencies}"
+            )
+
+    @property
+    def levels(self) -> List[CacheLevelSpec]:
+        """Cache levels, innermost (L1) first."""
+        return list(self.cache_levels)
+
+    @property
+    def clock_ghz(self) -> float:
+        """Clock frequency in GHz (display helper)."""
+        return self.clock_hz / 1e9
+
+    def cycles_to_seconds(self, cycles: float) -> float:
+        """Convert a cycle count to seconds on this machine."""
+        return cycles / self.clock_hz
+
+    def seconds_to_cycles(self, seconds: float) -> float:
+        """Convert seconds to cycles on this machine."""
+        return seconds * self.clock_hz

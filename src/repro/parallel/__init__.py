@@ -1,0 +1,35 @@
+"""Simulated message-passing substrate.
+
+The reproduction cannot run real MPI processes, so this package models the
+piece of MPI semantics the tracing/analysis pipeline actually depends on:
+*when communication starts and ends on each rank*, and therefore where the
+computation bursts fall.  :mod:`repro.parallel.network` models link latency
+and bandwidth; :mod:`repro.parallel.patterns` implements the common
+communication patterns (collectives, halo exchange, master/worker) as
+timing transfer functions used by the execution engine; and
+:mod:`repro.parallel.topology` provides neighbor layouts for the
+point-to-point patterns.
+"""
+
+from repro.parallel.network import NetworkModel
+from repro.parallel.topology import ring_neighbors, grid_neighbors
+from repro.parallel.patterns import (
+    AllReducePattern,
+    BarrierPattern,
+    CommPattern,
+    CommResult,
+    HaloExchangePattern,
+    MasterWorkerPattern,
+)
+
+__all__ = [
+    "NetworkModel",
+    "CommPattern",
+    "CommResult",
+    "BarrierPattern",
+    "AllReducePattern",
+    "HaloExchangePattern",
+    "MasterWorkerPattern",
+    "ring_neighbors",
+    "grid_neighbors",
+]

@@ -1,0 +1,58 @@
+"""Interconnect timing model (alpha-beta / Hockney).
+
+Message cost is the classic ``alpha + bytes * beta`` with ``alpha`` the
+per-message latency and ``beta`` the inverse bandwidth.  Collectives use the
+standard logarithmic-tree cost expressions built on the same two parameters.
+Defaults approximate a 2013-era InfiniBand FDR fabric (1.5 us latency,
+~5 GB/s effective per-link bandwidth).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+__all__ = ["NetworkModel"]
+
+
+@dataclass(frozen=True)
+class NetworkModel:
+    """Alpha-beta interconnect with tree collectives."""
+
+    latency_s: float = 1.5e-6
+    bandwidth_bytes_per_s: float = 5e9
+
+    def __post_init__(self) -> None:
+        if self.latency_s <= 0:
+            raise ConfigurationError(f"latency_s must be positive, got {self.latency_s}")
+        if self.bandwidth_bytes_per_s <= 0:
+            raise ConfigurationError(
+                f"bandwidth_bytes_per_s must be positive, got {self.bandwidth_bytes_per_s}"
+            )
+
+    def point_to_point_time(self, message_bytes: float) -> float:
+        """Time for one point-to-point message of ``message_bytes``."""
+        if message_bytes < 0:
+            raise ConfigurationError(f"negative message size: {message_bytes}")
+        return self.latency_s + message_bytes / self.bandwidth_bytes_per_s
+
+    def tree_depth(self, n_ranks: int) -> int:
+        """Depth of a binomial tree over ``n_ranks`` (0 for a single rank)."""
+        if n_ranks < 1:
+            raise ConfigurationError(f"n_ranks must be >= 1, got {n_ranks}")
+        return max(0, math.ceil(math.log2(n_ranks)))
+
+    def allreduce_time(self, n_ranks: int, message_bytes: float) -> float:
+        """Reduce+broadcast tree allreduce cost (per call, after sync)."""
+        depth = self.tree_depth(n_ranks)
+        return 2.0 * depth * self.point_to_point_time(message_bytes)
+
+    def barrier_time(self, n_ranks: int) -> float:
+        """Zero-payload allreduce."""
+        return self.allreduce_time(n_ranks, 0.0)
+
+    def broadcast_time(self, n_ranks: int, message_bytes: float) -> float:
+        """Binomial-tree broadcast cost."""
+        return self.tree_depth(n_ranks) * self.point_to_point_time(message_bytes)

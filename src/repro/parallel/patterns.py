@@ -1,0 +1,190 @@
+"""Communication patterns as timing transfer functions.
+
+Each pattern answers one question for the execution engine: *given the times
+at which every rank arrived at this communication call, when does each rank
+leave it?*  That is all the tracing pipeline needs — the interval between a
+rank's arrival and departure is its communication state, and everything
+between departures and the next arrival is a computation burst.
+
+Patterns implement :meth:`CommPattern.execute` returning a
+:class:`CommResult` with per-rank ``(enter, exit)`` arrays.  Collectives
+synchronize (exit >= global critical path); neighbor exchanges synchronize
+only with topological neighbors; master/worker serializes on rank 0.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Callable, List
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.parallel.network import NetworkModel
+from repro.parallel.topology import grid_neighbors
+
+__all__ = [
+    "CommResult",
+    "CommPattern",
+    "BarrierPattern",
+    "AllReducePattern",
+    "HaloExchangePattern",
+    "MasterWorkerPattern",
+]
+
+
+@dataclass(frozen=True)
+class CommResult:
+    """Per-rank communication interval ``[enter[r], exit[r]]``."""
+
+    enter: np.ndarray
+    exit: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.enter.shape != self.exit.shape:
+            raise ConfigurationError("enter/exit arrays must have equal shape")
+        if np.any(self.exit < self.enter - 1e-15):
+            raise ConfigurationError("communication cannot end before it starts")
+
+    @property
+    def durations(self) -> np.ndarray:
+        """Per-rank time spent inside the call (includes wait time)."""
+        return self.exit - self.enter
+
+
+class CommPattern(abc.ABC):
+    """Base class: a named MPI-like operation with a timing rule."""
+
+    def __init__(self, mpi_name: str, network: NetworkModel) -> None:
+        if not mpi_name.startswith("MPI_"):
+            raise ConfigurationError(
+                f"pattern names follow MPI convention ('MPI_*'), got {mpi_name!r}"
+            )
+        self.mpi_name = mpi_name
+        self.network = network
+
+    @abc.abstractmethod
+    def execute(self, arrival_times: np.ndarray) -> CommResult:
+        """Map per-rank arrival times to the communication interval."""
+
+    def _arrivals(self, arrival_times: np.ndarray) -> np.ndarray:
+        arr = np.asarray(arrival_times, dtype=float)
+        if arr.ndim != 1 or arr.size < 1:
+            raise ConfigurationError(
+                f"{self.mpi_name}: arrival_times must be a non-empty 1-D array"
+            )
+        return arr
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"{type(self).__name__}({self.mpi_name})"
+
+
+class BarrierPattern(CommPattern):
+    """Global synchronization with tree-latency cost."""
+
+    def __init__(self, network: NetworkModel) -> None:
+        super().__init__("MPI_Barrier", network)
+
+    def execute(self, arrival_times: np.ndarray) -> CommResult:
+        """All ranks leave together after the slowest arrival + tree cost."""
+        enter = self._arrivals(arrival_times)
+        release = enter.max() + self.network.barrier_time(enter.size)
+        return CommResult(enter=enter, exit=np.full_like(enter, release))
+
+
+class AllReducePattern(CommPattern):
+    """Allreduce of ``message_bytes`` payload; all ranks leave together."""
+
+    def __init__(self, network: NetworkModel, message_bytes: float = 8.0) -> None:
+        super().__init__("MPI_Allreduce", network)
+        if message_bytes < 0:
+            raise ConfigurationError(f"negative message size: {message_bytes}")
+        self.message_bytes = float(message_bytes)
+
+    def execute(self, arrival_times: np.ndarray) -> CommResult:
+        """All ranks leave together after the reduce+broadcast tree."""
+        enter = self._arrivals(arrival_times)
+        release = enter.max() + self.network.allreduce_time(enter.size, self.message_bytes)
+        return CommResult(enter=enter, exit=np.full_like(enter, release))
+
+
+class HaloExchangePattern(CommPattern):
+    """Nearest-neighbor exchange on a 2-D grid.
+
+    Each rank leaves once it has exchanged ``message_bytes`` with every
+    neighbor, i.e. after the latest arrival among itself and its neighbors
+    plus the transfer cost.  Ranks do *not* synchronize globally, so load
+    imbalance propagates as a wavefront, just as in real halo codes.
+    """
+
+    def __init__(
+        self,
+        network: NetworkModel,
+        message_bytes: float = 64 * 1024.0,
+        neighbor_fn: Callable[[int, int], List[int]] = grid_neighbors,
+    ) -> None:
+        super().__init__("MPI_Sendrecv", network)
+        if message_bytes < 0:
+            raise ConfigurationError(f"negative message size: {message_bytes}")
+        self.message_bytes = float(message_bytes)
+        self.neighbor_fn = neighbor_fn
+
+    def execute(self, arrival_times: np.ndarray) -> CommResult:
+        """Each rank leaves after exchanging with its grid neighbors."""
+        enter = self._arrivals(arrival_times)
+        n = enter.size
+        exit_times = np.empty_like(enter)
+        transfer = self.network.point_to_point_time(self.message_bytes)
+        for rank in range(n):
+            neighbors = self.neighbor_fn(rank, n)
+            gate = enter[rank]
+            if neighbors:
+                gate = max(gate, max(enter[nb] for nb in neighbors))
+                exit_times[rank] = gate + transfer * len(neighbors)
+            else:
+                exit_times[rank] = gate
+        return CommResult(enter=enter, exit=exit_times)
+
+
+class MasterWorkerPattern(CommPattern):
+    """Workers send to rank 0, which services them in arrival order.
+
+    Models the Dalton-style master bottleneck: the master handles one
+    ``message_bytes`` message at a time (plus ``service_time`` processing),
+    so worker exit times queue up behind it.  Rank 0's own "communication"
+    spans the whole service window.
+    """
+
+    def __init__(
+        self,
+        network: NetworkModel,
+        message_bytes: float = 4 * 1024.0,
+        service_time: float = 2e-6,
+    ) -> None:
+        super().__init__("MPI_Send", network)
+        if message_bytes < 0:
+            raise ConfigurationError(f"negative message size: {message_bytes}")
+        if service_time < 0:
+            raise ConfigurationError(f"negative service time: {service_time}")
+        self.message_bytes = float(message_bytes)
+        self.service_time = float(service_time)
+
+    def execute(self, arrival_times: np.ndarray) -> CommResult:
+        """Workers queue behind the master's serial service loop."""
+        enter = self._arrivals(arrival_times)
+        n = enter.size
+        if n == 1:
+            return CommResult(enter=enter, exit=enter.copy())
+        transfer = self.network.point_to_point_time(self.message_bytes)
+        per_message = transfer + self.service_time
+        workers = np.argsort(enter[1:], kind="stable") + 1
+        exit_times = np.empty_like(enter)
+        master_free = enter[0]
+        for worker in workers:
+            start = max(master_free, enter[worker])
+            done = start + per_message
+            exit_times[worker] = done
+            master_free = done
+        exit_times[0] = master_free
+        return CommResult(enter=enter, exit=exit_times)

@@ -1,0 +1,54 @@
+"""Process topologies for point-to-point communication patterns."""
+
+from __future__ import annotations
+
+import math
+from typing import List, Tuple
+
+from repro.errors import ConfigurationError
+
+__all__ = ["ring_neighbors", "grid_neighbors", "grid_shape"]
+
+
+def ring_neighbors(rank: int, n_ranks: int) -> List[int]:
+    """Left/right neighbors on a periodic 1-D ring."""
+    _check(rank, n_ranks)
+    if n_ranks == 1:
+        return []
+    left = (rank - 1) % n_ranks
+    right = (rank + 1) % n_ranks
+    return [left] if left == right else [left, right]
+
+
+def grid_shape(n_ranks: int) -> Tuple[int, int]:
+    """Most-square ``rows x cols`` factorization of ``n_ranks``."""
+    if n_ranks < 1:
+        raise ConfigurationError(f"n_ranks must be >= 1, got {n_ranks}")
+    rows = int(math.sqrt(n_ranks))
+    while rows > 1 and n_ranks % rows:
+        rows -= 1
+    return rows, n_ranks // rows
+
+
+def grid_neighbors(rank: int, n_ranks: int) -> List[int]:
+    """4-neighborhood on a non-periodic 2-D grid (most-square shape)."""
+    _check(rank, n_ranks)
+    rows, cols = grid_shape(n_ranks)
+    r, c = divmod(rank, cols)
+    out: List[int] = []
+    if r > 0:
+        out.append(rank - cols)
+    if r < rows - 1:
+        out.append(rank + cols)
+    if c > 0:
+        out.append(rank - 1)
+    if c < cols - 1:
+        out.append(rank + 1)
+    return out
+
+
+def _check(rank: int, n_ranks: int) -> None:
+    if n_ranks < 1:
+        raise ConfigurationError(f"n_ranks must be >= 1, got {n_ranks}")
+    if not 0 <= rank < n_ranks:
+        raise ConfigurationError(f"rank {rank} out of range [0, {n_ranks})")

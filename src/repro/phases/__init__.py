@@ -1,0 +1,22 @@
+"""Phase construction, source mapping and scoring.
+
+:mod:`repro.phases.detect` turns fitted models into :class:`Phase` objects
+with absolute durations, per-counter rates and derived metrics;
+:mod:`repro.phases.mapping` correlates each phase with the application's
+source code through the folded call stacks; :mod:`repro.phases.compare`
+scores detected phase boundaries against ground truth (benchmarks only).
+"""
+
+from repro.phases.detect import Phase, PhaseSet, detect_phases
+from repro.phases.mapping import PhaseSourceAttribution, map_phases_to_source
+from repro.phases.compare import BoundaryScore, match_boundaries
+
+__all__ = [
+    "Phase",
+    "PhaseSet",
+    "detect_phases",
+    "PhaseSourceAttribution",
+    "map_phases_to_source",
+    "BoundaryScore",
+    "match_boundaries",
+]

@@ -1,0 +1,98 @@
+"""Scoring detected phase boundaries against ground truth.
+
+Used only by tests/benchmarks (TAB-1, FIG-4): greedy one-to-one matching of
+detected to true boundaries within a normalized-time tolerance, yielding
+precision/recall/F1 and the mean absolute position error over matches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import PhaseError
+
+__all__ = ["BoundaryScore", "match_boundaries"]
+
+
+@dataclass(frozen=True)
+class BoundaryScore:
+    """Boundary-detection outcome."""
+
+    n_true: int
+    n_detected: int
+    n_matched: int
+    mean_abs_error: float
+    tolerance: float
+
+    @property
+    def precision(self) -> float:
+        """Matched / detected (1.0 when nothing was detected *and* nothing
+        was there to detect)."""
+        if self.n_detected == 0:
+            return 1.0 if self.n_true == 0 else 0.0
+        return self.n_matched / self.n_detected
+
+    @property
+    def recall(self) -> float:
+        """Matched / true."""
+        if self.n_true == 0:
+            return 1.0
+        return self.n_matched / self.n_true
+
+    @property
+    def f1(self) -> float:
+        """Harmonic mean of precision and recall."""
+        p, r = self.precision, self.recall
+        return 2 * p * r / (p + r) if (p + r) > 0 else 0.0
+
+    def __str__(self) -> str:
+        return (
+            f"P={self.precision:.2f} R={self.recall:.2f} F1={self.f1:.2f} "
+            f"err={self.mean_abs_error:.4f} (tol={self.tolerance})"
+        )
+
+
+def match_boundaries(
+    detected: Sequence[float],
+    truth: Sequence[float],
+    tolerance: float = 0.02,
+) -> BoundaryScore:
+    """Greedy nearest-first matching of boundary positions.
+
+    Candidate pairs within ``tolerance`` are taken in order of increasing
+    distance, each boundary used at most once — the standard assignment
+    heuristic for changepoint evaluation.
+    """
+    if tolerance <= 0:
+        raise PhaseError(f"tolerance must be positive, got {tolerance}")
+    det = np.sort(np.asarray(detected, dtype=float))
+    tru = np.sort(np.asarray(truth, dtype=float))
+
+    pairs: List[Tuple[float, int, int]] = []
+    for i, d in enumerate(det):
+        for j, t in enumerate(tru):
+            gap = abs(d - t)
+            if gap <= tolerance:
+                pairs.append((gap, i, j))
+    pairs.sort()
+
+    used_det = set()
+    used_tru = set()
+    errors: List[float] = []
+    for gap, i, j in pairs:
+        if i in used_det or j in used_tru:
+            continue
+        used_det.add(i)
+        used_tru.add(j)
+        errors.append(gap)
+
+    return BoundaryScore(
+        n_true=int(tru.size),
+        n_detected=int(det.size),
+        n_matched=len(errors),
+        mean_abs_error=float(np.mean(errors)) if errors else float("nan"),
+        tolerance=float(tolerance),
+    )

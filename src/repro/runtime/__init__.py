@@ -1,0 +1,40 @@
+"""Execution engine and tracer — the substitute for Extrae on a real run.
+
+:mod:`repro.runtime.engine` "runs" an :class:`~repro.workload.application.Application`
+on a :class:`~repro.machine.cpu.CoreModel`, producing an
+:class:`~repro.runtime.engine.ExecutionTimeline`: per rank, an exact
+ground-truth rate function over absolute time plus the list of computation
+bursts and communication intervals.  :mod:`repro.runtime.tracer` then
+observes that timeline the way a real tracer would — minimal
+instrumentation probes at communication boundaries
+(:mod:`repro.runtime.instrumentation`) and a coarse-grain sampler with
+period jitter (:mod:`repro.runtime.sampler`) — emitting a
+:class:`~repro.trace.records.Trace`.  :mod:`repro.runtime.overhead`
+quantifies the perturbation each tracing configuration would impose.
+"""
+
+from repro.runtime.engine import (
+    BurstTruth,
+    CommInterval,
+    ExecutionEngine,
+    ExecutionTimeline,
+    RankTimeline,
+)
+from repro.runtime.instrumentation import InstrumentationConfig
+from repro.runtime.sampler import SamplerConfig
+from repro.runtime.overhead import OverheadModel, OverheadReport
+from repro.runtime.tracer import Tracer, TracerConfig
+
+__all__ = [
+    "ExecutionEngine",
+    "ExecutionTimeline",
+    "RankTimeline",
+    "BurstTruth",
+    "CommInterval",
+    "InstrumentationConfig",
+    "SamplerConfig",
+    "OverheadModel",
+    "OverheadReport",
+    "Tracer",
+    "TracerConfig",
+]

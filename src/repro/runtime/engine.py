@@ -1,0 +1,247 @@
+"""Discrete execution engine for synthetic applications.
+
+The engine advances every rank through the application's iteration
+structure: compute steps instantiate their kernel (with per-instance
+perturbations) into rate-function segments, communication steps call the
+pattern's timing rule — which is where ranks wait for each other.  The
+result is an :class:`ExecutionTimeline` holding, per rank, one contiguous
+ground-truth :class:`~repro.machine.rates.RateFunction` spanning the whole
+run, plus the burst/communication bookkeeping the tracer and the scoring
+stages need.
+
+During communication the core still retires instructions (MPI busy-wait),
+modeled as a fixed low-IPC spin behaviour; its rates are deliberately very
+different from any compute phase so a sample landing inside MPI is clearly
+distinguishable in ground truth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.machine.cpu import CoreModel
+from repro.machine.rates import RateFunction, RateSegment
+from repro.util.rng import derive_rng
+from repro.workload.application import Application, CommStep, ComputeStep
+
+__all__ = [
+    "BurstTruth",
+    "CommInterval",
+    "RankTimeline",
+    "ExecutionTimeline",
+    "ExecutionEngine",
+]
+
+#: Minimum representable communication duration (avoids empty segments).
+MIN_COMM_DURATION = 1e-9
+
+
+def _spin_rates(clock_hz: float) -> Dict[str, float]:
+    """Counter rates while busy-waiting inside an MPI call."""
+    return {
+        "PAPI_TOT_CYC": clock_hz,
+        "PAPI_TOT_INS": 0.45 * clock_hz,
+        "PAPI_LD_INS": 0.15 * clock_hz,
+        "PAPI_SR_INS": 0.01 * clock_hz,
+        "PAPI_BR_INS": 0.18 * clock_hz,
+        "PAPI_BR_MSP": 0.0005 * clock_hz,
+        "PAPI_FP_OPS": 0.0,
+        "PAPI_VEC_INS": 0.0,
+        "PAPI_L1_DCM": 0.001 * clock_hz,
+        "PAPI_L2_DCM": 0.0002 * clock_hz,
+        "PAPI_L3_TCM": 0.00002 * clock_hz,
+        "PAPI_TLB_DM": 0.00001 * clock_hz,
+    }
+
+
+@dataclass(frozen=True)
+class BurstTruth:
+    """Ground truth of one computation burst instance.
+
+    The analysis pipeline never sees these fields; benchmarks use them to
+    score clustering (``kernel_name``), outlier pruning (``is_outlier``)
+    and phase detection (through the kernel's phase structure).
+    """
+
+    rank: int
+    index: int
+    t_start: float
+    t_end: float
+    kernel_name: str
+    iteration: int
+    step_index: int
+    is_outlier: bool
+
+    @property
+    def duration(self) -> float:
+        """Burst length in seconds."""
+        return self.t_end - self.t_start
+
+
+@dataclass(frozen=True)
+class CommInterval:
+    """One communication call on one rank."""
+
+    rank: int
+    t_start: float
+    t_end: float
+    mpi_call: str
+
+    @property
+    def duration(self) -> float:
+        """Interval length (includes wait time)."""
+        return self.t_end - self.t_start
+
+
+@dataclass
+class RankTimeline:
+    """Everything that happened on one rank."""
+
+    rank: int
+    rate_function: RateFunction
+    bursts: List[BurstTruth]
+    comms: List[CommInterval]
+
+    @property
+    def duration(self) -> float:
+        """Rank finish time."""
+        return self.rate_function.duration
+
+
+@dataclass
+class ExecutionTimeline:
+    """Complete ground-truth outcome of one simulated run."""
+
+    app: Application
+    clock_hz: float
+    ranks: List[RankTimeline] = field(default_factory=list)
+
+    @property
+    def n_ranks(self) -> int:
+        """Number of ranks in the run."""
+        return len(self.ranks)
+
+    @property
+    def duration(self) -> float:
+        """Wall time of the slowest rank."""
+        return max(r.duration for r in self.ranks)
+
+    def rank(self, rank: int) -> RankTimeline:
+        """Timeline of one rank."""
+        if not 0 <= rank < len(self.ranks):
+            raise WorkloadError(f"rank {rank} out of range [0, {len(self.ranks)})")
+        return self.ranks[rank]
+
+    def all_bursts(self) -> List[BurstTruth]:
+        """Every burst of every rank, ordered by (rank, index)."""
+        out: List[BurstTruth] = []
+        for timeline in self.ranks:
+            out.extend(timeline.bursts)
+        return out
+
+    def cumulative(self, rank: int, times, counter: str):
+        """Exact accumulated counter values on ``rank`` at ``times``."""
+        return self.rank(rank).rate_function.cumulative(times, counter)
+
+
+class ExecutionEngine:
+    """Runs applications against a core model + seeded perturbations.
+
+    One engine can run many applications; every run derives its own RNG
+    streams from ``(seed, app.name, rank)`` so results are reproducible and
+    rank streams are independent.
+    """
+
+    def __init__(self, core: CoreModel, seed: int = 0) -> None:
+        self.core = core
+        self.seed = int(seed)
+
+    def run(self, app: Application) -> ExecutionTimeline:
+        """Execute ``app`` and return its ground-truth timeline."""
+        clock = self.core.spec.clock_hz
+        n = app.ranks
+        rngs = [derive_rng(self.seed, "engine", app.name, r) for r in range(n)]
+        spin = _spin_rates(clock)
+
+        now = np.zeros(n)
+        segments: List[List[RateSegment]] = [[] for _ in range(n)]
+        bursts: List[List[BurstTruth]] = [[] for _ in range(n)]
+        comms: List[List[CommInterval]] = [[] for _ in range(n)]
+        burst_index = [0] * n
+
+        for iteration in range(app.iterations):
+            for step_index, step in enumerate(app.steps):
+                if isinstance(step, ComputeStep):
+                    for r in range(n):
+                        kernel = step.kernel_for(r)
+                        instance, perturbation = kernel.instantiate(
+                            self.core, rngs[r]
+                        )
+                        speed = app.speed_of(r)
+                        if speed != 1.0:
+                            instance = instance.scaled(speed)
+                        t0 = now[r]
+                        for seg in instance.segments:
+                            segments[r].append(
+                                RateSegment(
+                                    t_start=seg.t_start + t0,
+                                    t_end=seg.t_end + t0,
+                                    rates=dict(seg.rates),
+                                    label=seg.label,
+                                    callpath=seg.callpath,
+                                )
+                            )
+                        t1 = t0 + instance.duration
+                        bursts[r].append(
+                            BurstTruth(
+                                rank=r,
+                                index=burst_index[r],
+                                t_start=t0,
+                                t_end=t1,
+                                kernel_name=kernel.name,
+                                iteration=iteration,
+                                step_index=step_index,
+                                is_outlier=perturbation.is_outlier,
+                            )
+                        )
+                        burst_index[r] += 1
+                        now[r] = t1
+                elif isinstance(step, CommStep):
+                    result = step.pattern.execute(now)
+                    exits = np.maximum(result.exit, now + MIN_COMM_DURATION)
+                    for r in range(n):
+                        segments[r].append(
+                            RateSegment(
+                                t_start=now[r],
+                                t_end=exits[r],
+                                rates=spin,
+                                label="__MPI__",
+                                callpath=None,
+                            )
+                        )
+                        comms[r].append(
+                            CommInterval(
+                                rank=r,
+                                t_start=now[r],
+                                t_end=float(exits[r]),
+                                mpi_call=step.pattern.mpi_name,
+                            )
+                        )
+                    now = exits.astype(float)
+                else:  # pragma: no cover - exhaustive over Step union
+                    raise WorkloadError(f"unknown step type: {type(step).__name__}")
+
+        timelines = [
+            RankTimeline(
+                rank=r,
+                rate_function=RateFunction(segments[r]),
+                bursts=bursts[r],
+                comms=comms[r],
+            )
+            for r in range(n)
+        ]
+        return ExecutionTimeline(app=app, clock_hz=clock, ranks=timelines)

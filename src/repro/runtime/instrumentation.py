@@ -1,0 +1,45 @@
+"""Minimal-instrumentation configuration.
+
+The paper's mechanism rests on instrumenting only *coarse* events — the
+communication API boundary — so the probe count scales with the number of
+MPI calls, not with the application's internal structure.  This module
+captures that configuration plus counter-read fidelity knobs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+__all__ = ["InstrumentationConfig"]
+
+
+@dataclass(frozen=True)
+class InstrumentationConfig:
+    """Probe placement and counter-read fidelity.
+
+    Attributes
+    ----------
+    enabled:
+        When False no instrumentation records are emitted (samples only) —
+        the degenerate configuration used by ablation benches to show that
+        folding needs the burst boundaries.
+    probe_cost_s:
+        Time one probe steals from the application (counter read + buffer
+        write); consumed by the overhead model.
+    counters_quantized:
+        Real PMUs return integers; when True, counter values in emitted
+        records are floored to whole events.  The folding pipeline must
+        tolerate this quantization (tests assert it does).
+    """
+
+    enabled: bool = True
+    probe_cost_s: float = 0.25e-6
+    counters_quantized: bool = True
+
+    def __post_init__(self) -> None:
+        if self.probe_cost_s < 0:
+            raise ConfigurationError(
+                f"probe_cost_s must be >= 0, got {self.probe_cost_s}"
+            )

@@ -1,0 +1,153 @@
+"""Tracing-overhead model (TAB-2's substrate).
+
+Quantifies the time a tracing configuration steals from the application:
+``probes * probe_cost + samples * sample_cost`` per rank, reported as a
+relative dilation.  The same model prices the *alternative* the paper argues
+against — exhaustive fine-grain instrumentation of every internal phase —
+so the table can show minimal instrumentation + coarse sampling winning by
+orders of magnitude while folding recovers the lost detail.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.errors import ConfigurationError
+from repro.runtime.engine import ExecutionTimeline
+from repro.runtime.instrumentation import InstrumentationConfig
+from repro.runtime.sampler import SamplerConfig
+
+__all__ = ["OverheadReport", "OverheadModel"]
+
+
+@dataclass(frozen=True)
+class OverheadReport:
+    """Overhead of one tracing configuration on one run."""
+
+    n_probes: int
+    n_samples: int
+    probe_time_s: float
+    sample_time_s: float
+    application_time_s: float
+
+    def __post_init__(self) -> None:
+        if self.application_time_s <= 0:
+            raise ConfigurationError(
+                f"application time must be positive, got {self.application_time_s}"
+            )
+
+    @property
+    def total_overhead_s(self) -> float:
+        """Total time stolen across all ranks."""
+        return self.probe_time_s + self.sample_time_s
+
+    @property
+    def relative_overhead(self) -> float:
+        """Overhead as a fraction of aggregate application time."""
+        return self.total_overhead_s / self.application_time_s
+
+    @property
+    def percent(self) -> float:
+        """Relative overhead in percent (display helper)."""
+        return 100.0 * self.relative_overhead
+
+
+class OverheadModel:
+    """Prices tracing configurations against a concrete run."""
+
+    def __init__(
+        self,
+        instrumentation: InstrumentationConfig,
+        sampler: SamplerConfig,
+    ) -> None:
+        self.instrumentation = instrumentation
+        self.sampler = sampler
+
+    def report(self, timeline: ExecutionTimeline) -> OverheadReport:
+        """Overhead of the configured tracer on ``timeline``.
+
+        Probe count is exact (two per communication interval); sample count
+        is the expectation ``duration / period`` per rank, which is what a
+        capacity-planning estimate would use.
+        """
+        n_probes = 0
+        n_samples = 0
+        app_time = 0.0
+        for rank_timeline in timeline.ranks:
+            if self.instrumentation.enabled:
+                n_probes += 2 * len(rank_timeline.comms)
+            n_samples += int(rank_timeline.duration / self.sampler.period_s)
+            app_time += rank_timeline.duration
+        return OverheadReport(
+            n_probes=n_probes,
+            n_samples=n_samples,
+            probe_time_s=n_probes * self.instrumentation.probe_cost_s,
+            sample_time_s=n_samples * self.sampler.sample_cost_s,
+            application_time_s=app_time,
+        )
+
+    def fine_instrumentation_report(
+        self, timeline: ExecutionTimeline, points_per_burst: int = 64
+    ) -> OverheadReport:
+        """Overhead of the instrumentation alternative to folding.
+
+        Folding reconstructs an intra-burst profile with O(grid) effective
+        resolution from a handful of samples per instance.  Obtaining the
+        same profile *directly* by instrumentation means placing
+        ``points_per_burst`` probes inside every burst instance (loop-nest
+        or basic-block level instrumentation) — the per-iteration cost the
+        paper's minimal scheme avoids.  No sampling in this scheme.
+        """
+        if points_per_burst < 1:
+            raise ConfigurationError(
+                f"points_per_burst must be >= 1, got {points_per_burst}"
+            )
+        n_probes = 0
+        app_time = 0.0
+        for rank_timeline in timeline.ranks:
+            n_probes += points_per_burst * len(rank_timeline.bursts)
+            n_probes += 2 * len(rank_timeline.comms)
+            app_time += rank_timeline.duration
+        return OverheadReport(
+            n_probes=n_probes,
+            n_samples=0,
+            probe_time_s=n_probes * self.instrumentation.probe_cost_s,
+            sample_time_s=0.0,
+            application_time_s=app_time,
+        )
+
+    def equivalent_sampling_report(
+        self, timeline: ExecutionTimeline, points_per_burst: int = 64
+    ) -> OverheadReport:
+        """Overhead of the sampling alternative: no folding, just sample
+        fast enough that every single burst gets ``points_per_burst``
+        ticks (period = mean burst duration / points_per_burst)."""
+        if points_per_burst < 1:
+            raise ConfigurationError(
+                f"points_per_burst must be >= 1, got {points_per_burst}"
+            )
+        durations = [
+            b.duration for rank in timeline.ranks for b in rank.bursts
+        ]
+        if not durations:
+            raise ConfigurationError("timeline has no bursts")
+        period = (sum(durations) / len(durations)) / points_per_burst
+        model = OverheadModel(
+            instrumentation=self.instrumentation,
+            sampler=self.sampler.with_period(period),
+        )
+        return model.report(timeline)
+
+    def sweep_periods(
+        self, timeline: ExecutionTimeline, periods_s
+    ) -> Dict[float, OverheadReport]:
+        """Overhead at each sampling period (TAB-2 rows)."""
+        out: Dict[float, OverheadReport] = {}
+        for period in periods_s:
+            model = OverheadModel(
+                instrumentation=self.instrumentation,
+                sampler=self.sampler.with_period(float(period)),
+            )
+            out[float(period)] = model.report(timeline)
+        return out

@@ -1,0 +1,118 @@
+"""Coarse-grain sampler configuration and tick generation.
+
+The sampler fires roughly every ``period_s`` seconds per rank, with
+multiplicative jitter on each interval (timer interrupts never land
+exactly), an initial random offset per rank (so samples across instances
+cover the whole normalized burst, which folding depends on), and optional
+sample drop-out (a real signal-based sampler occasionally loses ticks
+inside uninterruptible regions).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["SamplerConfig", "generate_sample_times"]
+
+
+@dataclass(frozen=True)
+class SamplerConfig:
+    """Sampling cadence parameters.
+
+    Attributes
+    ----------
+    period_s:
+        Nominal sampling period.  The paper's regime is *coarse* sampling —
+        tens of milliseconds — against burst durations of the same order or
+        finer.
+    jitter_sigma:
+        Lognormal sigma of the per-interval multiplicative jitter
+        (0 = metronome-exact, unrealistic).
+    drop_probability:
+        Probability that any individual tick is lost.
+    sample_cost_s:
+        Time one sample steals from the application (unwinding the stack is
+        costlier than a probe); consumed by the overhead model.
+    counter_skew_s:
+        Maximum offset between a sample's timestamp and the instant its
+        counters are actually read (the signal handler runs *after* the
+        timer fires).  Uniform in ``[-skew, +skew]``.  Non-zero skew is
+        what produces non-monotone folded samples in practice — the
+        failure mode the folding stage's monotonicity filter exists for.
+    """
+
+    period_s: float = 0.02
+    jitter_sigma: float = 0.05
+    drop_probability: float = 0.0
+    sample_cost_s: float = 2.0e-6
+    counter_skew_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.period_s <= 0:
+            raise ConfigurationError(f"period_s must be > 0, got {self.period_s}")
+        if self.jitter_sigma < 0:
+            raise ConfigurationError(
+                f"jitter_sigma must be >= 0, got {self.jitter_sigma}"
+            )
+        if not 0.0 <= self.drop_probability < 1.0:
+            raise ConfigurationError(
+                f"drop_probability must be in [0, 1), got {self.drop_probability}"
+            )
+        if self.sample_cost_s < 0:
+            raise ConfigurationError(
+                f"sample_cost_s must be >= 0, got {self.sample_cost_s}"
+            )
+        if self.counter_skew_s < 0:
+            raise ConfigurationError(
+                f"counter_skew_s must be >= 0, got {self.counter_skew_s}"
+            )
+
+    def with_period(self, period_s: float) -> "SamplerConfig":
+        """Same fidelity knobs at a different cadence (sweep helper)."""
+        return SamplerConfig(
+            period_s=period_s,
+            jitter_sigma=self.jitter_sigma,
+            drop_probability=self.drop_probability,
+            sample_cost_s=self.sample_cost_s,
+            counter_skew_s=self.counter_skew_s,
+        )
+
+
+def generate_sample_times(
+    config: SamplerConfig, duration: float, rng: np.random.Generator
+) -> np.ndarray:
+    """Sample timestamps in ``[0, duration]`` for one rank.
+
+    The first tick lands uniformly inside the first period; subsequent
+    intervals are ``period * lognormal(0, jitter_sigma)``; dropped ticks
+    are removed after generation so drop-out does not shift later ticks.
+    """
+    if duration < 0:
+        raise ConfigurationError(f"duration must be >= 0, got {duration}")
+    if duration == 0.0:
+        return np.zeros(0)
+    # Generous upper bound on tick count, then trim.
+    expected = int(duration / config.period_s) + 2
+    budget = max(16, int(expected * 1.5) + 8)
+    while True:
+        if config.jitter_sigma > 0:
+            intervals = config.period_s * rng.lognormal(
+                0.0, config.jitter_sigma, size=budget
+            )
+        else:
+            intervals = np.full(budget, config.period_s)
+        first = rng.uniform(0.0, config.period_s)
+        times = first + np.concatenate([[0.0], np.cumsum(intervals[:-1])])
+        if times[-1] > duration:
+            break
+        budget *= 2  # extreme jitter draw; regenerate with more room
+    times = times[times <= duration]
+    if config.drop_probability > 0 and times.size:
+        keep = rng.random(times.size) >= config.drop_probability
+        times = times[keep]
+    return times

@@ -1,0 +1,206 @@
+"""The tracer: observes an execution timeline, emits a trace.
+
+This is the Extrae analog.  It walks each rank's ground-truth timeline and
+produces exactly the records a real minimal-instrumentation + coarse-
+sampling tracer would write:
+
+* a COMPUTE/COMM state record per interval,
+* an instrumentation probe (accumulated counters) at every communication
+  enter and exit,
+* a sample (accumulated counters + unwound call stack) at each sampler tick.
+
+Fidelity degradations are applied here — counter quantization to whole
+events and sampler tick jitter/drop-out — so the analysis pipeline is
+exercised against realistic imperfections while the *timeline* stays exact
+ground truth for scoring.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.counters.sets import MultiplexSchedule
+from repro.runtime.engine import ExecutionTimeline, RankTimeline
+from repro.runtime.instrumentation import InstrumentationConfig
+from repro.runtime.sampler import SamplerConfig, generate_sample_times
+from repro.trace.records import (
+    InstrumentationRecord,
+    SampleRecord,
+    StateKind,
+    StateRecord,
+    Trace,
+    callpath_to_frames,
+)
+from repro.util.rng import derive_rng
+
+__all__ = ["TracerConfig", "Tracer"]
+
+
+@dataclass(frozen=True)
+class TracerConfig:
+    """Complete tracer configuration (probes + sampler + seed).
+
+    ``multiplex`` optionally models a PMU narrower than the counter
+    vocabulary: per burst instance, only the scheduled
+    :class:`~repro.counters.sets.CounterSet` is programmed, so probes and
+    samples report just those counters (rotating round-robin across
+    instances).  The extrapolation stage
+    (:mod:`repro.extrapolation`) later projects the missing values.
+    """
+
+    instrumentation: InstrumentationConfig = field(default_factory=InstrumentationConfig)
+    sampler: SamplerConfig = field(default_factory=SamplerConfig)
+    seed: int = 0
+    multiplex: Optional[MultiplexSchedule] = None
+
+    def with_period(self, period_s: float) -> "TracerConfig":
+        """Same configuration at a different sampling period."""
+        return TracerConfig(
+            instrumentation=self.instrumentation,
+            sampler=self.sampler.with_period(period_s),
+            seed=self.seed,
+            multiplex=self.multiplex,
+        )
+
+
+class Tracer:
+    """Produces a :class:`~repro.trace.records.Trace` from a timeline."""
+
+    def __init__(self, config: TracerConfig = TracerConfig()) -> None:
+        self.config = config
+
+    def trace(self, timeline: ExecutionTimeline) -> Trace:
+        """Observe ``timeline`` and emit the trace."""
+        trace = Trace(
+            n_ranks=timeline.n_ranks,
+            app_name=timeline.app.name,
+            metadata={
+                "sampler_period_s": repr(self.config.sampler.period_s),
+                "clock_hz": repr(timeline.clock_hz),
+            },
+        )
+        for rank_timeline in timeline.ranks:
+            self._trace_rank(trace, rank_timeline)
+        trace.sort()
+        return trace
+
+    # ------------------------------------------------------------------
+    def _quantize(self, values: np.ndarray) -> np.ndarray:
+        if self.config.instrumentation.counters_quantized:
+            return np.floor(values)
+        return values
+
+    def _trace_rank(self, trace: Trace, rank_timeline: RankTimeline) -> None:
+        rank = rank_timeline.rank
+        rate_fn = rank_timeline.rate_function
+        counter_names = rate_fn.counters
+
+        # ---- state records -------------------------------------------
+        for burst in rank_timeline.bursts:
+            trace.add_state(
+                StateRecord(
+                    rank=rank,
+                    t_start=burst.t_start,
+                    t_end=burst.t_end,
+                    kind=StateKind.COMPUTE,
+                )
+            )
+        for comm in rank_timeline.comms:
+            trace.add_state(
+                StateRecord(
+                    rank=rank,
+                    t_start=comm.t_start,
+                    t_end=comm.t_end,
+                    kind=StateKind.COMM,
+                    label=comm.mpi_call,
+                )
+            )
+
+        # ---- instrumentation probes -----------------------------------
+        if self.config.instrumentation.enabled:
+            probe_times: List[float] = []
+            markers: List[str] = []
+            calls: List[str] = []
+            probe_sets: List[Sequence[str]] = []
+            for comm_index, comm in enumerate(rank_timeline.comms):
+                # The probe ending burst k reports burst k's counter set;
+                # the comm-exit probe reprograms the PMU for burst k+1 and
+                # reports that set.
+                probe_times.extend((comm.t_start, comm.t_end))
+                markers.extend(("comm_enter", "comm_exit"))
+                calls.extend((comm.mpi_call, comm.mpi_call))
+                probe_sets.append(self._live_counters(counter_names, comm_index))
+                probe_sets.append(self._live_counters(counter_names, comm_index + 1))
+            if probe_times:
+                probe_arr = np.asarray(probe_times)
+                per_counter = {
+                    name: self._quantize(rate_fn.cumulative(probe_arr, name))
+                    for name in counter_names
+                }
+                for i, t in enumerate(probe_times):
+                    trace.add_instrumentation(
+                        InstrumentationRecord(
+                            rank=rank,
+                            time=float(t),
+                            marker=markers[i],
+                            mpi_call=calls[i],
+                            counters={
+                                name: float(per_counter[name][i])
+                                for name in probe_sets[i]
+                            },
+                        )
+                    )
+
+        # ---- samples ---------------------------------------------------
+        rng = derive_rng(self.config.seed, "sampler", rank)
+        sample_times = generate_sample_times(
+            self.config.sampler, rank_timeline.duration, rng
+        )
+        if sample_times.size:
+            # Counters are read a short, random moment after the timer
+            # fires (signal-handler latency): the *timestamp* is the tick,
+            # but the *values* belong to the skewed instant.
+            skew = self.config.sampler.counter_skew_s
+            if skew > 0:
+                read_times = np.clip(
+                    sample_times + rng.uniform(-skew, skew, sample_times.size),
+                    0.0,
+                    rank_timeline.duration,
+                )
+            else:
+                read_times = sample_times
+            per_counter = {
+                name: self._quantize(rate_fn.cumulative(read_times, name))
+                for name in counter_names
+            }
+            # Burst index of each sample (samples inside comm i belong to
+            # the set programmed for burst i+1).
+            burst_starts = np.array([b.t_start for b in rank_timeline.bursts])
+            sample_burst = np.searchsorted(burst_starts, sample_times, side="right") - 1
+            sample_burst = np.clip(sample_burst, 0, None)
+            for i, t in enumerate(sample_times):
+                callpath = rate_fn.callpath_at(float(t))
+                live = self._live_counters(counter_names, int(sample_burst[i]))
+                trace.add_sample(
+                    SampleRecord(
+                        rank=rank,
+                        time=float(t),
+                        counters={
+                            name: float(per_counter[name][i]) for name in live
+                        },
+                        frames=callpath_to_frames(callpath),
+                    )
+                )
+
+    def _live_counters(
+        self, counter_names: Sequence[str], burst_index: int
+    ) -> Sequence[str]:
+        """Counters the PMU reports during burst ``burst_index``."""
+        schedule = self.config.multiplex
+        if schedule is None:
+            return counter_names
+        live = schedule.set_for_instance(burst_index)
+        return [name for name in counter_names if name in live]

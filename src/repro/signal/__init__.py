@@ -1,0 +1,27 @@
+"""Trace signal analysis — periodicity detection.
+
+Reimplements the core of Llort et al., *Trace spectral analysis toward
+dynamic levels of detail* (ICPADS 2011), a companion technique in the
+paper's tool family: the compute/communication alternation of an
+iterative application is a periodic signal, and its autocorrelation
+reveals the iteration period without any application knowledge.  The
+period drives "dynamic level of detail" decisions — how long to trace,
+which window is representative — and gives folding a sanity check that
+the run really is iterative.
+"""
+
+from repro.signal.periodicity import (
+    PeriodEstimate,
+    autocorrelation,
+    compute_signal,
+    detect_period,
+    representative_window,
+)
+
+__all__ = [
+    "PeriodEstimate",
+    "compute_signal",
+    "autocorrelation",
+    "detect_period",
+    "representative_window",
+]

@@ -1,0 +1,333 @@
+"""Iteration-period detection from the compute/comm signal.
+
+The signal is the rank's "useful computation" square wave: 1 while inside
+a computation burst, 0 while inside a communication call, sampled on a
+uniform grid.  For an iterative application this wave repeats with the
+iteration period; the first strong peak of its (unbiased, normalized)
+autocorrelation locates that period, and the peak height is a natural
+confidence score (1.0 = perfectly periodic).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import AnalysisError
+from repro.trace.records import StateKind, Trace
+
+__all__ = [
+    "PeriodEstimate",
+    "compute_signal",
+    "autocorrelation",
+    "detect_period",
+    "representative_window",
+]
+
+
+@dataclass(frozen=True)
+class PeriodEstimate:
+    """Detected iteration period of one rank's signal.
+
+    ``method`` records how the period was found:
+
+    * ``"events"`` — recurrence of same-type communication events (the
+      robust primary path: an iterative code re-enters each MPI call once
+      per iteration, so the median inter-occurrence interval *is* the
+      period);
+    * ``"acf"`` — autocorrelation of the communication-occupancy signal
+      (the spectral path, needed when event semantics are unavailable).
+
+    ``confidence`` is the fraction of evidence consistent with the period
+    (intervals within 10%, or the normalized ACF peak); ``snr`` is the
+    peak/consistency measure over its background (interval MAD, or median
+    ACF magnitude).  The verdict uses the SNR: amplitude jitter makes raw
+    ACF peaks understate rock-solid periods.
+    """
+
+    period_s: float
+    confidence: float
+    snr: float
+    rank: int
+    dt: float
+    method: str = "acf"
+
+    def __post_init__(self) -> None:
+        if self.period_s <= 0:
+            raise AnalysisError(f"non-positive period: {self.period_s}")
+        if not 0.0 <= self.confidence <= 1.0 + 1e-9:
+            raise AnalysisError(f"confidence out of range: {self.confidence}")
+        if self.snr < 0:
+            raise AnalysisError(f"negative snr: {self.snr}")
+        if self.method not in ("events", "acf"):
+            raise AnalysisError(f"unknown method {self.method!r}")
+
+    @property
+    def is_periodic(self) -> bool:
+        """Evidence must stand >= 5x above background."""
+        return self.snr >= 5.0
+
+
+def compute_signal(
+    trace: Trace, rank: int = 0, dt: Optional[float] = None
+) -> Tuple[np.ndarray, float]:
+    """The rank's communication-occupancy signal on a uniform grid.
+
+    Each bin holds the exact fraction of the bin spent inside MPI calls —
+    a sparse, sharply periodic spike train for iterative applications
+    (communication punctuates every iteration), which is a far stronger
+    periodicity carrier than the nearly-constant compute wave.  The
+    compute fraction is ``1 - signal.mean()``.
+
+    ``dt`` defaults to 1/8192 of the trace duration.  Returns
+    ``(signal, dt)``.
+    """
+    states = [s for s in trace.states_of(rank)]
+    if not states:
+        raise AnalysisError(f"rank {rank} has no state records")
+    duration = max(s.t_end for s in states)
+    if dt is None:
+        dt = duration / 8192.0
+    if dt <= 0 or dt >= duration:
+        raise AnalysisError(f"invalid dt {dt} for duration {duration}")
+    n = int(np.ceil(duration / dt))
+    signal = np.zeros(n)
+    for state in states:
+        if state.kind is not StateKind.COMM:
+            continue
+        lo = int(state.t_start / dt)
+        hi = min(int(state.t_end / dt), n - 1)
+        if lo == hi:
+            signal[lo] += (state.t_end - state.t_start) / dt
+        else:
+            signal[lo] += ((lo + 1) * dt - state.t_start) / dt
+            signal[lo + 1 : hi] += 1.0
+            signal[hi] += (state.t_end - hi * dt) / dt
+    np.clip(signal, 0.0, 1.0, out=signal)
+    return signal, float(dt)
+
+
+def autocorrelation(signal: np.ndarray) -> np.ndarray:
+    """Unbiased, normalized autocorrelation of a 1-D signal (lags >= 0).
+
+    Computed via FFT in O(n log n); value at lag 0 is 1 by construction,
+    and the unbiased correction divides by the overlap length so long lags
+    are not artificially damped.
+    """
+    signal = np.asarray(signal, dtype=float)
+    n = signal.size
+    if n < 4:
+        raise AnalysisError(f"signal too short for autocorrelation: {n}")
+    centered = signal - signal.mean()
+    variance = float(np.dot(centered, centered)) / n
+    if variance == 0.0:
+        raise AnalysisError("constant signal has no periodicity")
+    size = 1 << int(np.ceil(np.log2(2 * n - 1)))
+    spectrum = np.fft.rfft(centered, size)
+    raw = np.fft.irfft(spectrum * np.conj(spectrum), size)[:n]
+    overlap = n - np.arange(n)
+    return raw / (variance * overlap)
+
+
+def detect_period(
+    trace: Trace,
+    rank: int = 0,
+    dt: Optional[float] = None,
+    min_period_s: Optional[float] = None,
+    max_period_fraction: float = 0.25,
+    method: str = "auto",
+) -> PeriodEstimate:
+    """Detect the iteration period of ``rank``.
+
+    ``method="events"`` uses same-type communication-event recurrence
+    (robust whenever event semantics are in the trace, which minimal
+    instrumentation guarantees); ``method="acf"`` uses the
+    autocorrelation of the comm-occupancy signal (the purely spectral
+    path); ``"auto"`` tries events first and falls back to the ACF.
+    """
+    if method not in ("auto", "events", "acf"):
+        raise AnalysisError(f"unknown method {method!r}")
+    if method in ("auto", "events"):
+        try:
+            return _detect_period_events(trace, rank, dt)
+        except AnalysisError:
+            if method == "events":
+                raise
+    return _detect_period_acf(
+        trace, rank, dt, min_period_s, max_period_fraction
+    )
+
+
+def _detect_period_events(
+    trace: Trace, rank: int, dt: Optional[float]
+) -> PeriodEstimate:
+    """Period from the recurrence of same-type communication events."""
+    from collections import defaultdict
+
+    enters: Dict[str, list] = defaultdict(list)
+    for probe in trace.instrumentation_of(rank):
+        if probe.marker == "comm_enter":
+            enters[probe.mpi_call].append(probe.time)
+    best = None  # (dispersion, -count, median_interval, consistency)
+    for call, times in enters.items():
+        if len(times) < 8:
+            continue
+        intervals = np.diff(np.sort(np.asarray(times)))
+        intervals = intervals[intervals > 0]
+        if intervals.size < 7:
+            continue
+        median = float(np.median(intervals))
+        mad = float(np.median(np.abs(intervals - median)))
+        dispersion = mad / median if median > 0 else np.inf
+        consistent = float(np.mean(np.abs(intervals - median) <= 0.1 * median))
+        candidate = (dispersion, -intervals.size, median, consistent)
+        if best is None or candidate[:2] < best[:2]:
+            best = candidate
+    if best is None:
+        raise AnalysisError(
+            f"rank {rank}: no communication call recurs often enough for "
+            "event-based period detection"
+        )
+    dispersion, _neg_count, median, consistent = best
+    # representative_window needs a grid; use the default signal grid
+    _signal, dt_used = compute_signal(trace, rank=rank, dt=dt)
+    snr = 1.0 / dispersion if dispersion > 0 else 100.0
+    return PeriodEstimate(
+        period_s=median,
+        confidence=consistent,
+        snr=float(min(snr, 100.0)),
+        rank=rank,
+        dt=dt_used,
+        method="events",
+    )
+
+
+def _detect_period_acf(
+    trace: Trace,
+    rank: int,
+    dt: Optional[float],
+    min_period_s: Optional[float],
+    max_period_fraction: float,
+) -> PeriodEstimate:
+    """Two-scale autocorrelation period detection.
+
+    A coarse pass (1024 bins — iteration jitter stays sub-bin, so the
+    fundamental's peak survives while intra-iteration spike spacing blurs
+    away) locates the period; a fine pass refines it on the full-
+    resolution grid within +/-25%.
+    """
+    if not 0.0 < max_period_fraction <= 0.5:
+        raise AnalysisError(
+            f"max_period_fraction must be in (0, 0.5], got {max_period_fraction}"
+        )
+    states = trace.states_of(rank)
+    if not states:
+        raise AnalysisError(f"rank {rank} has no state records")
+    duration = max(s.t_end for s in states)
+
+    # --- coarse pass ---------------------------------------------------
+    coarse_signal, coarse_dt = compute_signal(trace, rank=rank, dt=duration / 1024)
+    coarse_acf = autocorrelation(coarse_signal)
+    n_coarse = coarse_signal.size
+    lo = max(
+        2, int(min_period_s / coarse_dt) if min_period_s else 3
+    )
+    hi = int(n_coarse * max_period_fraction)
+    if hi <= lo + 2:
+        raise AnalysisError(
+            f"period search window [{lo}, {hi}] too small; trace too short?"
+        )
+    # The ACF's central lobe (short-lag correlation from spike width and
+    # bin aliasing) masks any fundamental inside it: search only past the
+    # first local minimum.  A period hidden inside the lobe is physically
+    # unresolvable by this method — the estimate may then be a small
+    # integer multiple of the true period, which is the documented
+    # contract of the spectral fallback (the event-based path has no such
+    # limitation).
+    increases = np.flatnonzero(coarse_acf[1:-1] <= coarse_acf[2:])
+    lobe_end = int(increases.min()) + 1 if increases.size else lo
+    lo = max(lo, lobe_end)
+    if hi <= lo + 2:
+        raise AnalysisError("central ACF lobe covers the search window")
+    window = coarse_acf[lo:hi]
+    peaks = (
+        np.flatnonzero((window[1:-1] > window[:-2]) & (window[1:-1] >= window[2:]))
+        + 1
+    )
+    if peaks.size == 0:
+        raise AnalysisError("no autocorrelation peak found — aperiodic signal?")
+
+    def comb(lag0: int) -> float:
+        """Harmonic-sum score with capped jitter tolerance, penalized by
+        the sub-harmonic at lag0/2 (suppresses period multiples)."""
+        values = []
+        for k in range(1, 5):
+            lag_k = k * lag0
+            tol = max(1, min(3, int(0.05 * lag_k)))
+            if lag_k + tol >= coarse_acf.size:
+                break
+            values.append(float(coarse_acf[lag_k - tol : lag_k + tol + 1].max()))
+        if not values:
+            return -np.inf
+        score = float(np.mean(values))
+        half = lag0 // 2
+        if half >= lobe_end:
+            tol = max(1, min(3, int(0.05 * half)))
+            score -= 0.7 * max(0.0, float(coarse_acf[half - tol : half + tol + 1].max()))
+        return score
+
+    strongest = peaks[np.argsort(window[peaks])[::-1][:12]]
+    scored = sorted(((comb(lo + int(p)), lo + int(p)) for p in strongest), reverse=True)
+    best_score = scored[0][0]
+    if not np.isfinite(best_score):
+        raise AnalysisError("no harmonic structure found — aperiodic signal?")
+    fundamental = min(lag for score, lag in scored if score >= 0.85 * best_score)
+    coarse_period = fundamental * coarse_dt
+
+    # --- fine pass -----------------------------------------------------
+    signal, dt_used = compute_signal(trace, rank=rank, dt=dt)
+    acf = autocorrelation(signal)
+    f_lo = max(2, int(0.75 * coarse_period / dt_used))
+    f_hi = min(acf.size - 1, int(1.25 * coarse_period / dt_used))
+    if f_hi <= f_lo + 2:
+        lag = int(round(coarse_period / dt_used))
+    else:
+        segment = acf[f_lo:f_hi]
+        lag = f_lo + int(np.argmax(segment))
+    confidence = float(np.clip(acf[lag], 0.0, 1.0))
+    search = acf[max(2, int(0.1 * lag)) : min(acf.size - 1, 4 * lag)]
+    background = float(np.median(np.abs(search))) if search.size else 0.0
+    snr = confidence / background if background > 0 else float("inf")
+    return PeriodEstimate(
+        period_s=lag * dt_used,
+        confidence=confidence,
+        snr=float(min(snr, 100.0)),
+        rank=rank,
+        dt=dt_used,
+        method="acf",
+    )
+
+
+def representative_window(
+    trace: Trace,
+    estimate: PeriodEstimate,
+    n_periods: int = 1,
+) -> Tuple[float, float]:
+    """A representative time window of ``n_periods`` iteration periods.
+
+    Chooses the window whose communication occupancy is closest to the
+    rank's overall occupancy — the "pick a typical region, trace it in
+    detail" selection of the spectral-analysis tool.
+    """
+    if n_periods < 1:
+        raise AnalysisError(f"n_periods must be >= 1, got {n_periods}")
+    signal, dt = compute_signal(trace, rank=estimate.rank, dt=estimate.dt)
+    span = int(round(estimate.period_s / dt)) * n_periods
+    if span < 1 or span >= signal.size:
+        raise AnalysisError("window span outside trace duration")
+    overall = signal.mean()
+    window_sums = np.convolve(signal, np.ones(span), mode="valid") / span
+    start = int(np.argmin(np.abs(window_sums - overall)))
+    return start * dt, (start + span) * dt

@@ -1,0 +1,21 @@
+"""Synthetic source-code model.
+
+The paper maps detected phases onto the application's *syntactical
+structure* — files, routines, loops, lines.  Real tools get this from debug
+information; the reproduction models it explicitly: workloads declare the
+routines and line ranges their phases execute, the sampler captures call
+stacks built from these objects, and the phase-mapping stage correlates
+fitted segments with the sampled frames.
+"""
+
+from repro.source.model import CodeLocation, Routine, SourceFile, SourceModel
+from repro.source.callpath import CallFrame, CallPath
+
+__all__ = [
+    "SourceFile",
+    "Routine",
+    "CodeLocation",
+    "SourceModel",
+    "CallFrame",
+    "CallPath",
+]

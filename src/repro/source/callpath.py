@@ -1,0 +1,106 @@
+"""Call frames and call paths.
+
+A :class:`CallPath` is the (immutable, hashable) stack of frames active at a
+sampling tick, outermost first — exactly what a sampling tracer unwinds.  The
+folding stage folds call paths alongside counters; the mapping stage
+intersects them with fitted segments to attribute phases to code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional, Sequence, Tuple
+
+from repro.source.model import CodeLocation, Routine
+
+__all__ = ["CallFrame", "CallPath"]
+
+
+@dataclass(frozen=True)
+class CallFrame:
+    """One stack frame: the routine plus the line currently executing."""
+
+    location: CodeLocation
+
+    @property
+    def routine(self) -> Routine:
+        """The routine this frame executes in."""
+        return self.location.routine
+
+    @property
+    def line(self) -> int:
+        """The source line currently executing in this frame."""
+        return self.location.line
+
+    @property
+    def label(self) -> str:
+        """``file:line (routine)`` display label."""
+        return self.location.label
+
+
+@dataclass(frozen=True)
+class CallPath:
+    """An immutable call stack, outermost frame first."""
+
+    frames: Tuple[CallFrame, ...]
+
+    def __init__(self, frames: Sequence[CallFrame]) -> None:
+        object.__setattr__(self, "frames", tuple(frames))
+        if not self.frames:
+            raise ValueError("a call path needs at least one frame")
+
+    @property
+    def leaf(self) -> CallFrame:
+        """Innermost frame — where the PC actually is."""
+        return self.frames[-1]
+
+    @property
+    def root(self) -> CallFrame:
+        """Outermost frame (``main``-like)."""
+        return self.frames[0]
+
+    @property
+    def depth(self) -> int:
+        """Number of frames."""
+        return len(self.frames)
+
+    def push(self, frame: CallFrame) -> "CallPath":
+        """New call path with ``frame`` appended as the new leaf."""
+        return CallPath(self.frames + (frame,))
+
+    def pop(self) -> "CallPath":
+        """New call path with the leaf removed; error at depth 1."""
+        if len(self.frames) == 1:
+            raise ValueError("cannot pop the last frame of a call path")
+        return CallPath(self.frames[:-1])
+
+    def common_prefix(self, other: "CallPath") -> Tuple[CallFrame, ...]:
+        """Longest common outer-frame prefix with ``other``."""
+        prefix = []
+        for a, b in zip(self.frames, other.frames):
+            if a != b:
+                break
+            prefix.append(a)
+        return tuple(prefix)
+
+    def contains_routine(self, name: str) -> bool:
+        """Whether any frame executes in routine ``name``."""
+        return any(f.routine.name == name for f in self.frames)
+
+    def frame_in(self, routine_name: str) -> Optional[CallFrame]:
+        """Innermost frame in routine ``routine_name`` (or ``None``)."""
+        for frame in reversed(self.frames):
+            if frame.routine.name == routine_name:
+                return frame
+        return None
+
+    @property
+    def label(self) -> str:
+        """``a > b > c`` chain of routine names, outermost first."""
+        return " > ".join(f.routine.name for f in self.frames)
+
+    def __iter__(self) -> Iterator[CallFrame]:
+        return iter(self.frames)
+
+    def __len__(self) -> int:
+        return len(self.frames)

@@ -1,0 +1,144 @@
+"""Source files, routines and code locations.
+
+These objects are deliberately lightweight and hashable: call-stack samples
+reference them by identity millions of times per run, and the folding stage
+groups samples by frame.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+__all__ = ["SourceFile", "Routine", "CodeLocation", "SourceModel"]
+
+
+@dataclass(frozen=True)
+class SourceFile:
+    """A synthetic source file (path + language tag)."""
+
+    path: str
+    language: str = "fortran"
+
+    def __post_init__(self) -> None:
+        if not self.path:
+            raise ValueError("source file path must be non-empty")
+
+    @property
+    def basename(self) -> str:
+        """File name without directories, used in compact report output."""
+        return self.path.rsplit("/", 1)[-1]
+
+
+@dataclass(frozen=True)
+class Routine:
+    """A routine (function/subroutine) spanning a line range of a file."""
+
+    name: str
+    file: SourceFile
+    line_start: int
+    line_end: int
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("routine name must be non-empty")
+        if self.line_start < 1 or self.line_end < self.line_start:
+            raise ValueError(
+                f"routine {self.name}: invalid line range "
+                f"[{self.line_start}, {self.line_end}]"
+            )
+
+    def contains_line(self, line: int) -> bool:
+        """Whether ``line`` falls inside this routine's body."""
+        return self.line_start <= line <= self.line_end
+
+    @property
+    def label(self) -> str:
+        """``routine (file:start-end)`` display label."""
+        return f"{self.name} ({self.file.basename}:{self.line_start}-{self.line_end})"
+
+
+@dataclass(frozen=True)
+class CodeLocation:
+    """A precise location: routine + line (the unit phases are mapped to)."""
+
+    routine: Routine
+    line: int
+
+    def __post_init__(self) -> None:
+        if not self.routine.contains_line(self.line):
+            raise ValueError(
+                f"line {self.line} outside routine {self.routine.name} "
+                f"[{self.routine.line_start}, {self.routine.line_end}]"
+            )
+
+    @property
+    def label(self) -> str:
+        """``file:line (routine)`` display label."""
+        return f"{self.routine.file.basename}:{self.line} ({self.routine.name})"
+
+
+@dataclass
+class SourceModel:
+    """Registry of the synthetic application's files and routines.
+
+    Provides the reverse lookups the mapping stage needs (line → routine)
+    and validates that routines within one file do not overlap, which would
+    make line attribution ambiguous.
+    """
+
+    files: Dict[str, SourceFile] = field(default_factory=dict)
+    routines: Dict[str, Routine] = field(default_factory=dict)
+
+    def add_file(self, path: str, language: str = "fortran") -> SourceFile:
+        """Register (or fetch) a file by path."""
+        existing = self.files.get(path)
+        if existing is not None:
+            return existing
+        sf = SourceFile(path=path, language=language)
+        self.files[path] = sf
+        return sf
+
+    def add_routine(
+        self, name: str, file: SourceFile, line_start: int, line_end: int
+    ) -> Routine:
+        """Register a routine, enforcing unique names and no line overlap."""
+        if name in self.routines:
+            raise ValueError(f"routine {name} already registered")
+        routine = Routine(name=name, file=file, line_start=line_start, line_end=line_end)
+        for other in self.routines.values():
+            if other.file == file and _ranges_overlap(
+                (routine.line_start, routine.line_end),
+                (other.line_start, other.line_end),
+            ):
+                raise ValueError(
+                    f"routine {name} lines [{line_start},{line_end}] overlap "
+                    f"{other.name} [{other.line_start},{other.line_end}] in {file.path}"
+                )
+        self.routines[name] = routine
+        return routine
+
+    def routine_at(self, file: SourceFile, line: int) -> Optional[Routine]:
+        """Routine containing ``file:line``, or ``None``."""
+        for routine in self.routines.values():
+            if routine.file == file and routine.contains_line(line):
+                return routine
+        return None
+
+    def location(self, routine_name: str, line: int) -> CodeLocation:
+        """Build a :class:`CodeLocation` inside a registered routine."""
+        routine = self.routines.get(routine_name)
+        if routine is None:
+            known = ", ".join(sorted(self.routines))
+            raise KeyError(f"unknown routine {routine_name!r}; known: {known}")
+        return CodeLocation(routine=routine, line=line)
+
+    def __iter__(self) -> Iterator[Routine]:
+        return iter(self.routines.values())
+
+    def __len__(self) -> int:
+        return len(self.routines)
+
+
+def _ranges_overlap(a: Tuple[int, int], b: Tuple[int, int]) -> bool:
+    return a[0] <= b[1] and b[0] <= a[1]

@@ -1,0 +1,50 @@
+"""Paraver-like trace format.
+
+The tracer (:mod:`repro.runtime`) emits three record kinds, mirroring what
+Extrae writes for the folding toolchain:
+
+* :class:`~repro.trace.records.StateRecord` — a rank is computing or inside
+  a communication call over an interval;
+* :class:`~repro.trace.records.InstrumentationRecord` — a minimal
+  instrumentation probe fired (communication enter/exit) carrying the
+  accumulated hardware counters at that instant;
+* :class:`~repro.trace.records.SampleRecord` — a coarse-grain sampler tick
+  carrying accumulated counters plus the captured call stack.
+
+Traces can be kept in memory (:class:`~repro.trace.records.Trace`), written
+to and read back from a line-oriented text format
+(:mod:`repro.trace.writer`, :mod:`repro.trace.reader`) with an event
+dictionary sidecar (:mod:`repro.trace.pcf`), merged across ranks
+(:mod:`repro.trace.merge`), and summarized (:mod:`repro.trace.stats`).
+"""
+
+from repro.trace.records import (
+    InstrumentationRecord,
+    SampleRecord,
+    StateKind,
+    StateRecord,
+    Trace,
+)
+from repro.trace.pcf import EventDictionary
+from repro.trace.writer import dump_trace_text, write_trace
+from repro.trace.reader import load_trace_text, read_trace
+from repro.trace.merge import merge_traces
+from repro.trace.trim import trim_trace
+from repro.trace.stats import TraceStats, compute_stats
+
+__all__ = [
+    "StateKind",
+    "StateRecord",
+    "InstrumentationRecord",
+    "SampleRecord",
+    "Trace",
+    "EventDictionary",
+    "write_trace",
+    "dump_trace_text",
+    "read_trace",
+    "load_trace_text",
+    "merge_traces",
+    "trim_trace",
+    "TraceStats",
+    "compute_stats",
+]

@@ -1,0 +1,52 @@
+"""Merging per-rank (or per-run-chunk) traces into one global trace.
+
+Real tracers write one file per process and merge afterwards; the simulated
+tracer can do the same when ranks are traced independently.  Merging
+re-bases ranks (each input trace's rank 0..n-1 maps to a disjoint global
+range), concatenates records, and re-sorts by time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Sequence
+
+from repro.errors import TraceFormatError
+from repro.trace.records import Trace
+
+__all__ = ["merge_traces"]
+
+
+def merge_traces(traces: Sequence[Trace], app_name: str = "") -> Trace:
+    """Merge ``traces`` into one, re-basing rank ids.
+
+    The inputs must agree on the counter vocabulary (same counter names) —
+    a mismatch means the runs were configured differently and folding their
+    records together would be meaningless.
+    """
+    if not traces:
+        raise TraceFormatError("cannot merge zero traces")
+    vocabularies = [tuple(sorted(t.counter_names())) for t in traces]
+    if len(set(vocabularies)) > 1:
+        raise TraceFormatError(
+            f"counter vocabulary mismatch across traces: {sorted(set(vocabularies))}"
+        )
+
+    total_ranks = sum(t.n_ranks for t in traces)
+    merged = Trace(
+        n_ranks=total_ranks,
+        app_name=app_name or traces[0].app_name,
+    )
+    base = 0
+    for trace in traces:
+        for state in trace.states:
+            merged.add_state(replace(state, rank=state.rank + base))
+        for probe in trace.instrumentation:
+            merged.add_instrumentation(replace(probe, rank=probe.rank + base))
+        for sample in trace.samples:
+            merged.add_sample(replace(sample, rank=sample.rank + base))
+        for key, value in trace.metadata.items():
+            merged.metadata.setdefault(key, value)
+        base += trace.n_ranks
+    merged.sort()
+    return merged

@@ -1,0 +1,167 @@
+"""Trace deserialization — inverse of :mod:`repro.trace.writer`.
+
+The reader is strict: unknown record tags, missing sections, ids absent
+from the dictionary, and malformed fields all raise
+:class:`~repro.errors.TraceFormatError` with the offending line number.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import IO, Dict, List, Tuple, Union
+from urllib.parse import unquote
+
+from repro.errors import TraceFormatError
+from repro.trace.pcf import EventDictionary
+from repro.trace.records import (
+    InstrumentationRecord,
+    SampleRecord,
+    StateKind,
+    StateRecord,
+    Trace,
+)
+from repro.trace.writer import FORMAT_HEADER
+
+__all__ = ["read_trace", "load_trace_text"]
+
+
+def read_trace(source: Union[str, IO[str]]) -> Trace:
+    """Read a trace from a path or text stream."""
+    if isinstance(source, str):
+        with open(source, "r", encoding="utf-8") as handle:
+            return _read(handle)
+    return _read(source)
+
+
+def load_trace_text(text: str) -> Trace:
+    """Parse a trace from a string (round-trip test helper)."""
+    return _read(io.StringIO(text))
+
+
+def _unquote(token: str) -> str:
+    return "" if token == "-" else unquote(token)
+
+
+def _parse_counters(token: str, dictionary: EventDictionary, lineno: int) -> Dict[str, float]:
+    if token == "-":
+        return {}
+    counters: Dict[str, float] = {}
+    for item in token.split(","):
+        if "=" not in item:
+            raise TraceFormatError(f"line {lineno}: malformed counter item {item!r}")
+        cid_text, value_text = item.split("=", 1)
+        try:
+            cid = int(cid_text)
+            value = float(value_text)
+        except ValueError:
+            raise TraceFormatError(
+                f"line {lineno}: malformed counter item {item!r}"
+            ) from None
+        counters[dictionary.counter_name(cid)] = value
+    return counters
+
+
+def _parse_frames(token: str, lineno: int) -> Tuple[Tuple[str, str, int], ...]:
+    if token == "-":
+        return ()
+    frames: List[Tuple[str, str, int]] = []
+    for item in token.split("|"):
+        parts = item.split("@")
+        if len(parts) != 3:
+            raise TraceFormatError(f"line {lineno}: malformed frame {item!r}")
+        routine, path, line_text = parts
+        try:
+            line = int(line_text)
+        except ValueError:
+            raise TraceFormatError(f"line {lineno}: malformed frame line {item!r}") from None
+        frames.append((_unquote(routine), _unquote(path), line))
+    return tuple(frames)
+
+
+def _read(handle: IO[str]) -> Trace:
+    lines = handle.read().splitlines()
+    if not lines or lines[0].strip() != FORMAT_HEADER:
+        raise TraceFormatError(
+            f"missing trace header; expected {FORMAT_HEADER!r}, "
+            f"got {lines[0]!r}" if lines else "empty trace file"
+        )
+
+    app_name = ""
+    n_ranks = 0
+    metadata: Dict[str, str] = {}
+    dict_lines: List[str] = []
+    record_lines: List[Tuple[int, str]] = []
+    section = "header"
+    for lineno, raw in enumerate(lines[1:], start=2):
+        line = raw.strip()
+        if not line:
+            continue
+        if line == "[dict]":
+            section = "dict"
+            continue
+        if line == "[records]":
+            section = "records"
+            continue
+        if section == "header":
+            parts = line.split()
+            if parts[0] == "app" and len(parts) == 2:
+                app_name = _unquote(parts[1])
+            elif parts[0] == "ranks" and len(parts) == 2:
+                n_ranks = int(parts[1])
+            elif parts[0] == "meta" and len(parts) == 3:
+                metadata[_unquote(parts[1])] = _unquote(parts[2])
+            else:
+                raise TraceFormatError(f"line {lineno}: unknown header line {raw!r}")
+        elif section == "dict":
+            dict_lines.append(line)
+        else:
+            record_lines.append((lineno, line))
+
+    if n_ranks < 1:
+        raise TraceFormatError("trace header missing a valid 'ranks' line")
+    dictionary = EventDictionary.from_lines(dict_lines)
+    trace = Trace(n_ranks=n_ranks, app_name=app_name, metadata=metadata)
+
+    for lineno, line in record_lines:
+        tag, rest = line[0], line[2:] if len(line) > 2 else ""
+        fields = rest.split()
+        try:
+            if tag == "S":
+                rank, t0, t1, sid, label = fields
+                trace.add_state(
+                    StateRecord(
+                        rank=int(rank),
+                        t_start=float(t0),
+                        t_end=float(t1),
+                        kind=StateKind(dictionary.state_name(int(sid))),
+                        label=_unquote(label),
+                    )
+                )
+            elif tag == "I":
+                rank, t, marker, call, counters = fields
+                trace.add_instrumentation(
+                    InstrumentationRecord(
+                        rank=int(rank),
+                        time=float(t),
+                        marker=marker,
+                        mpi_call=_unquote(call),
+                        counters=_parse_counters(counters, dictionary, lineno),
+                    )
+                )
+            elif tag == "P":
+                rank, t, counters, frames = fields
+                trace.add_sample(
+                    SampleRecord(
+                        rank=int(rank),
+                        time=float(t),
+                        counters=_parse_counters(counters, dictionary, lineno),
+                        frames=_parse_frames(frames, lineno),
+                    )
+                )
+            else:
+                raise TraceFormatError(f"line {lineno}: unknown record tag {tag!r}")
+        except TraceFormatError:
+            raise
+        except (ValueError, KeyError) as exc:
+            raise TraceFormatError(f"line {lineno}: malformed record {line!r}: {exc}") from exc
+    return trace

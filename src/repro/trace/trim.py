@@ -1,0 +1,66 @@
+"""Trace trimming — cut a time window out of a trace.
+
+The spectral-analysis workflow selects a *representative window* and
+analyzes it in detail instead of the whole run (Llort et al.).  Trimming
+implements the cut: keep the records inside ``[t0, t1]``, clip state
+intervals at the edges, and (optionally) rebase times to the window
+start.  Instrumentation probes keep their absolute counter values —
+folding only ever uses within-burst deltas, so rebasing the *values* is
+unnecessary and would discard information.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.errors import TraceFormatError
+from repro.trace.records import StateRecord, Trace
+
+__all__ = ["trim_trace"]
+
+
+def trim_trace(
+    trace: Trace, t0: float, t1: float, rebase: bool = True
+) -> Trace:
+    """New trace restricted to ``[t0, t1]``.
+
+    State records overlapping the boundary are clipped; probes/samples
+    strictly outside are dropped.  With ``rebase`` (default) times shift
+    so the window starts at 0.  Bursts cut by the window edge lose one
+    boundary probe and are therefore not foldable — callers selecting
+    windows should align them to period boundaries
+    (:func:`repro.signal.representative_window` windows are long enough
+    that the two edge bursts are a negligible loss).
+    """
+    if not t0 < t1:
+        raise TraceFormatError(f"invalid trim window [{t0}, {t1}]")
+    offset = t0 if rebase else 0.0
+    out = Trace(
+        n_ranks=trace.n_ranks,
+        app_name=trace.app_name,
+        metadata=dict(trace.metadata),
+    )
+    out.metadata["trimmed_from"] = f"[{t0!r}, {t1!r}]"
+    for state in trace.states:
+        if state.t_end <= t0 or state.t_start >= t1:
+            continue
+        clipped = StateRecord(
+            rank=state.rank,
+            t_start=max(state.t_start, t0) - offset,
+            t_end=min(state.t_end, t1) - offset,
+            kind=state.kind,
+            label=state.label,
+        )
+        out.add_state(clipped)
+    for probe in trace.instrumentation:
+        if t0 <= probe.time <= t1:
+            out.add_instrumentation(replace(probe, time=probe.time - offset))
+    for sample in trace.samples:
+        if t0 <= sample.time <= t1:
+            out.add_sample(replace(sample, time=sample.time - offset))
+    if out.n_records == 0:
+        raise TraceFormatError(
+            f"trim window [{t0}, {t1}] contains no records "
+            f"(trace duration {trace.duration})"
+        )
+    return out

@@ -1,0 +1,105 @@
+"""Trace serialization (single-file text format, version 1).
+
+Layout::
+
+    #REPRO-TRACE v1
+    app <quoted-name>
+    ranks <n>
+    meta <quoted-key> <quoted-value>
+    [dict]
+    <EventDictionary lines>
+    [records]
+    S <rank> <t0> <t1> <state_id> <quoted-label>
+    I <rank> <t> <marker> <quoted-mpi-call> <cid>=<val>,...
+    P <rank> <t> <cid>=<val>,... <frames>
+
+Frames are ``routine@file@line`` joined with ``|`` (or ``-`` for in-MPI
+samples with an empty stack); free-text fields are percent-quoted so the
+format stays strictly whitespace-delimited.  Floats are written with
+``repr`` so a write/read round trip is bit-exact — the test suite asserts
+this property.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import IO, Mapping, Union
+from urllib.parse import quote
+
+from repro.trace.pcf import EventDictionary
+from repro.trace.records import Trace
+
+__all__ = ["write_trace", "dump_trace_text"]
+
+FORMAT_HEADER = "#REPRO-TRACE v1"
+
+
+def _format_counters(counters: Mapping[str, float], dictionary: EventDictionary) -> str:
+    if not counters:
+        return "-"
+    return ",".join(
+        f"{dictionary.counter_id(name)}={float(value)!r}" for name, value in counters.items()
+    )
+
+
+def _quote(text: str) -> str:
+    return quote(text, safe="") if text else "-"
+
+
+def write_trace(trace: Trace, destination: Union[str, IO[str]]) -> None:
+    """Write ``trace`` to a path or text stream."""
+    if isinstance(destination, str):
+        with open(destination, "w", encoding="utf-8") as handle:
+            _write(trace, handle)
+    else:
+        _write(trace, destination)
+
+
+def dump_trace_text(trace: Trace) -> str:
+    """Serialize ``trace`` to a string (round-trip test helper)."""
+    buffer = io.StringIO()
+    _write(trace, buffer)
+    return buffer.getvalue()
+
+
+def _write(trace: Trace, handle: IO[str]) -> None:
+    dictionary = EventDictionary()
+    # Pre-allocate ids in deterministic order (counters as first seen).
+    for name in trace.counter_names():
+        dictionary.counter_id(name)
+    for record in trace.states:
+        dictionary.state_id(record.kind.value)
+
+    handle.write(FORMAT_HEADER + "\n")
+    handle.write(f"app {_quote(trace.app_name)}\n")
+    handle.write(f"ranks {trace.n_ranks}\n")
+    for key, value in trace.metadata.items():
+        handle.write(f"meta {_quote(key)} {_quote(value)}\n")
+
+    handle.write("[dict]\n")
+    for line in dictionary.to_lines():
+        handle.write(line + "\n")
+
+    handle.write("[records]\n")
+    for state in trace.states:
+        handle.write(
+            f"S {state.rank} {float(state.t_start)!r} {float(state.t_end)!r} "
+            f"{dictionary.state_id(state.kind.value)} {_quote(state.label)}\n"
+        )
+    for probe in trace.instrumentation:
+        handle.write(
+            f"I {probe.rank} {float(probe.time)!r} {probe.marker} "
+            f"{_quote(probe.mpi_call)} {_format_counters(probe.counters, dictionary)}\n"
+        )
+    for sample in trace.samples:
+        if sample.frames:
+            frames = "|".join(
+                f"{_quote(routine)}@{_quote(path)}@{line}"
+                for routine, path, line in sample.frames
+            )
+        else:
+            frames = "-"
+        handle.write(
+            f"P {sample.rank} {float(sample.time)!r} "
+            f"{_format_counters(sample.counters, dictionary)} {frames}\n"
+        )

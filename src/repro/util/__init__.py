@@ -1,0 +1,32 @@
+"""Shared utilities: seeded RNG plumbing, robust statistics, validation."""
+
+from repro.util.rng import derive_rng, spawn_rngs
+from repro.util.stats import (
+    iqr_bounds,
+    mad,
+    running_mean,
+    weighted_mean,
+    weighted_percentile,
+)
+from repro.util.validation import (
+    check_finite,
+    check_in_range,
+    check_monotonic,
+    check_positive,
+    check_probability,
+)
+
+__all__ = [
+    "derive_rng",
+    "spawn_rngs",
+    "iqr_bounds",
+    "mad",
+    "running_mean",
+    "weighted_mean",
+    "weighted_percentile",
+    "check_finite",
+    "check_in_range",
+    "check_monotonic",
+    "check_positive",
+    "check_probability",
+]

@@ -1,0 +1,118 @@
+"""Small statistics helpers used across the pipeline.
+
+These are deliberately simple, vectorized NumPy implementations: the folding
+and fitting stages call them on arrays with 1e3–1e6 elements, so everything
+here is O(n) or O(n log n) with no Python-level loops.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+__all__ = [
+    "weighted_mean",
+    "weighted_percentile",
+    "mad",
+    "iqr_bounds",
+    "running_mean",
+    "sse",
+    "r_squared",
+]
+
+
+def weighted_mean(values: np.ndarray, weights: np.ndarray) -> float:
+    """Weighted arithmetic mean; raises on empty input or zero total weight."""
+    values = np.asarray(values, dtype=float)
+    weights = np.asarray(weights, dtype=float)
+    if values.size == 0:
+        raise ValueError("weighted_mean of empty array")
+    total = weights.sum()
+    if total <= 0:
+        raise ValueError(f"weights must sum to a positive value, got {total}")
+    return float(np.dot(values, weights) / total)
+
+
+def weighted_percentile(
+    values: np.ndarray, weights: np.ndarray, q: float
+) -> float:
+    """Weighted percentile ``q`` in [0, 100] using the CDF-inversion rule."""
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile must be in [0, 100], got {q}")
+    values = np.asarray(values, dtype=float)
+    weights = np.asarray(weights, dtype=float)
+    if values.size == 0:
+        raise ValueError("weighted_percentile of empty array")
+    order = np.argsort(values, kind="stable")
+    values = values[order]
+    weights = weights[order]
+    cdf = np.cumsum(weights)
+    total = cdf[-1]
+    if total <= 0:
+        raise ValueError("weights must sum to a positive value")
+    target = q / 100.0 * total
+    idx = int(np.searchsorted(cdf, target, side="left"))
+    idx = min(idx, values.size - 1)
+    return float(values[idx])
+
+
+def mad(values: np.ndarray) -> float:
+    """Median absolute deviation (robust spread estimator)."""
+    values = np.asarray(values, dtype=float)
+    if values.size == 0:
+        raise ValueError("mad of empty array")
+    med = np.median(values)
+    return float(np.median(np.abs(values - med)))
+
+
+def iqr_bounds(values: np.ndarray, factor: float = 1.5) -> Tuple[float, float]:
+    """Tukey fences ``(q1 - factor*iqr, q3 + factor*iqr)`` for outlier pruning.
+
+    The folding stage uses this on burst durations: iterations perturbed by
+    OS noise or I/O fall outside the fences and are excluded before their
+    samples are folded (DESIGN.md, "outlier-instance pruning").
+    """
+    values = np.asarray(values, dtype=float)
+    if values.size == 0:
+        raise ValueError("iqr_bounds of empty array")
+    q1, q3 = np.percentile(values, [25.0, 75.0])
+    iqr = q3 - q1
+    return float(q1 - factor * iqr), float(q3 + factor * iqr)
+
+
+def running_mean(values: np.ndarray, window: int) -> np.ndarray:
+    """Centered running mean with edge shrinking (output same length)."""
+    values = np.asarray(values, dtype=float)
+    if window < 1:
+        raise ValueError(f"window must be >= 1, got {window}")
+    if values.size == 0:
+        return values.copy()
+    kernel = np.ones(min(window, values.size))
+    num = np.convolve(values, kernel, mode="same")
+    den = np.convolve(np.ones_like(values), kernel, mode="same")
+    return num / den
+
+
+def sse(residuals: np.ndarray) -> float:
+    """Sum of squared residuals."""
+    residuals = np.asarray(residuals, dtype=float)
+    return float(np.dot(residuals, residuals))
+
+
+def r_squared(y: np.ndarray, y_hat: np.ndarray) -> float:
+    """Coefficient of determination; 1.0 for a perfect fit.
+
+    Returns 1.0 when ``y`` has zero variance and the fit is exact, and 0.0
+    when ``y`` has zero variance and the fit is not — avoiding the usual
+    0/0 ambiguity in a way that keeps "perfect fit" monotone.
+    """
+    y = np.asarray(y, dtype=float)
+    y_hat = np.asarray(y_hat, dtype=float)
+    if y.shape != y_hat.shape:
+        raise ValueError(f"shape mismatch: {y.shape} vs {y_hat.shape}")
+    ss_res = sse(y - y_hat)
+    ss_tot = sse(y - y.mean()) if y.size else 0.0
+    if ss_tot == 0.0:
+        return 1.0 if ss_res == 0.0 else 0.0
+    return 1.0 - ss_res / ss_tot

@@ -1,0 +1,91 @@
+"""Argument-validation helpers.
+
+Each helper raises :class:`ValueError` with a message that names the offending
+parameter, so configuration mistakes surface at construction time instead of
+as NaNs deep inside the fitting stage.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+__all__ = [
+    "check_positive",
+    "check_in_range",
+    "check_probability",
+    "check_finite",
+    "check_monotonic",
+]
+
+
+def check_positive(name: str, value: float, strict: bool = True) -> float:
+    """Validate that ``value`` is positive (strictly by default)."""
+    value = float(value)
+    if strict and not value > 0:
+        raise ValueError(f"{name} must be > 0, got {value}")
+    if not strict and not value >= 0:
+        raise ValueError(f"{name} must be >= 0, got {value}")
+    return value
+
+
+def check_in_range(
+    name: str,
+    value: float,
+    low: float,
+    high: float,
+    inclusive: bool = True,
+) -> float:
+    """Validate ``low <= value <= high`` (or strict bounds)."""
+    value = float(value)
+    if inclusive:
+        ok = low <= value <= high
+    else:
+        ok = low < value < high
+    if not ok:
+        op = "<=" if inclusive else "<"
+        raise ValueError(f"{name} must satisfy {low} {op} value {op} {high}, got {value}")
+    return value
+
+
+def check_probability(name: str, value: float) -> float:
+    """Validate that ``value`` is a probability in [0, 1]."""
+    return check_in_range(name, value, 0.0, 1.0)
+
+
+def check_finite(name: str, values: np.ndarray) -> np.ndarray:
+    """Validate that an array contains only finite values."""
+    arr = np.asarray(values, dtype=float)
+    if not np.all(np.isfinite(arr)):
+        bad = int(np.count_nonzero(~np.isfinite(arr)))
+        raise ValueError(f"{name} contains {bad} non-finite value(s)")
+    return arr
+
+
+def check_monotonic(
+    name: str,
+    values: np.ndarray,
+    strict: bool = False,
+    tolerance: Optional[float] = None,
+) -> np.ndarray:
+    """Validate that ``values`` is non-decreasing (optionally strictly).
+
+    ``tolerance`` permits small negative steps (e.g. counter read noise);
+    steps more negative than ``-tolerance`` still raise.
+    """
+    arr = np.asarray(values, dtype=float)
+    if arr.size < 2:
+        return arr
+    diffs = np.diff(arr)
+    tol = 0.0 if tolerance is None else float(tolerance)
+    if strict:
+        if np.any(diffs <= -tol):
+            raise ValueError(f"{name} must be strictly increasing")
+    else:
+        if np.any(diffs < -tol):
+            worst = float(diffs.min())
+            raise ValueError(
+                f"{name} must be non-decreasing (worst step {worst:g}, tolerance {tol:g})"
+            )
+    return arr

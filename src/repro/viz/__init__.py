@@ -1,0 +1,12 @@
+"""Figure output without a plotting stack.
+
+Benchmarks regenerate the paper's figures as data: :mod:`repro.viz.series`
+writes the series to CSV (for external plotting), and
+:mod:`repro.viz.ascii` renders quick-look scatter/line charts as text so a
+figure's *shape* is visible directly in the bench output.
+"""
+
+from repro.viz.ascii import ascii_line, ascii_scatter
+from repro.viz.series import FigureSeries, write_csv
+
+__all__ = ["ascii_scatter", "ascii_line", "FigureSeries", "write_csv"]

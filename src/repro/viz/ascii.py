@@ -1,0 +1,101 @@
+"""ASCII scatter and line charts.
+
+Minimal, dependency-free rendering used by benchmark scripts: a character
+grid with axis labels.  Multiple series overlay with distinct glyphs; later
+series overwrite earlier ones where they collide (draw the reference first,
+the fit second).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["ascii_scatter", "ascii_line"]
+
+_GLYPHS = "·*o+x#@%"
+
+
+def _render(
+    series: Sequence[Tuple[np.ndarray, np.ndarray]],
+    width: int,
+    height: int,
+    x_range: Optional[Tuple[float, float]],
+    y_range: Optional[Tuple[float, float]],
+    title: str,
+    labels: Optional[Sequence[str]],
+) -> str:
+    if width < 16 or height < 4:
+        raise ValueError(f"chart too small: {width}x{height}")
+    xs_all = np.concatenate([np.asarray(x, dtype=float) for x, _ in series])
+    ys_all = np.concatenate([np.asarray(y, dtype=float) for _, y in series])
+    if xs_all.size == 0:
+        raise ValueError("no data to plot")
+    x0, x1 = x_range if x_range else (float(xs_all.min()), float(xs_all.max()))
+    y0, y1 = y_range if y_range else (float(ys_all.min()), float(ys_all.max()))
+    if x1 <= x0:
+        x1 = x0 + 1.0
+    if y1 <= y0:
+        y1 = y0 + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for s_idx, (x, y) in enumerate(series):
+        glyph = _GLYPHS[s_idx % len(_GLYPHS)]
+        x = np.asarray(x, dtype=float)
+        y = np.asarray(y, dtype=float)
+        cols = np.clip(((x - x0) / (x1 - x0) * (width - 1)).round(), 0, width - 1)
+        rows = np.clip(((y - y0) / (y1 - y0) * (height - 1)).round(), 0, height - 1)
+        for c, r in zip(cols.astype(int), rows.astype(int)):
+            grid[height - 1 - r][c] = glyph
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    if labels:
+        key = "  ".join(
+            f"{_GLYPHS[i % len(_GLYPHS)]}={label}" for i, label in enumerate(labels)
+        )
+        lines.append(key)
+    lines.append(f"{y1:10.3g} +" + "-" * width + "+")
+    for row in grid:
+        lines.append(" " * 11 + "|" + "".join(row) + "|")
+    lines.append(f"{y0:10.3g} +" + "-" * width + "+")
+    lines.append(" " * 12 + f"{x0:<10.3g}" + " " * max(0, width - 20) + f"{x1:>10.3g}")
+    return "\n".join(lines)
+
+
+def ascii_scatter(
+    series: Sequence[Tuple[np.ndarray, np.ndarray]],
+    width: int = 72,
+    height: int = 18,
+    x_range: Optional[Tuple[float, float]] = None,
+    y_range: Optional[Tuple[float, float]] = None,
+    title: str = "",
+    labels: Optional[Sequence[str]] = None,
+) -> str:
+    """Overlayed scatter of ``[(x, y), ...]`` series."""
+    return _render(series, width, height, x_range, y_range, title, labels)
+
+
+def ascii_line(
+    series: Sequence[Tuple[np.ndarray, np.ndarray]],
+    width: int = 72,
+    height: int = 18,
+    x_range: Optional[Tuple[float, float]] = None,
+    y_range: Optional[Tuple[float, float]] = None,
+    title: str = "",
+    labels: Optional[Sequence[str]] = None,
+    samples_per_col: int = 4,
+) -> str:
+    """Line chart: each series is densified by linear interpolation."""
+    dense: List[Tuple[np.ndarray, np.ndarray]] = []
+    for x, y in series:
+        x = np.asarray(x, dtype=float)
+        y = np.asarray(y, dtype=float)
+        order = np.argsort(x)
+        x, y = x[order], y[order]
+        n = max(width * samples_per_col, x.size)
+        grid_x = np.linspace(x[0], x[-1], n)
+        dense.append((grid_x, np.interp(grid_x, x, y)))
+    return _render(dense, width, height, x_range, y_range, title, labels)

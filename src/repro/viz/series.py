@@ -1,0 +1,54 @@
+"""CSV export of figure series.
+
+Each benchmark writes its figure's data as a CSV named after the experiment
+id (``fig1_folding_scatter.csv``), so the exact numbers behind every
+reproduced figure are inspectable and re-plottable.
+"""
+
+from __future__ import annotations
+
+import csv
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Union
+
+import numpy as np
+
+__all__ = ["FigureSeries", "write_csv"]
+
+Number = Union[int, float]
+
+
+@dataclass
+class FigureSeries:
+    """Named, equal-length columns of one figure."""
+
+    name: str
+    columns: Dict[str, List[Number]] = field(default_factory=dict)
+
+    def add_column(self, header: str, values: Sequence[Number]) -> None:
+        """Add a column; lengths must agree with existing columns."""
+        values = [float(v) for v in np.asarray(values).ravel()]
+        for existing, data in self.columns.items():
+            if len(data) != len(values):
+                raise ValueError(
+                    f"column {header!r} has {len(values)} rows; "
+                    f"{existing!r} has {len(data)}"
+                )
+        self.columns[header] = values
+
+    @property
+    def n_rows(self) -> int:
+        """Row count (0 when empty)."""
+        return len(next(iter(self.columns.values()))) if self.columns else 0
+
+
+def write_csv(series: FigureSeries, path: str) -> None:
+    """Write ``series`` to ``path`` as a CSV with a header row."""
+    if not series.columns:
+        raise ValueError(f"figure series {series.name!r} has no columns")
+    headers = list(series.columns)
+    with open(path, "w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(headers)
+        for row in zip(*(series.columns[h] for h in headers)):
+            writer.writerow([f"{v:.10g}" for v in row])

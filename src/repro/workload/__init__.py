@@ -1,0 +1,40 @@
+"""Synthetic workloads — the substitute for in-production applications.
+
+The paper evaluates on production MPI codes; this package builds their
+closest synthetic equivalents (DESIGN.md substitution table).  A
+:class:`~repro.workload.kernel.Kernel` is a sequence of
+:class:`~repro.workload.phases.PhaseSpec` — each phase executes a number of
+instructions under a :class:`~repro.machine.behavior.Behavior` at a known
+call path — and *instantiates* into an exact
+:class:`~repro.machine.rates.RateFunction` per burst instance, with
+controlled iteration-to-iteration variability
+(:mod:`repro.workload.variability`).  An
+:class:`~repro.workload.application.Application` arranges kernels and
+communication steps into the iterative SPMD structure the tracer consumes.
+
+:mod:`repro.workload.apps` provides the three case-study applications plus
+microbenchmarks; :mod:`repro.workload.generator` builds randomized kernels
+for property-style sweeps.
+"""
+
+from repro.workload.phases import PhaseSpec
+from repro.workload.variability import VariabilityModel
+from repro.workload.kernel import Kernel
+from repro.workload.application import (
+    Application,
+    CommStep,
+    ComputeStep,
+    Step,
+)
+from repro.workload.generator import random_kernel
+
+__all__ = [
+    "PhaseSpec",
+    "VariabilityModel",
+    "Kernel",
+    "Application",
+    "ComputeStep",
+    "CommStep",
+    "Step",
+    "random_kernel",
+]

@@ -1,0 +1,182 @@
+"""Applications: iterative SPMD arrangements of kernels and communication.
+
+An :class:`Application` is the object the tracer runs: ``ranks`` simulated
+MPI processes, each executing ``iterations`` repetitions of a step sequence.
+A :class:`ComputeStep` runs a kernel (one computation burst); a
+:class:`CommStep` invokes a communication pattern from
+:mod:`repro.parallel.patterns`, which both costs time and (for collectives)
+synchronizes ranks — producing the burst/communication alternation that
+minimal instrumentation captures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Mapping, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.parallel.patterns import CommPattern
+from repro.source.model import SourceModel
+from repro.workload.kernel import Kernel
+
+__all__ = ["ComputeStep", "CommStep", "Step", "Application"]
+
+
+@dataclass(frozen=True)
+class ComputeStep:
+    """One computation burst executing ``kernel``.
+
+    ``per_rank`` optionally overrides the kernel for specific ranks —
+    the escape hatch from pure SPMD that master/worker codes need (the
+    master runs coordination work while workers run the heavy kernel).
+    """
+
+    kernel: Kernel
+    per_rank: Optional[Mapping[int, Kernel]] = None
+
+    def kernel_for(self, rank: int) -> Kernel:
+        """Kernel rank ``rank`` executes in this step."""
+        if self.per_rank is not None and rank in self.per_rank:
+            return self.per_rank[rank]
+        return self.kernel
+
+    def all_kernels(self) -> List[Kernel]:
+        """Every kernel this step can execute (default + overrides)."""
+        out = [self.kernel]
+        if self.per_rank:
+            for kernel in self.per_rank.values():
+                if kernel not in out:
+                    out.append(kernel)
+        return out
+
+    @property
+    def label(self) -> str:
+        """Display label (kernel name)."""
+        return self.kernel.name
+
+
+@dataclass(frozen=True)
+class CommStep:
+    """One communication operation following pattern ``pattern``."""
+
+    pattern: CommPattern
+
+    @property
+    def label(self) -> str:
+        """Display label (MPI call name)."""
+        return self.pattern.mpi_name
+
+
+Step = Union[ComputeStep, CommStep]
+
+
+@dataclass
+class Application:
+    """A complete synthetic application.
+
+    Attributes
+    ----------
+    name:
+        Application identifier used in traces and reports.
+    source:
+        The synthetic source model (files/routines) phases map back to.
+    steps:
+        The per-iteration step sequence, shared by all ranks (SPMD).
+    iterations:
+        Number of repetitions of the step sequence.
+    ranks:
+        Number of simulated MPI processes.
+    rank_speed:
+        Optional per-rank speed factor (>0); factor 1.1 means that rank's
+        compute bursts take 10% longer (static load imbalance).  Length must
+        equal ``ranks``.
+    """
+
+    name: str
+    source: SourceModel
+    steps: List[Step]
+    iterations: int
+    ranks: int = 1
+    rank_speed: Optional[np.ndarray] = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise WorkloadError("application name must be non-empty")
+        if self.iterations < 1:
+            raise WorkloadError(f"iterations must be >= 1, got {self.iterations}")
+        if self.ranks < 1:
+            raise WorkloadError(f"ranks must be >= 1, got {self.ranks}")
+        if not self.steps:
+            raise WorkloadError(f"application {self.name}: steps must be non-empty")
+        if not any(isinstance(s, ComputeStep) for s in self.steps):
+            raise WorkloadError(
+                f"application {self.name}: needs at least one ComputeStep"
+            )
+        if self.rank_speed is not None:
+            speeds = np.asarray(self.rank_speed, dtype=float)
+            if speeds.shape != (self.ranks,):
+                raise WorkloadError(
+                    f"rank_speed must have shape ({self.ranks},), got {speeds.shape}"
+                )
+            if np.any(speeds <= 0):
+                raise WorkloadError("rank_speed factors must be positive")
+            self.rank_speed = speeds
+
+    def speed_of(self, rank: int) -> float:
+        """Speed factor of ``rank`` (1.0 when no imbalance configured)."""
+        if not 0 <= rank < self.ranks:
+            raise WorkloadError(f"rank {rank} out of range [0, {self.ranks})")
+        if self.rank_speed is None:
+            return 1.0
+        return float(self.rank_speed[rank])
+
+    def kernels(self) -> List[Kernel]:
+        """Distinct kernels in step order (the ground-truth cluster set),
+        including per-rank overrides."""
+        seen: List[Kernel] = []
+        for step in self.steps:
+            if isinstance(step, ComputeStep):
+                for kernel in step.all_kernels():
+                    if kernel not in seen:
+                        seen.append(kernel)
+        return seen
+
+    def kernel_named(self, name: str) -> Kernel:
+        """Look up a kernel by name."""
+        for kernel in self.kernels():
+            if kernel.name == name:
+                return kernel
+        raise WorkloadError(
+            f"application {self.name} has no kernel {name!r}; "
+            f"kernels: {[k.name for k in self.kernels()]}"
+        )
+
+    def with_kernel_replaced(self, old_name: str, new_kernel: Kernel) -> "Application":
+        """New application with kernel ``old_name`` swapped for ``new_kernel``.
+
+        The case-study loop uses this to apply a code transformation and
+        re-run the identical experiment.
+        """
+        self.kernel_named(old_name)  # raises if absent
+        new_steps: List[Step] = []
+        for step in self.steps:
+            if isinstance(step, ComputeStep) and step.kernel.name == old_name:
+                new_steps.append(ComputeStep(kernel=new_kernel))
+            else:
+                new_steps.append(step)
+        return Application(
+            name=self.name,
+            source=self.source,
+            steps=new_steps,
+            iterations=self.iterations,
+            ranks=self.ranks,
+            rank_speed=self.rank_speed,
+        )
+
+    @property
+    def bursts_per_rank(self) -> int:
+        """Total compute bursts each rank executes."""
+        per_iter = sum(1 for s in self.steps if isinstance(s, ComputeStep))
+        return per_iter * self.iterations

@@ -1,0 +1,34 @@
+"""Built-in synthetic applications.
+
+Three case-study applications stand in for the in-production codes the
+paper analyzes (substitution documented in DESIGN.md): an ocean-model
+conjugate-gradient solver (:mod:`~repro.workload.apps.cgpop`), a molecular-
+dynamics kernel (:mod:`~repro.workload.apps.pmemd`), and a
+magnetohydrodynamics code (:mod:`~repro.workload.apps.mrgenesis`).  Each is
+an iterative SPMD application with multi-phase computation bursts, realistic
+call trees, and one deliberately inefficient phase that the methodology's
+hints should single out — together with the small "code transformation"
+that fixes it.
+
+:mod:`~repro.workload.apps.microbench` provides controlled kernels for the
+accuracy experiments (known phase structure, tunable granularity).
+"""
+
+from repro.workload.apps.microbench import multiphase_app, two_phase_app
+from repro.workload.apps.cgpop import cgpop_app, cgpop_optimized
+from repro.workload.apps.pmemd import pmemd_app, pmemd_optimized
+from repro.workload.apps.mrgenesis import mrgenesis_app, mrgenesis_optimized
+from repro.workload.apps.dalton import dalton_app, dalton_optimized
+
+__all__ = [
+    "multiphase_app",
+    "two_phase_app",
+    "cgpop_app",
+    "cgpop_optimized",
+    "pmemd_app",
+    "pmemd_optimized",
+    "mrgenesis_app",
+    "mrgenesis_optimized",
+    "dalton_app",
+    "dalton_optimized",
+]

@@ -1,0 +1,36 @@
+"""Shared construction helpers for the built-in applications."""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.source.callpath import CallFrame, CallPath
+from repro.source.model import SourceModel
+
+__all__ = ["make_callpath", "add_main_chain"]
+
+
+def make_callpath(
+    source: SourceModel, frames: Sequence[Tuple[str, int]]
+) -> CallPath:
+    """Build a call path from ``(routine_name, line)`` pairs.
+
+    Routines must already be registered in ``source``; the helper only
+    assembles frames, so a typo in a routine name fails at application
+    construction rather than at trace time.
+    """
+    call_frames: List[CallFrame] = []
+    for routine_name, line in frames:
+        call_frames.append(CallFrame(location=source.location(routine_name, line)))
+    return CallPath(call_frames)
+
+
+def add_main_chain(
+    source: SourceModel,
+    file_path: str,
+    entries: Sequence[Tuple[str, int, int]],
+) -> None:
+    """Register a file plus ``(routine, line_start, line_end)`` triples."""
+    source_file = source.add_file(file_path)
+    for name, start, end in entries:
+        source.add_routine(name, source_file, start, end)

@@ -1,0 +1,193 @@
+"""Dalton-like master/worker quantum-chemistry application.
+
+Models the structure the co-authors analyzed in their Dalton scalability
+papers (Aguilar et al.): rank 0 is a *master* that assembles and
+dispatches work batches (light, branchy bookkeeping) while the workers
+integrate two-electron contributions (heavy, compute-bound with irregular
+shell lookups); every batch round ends with workers reporting results to
+the master through a serializing point-to-point pattern.
+
+This is the library's deliberately **non-SPMD** application: the master's
+burst sequence differs from the workers', so the SPMD structure check
+(`spmd_score`) must flag it — and the master service pattern caps
+parallel efficiency as worker counts grow, exactly the bottleneck the
+Dalton papers diagnose and fix.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import WorkloadError
+from repro.machine.behavior import BEHAVIOR_LIBRARY
+from repro.parallel.network import NetworkModel
+from repro.parallel.patterns import AllReducePattern, MasterWorkerPattern
+from repro.source.model import SourceModel
+from repro.workload.application import Application, CommStep, ComputeStep
+from repro.workload.apps.builders import add_main_chain, make_callpath
+from repro.workload.kernel import Kernel
+from repro.workload.phases import PhaseSpec
+from repro.workload.variability import VariabilityModel
+
+__all__ = ["dalton_app", "dalton_optimized"]
+
+
+def _build_source() -> SourceModel:
+    source = SourceModel()
+    add_main_chain(
+        source,
+        "sirius.F90",
+        [
+            ("dalton_main", 1, 30),
+            ("master_dispatch", 50, 110),
+            ("assemble_batches", 130, 180),
+        ],
+    )
+    add_main_chain(
+        source,
+        "twoint.F90",
+        [
+            ("worker_loop", 1, 40),
+            ("shell_quadruple", 60, 150),
+            ("digest_results", 170, 210),
+        ],
+    )
+    return source
+
+
+def dalton_app(
+    iterations: int = 200,
+    ranks: int = 8,
+    batch_scale: float = 1.0,
+    variability: Optional[VariabilityModel] = None,
+    network: Optional[NetworkModel] = None,
+) -> Application:
+    """Build the Dalton-like master/worker application.
+
+    ``ranks`` includes the master (rank 0); at least 2 ranks are needed.
+    ``batch_scale`` scales the per-batch integral work.
+    """
+    if ranks < 2:
+        raise WorkloadError(f"master/worker needs >= 2 ranks, got {ranks}")
+    if batch_scale <= 0:
+        raise WorkloadError(f"batch_scale must be positive, got {batch_scale}")
+    source = _build_source()
+    net = network or NetworkModel()
+    variability = variability or VariabilityModel(
+        duration_sigma=0.05, phase_sigma=0.03, outlier_prob=0.01, outlier_scale=2.5
+    )
+
+    dispatch_behavior = BEHAVIOR_LIBRARY["branchy_scalar"].with_(
+        name="master_bookkeeping",
+        branch_fraction=0.22,
+        branch_miss_rate=0.06,
+        working_set_bytes=8 * 1024 * 1024,
+    )
+    integral_behavior = BEHAVIOR_LIBRARY["compute_bound"].with_(
+        name="two_electron",
+        fp_fraction=0.58,
+        vector_fraction=0.08,
+        working_set_bytes=4 * 1024 * 1024,
+        ilp=3.0,
+    )
+    lookup_behavior = BEHAVIOR_LIBRARY["table_lookup"].with_(
+        name="shell_lookup", working_set_bytes=16 * 1024 * 1024
+    )
+
+    master_kernel = Kernel(
+        name="dalton.master",
+        phases=[
+            PhaseSpec(
+                name="dalton.master.assemble",
+                behavior=dispatch_behavior,
+                instructions=1.2e7 * batch_scale,
+                callpath=make_callpath(
+                    source,
+                    [("dalton_main", 10), ("master_dispatch", 60), ("assemble_batches", 150)],
+                ),
+            ),
+        ],
+        variability=variability,
+    )
+    worker_kernel = Kernel(
+        name="dalton.worker",
+        phases=[
+            PhaseSpec(
+                name="dalton.worker.lookup",
+                behavior=lookup_behavior,
+                instructions=5.0e6 * batch_scale,
+                callpath=make_callpath(
+                    source, [("worker_loop", 10), ("shell_quadruple", 70)]
+                ),
+            ),
+            PhaseSpec(
+                name="dalton.worker.integrals",
+                behavior=integral_behavior,
+                instructions=1.6e8 * batch_scale,
+                callpath=make_callpath(
+                    source, [("worker_loop", 12), ("shell_quadruple", 120)]
+                ),
+            ),
+            PhaseSpec(
+                name="dalton.worker.digest",
+                behavior=BEHAVIOR_LIBRARY["stream_bandwidth"].with_(
+                    name="digest", working_set_bytes=6 * 1024 * 1024
+                ),
+                instructions=1.5e7 * batch_scale,
+                callpath=make_callpath(
+                    source, [("worker_loop", 14), ("digest_results", 190)]
+                ),
+            ),
+        ],
+        variability=variability,
+    )
+
+    # The master must ingest and post-process each worker's 32 KiB batch
+    # result serially — the bottleneck the Dalton papers diagnose.
+    report = MasterWorkerPattern(net, message_bytes=32 * 1024.0, service_time=1.5e-3)
+    sync = AllReducePattern(net, message_bytes=8.0)
+    return Application(
+        name="dalton",
+        source=source,
+        steps=[
+            ComputeStep(
+                kernel=worker_kernel,
+                per_rank={0: master_kernel},
+            ),
+            CommStep(report),
+            CommStep(sync),
+        ],
+        iterations=iterations,
+        ranks=ranks,
+    )
+
+
+def dalton_optimized(app: Application) -> Application:
+    """Apply the Dalton papers' transformation: relieve the master.
+
+    The published fix restructures the master/worker result collection so
+    the master no longer serializes one full message per worker per batch
+    (combining batches and pre-digesting on the workers).  Modeled as the
+    report pattern costing one quarter of the service work per message —
+    the collective sync and all computation stay identical.
+    """
+    new_steps = []
+    for step in app.steps:
+        if isinstance(step, CommStep) and isinstance(step.pattern, MasterWorkerPattern):
+            old = step.pattern
+            relieved = MasterWorkerPattern(
+                old.network,
+                message_bytes=old.message_bytes / 4.0,
+                service_time=old.service_time / 4.0,
+            )
+            new_steps.append(CommStep(relieved))
+        else:
+            new_steps.append(step)
+    return Application(
+        name=app.name,
+        source=app.source,
+        steps=new_steps,
+        iterations=app.iterations,
+        ranks=app.ranks,
+        rank_speed=app.rank_speed,
+    )

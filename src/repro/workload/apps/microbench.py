@@ -1,0 +1,122 @@
+"""Controlled microbenchmark applications for the accuracy experiments.
+
+These apps have *known* phase structure with tunable granularity, which is
+what FIG-1/2/4, TAB-1 and FIG-6 sweep.  Instruction budgets are sized so
+that, on the default machine, phases last milliseconds-to-tens-of-
+milliseconds — the "granularity finer than the sampling period" regime the
+paper targets.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.machine.behavior import BEHAVIOR_LIBRARY, Behavior
+from repro.parallel.network import NetworkModel
+from repro.parallel.patterns import AllReducePattern
+from repro.source.model import SourceModel
+from repro.workload.application import Application, CommStep, ComputeStep
+from repro.workload.apps.builders import add_main_chain, make_callpath
+from repro.workload.kernel import Kernel
+from repro.workload.phases import PhaseSpec
+from repro.workload.variability import VariabilityModel
+
+__all__ = ["multiphase_app", "two_phase_app", "DEFAULT_MULTIPHASE_SPEC"]
+
+#: Default phase mix: (behavior name, instructions) — four clearly distinct
+#: regimes with unequal lengths, the canonical FIG-1 kernel.
+DEFAULT_MULTIPHASE_SPEC: Tuple[Tuple[str, float], ...] = (
+    ("copy_pack", 2.0e7),
+    ("stream_bandwidth", 9.0e7),
+    ("compute_bound", 2.2e8),
+    ("latency_bound", 2.5e6),
+)
+
+
+def multiphase_app(
+    phase_spec: Sequence[Tuple[str, float]] = DEFAULT_MULTIPHASE_SPEC,
+    iterations: int = 400,
+    ranks: int = 4,
+    variability: Optional[VariabilityModel] = None,
+    network: Optional[NetworkModel] = None,
+    name: str = "multiphase",
+    behaviors: Optional[Sequence[Behavior]] = None,
+) -> Application:
+    """One-kernel app whose burst walks through ``phase_spec`` phases.
+
+    ``phase_spec`` pairs behaviour-library names with instruction budgets;
+    pass ``behaviors`` to supply custom :class:`Behavior` objects instead
+    (same length, names ignored in the library lookup).
+    """
+    if not phase_spec:
+        raise ValueError("phase_spec must name at least one phase")
+    source = SourceModel()
+    n = len(phase_spec)
+    # One routine per phase inside a solver file, plus main/driver chain.
+    entries = [("main", 1, 20), ("solver_step", 30, 40 + 10 * n)]
+    for i in range(n):
+        entries.append((f"phase_{i}", 100 + 50 * i, 140 + 50 * i))
+    add_main_chain(source, f"{name}.f90", entries)
+
+    phases: List[PhaseSpec] = []
+    for i, (behavior_name, instructions) in enumerate(phase_spec):
+        if behaviors is not None:
+            behavior = behaviors[i]
+        else:
+            behavior = BEHAVIOR_LIBRARY[behavior_name]
+        callpath = make_callpath(
+            source,
+            [
+                ("main", 10),
+                ("solver_step", 32 + 2 * i),
+                (f"phase_{i}", 110 + 50 * i),
+            ],
+        )
+        phases.append(
+            PhaseSpec(
+                name=f"{name}.phase_{i}.{behavior.name}",
+                behavior=behavior,
+                instructions=instructions,
+                callpath=callpath,
+            )
+        )
+    kernel = Kernel(name=name, phases=phases, variability=variability)
+    pattern = AllReducePattern(network or NetworkModel(), message_bytes=8.0)
+    return Application(
+        name=name,
+        source=source,
+        steps=[ComputeStep(kernel), CommStep(pattern)],
+        iterations=iterations,
+        ranks=ranks,
+    )
+
+
+def two_phase_app(
+    split: float = 0.5,
+    total_instructions: float = 2.0e8,
+    iterations: int = 300,
+    ranks: int = 2,
+    fast_behavior: str = "compute_bound",
+    slow_behavior: str = "stream_bandwidth",
+    variability: Optional[VariabilityModel] = None,
+    name: str = "twophase",
+) -> Application:
+    """Minimal two-phase kernel with a tunable split point.
+
+    ``split`` is the fraction of the instruction budget spent in the first
+    phase — the detection benches sweep it toward 0 to probe how fine a
+    phase the regression can still isolate.
+    """
+    if not 0.0 < split < 1.0:
+        raise ValueError(f"split must be in (0, 1), got {split}")
+    spec = (
+        (fast_behavior, split * total_instructions),
+        (slow_behavior, (1.0 - split) * total_instructions),
+    )
+    return multiphase_app(
+        phase_spec=spec,
+        iterations=iterations,
+        ranks=ranks,
+        variability=variability,
+        name=name,
+    )

@@ -1,0 +1,178 @@
+"""PMEMD-like molecular-dynamics kernel.
+
+Models the node-level structure of a particle-mesh MD engine: each timestep
+gathers neighbor lists (irregular table lookups), computes pairwise forces
+(dense floating-point), reduces per-thread force accumulators (streaming),
+exchanges boundary atoms, then integrates positions and applies iterative
+bond constraints (branchy scalar recurrence) before an energy allreduce.
+
+The deliberately inefficient phase is ``force_compute``: scalar FP code
+with high ILP potential but no SIMD.  The case-study transformation is
+vectorization (:func:`pmemd_optimized`) — fewer, wider instructions — which
+is what the paper's hints recommend for a high-IPC, low-vector-ratio phase.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.machine.behavior import BEHAVIOR_LIBRARY
+from repro.parallel.network import NetworkModel
+from repro.parallel.patterns import AllReducePattern, HaloExchangePattern
+from repro.source.model import SourceModel
+from repro.workload.application import Application, CommStep, ComputeStep
+from repro.workload.apps.builders import add_main_chain, make_callpath
+from repro.workload.kernel import Kernel
+from repro.workload.phases import PhaseSpec
+from repro.workload.variability import VariabilityModel
+
+__all__ = ["pmemd_app", "pmemd_optimized", "FORCE_PHASE"]
+
+#: Name of the phase the case study optimizes.
+FORCE_PHASE = "pmemd.force.compute"
+
+#: SIMD instruction-count reduction achieved by vectorizing the force loop
+#: (4-wide SIMD never reaches 4x: remainder loops, gathers and shuffles).
+VECTOR_INSTRUCTION_FACTOR = 0.58
+
+
+def _build_source() -> SourceModel:
+    source = SourceModel()
+    add_main_chain(
+        source,
+        "pme_force.F90",
+        [
+            ("md_main", 1, 30),
+            ("timestep", 50, 110),
+            ("nb_list_gather", 130, 170),
+            ("pair_force", 190, 260),
+            ("force_reduce", 280, 300),
+        ],
+    )
+    add_main_chain(
+        source,
+        "dynamics.F90",
+        [
+            ("integrate", 1, 60),
+            ("shake_constraints", 80, 140),
+        ],
+    )
+    return source
+
+
+def pmemd_app(
+    iterations: int = 300,
+    ranks: int = 8,
+    atoms_scale: float = 1.0,
+    variability: Optional[VariabilityModel] = None,
+    network: Optional[NetworkModel] = None,
+) -> Application:
+    """Build the PMEMD-like application; ``atoms_scale`` scales all work."""
+    if atoms_scale <= 0:
+        raise ValueError(f"atoms_scale must be positive, got {atoms_scale}")
+    source = _build_source()
+    net = network or NetworkModel()
+    variability = variability or VariabilityModel(
+        duration_sigma=0.05, phase_sigma=0.02, outlier_prob=0.015, outlier_scale=3.0
+    )
+
+    gather = BEHAVIOR_LIBRARY["table_lookup"].with_(
+        name="nb_gather", working_set_bytes=24 * 1024 * 1024
+    )
+    force = BEHAVIOR_LIBRARY["compute_bound"].with_(
+        name="pair_force_scalar",
+        vector_fraction=0.02,  # scalar inner loop — the inefficiency
+        fp_fraction=0.60,
+        ilp=2.8,
+        working_set_bytes=2 * 1024 * 1024,
+    )
+    reduce_f = BEHAVIOR_LIBRARY["stream_bandwidth"].with_(
+        name="force_reduce", working_set_bytes=12 * 1024 * 1024
+    )
+    integrate = BEHAVIOR_LIBRARY["stream_bandwidth"].with_(
+        name="verlet_update", working_set_bytes=8 * 1024 * 1024
+    )
+    shake = BEHAVIOR_LIBRARY["branchy_scalar"].with_(name="shake_iter")
+
+    nb_force = Kernel(
+        name="pmemd.force",
+        phases=[
+            PhaseSpec(
+                name="pmemd.force.gather",
+                behavior=gather,
+                instructions=6.0e6 * atoms_scale,
+                callpath=make_callpath(
+                    source, [("md_main", 12), ("timestep", 60), ("nb_list_gather", 150)]
+                ),
+            ),
+            PhaseSpec(
+                name=FORCE_PHASE,
+                behavior=force,
+                instructions=3.2e8 * atoms_scale,
+                callpath=make_callpath(
+                    source, [("md_main", 12), ("timestep", 64), ("pair_force", 210)]
+                ),
+            ),
+            PhaseSpec(
+                name="pmemd.force.reduce",
+                behavior=reduce_f,
+                instructions=2.4e7 * atoms_scale,
+                callpath=make_callpath(
+                    source, [("md_main", 12), ("timestep", 68), ("force_reduce", 290)]
+                ),
+            ),
+        ],
+        variability=variability,
+    )
+    integ = Kernel(
+        name="pmemd.integrate",
+        phases=[
+            PhaseSpec(
+                name="pmemd.integrate.verlet",
+                behavior=integrate,
+                instructions=2.8e7 * atoms_scale,
+                callpath=make_callpath(
+                    source, [("md_main", 14), ("timestep", 80), ("integrate", 20)]
+                ),
+            ),
+            PhaseSpec(
+                name="pmemd.integrate.shake",
+                behavior=shake,
+                instructions=2.2e7 * atoms_scale,
+                callpath=make_callpath(
+                    source,
+                    [("md_main", 14), ("timestep", 84), ("shake_constraints", 100)],
+                ),
+            ),
+        ],
+        variability=variability,
+    )
+
+    halo = HaloExchangePattern(net, message_bytes=48 * 1024.0)
+    energy = AllReducePattern(net, message_bytes=64.0)
+    return Application(
+        name="pmemd",
+        source=source,
+        steps=[
+            ComputeStep(nb_force),
+            CommStep(halo),
+            ComputeStep(integ),
+            CommStep(energy),
+        ],
+        iterations=iterations,
+        ranks=ranks,
+    )
+
+
+def pmemd_optimized(app: Application) -> Application:
+    """Apply the case-study transformation: vectorize the force loop."""
+    force_kernel = app.kernel_named("pmemd.force")
+    phase = next(p for p in force_kernel.phases if p.name == FORCE_PHASE)
+    vectorized = phase.behavior.optimized_vectorized()
+    new_kernel = force_kernel.transformed(
+        FORCE_PHASE,
+        behavior=vectorized,
+        instruction_factor=VECTOR_INSTRUCTION_FACTOR,
+        suffix="vec",
+    )
+    return app.with_kernel_replaced("pmemd.force", new_kernel)

@@ -1,0 +1,109 @@
+"""Seeded random workload generation for sweeps and property tests.
+
+Builds kernels with a random number of phases, random behaviours drawn from
+the library (optionally perturbed), and random instruction budgets — while
+recording the exact ground truth, so accuracy benches can average detection
+scores over many independent kernel shapes instead of one hand-picked case.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.machine.behavior import BEHAVIOR_LIBRARY, Behavior
+from repro.source.model import SourceModel
+from repro.util.rng import as_rng
+from repro.workload.apps.builders import add_main_chain, make_callpath
+from repro.workload.kernel import Kernel
+from repro.workload.phases import PhaseSpec
+from repro.workload.variability import VariabilityModel
+
+__all__ = ["random_kernel", "random_kernel_app"]
+
+
+def random_kernel(
+    rng,
+    n_phases: Optional[int] = None,
+    min_phases: int = 2,
+    max_phases: int = 6,
+    total_instructions: float = 3.0e8,
+    min_phase_fraction: float = 0.04,
+    behavior_pool: Optional[Sequence[Behavior]] = None,
+    variability: Optional[VariabilityModel] = None,
+    name: str = "randk",
+) -> Tuple[Kernel, SourceModel]:
+    """Generate a random kernel plus its synthetic source model.
+
+    Consecutive phases always use *different* behaviours (identical
+    neighbors would merge into one ground-truth phase and make scoring
+    ambiguous).  Phase instruction budgets are a random simplex draw with a
+    floor of ``min_phase_fraction`` so no phase degenerates to nothing.
+    """
+    rng = as_rng(rng)
+    if n_phases is None:
+        n_phases = int(rng.integers(min_phases, max_phases + 1))
+    if n_phases < 1:
+        raise ValueError(f"n_phases must be >= 1, got {n_phases}")
+    if not 0.0 < min_phase_fraction * n_phases < 1.0:
+        raise ValueError(
+            f"min_phase_fraction {min_phase_fraction} infeasible for {n_phases} phases"
+        )
+    pool: List[Behavior] = list(behavior_pool or BEHAVIOR_LIBRARY.values())
+    if len(pool) < 2 and n_phases > 1:
+        raise ValueError("behavior_pool must offer at least 2 behaviours")
+
+    # Simplex draw with floor.
+    raw = rng.dirichlet(np.ones(n_phases))
+    fractions = min_phase_fraction + raw * (1.0 - min_phase_fraction * n_phases)
+
+    source = SourceModel()
+    entries = [("main", 1, 20), ("body", 30, 50)]
+    for i in range(n_phases):
+        entries.append((f"{name}_p{i}", 100 + 40 * i, 130 + 40 * i))
+    add_main_chain(source, f"{name}.f90", entries)
+
+    phases: List[PhaseSpec] = []
+    previous: Optional[Behavior] = None
+    for i in range(n_phases):
+        candidates = [b for b in pool if b is not previous] or pool
+        behavior = candidates[int(rng.integers(0, len(candidates)))]
+        previous = behavior
+        callpath = make_callpath(
+            source, [("main", 10), ("body", 35 + i % 10), (f"{name}_p{i}", 110 + 40 * i)]
+        )
+        phases.append(
+            PhaseSpec(
+                name=f"{name}.p{i}.{behavior.name}",
+                behavior=behavior,
+                instructions=float(fractions[i] * total_instructions),
+                callpath=callpath,
+            )
+        )
+    kernel = Kernel(name=name, phases=phases, variability=variability)
+    return kernel, source
+
+
+def random_kernel_app(
+    rng,
+    iterations: int = 300,
+    ranks: int = 2,
+    name: str = "randapp",
+    **kernel_kwargs,
+):
+    """Random kernel wrapped into a one-kernel application."""
+    from repro.parallel.network import NetworkModel
+    from repro.parallel.patterns import AllReducePattern
+    from repro.workload.application import Application, CommStep, ComputeStep
+
+    rng = as_rng(rng)
+    kernel, source = random_kernel(rng, name=name, **kernel_kwargs)
+    pattern = AllReducePattern(NetworkModel(), message_bytes=8.0)
+    return Application(
+        name=name,
+        source=source,
+        steps=[ComputeStep(kernel), CommStep(pattern)],
+        iterations=iterations,
+        ranks=ranks,
+    )

@@ -1,0 +1,187 @@
+"""Kernels: phase sequences that instantiate into rate functions.
+
+A :class:`Kernel` is the body of one computation burst (the code between two
+communication calls).  ``base_rate_function`` resolves every phase through
+the core model into the exact ground-truth
+:class:`~repro.machine.rates.RateFunction`; ``instantiate`` applies an
+instance perturbation on top, producing the rate function of one concrete
+burst instance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.machine.cpu import CoreModel
+from repro.machine.rates import RateFunction, RateSegment
+from repro.workload.phases import PhaseSpec
+from repro.workload.variability import InstancePerturbation, VariabilityModel
+
+__all__ = ["Kernel"]
+
+
+@dataclass
+class Kernel:
+    """An ordered sequence of phases forming one computation burst body.
+
+    Attributes
+    ----------
+    name:
+        Kernel identifier; becomes the cluster ground-truth label.
+    phases:
+        The phase specs, in execution order.
+    variability:
+        Instance perturbation distribution (defaults to mild noise).
+    """
+
+    name: str
+    phases: Tuple[PhaseSpec, ...]
+    variability: VariabilityModel = field(default_factory=VariabilityModel)
+
+    def __init__(
+        self,
+        name: str,
+        phases: Sequence[PhaseSpec],
+        variability: Optional[VariabilityModel] = None,
+    ) -> None:
+        if not name:
+            raise WorkloadError("kernel name must be non-empty")
+        if not phases:
+            raise WorkloadError(f"kernel {name}: needs at least one phase")
+        self.name = name
+        self.phases = tuple(phases)
+        self.variability = variability or VariabilityModel()
+
+    @property
+    def n_phases(self) -> int:
+        """Number of ground-truth phases."""
+        return len(self.phases)
+
+    @property
+    def total_instructions(self) -> float:
+        """Instruction budget of one unperturbed instance."""
+        return float(sum(p.instructions for p in self.phases))
+
+    def phase_names(self) -> List[str]:
+        """Ground-truth phase labels in order."""
+        return [p.name for p in self.phases]
+
+    # ------------------------------------------------------------------
+    # instantiation
+    # ------------------------------------------------------------------
+    def base_rate_function(self, core: CoreModel) -> RateFunction:
+        """Exact rate function of an unperturbed instance on ``core``."""
+        clock = core.spec.clock_hz
+        segments: List[RateSegment] = []
+        t = 0.0
+        for phase in self.phases:
+            perf = core.performance(phase.behavior)
+            duration = perf.seconds_for_instructions(phase.instructions, clock)
+            if duration <= 0:
+                raise WorkloadError(
+                    f"kernel {self.name}: phase {phase.name} has zero duration"
+                )
+            segments.append(
+                RateSegment(
+                    t_start=t,
+                    t_end=t + duration,
+                    rates=perf.rates(clock),
+                    label=phase.name,
+                    callpath=phase.callpath,
+                )
+            )
+            t += duration
+        return RateFunction(segments)
+
+    def instantiate(
+        self,
+        core: CoreModel,
+        rng: np.random.Generator,
+    ) -> Tuple[RateFunction, InstancePerturbation]:
+        """Rate function of one perturbed burst instance.
+
+        Each phase segment is time-dilated by its perturbation factor with
+        rates scaled down reciprocally, so the phase's total event counts
+        are preserved (same work, different speed) — the invariant folding
+        normalization relies on.
+        """
+        base = self.base_rate_function(core)
+        perturbation = self.variability.sample(self.n_phases, rng)
+        counter_sigma = self.variability.counter_sigma
+        segments: List[RateSegment] = []
+        t = 0.0
+        for index, seg in enumerate(base.segments):
+            scale = perturbation.scale_for_phase(index)
+            duration = seg.duration * scale
+            rates = {k: v / scale for k, v in seg.rates.items()}
+            if counter_sigma > 0:
+                # Data-dependent event noise: cache misses, branches taken,
+                # FLOPs executed vary run to run even for "the same" work.
+                # Instructions and cycles stay exact — they define the work
+                # and the time axis the ground truth is built on.
+                for name in rates:
+                    if name not in ("PAPI_TOT_INS", "PAPI_TOT_CYC"):
+                        rates[name] *= float(rng.lognormal(0.0, counter_sigma))
+            segments.append(
+                RateSegment(
+                    t_start=t,
+                    t_end=t + duration,
+                    rates=rates,
+                    label=seg.label,
+                    callpath=seg.callpath,
+                )
+            )
+            t += duration
+        return RateFunction(segments), perturbation
+
+    # ------------------------------------------------------------------
+    # ground truth for scoring
+    # ------------------------------------------------------------------
+    def truth_boundaries(self, core: CoreModel) -> np.ndarray:
+        """Normalized ground-truth phase boundaries in (0, 1)."""
+        return self.base_rate_function(core).normalized_boundaries
+
+    def truth_phase_rates(self, core: CoreModel) -> List[Dict[str, float]]:
+        """Per-phase absolute counter rates of the unperturbed instance."""
+        return [dict(seg.rates) for seg in self.base_rate_function(core).segments]
+
+    def transformed(
+        self,
+        phase_name: str,
+        behavior=None,
+        instruction_factor: float = 1.0,
+        suffix: str = "opt",
+    ) -> "Kernel":
+        """Kernel after a small code transformation of one phase.
+
+        This is the case-study loop's mechanism: replace ``phase_name``'s
+        behaviour (e.g. with its ``optimized_blocked()`` variant) and/or
+        scale its instruction count, keeping everything else identical.
+        """
+        found = False
+        new_phases: List[PhaseSpec] = []
+        for phase in self.phases:
+            if phase.name == phase_name:
+                found = True
+                new_phases.append(
+                    phase.with_behavior(
+                        behavior if behavior is not None else phase.behavior,
+                        instruction_factor=instruction_factor,
+                    )
+                )
+            else:
+                new_phases.append(phase)
+        if not found:
+            raise WorkloadError(
+                f"kernel {self.name} has no phase {phase_name!r}; "
+                f"phases: {self.phase_names()}"
+            )
+        return Kernel(
+            name=f"{self.name}.{suffix}",
+            phases=new_phases,
+            variability=self.variability,
+        )

@@ -1,0 +1,129 @@
+"""Iteration-to-iteration variability model.
+
+Real iterative applications never repeat exactly: OS noise, adaptive
+algorithms and contention perturb each burst instance.  The folding method
+explicitly copes with this — duration outliers are pruned, and the
+normalization makes folding invariant to uniform slowdowns.  This module
+generates the perturbations so those code paths are genuinely exercised.
+
+Three effects, all seeded and independent per instance:
+
+* **global scale** — lognormal multiplicative factor on the whole instance
+  (same work, dilated time: models frequency/contention jitter);
+* **phase jitter** — independent lognormal factor per phase (models
+  data-dependent phase cost drift);
+* **outliers** — with small probability an instance is dilated by a large
+  factor (models preemption/IO hiccups); these are what the IQR pruning in
+  the folding stage must reject.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.util.validation import check_positive, check_probability
+
+__all__ = ["VariabilityModel", "InstancePerturbation"]
+
+
+@dataclass(frozen=True)
+class InstancePerturbation:
+    """Resolved perturbation for one burst instance."""
+
+    global_scale: float
+    phase_scales: np.ndarray
+    is_outlier: bool
+
+    def scale_for_phase(self, index: int) -> float:
+        """Combined time-dilation factor for phase ``index``."""
+        return float(self.global_scale * self.phase_scales[index])
+
+
+@dataclass(frozen=True)
+class VariabilityModel:
+    """Parameters of the instance perturbation distribution.
+
+    ``duration_sigma``/``phase_sigma`` are the lognormal shape parameters of
+    the global and per-phase factors; 0 disables the effect.  ``outlier_prob``
+    instances are additionally dilated by ``outlier_scale``.
+
+    ``outlier_mode`` selects what an outlier dilates:
+
+    * ``"uniform"`` — the whole instance (frequency drop, co-runner).
+      Folding normalization is *invariant* to this (a property the test
+      suite asserts), so uniform outliers only matter to clustering.
+    * ``"phase"`` — one random phase only (page-fault burst, demand I/O
+      inside a loop).  This genuinely distorts the folded curve, which is
+      why the folding stage prunes duration outliers before folding.
+
+    ``counter_sigma`` adds data-dependent event-count noise: per instance,
+    per phase, the rates of *event* counters (cache misses, branch
+    mispredictions, FLOPs — everything except instructions and cycles,
+    which define work and time) are scaled by an independent lognormal
+    factor.  This is what makes counter extrapolation ratios *estimates*
+    rather than identities, as they are on real hardware.
+    """
+
+    duration_sigma: float = 0.03
+    phase_sigma: float = 0.01
+    outlier_prob: float = 0.01
+    outlier_scale: float = 3.0
+    outlier_mode: str = "uniform"
+    counter_sigma: float = 0.0
+
+    VALID_OUTLIER_MODES = ("uniform", "phase")
+
+    def __post_init__(self) -> None:
+        check_positive("duration_sigma", self.duration_sigma, strict=False)
+        check_positive("phase_sigma", self.phase_sigma, strict=False)
+        check_probability("outlier_prob", self.outlier_prob)
+        check_positive("outlier_scale", self.outlier_scale)
+        if self.outlier_scale < 1.0:
+            raise ValueError(
+                f"outlier_scale must be >= 1 (a dilation), got {self.outlier_scale}"
+            )
+        if self.outlier_mode not in self.VALID_OUTLIER_MODES:
+            raise ValueError(
+                f"outlier_mode must be one of {self.VALID_OUTLIER_MODES}, "
+                f"got {self.outlier_mode!r}"
+            )
+        check_positive("counter_sigma", self.counter_sigma, strict=False)
+
+    @classmethod
+    def none(cls) -> "VariabilityModel":
+        """Perfectly repeatable instances (used by exactness tests)."""
+        return cls(duration_sigma=0.0, phase_sigma=0.0, outlier_prob=0.0, outlier_scale=1.0)
+
+    def sample(self, n_phases: int, rng: np.random.Generator) -> InstancePerturbation:
+        """Draw the perturbation for one instance."""
+        if n_phases < 1:
+            raise ValueError(f"n_phases must be >= 1, got {n_phases}")
+        global_scale = 1.0
+        if self.duration_sigma > 0:
+            global_scale = float(rng.lognormal(mean=0.0, sigma=self.duration_sigma))
+        if self.phase_sigma > 0:
+            phase_scales = rng.lognormal(mean=0.0, sigma=self.phase_sigma, size=n_phases)
+        else:
+            phase_scales = np.ones(n_phases)
+        is_outlier = bool(self.outlier_prob > 0 and rng.random() < self.outlier_prob)
+        if is_outlier:
+            if self.outlier_mode == "uniform":
+                global_scale *= self.outlier_scale
+            else:  # "phase": dilate one random phase only
+                victim = int(rng.integers(0, n_phases))
+                phase_scales = phase_scales.copy()
+                phase_scales[victim] *= self.outlier_scale
+        return InstancePerturbation(
+            global_scale=global_scale,
+            phase_scales=phase_scales,
+            is_outlier=is_outlier,
+        )
+
+    def sample_many(
+        self, n_instances: int, n_phases: int, rng: np.random.Generator
+    ) -> List[InstancePerturbation]:
+        """Draw perturbations for ``n_instances`` instances."""
+        return [self.sample(n_phases, rng) for _ in range(n_instances)]

@@ -1,0 +1,59 @@
+"""Shared fixtures.
+
+Expensive artifacts (engine runs, traces, full analyses) are session-scoped:
+they are deterministic (fixed seeds), so sharing them across tests loses
+nothing and keeps the suite fast.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.experiments import RunArtifacts, run_app
+from repro.machine.cpu import CoreModel
+from repro.machine.spec import MachineSpec
+from repro.runtime.engine import ExecutionEngine
+from repro.runtime.tracer import Tracer, TracerConfig
+from repro.workload.apps import cgpop_app, multiphase_app
+
+
+@pytest.fixture(scope="session")
+def core() -> CoreModel:
+    """Reference machine model."""
+    return CoreModel(MachineSpec())
+
+
+@pytest.fixture(scope="session")
+def small_multiphase_app():
+    """Small 4-phase single-kernel app (fast to run)."""
+    return multiphase_app(iterations=120, ranks=2)
+
+
+@pytest.fixture(scope="session")
+def small_cgpop_app():
+    """Small two-kernel cgpop app."""
+    return cgpop_app(iterations=80, ranks=4)
+
+
+@pytest.fixture(scope="session")
+def multiphase_timeline(core, small_multiphase_app):
+    """Engine run of the multiphase app."""
+    return ExecutionEngine(core, seed=101).run(small_multiphase_app)
+
+
+@pytest.fixture(scope="session")
+def multiphase_trace(multiphase_timeline):
+    """Trace of the multiphase run."""
+    return Tracer(TracerConfig(seed=7)).trace(multiphase_timeline)
+
+
+@pytest.fixture(scope="session")
+def multiphase_artifacts(core, small_multiphase_app) -> RunArtifacts:
+    """Full pipeline artifacts for the multiphase app."""
+    return run_app(small_multiphase_app, core=core, seed=101)
+
+
+@pytest.fixture(scope="session")
+def cgpop_artifacts(core, small_cgpop_app) -> RunArtifacts:
+    """Full pipeline artifacts for the cgpop app."""
+    return run_app(small_cgpop_app, core=core, seed=202)

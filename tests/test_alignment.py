@@ -1,0 +1,93 @@
+"""Tests for repro.clustering.alignment — SPMD structure validation."""
+
+import numpy as np
+import pytest
+
+from repro.clustering.alignment import (
+    SPMDReport,
+    align_identity,
+    rank_sequences,
+    spmd_score,
+)
+from repro.errors import ClusteringError
+
+
+class TestAlignIdentity:
+    def test_identical(self):
+        assert align_identity([0, 1, 0, 1], [0, 1, 0, 1]) == 1.0
+
+    def test_disjoint(self):
+        assert align_identity([0, 0, 0], [1, 1, 1]) == 0.0
+
+    def test_single_substitution(self):
+        assert align_identity([0, 1, 2, 3], [0, 1, 9, 3]) == pytest.approx(0.75)
+
+    def test_insertion_tolerated(self):
+        # one extra token: 4 of 5 align
+        assert align_identity([0, 1, 2, 3], [0, 1, 7, 2, 3]) == pytest.approx(0.8)
+
+    def test_length_mismatch_normalized_by_longer(self):
+        assert align_identity([0, 1], [0, 1, 2, 3]) == pytest.approx(0.5)
+
+    def test_symmetry(self):
+        a, b = [0, 1, 2, 0, 1], [0, 2, 1, 0]
+        assert align_identity(a, b) == pytest.approx(align_identity(b, a))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ClusteringError):
+            align_identity([], [0])
+
+
+class TestRankSequences:
+    def test_sequences_time_ordered(self, cgpop_artifacts):
+        bursts = cgpop_artifacts.result.bursts
+        labels = cgpop_artifacts.result.clustering.labels
+        sequences = rank_sequences(bursts, labels)
+        assert set(sequences) == set(range(cgpop_artifacts.trace.n_ranks))
+        # cgpop alternates matvec/dot: the sequence must alternate two ids
+        seq = sequences[0]
+        non_noise = [s for s in seq if s >= 0]
+        assert set(non_noise) == {0, 1}
+
+    def test_label_mismatch(self, cgpop_artifacts):
+        with pytest.raises(ClusteringError):
+            rank_sequences(cgpop_artifacts.result.bursts, np.zeros(2, dtype=int))
+
+
+class TestSpmdScore:
+    def test_spmd_app_scores_high(self, cgpop_artifacts):
+        report = spmd_score(
+            cgpop_artifacts.result.bursts, cgpop_artifacts.result.clustering.labels
+        )
+        assert report.score > 0.9
+        assert report.is_spmd
+        assert report.identity_to_reference[report.reference_rank] == 1.0
+
+    def test_shuffled_labels_score_lower(self, cgpop_artifacts):
+        bursts = cgpop_artifacts.result.bursts
+        labels = cgpop_artifacts.result.clustering.labels.copy()
+        rng = np.random.default_rng(0)
+        # scramble the labels of half the ranks' bursts
+        for i, burst in enumerate(bursts):
+            if burst.rank >= 2:
+                labels[i] = rng.integers(0, 5)
+        degraded = spmd_score(bursts, labels)
+        clean = spmd_score(bursts, cgpop_artifacts.result.clustering.labels)
+        assert degraded.score < clean.score - 0.2
+
+    def test_bad_reference_rank(self, cgpop_artifacts):
+        with pytest.raises(ClusteringError):
+            spmd_score(
+                cgpop_artifacts.result.bursts,
+                cgpop_artifacts.result.clustering.labels,
+                reference_rank=99,
+            )
+
+    def test_report_lengths(self, multiphase_artifacts):
+        report = spmd_score(
+            multiphase_artifacts.result.bursts,
+            multiphase_artifacts.result.clustering.labels,
+        )
+        app = multiphase_artifacts.app
+        for rank, length in report.sequence_lengths.items():
+            assert length == app.bursts_per_rank

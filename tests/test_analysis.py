@@ -1,0 +1,187 @@
+"""Tests for repro.analysis — pipeline, hints, report, methodology."""
+
+import pytest
+
+from repro.analysis.hints import generate_hints
+from repro.analysis.methodology import describe_application, run_case_study
+from repro.analysis.pipeline import AnalyzerConfig, FoldingAnalyzer
+from repro.analysis.report import format_table, render_report
+from repro.errors import AnalysisError
+from repro.workload.apps import (
+    cgpop_optimized,
+    mrgenesis_app,
+    mrgenesis_optimized,
+)
+
+
+class TestAnalyzerConfig:
+    def test_defaults_valid(self):
+        AnalyzerConfig()
+
+    @pytest.mark.parametrize(
+        "kw",
+        [
+            dict(min_pts=0),
+            dict(min_instances=1),
+            dict(min_cluster_fraction=1.0),
+            dict(eps=0.0),
+        ],
+    )
+    def test_validation(self, kw):
+        with pytest.raises(AnalysisError):
+            AnalyzerConfig(**kw)
+
+
+class TestPipeline:
+    def test_multiphase_single_cluster(self, multiphase_artifacts):
+        result = multiphase_artifacts.result
+        assert result.n_clusters_analyzed == 1
+        cluster = result.clusters[0]
+        assert cluster.time_share > 0.95
+        assert cluster.n_phases == 4
+
+    def test_cgpop_two_clusters(self, cgpop_artifacts):
+        result = cgpop_artifacts.result
+        assert result.n_clusters_analyzed == 2
+        shares = sorted(c.time_share for c in result.clusters)
+        assert shares[1] > shares[0]
+
+    def test_reconstructions_available(self, multiphase_artifacts):
+        cluster = multiphase_artifacts.result.clusters[0]
+        assert "PAPI_TOT_INS" in cluster.reconstructions
+        recon = cluster.reconstructions["PAPI_TOT_INS"]
+        times, rates = recon.profile(32)
+        assert times[-1] > 0
+
+    def test_attributions_cover_phases(self, multiphase_artifacts):
+        cluster = multiphase_artifacts.result.clusters[0]
+        assert len(cluster.attributions) == cluster.n_phases
+
+    def test_dominant_cluster(self, cgpop_artifacts):
+        dominant = cgpop_artifacts.result.dominant_cluster()
+        assert dominant.time_share == max(
+            c.time_share for c in cgpop_artifacts.result.clusters
+        )
+
+    def test_cluster_lookup_raises_for_skipped(self, cgpop_artifacts):
+        with pytest.raises(AnalysisError):
+            cgpop_artifacts.result.cluster(999)
+
+    def test_pivot_must_be_analyzed(self, multiphase_trace):
+        config = AnalyzerConfig(counters=("PAPI_L3_TCM",))
+        with pytest.raises(AnalysisError, match="pivot"):
+            FoldingAnalyzer(config).analyze(multiphase_trace)
+
+    def test_refinement_path(self, multiphase_trace):
+        config = AnalyzerConfig(use_refinement=True)
+        result = FoldingAnalyzer(config).analyze(multiphase_trace)
+        assert result.n_clusters_analyzed >= 1
+
+    def test_explicit_eps(self, multiphase_trace):
+        config = AnalyzerConfig(eps=0.5)
+        result = FoldingAnalyzer(config).analyze(multiphase_trace)
+        assert result.clustering.eps == 0.5
+
+    def test_ablation_filters_off_still_works(self, multiphase_trace):
+        config = AnalyzerConfig(
+            prune_outliers=False, monotonicity_filter=False
+        )
+        result = FoldingAnalyzer(config).analyze(multiphase_trace)
+        assert result.n_clusters_analyzed == 1
+
+
+class TestHints:
+    def test_cgpop_memory_hint_on_stencil(self, cgpop_artifacts):
+        hints = generate_hints(cgpop_artifacts.result)
+        assert hints
+        top = hints[0]
+        assert top.kind == "memory_bound"
+        assert top.routine == "btrop_operator"
+        assert top.impact > 0.3
+
+    def test_hints_sorted_by_impact(self, cgpop_artifacts):
+        hints = generate_hints(cgpop_artifacts.result)
+        impacts = [h.impact for h in hints]
+        assert impacts == sorted(impacts, reverse=True)
+
+    def test_max_hints_respected(self, cgpop_artifacts):
+        assert len(generate_hints(cgpop_artifacts.result, max_hints=1)) == 1
+        with pytest.raises(AnalysisError):
+            generate_hints(cgpop_artifacts.result, max_hints=0)
+
+    def test_describe_mentions_routine(self, cgpop_artifacts):
+        hint = generate_hints(cgpop_artifacts.result)[0]
+        assert "btrop_operator" in hint.describe()
+
+    def test_no_run_level_hint_for_balanced_apps(self, cgpop_artifacts):
+        hints = generate_hints(cgpop_artifacts.result)
+        assert not any(h.is_run_level for h in hints)
+
+    def test_run_level_hint_fires_on_inefficiency(self, core):
+        from repro.analysis.experiments import run_app
+        from repro.workload.apps import dalton_app
+
+        artifacts = run_app(
+            dalton_app(iterations=60, ranks=6), core=core, seed=3
+        )
+        hints = generate_hints(artifacts.result)
+        run_level = [h for h in hints if h.is_run_level]
+        assert len(run_level) == 1
+        assert run_level[0].kind == "parallel_inefficiency"
+        assert "parallel efficiency" in run_level[0].describe()
+
+
+class TestReport:
+    def test_format_table_alignment(self):
+        table = format_table(["a", "bb"], [["1", "2"], ["333", "4"]])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a")
+
+    def test_render_report_contains_sections(self, cgpop_artifacts):
+        hints = generate_hints(cgpop_artifacts.result)
+        text = render_report(cgpop_artifacts.result, hints)
+        assert "Folding analysis: cgpop" in text
+        assert "Cluster" in text
+        assert "MIPS" in text
+        assert "Hints" in text
+        assert "btrop_operator" in text
+
+    def test_render_without_hints(self, multiphase_artifacts):
+        text = render_report(multiphase_artifacts.result)
+        assert "Hints" not in text
+
+
+class TestMethodology:
+    def test_describe_application(self, core):
+        app = mrgenesis_app(iterations=40, ranks=2)
+        description = describe_application(app, core, seed=1)
+        assert description.wall_time_s > 0
+        assert "mrgenesis" in description.report
+        assert description.hints
+
+    def test_case_study_speedup_in_band(self, core):
+        app = mrgenesis_app(iterations=40, ranks=2)
+        result, before, after = run_case_study(
+            app, mrgenesis_optimized, core, "branchless riemann", seed=2
+        )
+        assert 1.05 < result.speedup < 1.35
+        assert result.guiding_hint is not None
+        assert "branchless riemann" in str(result)
+
+    def test_case_study_guided_by_branch_hint(self, core):
+        app = mrgenesis_app(iterations=40, ranks=2)
+        result, before, _ = run_case_study(
+            app, mrgenesis_optimized, core, "branchless", seed=2
+        )
+        assert before.hints[0].kind == "branch_bound"
+        assert before.hints[0].routine == "riemann_solver"
+
+    def test_cgpop_case_study(self, core, small_cgpop_app):
+        result, before, after = run_case_study(
+            small_cgpop_app, cgpop_optimized, core, "blocking", seed=3
+        )
+        assert 1.1 < result.speedup < 1.6
+        assert result.improvement_percent == pytest.approx(
+            100 * (1 - 1 / result.speedup)
+        )

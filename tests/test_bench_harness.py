@@ -1,0 +1,60 @@
+"""Bitrot guard for the benchmark harness.
+
+Imports every bench module (without running the experiments) and checks
+the dual-mode contract each must satisfy: an ``EXP_ID``/``CLAIM`` banner,
+a pytest-benchmark entry point, and a standalone ``main``.  Also checks
+the experiment index in DESIGN.md mentions every bench file.
+"""
+
+import importlib
+import os
+import pathlib
+import sys
+
+import pytest
+
+BENCH_DIR = pathlib.Path(__file__).resolve().parent.parent / "benchmarks"
+BENCH_MODULES = sorted(
+    p.stem for p in BENCH_DIR.glob("bench_*.py")
+)
+
+
+@pytest.fixture(scope="module", autouse=True)
+def bench_path():
+    sys.path.insert(0, str(BENCH_DIR))
+    yield
+    sys.path.remove(str(BENCH_DIR))
+
+
+class TestBenchContract:
+    def test_benches_exist(self):
+        assert len(BENCH_MODULES) >= 14
+
+    @pytest.mark.parametrize("name", BENCH_MODULES)
+    def test_module_contract(self, name):
+        module = importlib.import_module(name)
+        assert isinstance(module.EXP_ID, str) and module.EXP_ID
+        assert isinstance(module.CLAIM, str) and module.CLAIM
+        assert callable(module.main)
+        test_fns = [
+            attr
+            for attr in vars(module)
+            if attr.startswith("test_") and callable(getattr(module, attr))
+        ]
+        assert len(test_fns) >= 1, f"{name} has no pytest entry point"
+
+    def test_design_md_indexes_every_bench(self):
+        design = (BENCH_DIR.parent / "DESIGN.md").read_text(encoding="utf-8")
+        for name in BENCH_MODULES:
+            assert f"{name}.py" in design, f"{name} missing from DESIGN.md index"
+
+    def test_run_all_lists_every_bench(self):
+        run_all = (BENCH_DIR / "run_all.py").read_text(encoding="utf-8")
+        for name in BENCH_MODULES:
+            assert name in run_all, f"{name} missing from run_all.py"
+
+    def test_exp_ids_unique(self):
+        ids = []
+        for name in BENCH_MODULES:
+            ids.append(importlib.import_module(name).EXP_ID)
+        assert len(set(ids)) == len(ids)

@@ -1,0 +1,105 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import APP_BUILDERS, main
+
+
+class TestCliApps:
+    def test_lists_all_apps(self, capsys):
+        assert main(["apps"]) == 0
+        out = capsys.readouterr().out
+        for name in APP_BUILDERS:
+            assert name in out
+
+
+class TestCliTraceStatsAnalyze:
+    @pytest.fixture(scope="class")
+    def trace_path(self, tmp_path_factory):
+        path = str(tmp_path_factory.mktemp("cli") / "run.rpt")
+        code = main(
+            [
+                "trace",
+                "--app",
+                "multiphase",
+                "--iterations",
+                "120",
+                "--ranks",
+                "2",
+                "--seed",
+                "5",
+                "-o",
+                path,
+            ]
+        )
+        assert code == 0
+        return path
+
+    def test_trace_writes_file(self, trace_path, capsys):
+        import os
+
+        assert os.path.exists(trace_path)
+
+    def test_stats(self, trace_path, capsys):
+        assert main(["stats", trace_path]) == 0
+        out = capsys.readouterr().out
+        assert "compute fraction" in out
+        assert "ranks:              2" in out
+
+    def test_analyze(self, trace_path, capsys):
+        assert main(["analyze", trace_path]) == 0
+        out = capsys.readouterr().out
+        assert "Folding analysis" in out
+        assert "MIPS" in out
+
+    def test_stats_missing_file(self):
+        with pytest.raises(FileNotFoundError):
+            main(["stats", "/nonexistent/trace.rpt"])
+
+
+class TestCliDemo:
+    def test_demo_report(self, capsys):
+        code = main(
+            [
+                "demo",
+                "--app",
+                "multiphase",
+                "--iterations",
+                "120",
+                "--ranks",
+                "2",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Folding analysis: multiphase" in out
+
+    def test_demo_optimize(self, capsys):
+        code = main(
+            [
+                "demo",
+                "--app",
+                "mrgenesis",
+                "--iterations",
+                "40",
+                "--ranks",
+                "2",
+                "--optimize",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "faster" in out
+        assert "if-conversion" in out
+
+    def test_demo_optimize_unsupported_app(self):
+        with pytest.raises(SystemExit):
+            main(["demo", "--app", "multiphase", "--optimize"])
+
+    def test_unknown_app(self):
+        with pytest.raises(SystemExit):
+            main(["demo", "--app", "nope"])
+
+    def test_missing_command(self):
+        with pytest.raises(SystemExit):
+            main([])

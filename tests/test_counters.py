@@ -1,0 +1,200 @@
+"""Tests for repro.counters — definitions, sets, derived metrics."""
+
+import pytest
+
+from repro.counters.definitions import (
+    Counter,
+    CounterKind,
+    CounterRegistry,
+    DEFAULT_REGISTRY,
+    L3_TCM,
+    TOT_CYC,
+    TOT_INS,
+)
+from repro.counters.derived import (
+    STANDARD_METRICS,
+    compute_metrics,
+    ipc,
+    mips,
+    mpki,
+)
+from repro.counters.sets import CounterSet, MultiplexSchedule
+
+
+class TestCounterDefinition:
+    def test_short_name_strips_prefix(self):
+        assert TOT_INS.short_name == "TOT_INS"
+
+    def test_non_papi_name_kept(self):
+        counter = Counter("CUSTOM_EVT", CounterKind.OTHER, "custom")
+        assert counter.short_name == "CUSTOM_EVT"
+
+    def test_lowercase_name_rejected(self):
+        with pytest.raises(ValueError):
+            Counter("papi_tot_ins", CounterKind.OTHER, "bad")
+
+    def test_nonpositive_bound_rejected(self):
+        with pytest.raises(ValueError):
+            Counter("PAPI_X", CounterKind.OTHER, "x", per_instruction_max=0.0)
+
+
+class TestCounterRegistry:
+    def test_standard_registry_has_presets(self):
+        assert "PAPI_TOT_INS" in DEFAULT_REGISTRY
+        assert "PAPI_L3_TCM" in DEFAULT_REGISTRY
+        assert len(DEFAULT_REGISTRY) == 12
+
+    def test_register_idempotent(self):
+        registry = CounterRegistry.standard()
+        cid1 = registry.register(TOT_INS)
+        cid2 = registry.register(TOT_INS)
+        assert cid1 == cid2
+
+    def test_register_conflicting_definition(self):
+        registry = CounterRegistry.standard()
+        clone = Counter("PAPI_TOT_INS", CounterKind.OTHER, "different")
+        with pytest.raises(ValueError):
+            registry.register(clone)
+
+    def test_ids_stable_and_reversible(self):
+        registry = CounterRegistry.standard()
+        cid = registry.id_of("PAPI_L3_TCM")
+        assert registry.by_id(cid) == L3_TCM
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError, match="PAPI_NOPE"):
+            DEFAULT_REGISTRY.get("PAPI_NOPE")
+
+    def test_unknown_id(self):
+        with pytest.raises(KeyError):
+            DEFAULT_REGISTRY.by_id(1)
+
+    def test_iteration_order(self):
+        names = [c.name for c in DEFAULT_REGISTRY]
+        assert names[0] == "PAPI_TOT_INS"
+        assert names == DEFAULT_REGISTRY.names()
+
+
+class TestCounterSet:
+    def test_basic(self):
+        cs = CounterSet([TOT_INS, TOT_CYC])
+        assert len(cs) == 2
+        assert "PAPI_TOT_INS" in cs
+        assert TOT_CYC in cs
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            CounterSet([])
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(ValueError):
+            CounterSet([TOT_INS, TOT_INS])
+
+    def test_pmu_width_enforced(self):
+        with pytest.raises(ValueError, match="PMU"):
+            CounterSet([TOT_INS, TOT_CYC, L3_TCM], max_registers=2)
+
+
+class TestMultiplexSchedule:
+    def _sets(self):
+        from repro.counters.definitions import FP_OPS, L1_DCM
+
+        return [
+            CounterSet([TOT_INS, TOT_CYC, L1_DCM]),
+            CounterSet([TOT_INS, TOT_CYC, FP_OPS]),
+        ]
+
+    def test_round_robin(self):
+        schedule = MultiplexSchedule(self._sets(), pivot_names=("PAPI_TOT_INS",))
+        assert schedule.set_for_instance(0) is schedule.sets[0]
+        assert schedule.set_for_instance(1) is schedule.sets[1]
+        assert schedule.set_for_instance(2) is schedule.sets[0]
+
+    def test_pivot_must_be_everywhere(self):
+        with pytest.raises(ValueError, match="pivot"):
+            MultiplexSchedule(self._sets(), pivot_names=("PAPI_L1_DCM",))
+
+    def test_instances_for_counter(self):
+        schedule = MultiplexSchedule(self._sets())
+        assert schedule.instances_for_counter("PAPI_L1_DCM", 6) == [0, 2, 4]
+        assert schedule.instances_for_counter("PAPI_TOT_INS", 4) == [0, 1, 2, 3]
+
+    def test_unknown_counter(self):
+        schedule = MultiplexSchedule(self._sets())
+        with pytest.raises(KeyError):
+            schedule.instances_for_counter("PAPI_L3_TCM", 4)
+
+    def test_all_counter_names(self):
+        schedule = MultiplexSchedule(self._sets())
+        assert schedule.all_counter_names() == [
+            "PAPI_TOT_INS",
+            "PAPI_TOT_CYC",
+            "PAPI_L1_DCM",
+            "PAPI_FP_OPS",
+        ]
+
+    def test_single(self):
+        schedule = MultiplexSchedule.single(CounterSet([TOT_INS]))
+        assert schedule.set_for_instance(99).names == ["PAPI_TOT_INS"]
+
+    def test_negative_instance(self):
+        with pytest.raises(ValueError):
+            MultiplexSchedule(self._sets()).set_for_instance(-1)
+
+
+class TestDerivedMetrics:
+    RATES = {
+        "PAPI_TOT_INS": 2.0e9,
+        "PAPI_TOT_CYC": 2.6e9,
+        "PAPI_L1_DCM": 1.0e7,
+        "PAPI_L2_DCM": 5.0e6,
+        "PAPI_L3_TCM": 2.0e6,
+        "PAPI_FP_OPS": 1.0e9,
+        "PAPI_BR_INS": 2.0e8,
+        "PAPI_BR_MSP": 4.0e6,
+        "PAPI_VEC_INS": 5.0e8,
+        "PAPI_LD_INS": 5.0e8,
+        "PAPI_SR_INS": 2.0e8,
+    }
+
+    def test_ipc(self):
+        assert ipc(self.RATES) == pytest.approx(2.0e9 / 2.6e9)
+
+    def test_mips(self):
+        assert mips(self.RATES) == pytest.approx(2000.0)
+
+    def test_mpki(self):
+        assert mpki(self.RATES, "PAPI_L3_TCM") == pytest.approx(1.0)
+
+    def test_ipc_zero_cycles(self):
+        with pytest.raises(ValueError):
+            ipc({"PAPI_TOT_INS": 1.0, "PAPI_TOT_CYC": 0.0})
+
+    def test_compute_metrics_full(self):
+        metrics = compute_metrics(self.RATES)
+        assert metrics["IPC"] == pytest.approx(2.0e9 / 2.6e9)
+        assert metrics["GFLOPS"] == pytest.approx(1.0)
+        assert metrics["BR_MISS_RATIO"] == pytest.approx(0.02)
+        assert metrics["VEC_RATIO"] == pytest.approx(0.25)
+        assert metrics["MEM_RATIO"] == pytest.approx(0.35)
+
+    def test_compute_metrics_skips_missing(self):
+        metrics = compute_metrics({"PAPI_TOT_INS": 1.0e9})
+        assert "MIPS" in metrics
+        assert "IPC" not in metrics
+
+    def test_compute_metrics_strict_raises(self):
+        with pytest.raises(KeyError):
+            compute_metrics({"PAPI_TOT_INS": 1.0e9}, skip_unavailable=False)
+
+    def test_degenerate_rates_skipped(self):
+        rates = dict(self.RATES)
+        rates["PAPI_TOT_CYC"] = 0.0
+        metrics = compute_metrics(rates)
+        assert "IPC" not in metrics
+        assert "MIPS" in metrics
+
+    def test_standard_metric_directions(self):
+        by_name = {m.name: m for m in STANDARD_METRICS}
+        assert by_name["IPC"].higher_is_better
+        assert not by_name["L3_MPKI"].higher_is_better

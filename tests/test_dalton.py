@@ -1,0 +1,107 @@
+"""Tests for the master/worker (non-SPMD) application support."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.experiments import run_app
+from repro.analysis.pipeline import AnalyzerConfig
+from repro.clustering.alignment import spmd_score
+from repro.clustering.quality import truth_labels_for
+from repro.errors import WorkloadError
+from repro.trace.stats import compute_stats
+from repro.workload.apps import dalton_app, multiphase_app
+from repro.workload.application import ComputeStep
+
+
+@pytest.fixture(scope="module")
+def dalton_artifacts(core):
+    app = dalton_app(iterations=150, ranks=6)
+    return run_app(app, core=core, seed=77, analyzer_config=AnalyzerConfig(check_spmd=True))
+
+
+class TestComputeStepPerRank:
+    def test_kernel_for(self):
+        app = dalton_app(iterations=2, ranks=3)
+        step = app.steps[0]
+        assert isinstance(step, ComputeStep)
+        assert step.kernel_for(0).name == "dalton.master"
+        assert step.kernel_for(1).name == "dalton.worker"
+        assert step.kernel_for(2).name == "dalton.worker"
+
+    def test_all_kernels_listed(self):
+        app = dalton_app(iterations=2, ranks=3)
+        names = {k.name for k in app.kernels()}
+        assert names == {"dalton.master", "dalton.worker"}
+
+    def test_spmd_apps_have_no_overrides(self):
+        app = multiphase_app(iterations=2, ranks=2)
+        step = app.steps[0]
+        assert step.kernel_for(0) is step.kernel_for(1)
+
+    def test_ranks_validation(self):
+        with pytest.raises(WorkloadError):
+            dalton_app(ranks=1)
+        with pytest.raises(WorkloadError):
+            dalton_app(batch_scale=0.0)
+
+
+class TestDaltonEngine:
+    def test_master_runs_master_kernel(self, dalton_artifacts):
+        timeline = dalton_artifacts.timeline
+        master_names = {b.kernel_name for b in timeline.ranks[0].bursts}
+        worker_names = {b.kernel_name for b in timeline.ranks[1].bursts}
+        assert master_names == {"dalton.master"}
+        assert worker_names == {"dalton.worker"}
+
+    def test_master_bottleneck_limits_efficiency(self, dalton_artifacts):
+        """The serializing report pattern leaves workers waiting; the
+        master computes far less than the workers (the Dalton papers'
+        diagnosis)."""
+        stats = compute_stats(dalton_artifacts.trace)
+        master_compute = stats.per_rank_compute_time[0]
+        worker_compute = np.mean(
+            [stats.per_rank_compute_time[r] for r in range(1, 6)]
+        )
+        assert master_compute < 0.5 * worker_compute
+        assert stats.parallel_efficiency < 0.95
+
+
+class TestDaltonAnalysis:
+    def test_clusters_separate_master_and_workers(self, dalton_artifacts):
+        result = dalton_artifacts.result
+        truth = np.array(
+            truth_labels_for(result.bursts, dalton_artifacts.timeline)
+        )
+        labels = result.clustering.labels
+        # the analyzed clusters must split cleanly by kernel
+        for cluster in result.clusters:
+            members = labels == cluster.cluster_id
+            names = set(truth[members])
+            assert len(names) == 1
+
+    def test_spmd_check_flags_master_worker(self, dalton_artifacts):
+        report = dalton_artifacts.result.spmd
+        assert report is not None
+        # rank 0's sequence shares no cluster ids with the workers'
+        assert report.score < 0.5
+        assert not report.is_spmd
+
+    def test_spmd_score_direct(self, dalton_artifacts):
+        result = dalton_artifacts.result
+        # reference a *worker* rank: workers agree with each other
+        report = spmd_score(result.bursts, result.clustering.labels, reference_rank=1)
+        worker_identities = [
+            v for r, v in report.identity_to_reference.items() if r >= 1
+        ]
+        assert min(worker_identities) > 0.9
+        assert report.identity_to_reference[0] < 0.2
+
+    def test_worker_phases_detected(self, dalton_artifacts):
+        result = dalton_artifacts.result
+        dominant = result.dominant_cluster()
+        # the worker cluster dominates time and shows its 3-phase shape
+        assert dominant.n_phases >= 2
+        routines = {
+            a.dominant_routine for a in dominant.attributions if a.attributed
+        }
+        assert "shell_quadruple" in routines

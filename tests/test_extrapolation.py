@@ -1,0 +1,173 @@
+"""Tests for PMU multiplexing end-to-end and the extrapolation stage."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.experiments import run_app
+from repro.analysis.pipeline import FoldingAnalyzer
+from repro.clustering import extract_bursts
+from repro.counters.definitions import (
+    BR_MSP,
+    FP_OPS,
+    L1_DCM,
+    L3_TCM,
+    TOT_CYC,
+    TOT_INS,
+    VEC_INS,
+)
+from repro.counters.sets import CounterSet, MultiplexSchedule
+from repro.errors import AnalysisError
+from repro.extrapolation import cross_validate, extrapolate
+from repro.runtime.tracer import Tracer, TracerConfig
+from repro.workload.apps import cgpop_app, multiphase_app
+
+
+@pytest.fixture(scope="module")
+def schedule():
+    """Three groups sharing the pivot pair, splitting the event counters.
+
+    Three sets, not two: cgpop runs two bursts per iteration, so an even
+    set count would alias with the kernel structure and starve each
+    cluster of one group (see the MultiplexSchedule aliasing warning).
+    """
+    return MultiplexSchedule(
+        sets=[
+            CounterSet([TOT_INS, TOT_CYC, L1_DCM, L3_TCM]),
+            CounterSet([TOT_INS, TOT_CYC, FP_OPS, VEC_INS]),
+            CounterSet([TOT_INS, TOT_CYC, BR_MSP, L3_TCM]),
+        ],
+        pivot_names=("PAPI_TOT_INS", "PAPI_TOT_CYC"),
+    )
+
+
+@pytest.fixture(scope="module")
+def mux_trace(core, schedule):
+    from repro.runtime.engine import ExecutionEngine
+
+    app = cgpop_app(iterations=100, ranks=2)
+    timeline = ExecutionEngine(core, seed=44).run(app)
+    trace = Tracer(TracerConfig(seed=44, multiplex=schedule)).trace(timeline)
+    return app, timeline, trace
+
+
+class TestMultiplexedTracing:
+    def test_probes_carry_scheduled_sets_only(self, mux_trace, schedule):
+        _, _, trace = mux_trace
+        probes = trace.instrumentation_of(0)
+        # first probe is comm_enter of comm 0 => burst 0 => set 0
+        assert set(probes[0].counters) == set(schedule.sets[0].names)
+        # second probe is comm_exit of comm 0 => burst 1 => set 1
+        assert set(probes[1].counters) == set(schedule.sets[1].names)
+
+    def test_bursts_alternate_counter_sets(self, mux_trace, schedule):
+        _, _, trace = mux_trace
+        bursts = extract_bursts(trace)
+        rank0 = [b for b in bursts if b.rank == 0]
+        for burst in rank0[:8]:
+            expected = schedule.set_for_instance(burst.index).names
+            assert set(burst.start_counters) == set(expected)
+            assert set(burst.end_counters) == set(expected)
+
+    def test_union_and_common_counters(self, mux_trace):
+        _, _, trace = mux_trace
+        bursts = extract_bursts(trace)
+        union = set(bursts.counter_names)
+        common = set(bursts.common_counters())
+        assert common == {"PAPI_TOT_INS", "PAPI_TOT_CYC"}
+        assert {"PAPI_L3_TCM", "PAPI_FP_OPS"} <= union
+
+    def test_pipeline_runs_on_multiplexed_trace(self, mux_trace):
+        _, _, trace = mux_trace
+        result = FoldingAnalyzer().analyze(trace)
+        assert result.n_clusters_analyzed == 2
+        dominant = result.dominant_cluster()
+        # folded counters include events measured in only half the bursts
+        assert "PAPI_L3_TCM" in dominant.folded
+        assert "PAPI_FP_OPS" in dominant.folded
+        # every L3 folded point comes from an even-indexed instance's set
+        l3 = dominant.folded["PAPI_L3_TCM"]
+        assert l3.n_points > 50
+
+    def test_phase_metrics_survive_multiplexing(self, core, mux_trace):
+        app, _, trace = mux_trace
+        result = FoldingAnalyzer().analyze(trace)
+        dominant = result.dominant_cluster()
+        longest = dominant.phase_set.dominant_phase()
+        # the stencil phase is still diagnosed as slow + miss-heavy
+        assert longest.metric("IPC") < 1.0
+        assert longest.metric("L3_MPKI") > 10
+
+
+class TestExtrapolate:
+    def test_projection_fills_all_clustered_bursts(self, mux_trace):
+        _, _, trace = mux_trace
+        bursts = extract_bursts(trace)
+        result = FoldingAnalyzer().analyze(trace)
+        extrapolated = extrapolate(result.bursts, result.clustering.labels)
+        for counter in ("PAPI_L3_TCM", "PAPI_FP_OPS"):
+            deltas = extrapolated.deltas[counter]
+            clustered = result.clustering.labels >= 0
+            assert np.all(np.isfinite(deltas[clustered]))
+            assert 0.2 < extrapolated.coverage(counter) < 0.8
+
+    def test_projection_close_to_truth(self, core, mux_trace, schedule):
+        """Project L3 misses for bursts that didn't measure them and
+        compare with an identical un-multiplexed run."""
+        app, timeline, trace = mux_trace
+        result = FoldingAnalyzer().analyze(trace)
+        extrapolated = extrapolate(result.bursts, result.clustering.labels)
+
+        full_trace = Tracer(TracerConfig(seed=44)).trace(timeline)
+        full_bursts = extract_bursts(full_trace)
+        truth = full_bursts.deltas("PAPI_L3_TCM")
+
+        deltas = extrapolated.deltas["PAPI_L3_TCM"]
+        mask = (
+            ~extrapolated.measured["PAPI_L3_TCM"]
+            & (result.clustering.labels >= 0)
+            & (truth > 0)
+        )
+        assert mask.sum() > 50
+        rel_err = np.abs(deltas[mask] - truth[mask]) / truth[mask]
+        assert np.mean(rel_err) < 0.1
+
+    def test_pivot_must_be_everywhere(self, mux_trace):
+        _, _, trace = mux_trace
+        result = FoldingAnalyzer().analyze(trace)
+        with pytest.raises(AnalysisError, match="pivot"):
+            extrapolate(result.bursts, result.clustering.labels, pivot="PAPI_L3_TCM")
+
+    def test_label_mismatch(self, mux_trace):
+        _, _, trace = mux_trace
+        bursts = extract_bursts(trace)
+        with pytest.raises(AnalysisError):
+            extrapolate(bursts, np.zeros(3, dtype=int))
+
+    def test_cross_validation_error_small(self, mux_trace):
+        _, _, trace = mux_trace
+        result = FoldingAnalyzer().analyze(trace)
+        error, n = cross_validate(
+            result.bursts,
+            result.clustering.labels,
+            "PAPI_FP_OPS",
+            rng=np.random.default_rng(5),
+        )
+        assert n > 10
+        assert error < 0.05
+
+    def test_cross_validation_validation(self, mux_trace):
+        _, _, trace = mux_trace
+        result = FoldingAnalyzer().analyze(trace)
+        with pytest.raises(AnalysisError):
+            cross_validate(
+                result.bursts,
+                result.clustering.labels,
+                "PAPI_FP_OPS",
+                holdout_fraction=0.0,
+            )
+
+    def test_full_trace_nothing_projected(self, multiphase_artifacts):
+        result = multiphase_artifacts.result
+        extrapolated = extrapolate(result.bursts, result.clustering.labels)
+        for counter in extrapolated.counters:
+            assert extrapolated.projected_fraction(counter) == 0.0

@@ -1,0 +1,121 @@
+"""Failure-injection tests: the pipeline must fail loudly, not wrongly.
+
+Each test corrupts an input the way real deployments do (truncated files,
+lost probes, absurd configurations, too-short runs) and asserts the
+library raises the *right* error with a usable message — never a silent
+wrong answer, never an unrelated exception from deep inside numpy.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.pipeline import AnalyzerConfig, FoldingAnalyzer
+from repro.errors import (
+    AnalysisError,
+    ClusteringError,
+    FoldingError,
+    TraceFormatError,
+)
+from repro.runtime.instrumentation import InstrumentationConfig
+from repro.runtime.tracer import Tracer, TracerConfig
+from repro.trace.reader import load_trace_text
+from repro.trace.records import Trace
+from repro.trace.writer import dump_trace_text
+
+
+class TestTruncatedTraces:
+    def test_truncated_mid_record(self, multiphase_trace):
+        text = dump_trace_text(multiphase_trace)
+        # cut in the middle of the final record line
+        truncated = text[: int(len(text) * 0.7)]
+        last_newline = truncated.rfind("\n")
+        broken = truncated[: last_newline + 10]
+        with pytest.raises(TraceFormatError):
+            load_trace_text(broken)
+
+    def test_truncated_at_line_boundary_loads_partially(self, multiphase_trace):
+        """Cutting at a record boundary yields a shorter but valid trace —
+        the reader cannot know records are missing; downstream burst
+        pairing still works on what remains."""
+        text = dump_trace_text(multiphase_trace)
+        lines = text.splitlines()
+        partial = "\n".join(lines[: int(len(lines) * 0.8)]) + "\n"
+        trace = load_trace_text(partial)
+        assert trace.n_records < multiphase_trace.n_records
+
+    def test_dictionary_missing(self, multiphase_trace):
+        text = dump_trace_text(multiphase_trace)
+        head, _, records = text.partition("[records]")
+        # strip the dictionary section entirely
+        header_only = head.split("[dict]")[0]
+        with pytest.raises(TraceFormatError):
+            load_trace_text(header_only + "[records]" + records)
+
+
+class TestMissingInstrumentation:
+    def test_sampling_only_trace_cannot_fold(self, multiphase_timeline):
+        config = TracerConfig(instrumentation=InstrumentationConfig(enabled=False))
+        trace = Tracer(config).trace(multiphase_timeline)
+        with pytest.raises(ClusteringError, match="instrumentation"):
+            FoldingAnalyzer().analyze(trace)
+
+    def test_empty_trace(self):
+        from repro.errors import TraceFormatError as TFE
+
+        with pytest.raises((ClusteringError, TFE)):
+            FoldingAnalyzer().analyze(Trace(n_ranks=1))
+
+
+class TestTooShortRuns:
+    def test_too_few_instances_reported(self, core):
+        """A 5-iteration run cannot support folding: the analyzer must
+        say so explicitly rather than produce a garbage fit."""
+        from repro.analysis.experiments import run_app
+        from repro.workload.apps import multiphase_app
+
+        app = multiphase_app(iterations=5, ranks=1)
+        with pytest.raises(AnalysisError, match="skipped"):
+            run_app(app, core=core, seed=1)
+
+    def test_sparse_sampling_reported(self, core):
+        """Sampling far slower than the run leaves almost no folded
+        points; the failure names the counter and the remedy."""
+        from repro.analysis.experiments import run_app
+        from repro.workload.apps import multiphase_app
+
+        app = multiphase_app(iterations=30, ranks=1)
+        with pytest.raises(AnalysisError) as excinfo:
+            run_app(app, core=core, seed=1, period_s=5.0)
+        assert "sampling" in str(excinfo.value) or "skipped" in str(excinfo.value)
+
+
+class TestHeavyDropout:
+    def test_pipeline_survives_50pct_sample_loss(self, core):
+        from repro.analysis.experiments import run_app
+        from repro.runtime.sampler import SamplerConfig
+        from repro.workload.apps import multiphase_app
+
+        app = multiphase_app(iterations=400, ranks=2)
+        artifacts = run_app(
+            app,
+            core=core,
+            seed=6,
+            tracer_config=TracerConfig(
+                sampler=SamplerConfig(period_s=0.02, drop_probability=0.5)
+            ),
+        )
+        cluster = artifacts.result.clusters[0]
+        # half the samples are gone, the structure still resolves
+        assert cluster.n_phases >= 3
+
+
+class TestConfigurationErrors:
+    def test_conflicting_counters_config(self, multiphase_trace):
+        config = AnalyzerConfig(counters=("PAPI_L1_DCM",), pivot="PAPI_TOT_INS")
+        with pytest.raises(AnalysisError, match="pivot"):
+            FoldingAnalyzer(config).analyze(multiphase_trace)
+
+    def test_eps_too_small_everything_noise(self, multiphase_trace):
+        config = AnalyzerConfig(eps=1e-12, min_pts=50)
+        with pytest.raises(AnalysisError):
+            FoldingAnalyzer(config).analyze(multiphase_trace)

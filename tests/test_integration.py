@@ -1,0 +1,148 @@
+"""End-to-end integration tests: the paper's headline claims, asserted.
+
+These tests exercise the full pipeline (app → engine → tracer → clustering
+→ folding → PWLR → phases → mapping → hints) and assert the paper's
+quantitative claims hold on the synthetic substrate:
+
+* phases finer than the sampling period are recovered (folding's point),
+* the folded reconstruction matches fine-grain sampling within ~5%,
+* the methodology's hints identify the planted inefficiency, and the
+  suggested transformation yields a 10-30% speedup.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.experiments import cluster_kernel_map, detection_scores, run_app
+from repro.analysis.hints import generate_hints
+from repro.fitting.evaluation import evaluate_fit
+from repro.workload.apps import (
+    multiphase_app,
+    pmemd_app,
+    pmemd_optimized,
+    two_phase_app,
+)
+from repro.workload.generator import random_kernel_app
+
+
+class TestPhaseRecoveryEndToEnd:
+    def test_multiphase_boundaries_recovered(self, multiphase_artifacts, core):
+        scores = detection_scores(multiphase_artifacts, tolerance=0.02)
+        score = scores["multiphase"]
+        assert score.recall == 1.0
+        assert score.precision >= 0.75
+        assert score.mean_abs_error < 0.01
+
+    def test_cgpop_both_kernels_scored(self, cgpop_artifacts):
+        scores = detection_scores(cgpop_artifacts, tolerance=0.03)
+        assert set(scores) == {"cgpop.matvec", "cgpop.dot"}
+        for score in scores.values():
+            # matvec's pack phase occupies <2% of the burst — below the
+            # configured min_phase_span resolution — so one of its two
+            # boundaries is legitimately unresolvable; everything else is.
+            assert score.recall >= 0.5
+            assert score.n_matched >= 1
+            assert score.mean_abs_error < 0.01
+        assert scores["cgpop.matvec"].precision == 1.0
+
+    def test_phases_finer_than_sampling_period(self, core):
+        """The headline: a phase lasting ~1/10 of the sampling period is
+        recovered by folding many instances."""
+        app = two_phase_app(
+            split=0.08,  # first phase ~8% of instructions
+            total_instructions=1.2e8,
+            iterations=500,
+            ranks=2,
+        )
+        artifacts = run_app(app, core=core, seed=55, period_s=0.02)
+        kernel = app.kernels()[0]
+        truth_boundary = kernel.truth_boundaries(core)[0]
+        burst_s = kernel.base_rate_function(core).duration
+        phase_s = truth_boundary * burst_s
+        assert phase_s < 0.5 * 0.02  # genuinely sub-period
+        score = detection_scores(artifacts, tolerance=0.02)[kernel.name]
+        assert score.recall == 1.0
+
+    def test_fit_matches_ground_truth_curve(self, multiphase_artifacts, core):
+        art = multiphase_artifacts
+        cluster = art.result.clusters[0]
+        truth = art.app.kernels()[0].base_rate_function(core)
+        model = cluster.phase_set.pivot_model
+        ev = evaluate_fit(model, truth, "PAPI_TOT_INS")
+        assert ev.curve_mae < 0.01
+        assert ev.curve_r2 > 0.999
+        assert ev.rate_relative_mae < 0.08
+
+
+class TestFoldingVsFineGrain:
+    def test_coarse_fold_tracks_fine_fold(self, core):
+        """ICPP'11 claim carried into the paper: folding from coarse
+        sampling reconstructs the profile of fine-grain sampling with
+        small mean absolute difference."""
+        app = multiphase_app(iterations=250, ranks=2)
+        coarse = run_app(app, core=core, seed=77, period_s=0.02)
+        fine = run_app(app, core=core, seed=77, period_s=0.0005)
+        grid = np.linspace(0, 1, 200)
+        y_coarse = coarse.result.clusters[0].phase_set.pivot_model.predict(grid)
+        y_fine = fine.result.clusters[0].phase_set.pivot_model.predict(grid)
+        assert np.mean(np.abs(y_coarse - y_fine)) < 0.05
+
+    def test_more_instances_improve_fit(self, core):
+        app = multiphase_app(iterations=400, ranks=1)
+        artifacts = run_app(app, core=core, seed=88)
+        truth = app.kernels()[0].base_rate_function(core)
+        folded = artifacts.result.clusters[0].folded["PAPI_TOT_INS"]
+        from repro.fitting.pwlr import fit_pwlr
+
+        errors = []
+        for n in (25, 100, folded.n_instances):
+            sub = folded.subset_instances(range(n))
+            model = fit_pwlr(sub.x, sub.y)
+            errors.append(
+                evaluate_fit(model, truth, "PAPI_TOT_INS").rate_relative_mae
+            )
+        assert errors[-1] <= errors[0] + 1e-9
+        assert errors[-1] < 0.1
+
+
+class TestMethodologyEndToEnd:
+    def test_hint_names_planted_inefficiency(self, core):
+        app = pmemd_app(iterations=60, ranks=2)
+        artifacts = run_app(app, core=core, seed=99)
+        hints = generate_hints(artifacts.result)
+        assert hints[0].kind == "vectorizable"
+        assert hints[0].routine == "pair_force"
+
+    def test_transformation_speedup_in_band(self, core):
+        from repro.analysis.methodology import run_case_study
+
+        app = pmemd_app(iterations=60, ranks=2)
+        result, _, _ = run_case_study(
+            app, pmemd_optimized, core, "vectorize", seed=99
+        )
+        assert 1.10 < result.speedup < 1.45
+
+    def test_cluster_to_kernel_mapping(self, cgpop_artifacts):
+        mapping = cluster_kernel_map(cgpop_artifacts)
+        assert set(mapping.values()) == {"cgpop.matvec", "cgpop.dot"}
+
+
+class TestRandomWorkloads:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_random_kernels_detected_reasonably(self, core, seed):
+        """Robustness: random phase structures are recovered with decent
+        recall (behaviour pairs are random, so some boundaries are
+        genuinely invisible — neighboring behaviours can resolve to
+        near-identical rate vectors)."""
+        app = random_kernel_app(
+            seed,
+            iterations=250,
+            ranks=2,
+            n_phases=3,
+            total_instructions=4e8,
+            min_phase_fraction=0.1,
+        )
+        artifacts = run_app(app, core=core, seed=seed + 1000)
+        scores = detection_scores(artifacts, tolerance=0.03)
+        score = next(iter(scores.values()))
+        assert score.recall >= 0.5

@@ -1,0 +1,130 @@
+"""Tests for repro.machine.cpu — the behaviour → rates resolver."""
+
+import pytest
+
+from repro.errors import MachineModelError
+from repro.machine.behavior import BEHAVIOR_LIBRARY, Behavior
+from repro.machine.cpu import CoreModel, PhasePerformance
+from repro.machine.spec import MachineSpec
+
+
+@pytest.fixture(scope="module")
+def core():
+    return CoreModel(MachineSpec())
+
+
+class TestCoreModel:
+    def test_all_library_behaviors_resolve(self, core):
+        for behavior in BEHAVIOR_LIBRARY.values():
+            perf = core.performance(behavior)
+            assert perf.cpi > 0
+
+    def test_ipc_bounded_by_issue_width(self, core):
+        for behavior in BEHAVIOR_LIBRARY.values():
+            assert core.performance(behavior).ipc <= core.spec.issue_width + 1e-9
+
+    def test_compute_faster_than_latency_bound(self, core):
+        fast = core.performance(BEHAVIOR_LIBRARY["compute_bound"]).ipc
+        slow = core.performance(BEHAVIOR_LIBRARY["latency_bound"]).ipc
+        assert fast > 10 * slow
+
+    def test_memoization(self, core):
+        behavior = BEHAVIOR_LIBRARY["stencil"]
+        assert core.performance(behavior) is core.performance(behavior)
+
+    def test_rates_consistent_with_cpi(self, core):
+        behavior = BEHAVIOR_LIBRARY["reduction"]
+        perf = core.performance(behavior)
+        rates = perf.rates(core.spec.clock_hz)
+        assert rates["PAPI_TOT_CYC"] == pytest.approx(core.spec.clock_hz)
+        assert rates["PAPI_TOT_INS"] == pytest.approx(core.spec.clock_hz / perf.cpi)
+        assert rates["PAPI_TOT_INS"] / rates["PAPI_TOT_CYC"] == pytest.approx(perf.ipc)
+
+    def test_event_rates_scale_with_mix(self, core):
+        behavior = BEHAVIOR_LIBRARY["branchy_scalar"]
+        perf = core.performance(behavior)
+        rates = perf.rates(core.spec.clock_hz)
+        assert rates["PAPI_BR_INS"] == pytest.approx(
+            behavior.branch_fraction * rates["PAPI_TOT_INS"]
+        )
+        assert rates["PAPI_BR_MSP"] == pytest.approx(
+            behavior.branch_miss_rate * rates["PAPI_BR_INS"], rel=1e-9
+        )
+
+    def test_vectorization_multiplies_flops(self, core):
+        scalar = Behavior(name="s", fp_fraction=0.5, vector_fraction=0.0)
+        vector = scalar.with_(name="v", vector_fraction=1.0)
+        s_perf = core.performance(scalar)
+        v_perf = core.performance(vector)
+        assert v_perf.events_per_instruction["PAPI_FP_OPS"] == pytest.approx(
+            core.spec.simd_lanes * s_perf.events_per_instruction["PAPI_FP_OPS"]
+        )
+
+    def test_seconds_for_instructions(self, core):
+        behavior = BEHAVIOR_LIBRARY["compute_bound"]
+        perf = core.performance(behavior)
+        seconds = perf.seconds_for_instructions(1e9, core.spec.clock_hz)
+        assert seconds == pytest.approx(1e9 * perf.cpi / core.spec.clock_hz)
+
+    def test_negative_instructions_rejected(self, core):
+        perf = core.performance(BEHAVIOR_LIBRARY["compute_bound"])
+        with pytest.raises(MachineModelError):
+            perf.seconds_for_instructions(-1.0, 1e9)
+
+    def test_physical_bounds_hold(self, core):
+        from repro.counters.definitions import DEFAULT_REGISTRY
+
+        for behavior in BEHAVIOR_LIBRARY.values():
+            perf = core.performance(behavior)
+            for name, per_ins in perf.events_per_instruction.items():
+                assert per_ins >= 0
+                bound = DEFAULT_REGISTRY.get(name).per_instruction_max
+                if bound is not None:
+                    assert per_ins <= bound + 1e-9
+
+    def test_bad_cpi_rejected(self):
+        with pytest.raises(MachineModelError):
+            PhasePerformance(behavior_name="x", cpi=0.0, events_per_instruction={})
+
+    def test_branch_misses_slow_execution(self, core):
+        clean = Behavior(name="c", branch_fraction=0.2, branch_miss_rate=0.0)
+        dirty = clean.with_(name="d", branch_miss_rate=0.2)
+        assert core.performance(dirty).cpi > core.performance(clean).cpi
+
+    def test_bigger_working_set_is_slower(self, core):
+        small = Behavior(name="s", working_set_bytes=16 * 1024, access_regularity=0.3)
+        big = small.with_(name="b", working_set_bytes=512 * 1024 * 1024)
+        assert core.performance(big).cpi > core.performance(small).cpi
+
+
+class TestBehavior:
+    def test_memory_fraction(self):
+        b = Behavior(name="x", load_fraction=0.3, store_fraction=0.1)
+        assert b.memory_fraction == pytest.approx(0.4)
+
+    def test_load_store_sum_capped(self):
+        with pytest.raises(Exception):
+            Behavior(name="x", load_fraction=0.7, store_fraction=0.4)
+
+    def test_optimized_vectorized_increases_vec(self):
+        b = BEHAVIOR_LIBRARY["compute_bound"]
+        v = b.optimized_vectorized()
+        assert v.vector_fraction > b.vector_fraction
+        assert v.name.endswith("+vec")
+
+    def test_optimized_blocked_shrinks_ws(self):
+        b = BEHAVIOR_LIBRARY["stream_bandwidth"]
+        blk = b.optimized_blocked()
+        assert blk.working_set_bytes < b.working_set_bytes
+        assert blk.reuse_factor > b.reuse_factor
+
+    def test_optimized_branchless_reduces_misses(self):
+        b = BEHAVIOR_LIBRARY["branchy_scalar"]
+        nb = b.optimized_branchless()
+        assert nb.branch_miss_rate < b.branch_miss_rate
+        assert nb.branch_fraction < b.branch_fraction
+
+    def test_with_updates_field(self):
+        b = BEHAVIOR_LIBRARY["stencil"].with_(ilp=1.0)
+        assert b.ilp == 1.0
+        assert BEHAVIOR_LIBRARY["stencil"].ilp != 1.0

@@ -1,0 +1,144 @@
+"""Tests for repro.machine.rates — ground-truth rate functions."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MachineModelError
+from repro.machine.rates import RateFunction, RateSegment
+
+
+def make_fn():
+    return RateFunction(
+        [
+            RateSegment(0.0, 1.0, {"A": 10.0, "B": 1.0}, label="p0"),
+            RateSegment(1.0, 3.0, {"A": 5.0, "B": 2.0}, label="p1"),
+            RateSegment(3.0, 4.0, {"A": 20.0}, label="p2"),
+        ]
+    )
+
+
+class TestRateSegment:
+    def test_duration_and_events(self):
+        seg = RateSegment(1.0, 3.0, {"A": 5.0})
+        assert seg.duration == 2.0
+        assert seg.events("A") == 10.0
+        assert seg.events("B") == 0.0
+
+    def test_inverted_interval(self):
+        with pytest.raises(MachineModelError):
+            RateSegment(2.0, 1.0, {})
+
+    def test_negative_rate(self):
+        with pytest.raises(MachineModelError):
+            RateSegment(0.0, 1.0, {"A": -1.0})
+
+
+class TestRateFunction:
+    def test_duration_counters_boundaries(self):
+        fn = make_fn()
+        assert fn.duration == 4.0
+        assert fn.counters == ["A", "B"]
+        assert np.allclose(fn.boundaries, [1.0, 3.0])
+        assert np.allclose(fn.normalized_boundaries, [0.25, 0.75])
+
+    def test_must_start_at_zero(self):
+        with pytest.raises(MachineModelError):
+            RateFunction([RateSegment(1.0, 2.0, {"A": 1.0})])
+
+    def test_gap_rejected(self):
+        with pytest.raises(MachineModelError):
+            RateFunction(
+                [
+                    RateSegment(0.0, 1.0, {"A": 1.0}),
+                    RateSegment(1.5, 2.0, {"A": 1.0}),
+                ]
+            )
+
+    def test_empty_rejected(self):
+        with pytest.raises(MachineModelError):
+            RateFunction([])
+
+    def test_rate_at(self):
+        fn = make_fn()
+        assert fn.rate_at(0.5, "A") == 10.0
+        assert fn.rate_at(2.0, "A") == 5.0
+        assert fn.rate_at(3.5, "B") == 0.0
+        assert np.allclose(fn.rate_at(np.array([0.5, 2.0]), "A"), [10.0, 5.0])
+
+    def test_cumulative_exact(self):
+        fn = make_fn()
+        assert fn.cumulative(0.0, "A") == 0.0
+        assert fn.cumulative(1.0, "A") == pytest.approx(10.0)
+        assert fn.cumulative(2.0, "A") == pytest.approx(15.0)
+        assert fn.cumulative(4.0, "A") == pytest.approx(40.0)
+        assert fn.total("A") == pytest.approx(40.0)
+        assert fn.total("B") == pytest.approx(5.0)
+
+    def test_cumulative_vectorized_monotone(self):
+        fn = make_fn()
+        ts = np.linspace(0.0, 4.0, 257)
+        for counter in fn.counters:
+            values = fn.cumulative(ts, counter)
+            assert np.all(np.diff(values) >= -1e-12)
+
+    def test_cumulative_out_of_domain(self):
+        with pytest.raises(MachineModelError):
+            make_fn().cumulative(4.5, "A")
+
+    def test_integrate(self):
+        fn = make_fn()
+        assert fn.integrate(0.5, 1.5, "A") == pytest.approx(5.0 + 2.5)
+        with pytest.raises(MachineModelError):
+            fn.integrate(2.0, 1.0, "A")
+
+    def test_normalized_cumulative_endpoints(self):
+        fn = make_fn()
+        assert fn.normalized_cumulative(0.0, "A") == pytest.approx(0.0)
+        assert fn.normalized_cumulative(1.0, "A") == pytest.approx(1.0)
+
+    def test_normalized_cumulative_zero_total(self):
+        fn = RateFunction([RateSegment(0.0, 1.0, {"A": 0.0})])
+        with pytest.raises(MachineModelError):
+            fn.normalized_cumulative(0.5, "A")
+
+    def test_segment_at(self):
+        fn = make_fn()
+        assert fn.segment_at(0.0).label == "p0"
+        assert fn.segment_at(1.0).label == "p1"
+        assert fn.segment_at(4.0).label == "p2"
+        with pytest.raises(MachineModelError):
+            fn.segment_at(-1.0)
+
+    def test_scaled_preserves_totals(self):
+        fn = make_fn()
+        scaled = fn.scaled(2.5)
+        assert scaled.duration == pytest.approx(10.0)
+        for counter in fn.counters:
+            assert scaled.total(counter) == pytest.approx(fn.total(counter))
+
+    def test_scaled_preserves_normalized_curve(self):
+        fn = make_fn()
+        scaled = fn.scaled(3.0)
+        xs = np.linspace(0, 1, 33)
+        assert np.allclose(
+            fn.normalized_cumulative(xs, "A"),
+            scaled.normalized_cumulative(xs, "A"),
+        )
+
+    def test_scaled_bad_factor(self):
+        with pytest.raises(MachineModelError):
+            make_fn().scaled(0.0)
+
+    def test_concat(self):
+        fn = make_fn()
+        double = RateFunction.concat([fn, fn])
+        assert double.duration == pytest.approx(8.0)
+        assert double.total("A") == pytest.approx(80.0)
+        assert double.cumulative(5.0, "A") == pytest.approx(40.0 + 10.0)
+
+    def test_concat_empty(self):
+        with pytest.raises(MachineModelError):
+            RateFunction.concat([])
+
+    def test_repr(self):
+        assert "3 segments" in repr(make_fn())

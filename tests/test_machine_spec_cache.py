@@ -1,0 +1,123 @@
+"""Tests for repro.machine.spec and repro.machine.cache."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.machine.behavior import BEHAVIOR_LIBRARY, Behavior
+from repro.machine.cache import CacheHierarchyModel
+from repro.machine.spec import CacheLevelSpec, MachineSpec
+
+
+class TestCacheLevelSpec:
+    def test_lines(self):
+        lvl = CacheLevelSpec("L1D", 32 * 1024, 64, 4.0)
+        assert lvl.lines == 512
+
+    def test_line_must_divide_size(self):
+        with pytest.raises(ConfigurationError):
+            CacheLevelSpec("L1D", 1000, 64, 4.0)
+
+    @pytest.mark.parametrize("kw", [
+        dict(size_bytes=0), dict(line_bytes=0), dict(latency_cycles=0.0)
+    ])
+    def test_positive_fields(self, kw):
+        base = dict(name="L1D", size_bytes=32 * 1024, line_bytes=64, latency_cycles=4.0)
+        base.update(kw)
+        with pytest.raises(ConfigurationError):
+            CacheLevelSpec(**base)
+
+
+class TestMachineSpec:
+    def test_defaults_valid(self):
+        spec = MachineSpec()
+        assert spec.clock_ghz == pytest.approx(2.6)
+        assert [l.name for l in spec.levels] == ["L1D", "L2", "L3"]
+
+    def test_cycle_second_round_trip(self):
+        spec = MachineSpec()
+        assert spec.cycles_to_seconds(spec.seconds_to_cycles(0.5)) == pytest.approx(0.5)
+
+    def test_cache_order_enforced(self):
+        with pytest.raises(ConfigurationError, match="ordered"):
+            MachineSpec(
+                cache_levels=(
+                    CacheLevelSpec("L2", 256 * 1024, 64, 12.0),
+                    CacheLevelSpec("L1D", 32 * 1024, 64, 4.0),
+                )
+            )
+
+    def test_latency_order_enforced(self):
+        with pytest.raises(ConfigurationError, match="latencies"):
+            MachineSpec(
+                cache_levels=(
+                    CacheLevelSpec("L1D", 32 * 1024, 64, 12.0),
+                    CacheLevelSpec("L2", 256 * 1024, 64, 4.0),
+                )
+            )
+
+    def test_needs_cache_level(self):
+        with pytest.raises(ConfigurationError):
+            MachineSpec(cache_levels=())
+
+    def test_bad_clock(self):
+        with pytest.raises(ConfigurationError):
+            MachineSpec(clock_hz=0.0)
+
+
+class TestCacheHierarchyModel:
+    @pytest.fixture
+    def model(self):
+        return CacheHierarchyModel(MachineSpec())
+
+    def test_global_miss_ratios_non_increasing(self, model):
+        for behavior in BEHAVIOR_LIBRARY.values():
+            profile = model.profile(behavior)
+            ratios = profile.miss_per_access
+            assert all(a >= b - 1e-12 for a, b in zip(ratios, ratios[1:]))
+            assert profile.memory_miss_per_access <= ratios[-1] + 1e-12
+
+    def test_tiny_working_set_hits(self, model):
+        behavior = Behavior(name="tiny", working_set_bytes=1024.0)
+        profile = model.profile(behavior)
+        assert profile.miss_per_access[0] < 0.02
+
+    def test_huge_random_set_misses(self, model):
+        behavior = Behavior(
+            name="huge",
+            working_set_bytes=1024**3,
+            access_regularity=0.0,
+        )
+        profile = model.profile(behavior)
+        assert profile.memory_miss_per_access > 0.5
+
+    def test_streaming_bounded_by_line(self, model):
+        behavior = Behavior(
+            name="stream",
+            working_set_bytes=1024**3,
+            access_regularity=1.0,
+        )
+        profile = model.profile(behavior)
+        # One miss per 64-byte line of 8-byte elements = 1/8 per access.
+        assert profile.miss_per_access[0] <= 1.0 / 8.0 + 1e-9
+
+    def test_reuse_shrinks_pressure(self, model):
+        base = Behavior(name="x", working_set_bytes=64 * 1024 * 1024)
+        reused = base.with_(name="y", reuse_factor=1000.0)
+        assert (
+            model.profile(reused).memory_miss_per_access
+            < model.profile(base).memory_miss_per_access
+        )
+
+    def test_miss_ratio_lookup(self, model):
+        profile = model.profile(BEHAVIOR_LIBRARY["stream_bandwidth"])
+        assert profile.miss_ratio("L1D") == profile.miss_per_access[0]
+        with pytest.raises(KeyError):
+            profile.miss_ratio("L9")
+
+    def test_bad_steepness(self):
+        with pytest.raises(ValueError):
+            CacheHierarchyModel(MachineSpec(), steepness=0.0)
+
+    def test_miss_table_covers_library(self, model):
+        table = model.miss_table(BEHAVIOR_LIBRARY)
+        assert set(table) == set(BEHAVIOR_LIBRARY)

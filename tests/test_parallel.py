@@ -1,0 +1,135 @@
+"""Tests for repro.parallel — network model, topologies, patterns."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.parallel.network import NetworkModel
+from repro.parallel.patterns import (
+    AllReducePattern,
+    BarrierPattern,
+    HaloExchangePattern,
+    MasterWorkerPattern,
+)
+from repro.parallel.topology import grid_neighbors, grid_shape, ring_neighbors
+
+
+class TestNetworkModel:
+    def test_point_to_point_cost(self):
+        net = NetworkModel(latency_s=1e-6, bandwidth_bytes_per_s=1e9)
+        assert net.point_to_point_time(0.0) == pytest.approx(1e-6)
+        assert net.point_to_point_time(1e6) == pytest.approx(1e-6 + 1e-3)
+
+    def test_tree_depth(self):
+        net = NetworkModel()
+        assert net.tree_depth(1) == 0
+        assert net.tree_depth(2) == 1
+        assert net.tree_depth(8) == 3
+        assert net.tree_depth(9) == 4
+
+    def test_allreduce_grows_with_ranks(self):
+        net = NetworkModel()
+        assert net.allreduce_time(16, 8.0) > net.allreduce_time(2, 8.0)
+
+    def test_barrier_is_zero_payload_allreduce(self):
+        net = NetworkModel()
+        assert net.barrier_time(8) == pytest.approx(net.allreduce_time(8, 0.0))
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ConfigurationError):
+            NetworkModel().point_to_point_time(-1.0)
+
+    def test_bad_params(self):
+        with pytest.raises(ConfigurationError):
+            NetworkModel(latency_s=0.0)
+
+
+class TestTopology:
+    def test_ring_two_ranks(self):
+        assert ring_neighbors(0, 2) == [1]
+
+    def test_ring_wraps(self):
+        assert set(ring_neighbors(0, 5)) == {4, 1}
+
+    def test_ring_single(self):
+        assert ring_neighbors(0, 1) == []
+
+    def test_grid_shape_square(self):
+        assert grid_shape(16) == (4, 4)
+        assert grid_shape(12) == (3, 4)
+        assert grid_shape(7) == (1, 7)
+
+    def test_grid_neighbors_interior(self):
+        # 4x4 grid: rank 5 at (1, 1) has 4 neighbors
+        assert set(grid_neighbors(5, 16)) == {1, 9, 4, 6}
+
+    def test_grid_neighbors_corner(self):
+        assert set(grid_neighbors(0, 16)) == {1, 4}
+
+    def test_rank_bounds(self):
+        with pytest.raises(ConfigurationError):
+            grid_neighbors(5, 4)
+
+
+class TestPatterns:
+    def test_barrier_synchronizes(self):
+        pattern = BarrierPattern(NetworkModel())
+        arrivals = np.array([0.0, 1.0, 0.5])
+        result = pattern.execute(arrivals)
+        assert np.all(result.exit == result.exit[0])
+        assert result.exit[0] > 1.0
+
+    def test_allreduce_exit_after_slowest(self):
+        pattern = AllReducePattern(NetworkModel(), message_bytes=8.0)
+        result = pattern.execute(np.array([0.0, 2.0]))
+        assert np.all(result.exit >= 2.0)
+        assert np.all(result.durations >= 0)
+
+    def test_halo_couples_neighbors_only(self):
+        # 1x4 grid: rank 0 neighbors {1}, rank 3 neighbors {2}
+        pattern = HaloExchangePattern(NetworkModel(), message_bytes=1024.0)
+        arrivals = np.array([0.0, 0.0, 0.0, 10.0])
+        result = pattern.execute(arrivals)
+        # rank 0 does not wait for rank 3
+        assert result.exit[0] < 1.0
+        # rank 2 waits for its neighbor rank 3
+        assert result.exit[2] >= 10.0
+
+    def test_halo_single_rank(self):
+        pattern = HaloExchangePattern(NetworkModel())
+        result = pattern.execute(np.array([1.0]))
+        assert result.exit[0] == pytest.approx(1.0)
+
+    def test_master_worker_serializes(self):
+        net = NetworkModel(latency_s=1e-3, bandwidth_bytes_per_s=1e12)
+        pattern = MasterWorkerPattern(net, message_bytes=0.0, service_time=0.0)
+        arrivals = np.zeros(4)
+        result = pattern.execute(arrivals)
+        workers = np.sort(result.exit[1:])
+        # each worker waits ~1 latency more than the previous
+        gaps = np.diff(workers)
+        assert np.all(gaps > 0.5e-3)
+        assert result.exit[0] == pytest.approx(workers[-1])
+
+    def test_master_worker_single_rank(self):
+        pattern = MasterWorkerPattern(NetworkModel())
+        result = pattern.execute(np.array([2.0]))
+        assert result.exit[0] == 2.0
+
+    def test_pattern_name_convention(self):
+        from repro.parallel.patterns import CommPattern
+
+        class Bad(CommPattern):
+            def __init__(self):
+                super().__init__("Barrier", NetworkModel())
+
+            def execute(self, arrival_times):  # pragma: no cover
+                raise NotImplementedError
+
+        with pytest.raises(ConfigurationError):
+            Bad()
+
+    def test_empty_arrivals_rejected(self):
+        pattern = BarrierPattern(NetworkModel())
+        with pytest.raises(ConfigurationError):
+            pattern.execute(np.array([]))

@@ -1,0 +1,168 @@
+"""Tests for phase-local outliers and sampler counter skew."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.runtime.engine import ExecutionEngine
+from repro.runtime.sampler import SamplerConfig
+from repro.runtime.tracer import Tracer, TracerConfig
+from repro.workload.apps import multiphase_app
+from repro.workload.variability import VariabilityModel
+
+
+class TestPhaseOutliers:
+    def test_mode_validation(self):
+        with pytest.raises(ValueError, match="outlier_mode"):
+            VariabilityModel(outlier_mode="weird")
+
+    def test_phase_mode_dilates_single_phase(self):
+        model = VariabilityModel(
+            duration_sigma=0.0,
+            phase_sigma=0.0,
+            outlier_prob=1.0,
+            outlier_scale=4.0,
+            outlier_mode="phase",
+        )
+        pert = model.sample(5, np.random.default_rng(0))
+        assert pert.is_outlier
+        assert pert.global_scale == 1.0
+        dilated = np.isclose(pert.phase_scales, 4.0)
+        assert dilated.sum() == 1
+        assert np.allclose(pert.phase_scales[~dilated], 1.0)
+
+    def test_uniform_mode_keeps_phases_equal(self):
+        model = VariabilityModel(
+            duration_sigma=0.0,
+            phase_sigma=0.0,
+            outlier_prob=1.0,
+            outlier_scale=4.0,
+            outlier_mode="uniform",
+        )
+        pert = model.sample(5, np.random.default_rng(0))
+        assert pert.global_scale == pytest.approx(4.0)
+        assert np.allclose(pert.phase_scales, 1.0)
+
+    def test_phase_outliers_distort_normalized_curve(self, core):
+        """Unlike uniform dilation, a phase-local outlier changes the
+        instance's normalized counter curve — the reason pruning exists."""
+        from repro.workload.kernel import Kernel
+
+        app = multiphase_app(iterations=1, ranks=1)
+        kernel = app.kernels()[0]
+        base = kernel.base_rate_function(core)
+
+        phase_model = VariabilityModel(
+            duration_sigma=0.0,
+            phase_sigma=0.0,
+            outlier_prob=1.0,
+            outlier_scale=4.0,
+            outlier_mode="phase",
+        )
+        distorted_kernel = Kernel(
+            name=kernel.name, phases=kernel.phases, variability=phase_model
+        )
+        instance, pert = distorted_kernel.instantiate(
+            core, np.random.default_rng(1)
+        )
+        assert pert.is_outlier
+        xs = np.linspace(0.05, 0.95, 50)
+        base_curve = base.normalized_cumulative(xs, "PAPI_TOT_INS")
+        distorted_curve = instance.normalized_cumulative(xs, "PAPI_TOT_INS")
+        assert np.max(np.abs(base_curve - distorted_curve)) > 0.05
+
+
+class TestCounterNoise:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            VariabilityModel(counter_sigma=-0.1)
+
+    def test_event_counters_vary_but_work_is_exact(self, core):
+        from repro.workload.kernel import Kernel
+
+        app = multiphase_app(iterations=1, ranks=1)
+        base_kernel = app.kernels()[0]
+        noisy = Kernel(
+            name=base_kernel.name,
+            phases=base_kernel.phases,
+            variability=VariabilityModel(
+                duration_sigma=0.0, phase_sigma=0.0, outlier_prob=0.0,
+                counter_sigma=0.1,
+            ),
+        )
+        rng = np.random.default_rng(3)
+        a, _ = noisy.instantiate(core, rng)
+        b, _ = noisy.instantiate(core, rng)
+        # instructions and cycles are exact work/time and never vary
+        assert a.total("PAPI_TOT_INS") == pytest.approx(b.total("PAPI_TOT_INS"))
+        assert a.total("PAPI_TOT_CYC") == pytest.approx(b.total("PAPI_TOT_CYC"))
+        # event counters are data-dependent and differ between instances
+        assert a.total("PAPI_L1_DCM") != pytest.approx(
+            b.total("PAPI_L1_DCM"), rel=1e-6
+        )
+        assert a.total("PAPI_FP_OPS") != pytest.approx(
+            b.total("PAPI_FP_OPS"), rel=1e-6
+        )
+
+    def test_zero_sigma_is_exact(self, core):
+        app = multiphase_app(iterations=1, ranks=1)
+        kernel = app.kernels()[0]
+        rng = np.random.default_rng(4)
+        a, _ = kernel.instantiate(core, rng)
+        base = kernel.base_rate_function(core)
+        assert a.total("PAPI_L1_DCM") == pytest.approx(
+            base.total("PAPI_L1_DCM"), rel=1e-9
+        )
+
+
+class TestCounterSkew:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            SamplerConfig(counter_skew_s=-1.0)
+
+    def test_with_period_preserves_skew(self):
+        cfg = SamplerConfig(counter_skew_s=1e-3).with_period(0.5)
+        assert cfg.counter_skew_s == 1e-3
+
+    def test_skew_breaks_monotonicity(self, core):
+        """Large skew must produce at least some per-rank counter-order
+        inversions; the folding monotonicity filter repairs them."""
+        app = multiphase_app(iterations=60, ranks=1)
+        timeline = ExecutionEngine(core, seed=21).run(app)
+        config = TracerConfig(
+            sampler=SamplerConfig(period_s=0.005, counter_skew_s=4e-3), seed=3
+        )
+        trace = Tracer(config).trace(timeline)
+        samples = trace.samples_of(0)
+        values = np.array([s.counters["PAPI_TOT_CYC"] for s in samples])
+        assert np.any(np.diff(values) < 0)
+
+    def test_zero_skew_exact(self, core, multiphase_timeline):
+        config = TracerConfig(sampler=SamplerConfig(counter_skew_s=0.0), seed=3)
+        trace = Tracer(config).trace(multiphase_timeline)
+        samples = trace.samples_of(0)[:20]
+        rate_fn = multiphase_timeline.ranks[0].rate_function
+        for sample in samples:
+            truth = rate_fn.cumulative(sample.time, "PAPI_TOT_CYC")
+            assert sample.counters["PAPI_TOT_CYC"] == pytest.approx(
+                np.floor(truth), abs=1.0
+            )
+
+    def test_pipeline_survives_skew(self, core):
+        """End to end: skewed counters still yield a clean analysis (the
+        filters drop the inverted samples)."""
+        from repro.analysis.experiments import run_app
+
+        app = multiphase_app(iterations=200, ranks=2)
+        artifacts = run_app(
+            app,
+            core=core,
+            seed=31,
+            tracer_config=TracerConfig(
+                sampler=SamplerConfig(period_s=0.02, counter_skew_s=1e-3)
+            ),
+        )
+        cluster = artifacts.result.clusters[0]
+        dropped = sum(r.n_dropped for r in cluster.filter_reports)
+        assert cluster.n_phases >= 3
+        assert dropped >= 0  # reports present

@@ -1,0 +1,186 @@
+"""Tests for repro.phases — detection, mapping, comparison."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PhaseError
+from repro.folding.callstack import fold_callstacks
+from repro.folding.fold import fold_cluster
+from repro.folding.instances import select_instances
+from repro.phases.compare import match_boundaries
+from repro.phases.detect import detect_phases
+from repro.phases.mapping import map_phases_to_source
+
+
+@pytest.fixture(scope="module")
+def folded_all(multiphase_artifacts):
+    art = multiphase_artifacts
+    instances = select_instances(
+        art.result.bursts, art.result.clustering.labels, 0
+    )
+    folded = fold_cluster(
+        instances, art.result.bursts.counter_names, required=["PAPI_TOT_INS"]
+    )
+    return instances, folded
+
+
+class TestDetectPhases:
+    def test_recovers_truth_boundaries(self, core, folded_all, small_multiphase_app):
+        _, folded = folded_all
+        phase_set = detect_phases(folded)
+        truth = small_multiphase_app.kernels()[0].truth_boundaries(core)
+        score = match_boundaries(phase_set.boundaries, truth, tolerance=0.02)
+        assert score.recall == 1.0
+        assert score.precision >= 0.75
+        assert score.mean_abs_error < 0.01
+
+    def test_phase_metrics_match_behavior(self, core, folded_all, small_multiphase_app):
+        _, folded = folded_all
+        phase_set = detect_phases(folded)
+        kernel = small_multiphase_app.kernels()[0]
+        truth_fn = kernel.base_rate_function(core)
+        # longest true phase: compute_bound (index 2); find the detected
+        # phase containing its midpoint and compare IPC
+        bounds = truth_fn.normalized_boundaries
+        mid = 0.5 * (bounds[1] + bounds[2])
+        detected = next(p for p in phase_set if p.x_start <= mid <= p.x_end)
+        seg = truth_fn.segment_at(mid * truth_fn.duration)
+        true_ipc = seg.rates["PAPI_TOT_INS"] / seg.rates["PAPI_TOT_CYC"]
+        assert detected.metric("IPC") == pytest.approx(true_ipc, rel=0.05)
+
+    def test_phase_durations_sum_to_instance(self, folded_all):
+        _, folded = folded_all
+        phase_set = detect_phases(folded)
+        total = sum(p.duration_s for p in phase_set)
+        assert total == pytest.approx(phase_set.mean_duration, rel=1e-9)
+
+    def test_phases_contiguous(self, folded_all):
+        _, folded = folded_all
+        phase_set = detect_phases(folded)
+        assert phase_set.phases[0].x_start == 0.0
+        assert phase_set.phases[-1].x_end == pytest.approx(1.0)
+        for a, b in zip(phase_set.phases, phase_set.phases[1:]):
+            assert b.x_start == pytest.approx(a.x_end)
+
+    def test_missing_pivot_raises(self, folded_all):
+        _, folded = folded_all
+        with pytest.raises(PhaseError, match="pivot"):
+            detect_phases(folded, pivot="PAPI_NOT_THERE")
+
+    def test_weighted_metric(self, folded_all):
+        _, folded = folded_all
+        phase_set = detect_phases(folded)
+        weighted_ipc = phase_set.weighted_metric("IPC")
+        values = [p.metric("IPC") for p in phase_set]
+        assert min(values) <= weighted_ipc <= max(values)
+
+    def test_dominant_phase(self, folded_all):
+        _, folded = folded_all
+        phase_set = detect_phases(folded)
+        dominant = phase_set.dominant_phase()
+        assert dominant.duration_s == max(p.duration_s for p in phase_set)
+
+    def test_counter_models_share_breakpoints(self, folded_all):
+        _, folded = folded_all
+        phase_set = detect_phases(folded)
+        for model in phase_set.counter_models.values():
+            assert np.array_equal(model.breakpoints, phase_set.pivot_model.breakpoints)
+
+    def test_custom_breakpoint_counters(self, folded_all):
+        _, folded = folded_all
+        # pivot-only search still finds the major boundaries
+        phase_set = detect_phases(folded, breakpoint_counters=())
+        assert len(phase_set) >= 2
+
+
+class TestMapping:
+    def test_every_phase_attributed(self, folded_all):
+        instances, folded = folded_all
+        phase_set = detect_phases(folded)
+        stacks = fold_callstacks(instances)
+        attributions = map_phases_to_source(phase_set, stacks)
+        assert len(attributions) == len(phase_set)
+        for attribution in attributions:
+            assert attribution.attributed
+            assert attribution.confidence > 0.5
+
+    def test_dominant_routines_are_distinct_phases(self, folded_all):
+        instances, folded = folded_all
+        phase_set = detect_phases(folded)
+        stacks = fold_callstacks(instances)
+        attributions = map_phases_to_source(phase_set, stacks)
+        routines = [a.dominant_routine for a in attributions]
+        # multiphase app has one routine per true phase
+        assert len(set(routines)) >= 3
+
+    def test_top_lines_well_formed(self, folded_all):
+        instances, folded = folded_all
+        phase_set = detect_phases(folded)
+        stacks = fold_callstacks(instances)
+        for attribution in map_phases_to_source(phase_set, stacks):
+            for path, line, share in attribution.top_lines:
+                assert path.endswith(".f90")
+                assert line > 0
+                assert 0 < share <= 1.0
+
+    def test_describe_string(self, folded_all):
+        instances, folded = folded_all
+        phase_set = detect_phases(folded)
+        stacks = fold_callstacks(instances)
+        attributions = map_phases_to_source(phase_set, stacks)
+        text = attributions[0].describe()
+        assert attributions[0].dominant_routine in text
+
+    def test_bad_top_k(self, folded_all):
+        instances, folded = folded_all
+        phase_set = detect_phases(folded)
+        stacks = fold_callstacks(instances)
+        with pytest.raises(PhaseError):
+            map_phases_to_source(phase_set, stacks, top_k_lines=0)
+
+
+class TestMatchBoundaries:
+    def test_perfect_match(self):
+        score = match_boundaries([0.3, 0.7], [0.3, 0.7])
+        assert score.precision == 1.0
+        assert score.recall == 1.0
+        assert score.f1 == 1.0
+        assert score.mean_abs_error == 0.0
+
+    def test_within_tolerance(self):
+        score = match_boundaries([0.31], [0.3], tolerance=0.02)
+        assert score.n_matched == 1
+        assert score.mean_abs_error == pytest.approx(0.01)
+
+    def test_outside_tolerance(self):
+        score = match_boundaries([0.35], [0.3], tolerance=0.02)
+        assert score.n_matched == 0
+        assert score.precision == 0.0
+        assert score.recall == 0.0
+        assert np.isnan(score.mean_abs_error)
+
+    def test_one_to_one_matching(self):
+        # two detected near one true boundary: only one match
+        score = match_boundaries([0.29, 0.31], [0.3], tolerance=0.02)
+        assert score.n_matched == 1
+        assert score.precision == 0.5
+        assert score.recall == 1.0
+
+    def test_nearest_pairing_preferred(self):
+        score = match_boundaries([0.30, 0.33], [0.31, 0.50], tolerance=0.05)
+        # 0.30 matches 0.31 (gap 0.01); 0.33 left for 0.50 -> too far
+        assert score.n_matched == 1
+        assert score.mean_abs_error == pytest.approx(0.01)
+
+    def test_empty_cases(self):
+        assert match_boundaries([], []).precision == 1.0
+        assert match_boundaries([], [0.5]).recall == 0.0
+        assert match_boundaries([0.5], []).precision == 0.0
+
+    def test_bad_tolerance(self):
+        with pytest.raises(PhaseError):
+            match_boundaries([0.5], [0.5], tolerance=0.0)
+
+    def test_f1_zero_when_nothing_matches(self):
+        score = match_boundaries([0.1], [0.9])
+        assert score.f1 == 0.0

@@ -1,0 +1,102 @@
+"""Tests for machine presets and trace trimming."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceFormatError
+from repro.machine.cpu import CoreModel
+from repro.machine.behavior import BEHAVIOR_LIBRARY
+from repro.machine.presets import PRESETS, mn3_node, small_cache_node, wide_vector_node
+from repro.trace.trim import trim_trace
+
+
+class TestPresets:
+    def test_all_presets_valid(self):
+        for name, builder in PRESETS.items():
+            spec = builder()
+            assert spec.clock_hz > 0
+            core = CoreModel(spec)
+            for behavior in BEHAVIOR_LIBRARY.values():
+                assert core.performance(behavior).cpi > 0
+
+    def test_wide_vector_speeds_up_simd(self):
+        vector_code = BEHAVIOR_LIBRARY["vector_compute"]
+        ref = CoreModel(mn3_node()).performance(vector_code)
+        wide = CoreModel(wide_vector_node()).performance(vector_code)
+        ref_flops = ref.rates(mn3_node().clock_hz)["PAPI_FP_OPS"]
+        wide_flops = wide.rates(wide_vector_node().clock_hz)["PAPI_FP_OPS"]
+        assert wide_flops > 1.3 * ref_flops
+
+    def test_branchy_code_indifferent_to_simd_width(self):
+        branchy = BEHAVIOR_LIBRARY["branchy_scalar"]
+        ref = CoreModel(mn3_node()).performance(branchy)
+        wide = CoreModel(wide_vector_node()).performance(branchy)
+        # IPC changes only marginally: the bottleneck is branches
+        assert ref.ipc == pytest.approx(wide.ipc, rel=0.25)
+
+    def test_small_cache_punishes_medium_working_sets(self):
+        from repro.machine.behavior import Behavior
+
+        # 12 MB effective working set: inside the reference node's 20 MB
+        # L3, far outside the lean node's 4 MB — the L3 cliff.
+        medium = Behavior(
+            name="medium_ws",
+            load_fraction=0.35,
+            store_fraction=0.10,
+            working_set_bytes=12 * 1024 * 1024,
+            access_regularity=0.4,
+            ilp=2.0,
+        )
+        big = CoreModel(mn3_node()).performance(medium)       # 20 MB L3
+        small = CoreModel(small_cache_node()).performance(medium)  # 4 MB L3
+        assert small.cpi > 1.5 * big.cpi
+
+
+class TestTrimTrace:
+    def test_window_contents(self, multiphase_trace):
+        duration = multiphase_trace.duration
+        t0, t1 = 0.25 * duration, 0.5 * duration
+        trimmed = trim_trace(multiphase_trace, t0, t1, rebase=False)
+        assert all(t0 <= s.time <= t1 for s in trimmed.samples)
+        assert all(t0 <= p.time <= t1 for p in trimmed.instrumentation)
+        assert all(
+            state.t_start >= t0 - 1e-12 and state.t_end <= t1 + 1e-12
+            for state in trimmed.states
+        )
+
+    def test_rebase_shifts_to_zero(self, multiphase_trace):
+        duration = multiphase_trace.duration
+        trimmed = trim_trace(multiphase_trace, 0.3 * duration, 0.6 * duration)
+        assert trimmed.duration <= 0.3 * duration + 1e-9
+        first = min(s.t_start for s in trimmed.states)
+        assert first == pytest.approx(0.0, abs=1e-12)
+
+    def test_boundary_states_clipped(self, multiphase_trace):
+        duration = multiphase_trace.duration
+        t0, t1 = 0.25 * duration, 0.5 * duration
+        trimmed = trim_trace(multiphase_trace, t0, t1, rebase=False)
+        total = sum(s.duration for s in trimmed.states if s.rank == 0)
+        assert total == pytest.approx(t1 - t0, rel=0.01)
+
+    def test_trimmed_window_still_analyzable(self, multiphase_trace):
+        """A representative window of a long run supports the full
+        pipeline (with fewer instances)."""
+        from repro.analysis.pipeline import AnalyzerConfig, FoldingAnalyzer
+
+        duration = multiphase_trace.duration
+        trimmed = trim_trace(multiphase_trace, 0.1 * duration, 0.9 * duration)
+        result = FoldingAnalyzer(AnalyzerConfig(min_instances=8)).analyze(trimmed)
+        assert result.n_clusters_analyzed == 1
+        assert result.clusters[0].n_phases >= 3
+
+    def test_metadata_records_window(self, multiphase_trace):
+        trimmed = trim_trace(multiphase_trace, 0.1, 0.2)
+        assert "trimmed_from" in trimmed.metadata
+
+    def test_invalid_window(self, multiphase_trace):
+        with pytest.raises(TraceFormatError):
+            trim_trace(multiphase_trace, 0.5, 0.5)
+
+    def test_empty_window(self, multiphase_trace):
+        with pytest.raises(TraceFormatError, match="no records"):
+            trim_trace(multiphase_trace, 1e6, 2e6)

@@ -1,0 +1,124 @@
+"""Property-based tests for alignment, extrapolation and derived metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.clustering.alignment import align_identity
+from repro.counters.derived import compute_metrics
+from repro.fitting.model_selection import merge_insignificant
+from repro.fitting.pwlr import PiecewiseLinearModel
+
+token_seqs = st.lists(st.integers(min_value=0, max_value=4), min_size=1, max_size=24)
+
+
+class TestAlignmentProperties:
+    @given(token_seqs)
+    @settings(max_examples=60, deadline=None)
+    def test_self_identity_is_one(self, seq):
+        assert align_identity(seq, seq) == pytest.approx(1.0)
+
+    @given(token_seqs, token_seqs)
+    @settings(max_examples=60, deadline=None)
+    def test_identity_bounded(self, a, b):
+        identity = align_identity(a, b)
+        assert 0.0 <= identity <= 1.0
+
+    @given(token_seqs, token_seqs)
+    @settings(max_examples=40, deadline=None)
+    def test_symmetric(self, a, b):
+        assert align_identity(a, b) == pytest.approx(align_identity(b, a))
+
+    @given(token_seqs, st.integers(min_value=0, max_value=4))
+    @settings(max_examples=40, deadline=None)
+    def test_appending_common_token_never_lowers_matches(self, seq, token):
+        """Adding the same token to both sequences cannot reduce the
+        absolute number of aligned matches."""
+        base = align_identity(seq, seq)  # == 1
+        extended = align_identity(seq + [token], seq + [token])
+        assert extended == pytest.approx(1.0)
+        assert base == pytest.approx(extended)
+
+    @given(token_seqs)
+    @settings(max_examples=40, deadline=None)
+    def test_disjoint_alphabet_zero(self, seq):
+        shifted = [t + 100 for t in seq]
+        assert align_identity(seq, shifted) == 0.0
+
+
+class TestMetricsProperties:
+    rates = st.dictionaries(
+        st.sampled_from(
+            [
+                "PAPI_TOT_INS",
+                "PAPI_TOT_CYC",
+                "PAPI_L1_DCM",
+                "PAPI_L3_TCM",
+                "PAPI_FP_OPS",
+                "PAPI_BR_INS",
+                "PAPI_BR_MSP",
+                "PAPI_VEC_INS",
+                "PAPI_LD_INS",
+                "PAPI_SR_INS",
+            ]
+        ),
+        st.floats(min_value=0.0, max_value=1e12),
+        min_size=0,
+        max_size=10,
+    )
+
+    @given(rates)
+    @settings(max_examples=80, deadline=None)
+    def test_never_raises_and_values_finite(self, rates):
+        metrics = compute_metrics(rates)
+        for name, value in metrics.items():
+            assert np.isfinite(value), name
+
+    @given(st.floats(min_value=1.0, max_value=1e12))
+    @settings(max_examples=30, deadline=None)
+    def test_mips_scales_linearly(self, ins_rate):
+        one = compute_metrics({"PAPI_TOT_INS": ins_rate})["MIPS"]
+        two = compute_metrics({"PAPI_TOT_INS": 2 * ins_rate})["MIPS"]
+        assert two == pytest.approx(2 * one, rel=1e-9)
+
+
+class TestMergeProperties:
+    @given(
+        st.lists(
+            st.floats(min_value=0.05, max_value=0.95),
+            min_size=0,
+            max_size=5,
+            unique=True,
+        ),
+        st.floats(min_value=0.0, max_value=0.5),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_merge_returns_subset(self, breaks, tol):
+        breaks = sorted(breaks)
+        assume(all(b2 - b1 > 1e-6 for b1, b2 in zip(breaks, breaks[1:])))
+        rng = np.random.default_rng(0)
+        slopes = rng.uniform(0.1, 3.0, len(breaks) + 1)
+        model = PiecewiseLinearModel(
+            breakpoints=np.array(breaks),
+            slopes=slopes,
+            intercept=0.0,
+            sse=0.0,
+            n_points=10,
+        )
+        kept = merge_insignificant(model, tol=tol)
+        assert set(np.round(kept, 12)) <= set(np.round(breaks, 12))
+
+    @given(st.integers(min_value=1, max_value=5))
+    @settings(max_examples=20, deadline=None)
+    def test_zero_tol_keeps_everything_distinct(self, k):
+        breaks = np.linspace(0.1, 0.9, k)
+        slopes = np.arange(1.0, k + 2)
+        model = PiecewiseLinearModel(
+            breakpoints=breaks,
+            slopes=slopes,
+            intercept=0.0,
+            sse=0.0,
+            n_points=10,
+        )
+        kept = merge_insignificant(model, tol=1e-12)
+        assert kept.size == k

@@ -1,0 +1,168 @@
+"""Property-based tests for rate functions, folding invariants, DBSCAN."""
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.clustering.dbscan import DBSCAN, NOISE
+from repro.machine.rates import RateFunction, RateSegment
+from repro.util.stats import iqr_bounds
+
+
+@st.composite
+def rate_functions(draw):
+    """Random piecewise-constant rate functions with 1-5 segments."""
+    n_segments = draw(st.integers(min_value=1, max_value=5))
+    durations = draw(
+        st.lists(
+            st.floats(min_value=0.01, max_value=5.0),
+            min_size=n_segments,
+            max_size=n_segments,
+        )
+    )
+    rates = draw(
+        st.lists(
+            st.floats(min_value=0.0, max_value=1e6),
+            min_size=n_segments,
+            max_size=n_segments,
+        )
+    )
+    segments = []
+    t = 0.0
+    for duration, rate in zip(durations, rates):
+        segments.append(RateSegment(t, t + duration, {"C": rate}))
+        t += duration
+    return RateFunction(segments)
+
+
+class TestRateFunctionProperties:
+    @given(rate_functions(), st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=60, deadline=None)
+    def test_cumulative_monotone_nondecreasing(self, fn, seed):
+        rng = np.random.default_rng(seed)
+        ts = np.sort(rng.uniform(0.0, fn.duration, 64))
+        values = fn.cumulative(ts, "C")
+        assert np.all(np.diff(values) >= -1e-9 * max(1.0, values[-1]))
+
+    @given(rate_functions(), st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=60, deadline=None)
+    def test_integration_additive(self, fn, seed):
+        rng = np.random.default_rng(seed)
+        a, b, c = np.sort(rng.uniform(0.0, fn.duration, 3))
+        whole = fn.integrate(a, c, "C")
+        parts = fn.integrate(a, b, "C") + fn.integrate(b, c, "C")
+        assert whole == pytest.approx(parts, rel=1e-9, abs=1e-9)
+
+    @given(
+        rate_functions(),
+        st.floats(min_value=0.1, max_value=10.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_scaling_preserves_totals_and_shape(self, fn, factor):
+        assume(fn.total("C") > 0)
+        scaled = fn.scaled(factor)
+        assert scaled.duration == pytest.approx(fn.duration * factor, rel=1e-9)
+        assert scaled.total("C") == pytest.approx(fn.total("C"), rel=1e-9)
+        xs = np.linspace(0.0, 1.0, 17)
+        assert np.allclose(
+            fn.normalized_cumulative(xs, "C"),
+            scaled.normalized_cumulative(xs, "C"),
+            rtol=1e-9,
+            atol=1e-9,
+        )
+
+    @given(rate_functions())
+    @settings(max_examples=40, deadline=None)
+    def test_normalized_curve_pinned_and_bounded(self, fn):
+        assume(fn.total("C") > 0)
+        xs = np.linspace(0.0, 1.0, 33)
+        ys = fn.normalized_cumulative(xs, "C")
+        assert ys[0] == pytest.approx(0.0, abs=1e-12)
+        assert ys[-1] == pytest.approx(1.0, rel=1e-12)
+        assert np.all(ys >= -1e-12) and np.all(ys <= 1.0 + 1e-12)
+
+
+class TestFoldingInvariantProperty:
+    @given(
+        st.integers(min_value=0, max_value=2**31 - 1),
+        st.floats(min_value=0.2, max_value=5.0),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_fold_normalization_invariant_to_uniform_dilation(self, seed, dilation):
+        """A sample's (x, y) fold coordinates do not change when the whole
+        instance is uniformly dilated in time — the core folding property."""
+        rng = np.random.default_rng(seed)
+        fn = RateFunction(
+            [
+                RateSegment(0.0, 1.0, {"C": rng.uniform(1, 100)}),
+                RateSegment(1.0, 2.5, {"C": rng.uniform(1, 100)}),
+            ]
+        )
+        scaled = fn.scaled(dilation)
+        t = rng.uniform(0.0, fn.duration)
+        x1 = t / fn.duration
+        y1 = fn.cumulative(t, "C") / fn.total("C")
+        t2 = t * dilation
+        x2 = t2 / scaled.duration
+        y2 = scaled.cumulative(t2, "C") / scaled.total("C")
+        assert x1 == pytest.approx(x2, rel=1e-9)
+        assert y1 == pytest.approx(y2, rel=1e-9)
+
+
+class TestDbscanProperties:
+    @given(
+        st.integers(min_value=0, max_value=2**31 - 1),
+        st.integers(min_value=2, max_value=4),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_separated_blobs_recovered(self, seed, n_blobs):
+        rng = np.random.default_rng(seed)
+        centers = [(i * 10.0, i * 10.0) for i in range(n_blobs)]
+        points = np.vstack(
+            [rng.normal(c, 0.1, size=(30, 2)) for c in centers]
+        )
+        result = DBSCAN(eps=1.0, min_pts=5).fit(points)
+        assert result.n_clusters == n_blobs
+        # each blob maps to exactly one label
+        for i in range(n_blobs):
+            assert len(set(result.labels[i * 30 : (i + 1) * 30])) == 1
+
+    @given(st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=20, deadline=None)
+    def test_labels_permutation_invariant_partition(self, seed):
+        """Shuffling input points must not change the partition."""
+        rng = np.random.default_rng(seed)
+        points = np.vstack(
+            [
+                rng.normal((0, 0), 0.1, size=(40, 2)),
+                rng.normal((5, 5), 0.1, size=(40, 2)),
+            ]
+        )
+        perm = rng.permutation(points.shape[0])
+        base = DBSCAN(eps=0.5, min_pts=5).fit(points).labels
+        shuffled = DBSCAN(eps=0.5, min_pts=5).fit(points[perm]).labels
+        # compare partitions: same-cluster relation preserved under perm
+        for i in range(0, 80, 7):
+            for j in range(0, 80, 11):
+                same_base = base[perm[i]] == base[perm[j]] and base[perm[i]] != NOISE
+                same_shuffled = (
+                    shuffled[i] == shuffled[j] and shuffled[i] != NOISE
+                )
+                assert same_base == same_shuffled
+
+
+class TestIqrProperty:
+    @given(
+        st.lists(
+            st.floats(min_value=-1e6, max_value=1e6),
+            min_size=4,
+            max_size=200,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_fences_bracket_quartiles(self, values):
+        data = np.asarray(values)
+        low, high = iqr_bounds(data)
+        q1, q3 = np.percentile(data, [25, 75])
+        assert low <= q1 + 1e-9
+        assert high >= q3 - 1e-9

@@ -1,0 +1,122 @@
+"""Property-based tests for the piece-wise linear regression."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.fitting.pwlr import PiecewiseLinearModel, fit_fixed_breakpoints, fit_pwlr
+
+
+def _breakpoints(draw, max_k=3, min_sep=0.08):
+    k = draw(st.integers(min_value=0, max_value=max_k))
+    positions = sorted(
+        draw(
+            st.lists(
+                st.floats(min_value=0.1, max_value=0.9),
+                min_size=k,
+                max_size=k,
+            )
+        )
+    )
+    out = []
+    for p in positions:
+        if all(abs(p - q) >= min_sep for q in out):
+            out.append(p)
+    return out
+
+
+@st.composite
+def pwl_specs(draw):
+    """Random normalized PWL curves: breakpoints + positive slopes."""
+    breaks = _breakpoints(draw)
+    slopes = draw(
+        st.lists(
+            st.floats(min_value=0.05, max_value=5.0),
+            min_size=len(breaks) + 1,
+            max_size=len(breaks) + 1,
+        )
+    )
+    return breaks, slopes
+
+
+def eval_pwl(x, breaks, slopes):
+    knots = np.concatenate([[0.0], breaks, [1.0]])
+    y = np.zeros_like(x)
+    for i, slope in enumerate(slopes):
+        y += slope * (np.clip(x, knots[i], knots[i + 1]) - knots[i])
+    end = sum(s * (knots[i + 1] - knots[i]) for i, s in enumerate(slopes))
+    return y / end
+
+
+class TestFixedFitProperties:
+    @given(pwl_specs(), st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_exact_interpolation_of_noiseless_pwl(self, spec, seed):
+        """Fitting at the true breakpoints reproduces noiseless data exactly."""
+        breaks, slopes = spec
+        rng = np.random.default_rng(seed)
+        x = np.sort(rng.uniform(0.0, 1.0, 300))
+        y = eval_pwl(x, breaks, slopes)
+        model = fit_fixed_breakpoints(x, y, breaks)
+        assert model.sse < 1e-10
+        assert np.allclose(model.predict(x), y, atol=1e-5)
+
+    @given(pwl_specs(), st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_monotone_fit_has_nonnegative_slopes(self, spec, seed):
+        breaks, slopes = spec
+        rng = np.random.default_rng(seed)
+        x = np.sort(rng.uniform(0.0, 1.0, 200))
+        y = eval_pwl(x, breaks, slopes) + rng.normal(0, 0.05, x.size)
+        model = fit_fixed_breakpoints(x, y, breaks, monotone=True)
+        assert np.all(model.slopes >= -1e-12)
+
+    @given(pwl_specs(), st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_prediction_is_continuous(self, spec, seed):
+        breaks, slopes = spec
+        rng = np.random.default_rng(seed)
+        x = np.sort(rng.uniform(0.0, 1.0, 200))
+        y = eval_pwl(x, breaks, slopes) + rng.normal(0, 0.02, x.size)
+        model = fit_fixed_breakpoints(x, y, breaks)
+        for b in model.breakpoints:
+            left = model.predict(b - 1e-9)
+            right = model.predict(b + 1e-9)
+            assert left == pytest.approx(right, abs=1e-6)
+
+    @given(pwl_specs(), st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_adding_breakpoints_never_hurts_sse(self, spec, seed):
+        """More breakpoints = richer model = lower (or equal) SSE."""
+        breaks, slopes = spec
+        rng = np.random.default_rng(seed)
+        x = np.sort(rng.uniform(0.0, 1.0, 200))
+        y = eval_pwl(x, breaks, slopes) + rng.normal(0, 0.05, x.size)
+        coarse = fit_fixed_breakpoints(x, y, [0.5], monotone=False, anchor=False)
+        fine = fit_fixed_breakpoints(
+            x, y, [0.25, 0.5, 0.75], monotone=False, anchor=False
+        )
+        assert fine.sse <= coarse.sse + 1e-9
+
+
+class TestAutoFitProperties:
+    @given(st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=10, deadline=None)
+    def test_knot_values_monotone_for_monotone_data(self, seed):
+        rng = np.random.default_rng(seed)
+        x = np.sort(rng.uniform(0.0, 1.0, 400))
+        y = eval_pwl(x, [0.4], [2.0, 0.5]) + rng.normal(0, 0.01, x.size)
+        model = fit_pwlr(x, y)
+        values = model.knot_values()
+        assert np.all(np.diff(values) >= -1e-9)
+
+    @given(st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=10, deadline=None)
+    def test_breakpoints_inside_unit_interval(self, seed):
+        rng = np.random.default_rng(seed)
+        x = np.sort(rng.uniform(0.0, 1.0, 300))
+        y = np.clip(eval_pwl(x, [0.3, 0.6], [1.0, 3.0, 0.2]) + rng.normal(0, 0.03, x.size), 0, 1.2)
+        model = fit_pwlr(x, y)
+        assert np.all(model.breakpoints > 0.0)
+        assert np.all(model.breakpoints < 1.0)
+        assert np.all(np.diff(model.breakpoints) > 0)

@@ -1,0 +1,96 @@
+"""Property-based round-trip tests for the trace format."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.trace.reader import load_trace_text
+from repro.trace.records import (
+    InstrumentationRecord,
+    SampleRecord,
+    StateKind,
+    StateRecord,
+    Trace,
+)
+from repro.trace.writer import dump_trace_text
+
+# Text fields may contain anything printable: percent-quoting must cope.
+name_text = st.text(
+    alphabet=st.characters(blacklist_categories=("Cs",), max_codepoint=0x2FF),
+    min_size=0,
+    max_size=12,
+)
+counter_name = st.sampled_from(["PAPI_TOT_INS", "PAPI_TOT_CYC", "PAPI_L3_TCM"])
+finite_time = st.floats(min_value=0.0, max_value=1e6, allow_nan=False)
+counter_value = st.floats(min_value=0.0, max_value=1e15, allow_nan=False)
+
+
+@st.composite
+def traces(draw):
+    n_ranks = draw(st.integers(min_value=1, max_value=4))
+    trace = Trace(n_ranks=n_ranks, app_name=draw(name_text))
+    for _ in range(draw(st.integers(min_value=0, max_value=6))):
+        t0 = draw(finite_time)
+        trace.add_state(
+            StateRecord(
+                rank=draw(st.integers(0, n_ranks - 1)),
+                t_start=t0,
+                t_end=t0 + draw(st.floats(min_value=0.0, max_value=10.0)),
+                kind=draw(st.sampled_from(list(StateKind))),
+                label=draw(name_text),
+            )
+        )
+    for _ in range(draw(st.integers(min_value=0, max_value=6))):
+        counters = draw(
+            st.dictionaries(counter_name, counter_value, min_size=0, max_size=3)
+        )
+        trace.add_instrumentation(
+            InstrumentationRecord(
+                rank=draw(st.integers(0, n_ranks - 1)),
+                time=draw(finite_time),
+                marker=draw(st.sampled_from(["comm_enter", "comm_exit"])),
+                mpi_call=draw(name_text),
+                counters=counters,
+            )
+        )
+    for _ in range(draw(st.integers(min_value=0, max_value=6))):
+        n_frames = draw(st.integers(min_value=0, max_value=3))
+        frames = tuple(
+            (
+                draw(name_text) or "r",
+                draw(name_text) or "f",
+                draw(st.integers(min_value=1, max_value=10000)),
+            )
+            for _ in range(n_frames)
+        )
+        trace.add_sample(
+            SampleRecord(
+                rank=draw(st.integers(0, n_ranks - 1)),
+                time=draw(finite_time),
+                counters=draw(
+                    st.dictionaries(counter_name, counter_value, min_size=0, max_size=3)
+                ),
+                frames=frames,
+            )
+        )
+    return trace
+
+
+class TestTraceRoundTripProperty:
+    @given(traces())
+    @settings(max_examples=60, deadline=None)
+    def test_write_read_identity(self, trace):
+        text = dump_trace_text(trace)
+        back = load_trace_text(text)
+        assert back.n_ranks == trace.n_ranks
+        assert back.app_name == trace.app_name
+        assert back.states == trace.states
+        assert back.instrumentation == trace.instrumentation
+        assert back.samples == trace.samples
+
+    @given(traces())
+    @settings(max_examples=30, deadline=None)
+    def test_double_round_trip_stable(self, trace):
+        once = dump_trace_text(trace)
+        twice = dump_trace_text(load_trace_text(once))
+        assert once == twice

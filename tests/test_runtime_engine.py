@@ -1,0 +1,116 @@
+"""Tests for repro.runtime.engine — the execution engine."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.runtime.engine import ExecutionEngine
+from repro.workload.apps import multiphase_app
+
+
+class TestExecutionEngine:
+    def test_deterministic(self, core, small_multiphase_app):
+        a = ExecutionEngine(core, seed=9).run(small_multiphase_app)
+        b = ExecutionEngine(core, seed=9).run(small_multiphase_app)
+        assert a.duration == pytest.approx(b.duration)
+        assert a.ranks[0].bursts[5].t_start == pytest.approx(
+            b.ranks[0].bursts[5].t_start
+        )
+
+    def test_seed_changes_timeline(self, core, small_multiphase_app):
+        a = ExecutionEngine(core, seed=1).run(small_multiphase_app)
+        b = ExecutionEngine(core, seed=2).run(small_multiphase_app)
+        assert a.duration != pytest.approx(b.duration, rel=1e-12)
+
+    def test_burst_count(self, core, small_multiphase_app):
+        timeline = ExecutionEngine(core, seed=0).run(small_multiphase_app)
+        for rank_timeline in timeline.ranks:
+            assert len(rank_timeline.bursts) == small_multiphase_app.bursts_per_rank
+
+    def test_bursts_and_comms_alternate(self, multiphase_timeline):
+        for rank_timeline in multiphase_timeline.ranks:
+            events = [("b", b.t_start, b.t_end) for b in rank_timeline.bursts]
+            events += [("c", c.t_start, c.t_end) for c in rank_timeline.comms]
+            events.sort(key=lambda e: e[1])
+            kinds = [e[0] for e in events]
+            assert kinds == ["b", "c"] * (len(kinds) // 2)
+            # contiguity: each event starts where the previous ended
+            for prev, nxt in zip(events, events[1:]):
+                assert nxt[1] == pytest.approx(prev[2], abs=1e-12)
+
+    def test_rate_function_spans_run(self, multiphase_timeline):
+        for rank_timeline in multiphase_timeline.ranks:
+            last = max(c.t_end for c in rank_timeline.comms)
+            assert rank_timeline.rate_function.duration == pytest.approx(last)
+
+    def test_counters_monotone_across_run(self, multiphase_timeline):
+        rank_timeline = multiphase_timeline.ranks[0]
+        ts = np.linspace(0, rank_timeline.duration, 501)
+        for counter in ("PAPI_TOT_INS", "PAPI_TOT_CYC", "PAPI_L3_TCM"):
+            values = rank_timeline.rate_function.cumulative(ts, counter)
+            assert np.all(np.diff(values) >= -1e-9)
+
+    def test_collectives_synchronize_ranks(self, multiphase_timeline):
+        # after each allreduce, all ranks share the same exit time
+        n_comms = len(multiphase_timeline.ranks[0].comms)
+        for i in range(n_comms):
+            exits = [r.comms[i].t_end for r in multiphase_timeline.ranks]
+            assert max(exits) - min(exits) < 1e-12 * max(exits) + 1e-15
+
+    def test_rank_speed_imbalance(self, core):
+        app = multiphase_app(iterations=10, ranks=2)
+        slow = type(app)(
+            name=app.name,
+            source=app.source,
+            steps=app.steps,
+            iterations=app.iterations,
+            ranks=2,
+            rank_speed=np.array([1.0, 1.5]),
+        )
+        timeline = ExecutionEngine(core, seed=4).run(slow)
+        fast_compute = sum(b.duration for b in timeline.ranks[0].bursts)
+        slow_compute = sum(b.duration for b in timeline.ranks[1].bursts)
+        assert slow_compute > 1.3 * fast_compute
+        # collective makes the fast rank wait: comm time higher on rank 0
+        fast_comm = sum(c.duration for c in timeline.ranks[0].comms)
+        slow_comm = sum(c.duration for c in timeline.ranks[1].comms)
+        assert fast_comm > slow_comm
+
+    def test_outliers_marked(self, core):
+        from repro.workload.variability import VariabilityModel
+
+        app = multiphase_app(
+            iterations=100,
+            ranks=1,
+            variability=VariabilityModel(outlier_prob=0.2, outlier_scale=5.0),
+        )
+        timeline = ExecutionEngine(core, seed=8).run(app)
+        outliers = [b for b in timeline.ranks[0].bursts if b.is_outlier]
+        normal = [b for b in timeline.ranks[0].bursts if not b.is_outlier]
+        assert outliers and normal
+        assert np.mean([b.duration for b in outliers]) > 3 * np.mean(
+            [b.duration for b in normal]
+        )
+
+    def test_cumulative_accessor(self, multiphase_timeline):
+        value = multiphase_timeline.cumulative(0, 0.01, "PAPI_TOT_INS")
+        assert value > 0
+
+    def test_rank_out_of_range(self, multiphase_timeline):
+        with pytest.raises(WorkloadError):
+            multiphase_timeline.rank(99)
+
+    def test_all_bursts(self, multiphase_timeline):
+        bursts = multiphase_timeline.all_bursts()
+        assert len(bursts) == sum(
+            len(r.bursts) for r in multiphase_timeline.ranks
+        )
+
+    def test_spin_rates_during_comm(self, multiphase_timeline):
+        rank_timeline = multiphase_timeline.ranks[0]
+        comm = rank_timeline.comms[0]
+        mid = 0.5 * (comm.t_start + comm.t_end)
+        seg = rank_timeline.rate_function.segment_at(mid)
+        assert seg.label == "__MPI__"
+        assert seg.rates["PAPI_FP_OPS"] == 0.0
+        assert seg.callpath is None

@@ -1,0 +1,122 @@
+"""Tests for repro.runtime.sampler and repro.runtime.overhead."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.runtime.instrumentation import InstrumentationConfig
+from repro.runtime.overhead import OverheadModel
+from repro.runtime.sampler import SamplerConfig, generate_sample_times
+
+
+class TestSamplerConfig:
+    def test_defaults(self):
+        cfg = SamplerConfig()
+        assert cfg.period_s == pytest.approx(0.02)
+
+    @pytest.mark.parametrize(
+        "kw",
+        [
+            dict(period_s=0.0),
+            dict(jitter_sigma=-0.1),
+            dict(drop_probability=1.0),
+            dict(sample_cost_s=-1.0),
+        ],
+    )
+    def test_validation(self, kw):
+        with pytest.raises(ConfigurationError):
+            SamplerConfig(**kw)
+
+    def test_with_period(self):
+        cfg = SamplerConfig(jitter_sigma=0.1).with_period(0.5)
+        assert cfg.period_s == 0.5
+        assert cfg.jitter_sigma == 0.1
+
+
+class TestGenerateSampleTimes:
+    def test_mean_period_close_to_nominal(self):
+        cfg = SamplerConfig(period_s=0.01, jitter_sigma=0.05)
+        times = generate_sample_times(cfg, 10.0, np.random.default_rng(0))
+        mean_gap = np.mean(np.diff(times))
+        assert mean_gap == pytest.approx(0.01, rel=0.05)
+
+    def test_times_sorted_in_range(self):
+        cfg = SamplerConfig(period_s=0.01)
+        times = generate_sample_times(cfg, 2.0, np.random.default_rng(1))
+        assert np.all(np.diff(times) > 0)
+        assert times[0] >= 0.0
+        assert times[-1] <= 2.0
+
+    def test_no_jitter_metronome(self):
+        cfg = SamplerConfig(period_s=0.1, jitter_sigma=0.0)
+        times = generate_sample_times(cfg, 1.0, np.random.default_rng(2))
+        gaps = np.diff(times)
+        assert np.allclose(gaps, 0.1)
+
+    def test_dropout_reduces_count(self):
+        base = SamplerConfig(period_s=0.001, jitter_sigma=0.0)
+        dropped = SamplerConfig(period_s=0.001, jitter_sigma=0.0, drop_probability=0.5)
+        n_base = generate_sample_times(base, 5.0, np.random.default_rng(3)).size
+        n_drop = generate_sample_times(dropped, 5.0, np.random.default_rng(3)).size
+        assert n_drop < 0.65 * n_base
+
+    def test_zero_duration(self):
+        cfg = SamplerConfig()
+        assert generate_sample_times(cfg, 0.0, np.random.default_rng(0)).size == 0
+
+    def test_negative_duration(self):
+        with pytest.raises(ConfigurationError):
+            generate_sample_times(SamplerConfig(), -1.0, np.random.default_rng(0))
+
+    def test_first_tick_within_first_period(self):
+        cfg = SamplerConfig(period_s=0.5)
+        for seed in range(5):
+            times = generate_sample_times(cfg, 10.0, np.random.default_rng(seed))
+            assert times[0] < 0.5
+
+
+class TestOverheadModel:
+    def test_report_counts(self, multiphase_timeline):
+        model = OverheadModel(InstrumentationConfig(), SamplerConfig(period_s=0.02))
+        report = model.report(multiphase_timeline)
+        expected_probes = sum(
+            2 * len(r.comms) for r in multiphase_timeline.ranks
+        )
+        assert report.n_probes == expected_probes
+        assert report.n_samples > 0
+        assert 0 < report.relative_overhead < 0.05
+
+    def test_overhead_scales_with_frequency(self, multiphase_timeline):
+        model = OverheadModel(InstrumentationConfig(), SamplerConfig())
+        sweep = model.sweep_periods(multiphase_timeline, [0.001, 0.01, 0.1])
+        assert (
+            sweep[0.001].relative_overhead
+            > sweep[0.01].relative_overhead
+            > sweep[0.1].relative_overhead
+        )
+
+    def test_fine_instrumentation_costs_more(self, multiphase_timeline):
+        model = OverheadModel(InstrumentationConfig(), SamplerConfig(period_s=0.02))
+        coarse = model.report(multiphase_timeline)
+        fine = model.fine_instrumentation_report(multiphase_timeline, points_per_burst=64)
+        # 64 probes per burst vs 2 per comm: >= 30x the probe count
+        assert fine.n_probes >= 30 * coarse.n_probes
+        assert fine.total_overhead_s > coarse.total_overhead_s
+
+    def test_equivalent_sampling_costs_more(self, multiphase_timeline):
+        model = OverheadModel(InstrumentationConfig(), SamplerConfig(period_s=0.02))
+        coarse = model.report(multiphase_timeline)
+        fine = model.equivalent_sampling_report(multiphase_timeline, points_per_burst=64)
+        assert fine.n_samples > 5 * coarse.n_samples
+        assert fine.total_overhead_s > coarse.total_overhead_s
+
+    def test_disabled_instrumentation(self, multiphase_timeline):
+        model = OverheadModel(
+            InstrumentationConfig(enabled=False), SamplerConfig(period_s=0.02)
+        )
+        assert model.report(multiphase_timeline).n_probes == 0
+
+    def test_percent_property(self, multiphase_timeline):
+        model = OverheadModel(InstrumentationConfig(), SamplerConfig())
+        report = model.report(multiphase_timeline)
+        assert report.percent == pytest.approx(100 * report.relative_overhead)

@@ -1,0 +1,99 @@
+"""Tests for repro.runtime.tracer — timeline observation."""
+
+import numpy as np
+import pytest
+
+from repro.runtime.instrumentation import InstrumentationConfig
+from repro.runtime.sampler import SamplerConfig
+from repro.runtime.tracer import Tracer, TracerConfig
+from repro.trace.records import StateKind
+
+
+class TestTracer:
+    def test_state_records_cover_run(self, multiphase_timeline, multiphase_trace):
+        for rank in range(multiphase_trace.n_ranks):
+            states = multiphase_trace.states_of(rank)
+            assert states[0].t_start == pytest.approx(0.0)
+            # contiguous coverage
+            for prev, nxt in zip(states, states[1:]):
+                assert nxt.t_start == pytest.approx(prev.t_end, abs=1e-12)
+
+    def test_compute_comm_alternate(self, multiphase_trace):
+        states = multiphase_trace.states_of(0)
+        kinds = [s.kind for s in states]
+        assert kinds[0] is StateKind.COMPUTE
+        for a, b in zip(kinds, kinds[1:]):
+            assert a != b
+
+    def test_probe_counters_match_ground_truth(
+        self, multiphase_timeline, multiphase_trace
+    ):
+        rank_timeline = multiphase_timeline.ranks[0]
+        probes = multiphase_trace.instrumentation_of(0)
+        for probe in probes[:20]:
+            truth = rank_timeline.rate_function.cumulative(
+                probe.time, "PAPI_TOT_INS"
+            )
+            # quantized to whole events
+            assert probe.counters["PAPI_TOT_INS"] == pytest.approx(
+                np.floor(truth), abs=1.0
+            )
+
+    def test_probe_markers_paired(self, multiphase_trace):
+        probes = multiphase_trace.instrumentation_of(1)
+        markers = [p.marker for p in probes]
+        assert markers == ["comm_enter", "comm_exit"] * (len(markers) // 2)
+
+    def test_samples_have_frames_in_compute(self, multiphase_timeline, multiphase_trace):
+        rank_timeline = multiphase_timeline.ranks[0]
+        for sample in multiphase_trace.samples_of(0)[:50]:
+            seg = rank_timeline.rate_function.segment_at(sample.time)
+            if seg.label == "__MPI__":
+                assert sample.in_mpi
+            else:
+                assert sample.frames
+                leaf_routine = sample.frames[-1][0]
+                assert leaf_routine == seg.callpath.leaf.routine.name
+
+    def test_sample_counters_monotone_per_rank(self, multiphase_trace):
+        for rank in range(multiphase_trace.n_ranks):
+            samples = multiphase_trace.samples_of(rank)
+            values = [s.counters["PAPI_TOT_CYC"] for s in samples]
+            assert all(a <= b for a, b in zip(values, values[1:]))
+
+    def test_disabled_instrumentation_no_probes(self, multiphase_timeline):
+        config = TracerConfig(instrumentation=InstrumentationConfig(enabled=False))
+        trace = Tracer(config).trace(multiphase_timeline)
+        assert not trace.instrumentation
+        assert trace.samples  # sampling still works
+
+    def test_unquantized_counters_exact(self, multiphase_timeline):
+        config = TracerConfig(
+            instrumentation=InstrumentationConfig(counters_quantized=False)
+        )
+        trace = Tracer(config).trace(multiphase_timeline)
+        rank_timeline = multiphase_timeline.ranks[0]
+        probe = trace.instrumentation_of(0)[0]
+        truth = rank_timeline.rate_function.cumulative(probe.time, "PAPI_TOT_INS")
+        assert probe.counters["PAPI_TOT_INS"] == pytest.approx(truth, rel=1e-12)
+
+    def test_tracer_deterministic(self, multiphase_timeline):
+        a = Tracer(TracerConfig(seed=3)).trace(multiphase_timeline)
+        b = Tracer(TracerConfig(seed=3)).trace(multiphase_timeline)
+        assert [s.time for s in a.samples] == [s.time for s in b.samples]
+
+    def test_tracer_seed_changes_samples(self, multiphase_timeline):
+        a = Tracer(TracerConfig(seed=3)).trace(multiphase_timeline)
+        b = Tracer(TracerConfig(seed=4)).trace(multiphase_timeline)
+        assert [s.time for s in a.samples] != [s.time for s in b.samples]
+
+    def test_metadata_recorded(self, multiphase_trace):
+        assert "sampler_period_s" in multiphase_trace.metadata
+        assert "clock_hz" in multiphase_trace.metadata
+
+    def test_sampling_period_respected(self, multiphase_timeline):
+        config = TracerConfig(sampler=SamplerConfig(period_s=0.005))
+        trace = Tracer(config).trace(multiphase_timeline)
+        times = [s.time for s in trace.samples_of(0)]
+        mean_gap = np.mean(np.diff(times))
+        assert mean_gap == pytest.approx(0.005, rel=0.1)

@@ -1,0 +1,92 @@
+"""Tests for repro.analysis.scaling."""
+
+import pytest
+
+from repro.analysis.scaling import (
+    ScalingPoint,
+    ScalingStudy,
+    render_scaling,
+    run_scaling_study,
+)
+from repro.errors import AnalysisError
+from repro.workload.apps import dalton_app, multiphase_app
+
+
+@pytest.fixture(scope="module")
+def spmd_study(core):
+    return run_scaling_study(
+        lambda ranks: multiphase_app(iterations=40, ranks=ranks),
+        core,
+        (2, 4, 8),
+        seed=9,
+    )
+
+
+class TestScalingPoint:
+    def test_validation(self):
+        with pytest.raises(AnalysisError):
+            ScalingPoint(
+                ranks=0,
+                wall_s=1.0,
+                aggregate_compute_s=1.0,
+                parallel_efficiency=1.0,
+                comm_fraction=0.0,
+            )
+        with pytest.raises(AnalysisError):
+            ScalingPoint(
+                ranks=1,
+                wall_s=0.0,
+                aggregate_compute_s=1.0,
+                parallel_efficiency=1.0,
+                comm_fraction=0.0,
+            )
+
+
+class TestScalingStudy:
+    def test_spmd_app_scales(self, spmd_study):
+        # weak scaling of a balanced SPMD app with cheap collectives:
+        # throughput grows nearly linearly
+        assert spmd_study.scales_well
+        assert spmd_study.scaling_efficiency()[-1] > 0.9
+
+    def test_relative_speedup_base_is_one(self, spmd_study):
+        assert spmd_study.relative_speedup()[0] == pytest.approx(1.0)
+
+    def test_master_worker_bottleneck(self, core):
+        study = run_scaling_study(
+            lambda ranks: dalton_app(iterations=30, ranks=ranks),
+            core,
+            (4, 16),
+            seed=9,
+        )
+        comm = [p.comm_fraction for p in study.points]
+        assert comm[-1] > comm[0]
+        assert study.scaling_efficiency()[-1] < spmd_efficiency_floor(study)
+
+    def test_order_enforced(self, core):
+        with pytest.raises(AnalysisError):
+            run_scaling_study(
+                lambda ranks: multiphase_app(iterations=5, ranks=ranks),
+                core,
+                (8, 4),
+                seed=0,
+            )
+
+    def test_empty_counts(self, core):
+        with pytest.raises(AnalysisError):
+            run_scaling_study(
+                lambda ranks: multiphase_app(iterations=5, ranks=ranks),
+                core,
+                (),
+                seed=0,
+            )
+
+    def test_render(self, spmd_study):
+        text = render_scaling(spmd_study)
+        assert "ranks" in text
+        assert "scales well" in text
+
+
+def spmd_efficiency_floor(_study) -> float:
+    """Scaling-efficiency bar a balanced SPMD app clears easily."""
+    return 0.95

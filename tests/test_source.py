@@ -1,0 +1,142 @@
+"""Tests for repro.source — files, routines, call paths."""
+
+import pytest
+
+from repro.source.callpath import CallFrame, CallPath
+from repro.source.model import CodeLocation, Routine, SourceFile, SourceModel
+
+
+@pytest.fixture
+def model():
+    source = SourceModel()
+    f = source.add_file("solver.f90")
+    source.add_routine("main", f, 1, 20)
+    source.add_routine("step", f, 30, 80)
+    source.add_routine("kernel", f, 100, 150)
+    return source
+
+
+class TestSourceFile:
+    def test_basename(self):
+        assert SourceFile("src/deep/solver.f90").basename == "solver.f90"
+
+    def test_empty_path_rejected(self):
+        with pytest.raises(ValueError):
+            SourceFile("")
+
+
+class TestRoutine:
+    def test_contains_line(self, model):
+        routine = model.routines["step"]
+        assert routine.contains_line(30)
+        assert routine.contains_line(80)
+        assert not routine.contains_line(81)
+
+    def test_label(self, model):
+        assert model.routines["step"].label == "step (solver.f90:30-80)"
+
+    def test_invalid_range(self):
+        f = SourceFile("x.f90")
+        with pytest.raises(ValueError):
+            Routine("bad", f, 10, 5)
+
+    def test_empty_name(self):
+        f = SourceFile("x.f90")
+        with pytest.raises(ValueError):
+            Routine("", f, 1, 2)
+
+
+class TestCodeLocation:
+    def test_valid(self, model):
+        loc = model.location("kernel", 120)
+        assert loc.label == "solver.f90:120 (kernel)"
+
+    def test_line_outside_routine(self, model):
+        with pytest.raises(ValueError):
+            model.location("kernel", 99)
+
+    def test_unknown_routine(self, model):
+        with pytest.raises(KeyError, match="unknown routine"):
+            model.location("nope", 1)
+
+
+class TestSourceModel:
+    def test_add_file_idempotent(self, model):
+        assert model.add_file("solver.f90") is model.files["solver.f90"]
+
+    def test_duplicate_routine_rejected(self, model):
+        with pytest.raises(ValueError):
+            model.add_routine("main", model.files["solver.f90"], 200, 210)
+
+    def test_overlapping_routines_rejected(self, model):
+        with pytest.raises(ValueError, match="overlap"):
+            model.add_routine("clash", model.files["solver.f90"], 15, 25)
+
+    def test_same_lines_other_file_ok(self, model):
+        other = model.add_file("other.f90")
+        model.add_routine("other_main", other, 1, 20)
+
+    def test_routine_at(self, model):
+        f = model.files["solver.f90"]
+        assert model.routine_at(f, 45).name == "step"
+        assert model.routine_at(f, 95) is None
+
+    def test_len_iter(self, model):
+        assert len(model) == 3
+        assert {r.name for r in model} == {"main", "step", "kernel"}
+
+
+class TestCallPath:
+    def _frame(self, model, routine, line):
+        return CallFrame(location=model.location(routine, line))
+
+    def test_leaf_root_depth(self, model):
+        path = CallPath(
+            [self._frame(model, "main", 10), self._frame(model, "kernel", 120)]
+        )
+        assert path.root.routine.name == "main"
+        assert path.leaf.routine.name == "kernel"
+        assert path.depth == 2
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            CallPath([])
+
+    def test_push_pop(self, model):
+        path = CallPath([self._frame(model, "main", 10)])
+        deeper = path.push(self._frame(model, "step", 40))
+        assert deeper.depth == 2
+        assert deeper.pop() == path
+
+    def test_pop_last_frame_rejected(self, model):
+        path = CallPath([self._frame(model, "main", 10)])
+        with pytest.raises(ValueError):
+            path.pop()
+
+    def test_common_prefix(self, model):
+        main = self._frame(model, "main", 10)
+        a = CallPath([main, self._frame(model, "step", 40)])
+        b = CallPath([main, self._frame(model, "kernel", 110)])
+        assert a.common_prefix(b) == (main,)
+
+    def test_contains_and_frame_in(self, model):
+        path = CallPath(
+            [self._frame(model, "main", 10), self._frame(model, "step", 40)]
+        )
+        assert path.contains_routine("step")
+        assert not path.contains_routine("kernel")
+        assert path.frame_in("main").line == 10
+        assert path.frame_in("kernel") is None
+
+    def test_label(self, model):
+        path = CallPath(
+            [self._frame(model, "main", 10), self._frame(model, "step", 40)]
+        )
+        assert path.label == "main > step"
+
+    def test_hashable(self, model):
+        a = CallPath([self._frame(model, "main", 10)])
+        b = CallPath([self._frame(model, "main", 10)])
+        assert a == b
+        assert hash(a) == hash(b)
+        assert len({a, b}) == 1

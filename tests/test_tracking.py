@@ -1,0 +1,88 @@
+"""Tests for repro.analysis.tracking — clusters across runs."""
+
+import pytest
+
+from repro.analysis.experiments import cluster_kernel_map, run_app
+from repro.analysis.tracking import (
+    compare_results,
+    match_clusters,
+    render_comparison,
+)
+from repro.workload.apps import cgpop_app, cgpop_optimized
+
+
+@pytest.fixture(scope="module")
+def before_after(core):
+    app = cgpop_app(iterations=80, ranks=4)
+    before = run_app(app, core=core, seed=55)
+    after = run_app(cgpop_optimized(app), core=core, seed=55)
+    return before, after
+
+
+class TestMatchClusters:
+    def test_one_to_one(self, before_after):
+        before, after = before_after
+        matches = match_clusters(before.result, after.result)
+        assert len(matches) == 2
+        assert len({m.before_id for m in matches}) == 2
+        assert len({m.after_id for m in matches}) == 2
+
+    def test_matches_follow_kernels(self, before_after):
+        """Each matched pair must correspond to the same ground-truth
+        kernel (modulo the .blk optimization suffix)."""
+        before, after = before_after
+        map_before = cluster_kernel_map(before)
+        map_after = cluster_kernel_map(after)
+        for match in match_clusters(before.result, after.result):
+            name_b = map_before[match.before_id].split(".")[1]
+            name_a = map_after[match.after_id].split(".")[1]
+            assert name_b == name_a
+
+    def test_identical_runs_match_at_zero_distance(self, before_after):
+        before, _ = before_after
+        matches = match_clusters(before.result, before.result)
+        for match in matches:
+            assert match.distance == pytest.approx(0.0, abs=1e-12)
+
+
+class TestCompareResults:
+    def test_blocking_moves_the_right_metrics(self, before_after):
+        before, after = before_after
+        map_before = cluster_kernel_map(before)
+        deltas = compare_results(before.result, after.result)
+        matvec = next(
+            d
+            for d in deltas
+            if map_before[d.match.before_id] == "cgpop.matvec"
+        )
+        ipc_b, ipc_a = matvec.metrics["IPC"]
+        mpki_b, mpki_a = matvec.metrics["L3_MPKI"]
+        assert ipc_a > ipc_b  # blocking raises IPC
+        assert mpki_a < mpki_b  # and cuts L3 misses
+        assert matvec.moved("L3_MPKI")
+
+    def test_untouched_cluster_stays_put(self, before_after):
+        before, after = before_after
+        map_before = cluster_kernel_map(before)
+        deltas = compare_results(before.result, after.result)
+        dot = next(
+            d for d in deltas if map_before[d.match.before_id] == "cgpop.dot"
+        )
+        ipc_b, ipc_a = dot.metrics["IPC"]
+        assert ipc_a == pytest.approx(ipc_b, rel=0.05)
+        assert not dot.moved("IPC")
+
+    def test_deltas_ordered_by_share(self, before_after):
+        before, after = before_after
+        deltas = compare_results(before.result, after.result)
+        shares = [d.time_share[0] for d in deltas]
+        assert shares == sorted(shares, reverse=True)
+
+
+class TestRenderComparison:
+    def test_table_renders(self, before_after):
+        before, after = before_after
+        text = render_comparison(before.result, after.result)
+        assert "IPC" in text
+        assert "->" in text
+        assert len(text.splitlines()) >= 4

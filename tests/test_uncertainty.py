@@ -1,0 +1,92 @@
+"""Tests for repro.analysis.uncertainty — bootstrap rate intervals."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.uncertainty import RateInterval, bootstrap_phase_rates
+from repro.errors import AnalysisError
+
+
+@pytest.fixture(scope="module")
+def folded_and_model(multiphase_artifacts):
+    cluster = multiphase_artifacts.result.clusters[0]
+    return cluster.folded["PAPI_TOT_INS"], cluster.phase_set.pivot_model
+
+
+class TestBootstrapPhaseRates:
+    def test_intervals_cover_point(self, folded_and_model):
+        folded, model = folded_and_model
+        intervals = bootstrap_phase_rates(
+            folded, model, n_resamples=60, rng=np.random.default_rng(1)
+        )
+        assert len(intervals) == model.n_segments
+        for interval in intervals:
+            assert interval.contains(interval.point)
+
+    def test_intervals_cover_truth(self, core, folded_and_model, small_multiphase_app):
+        folded, model = folded_and_model
+        intervals = bootstrap_phase_rates(
+            folded, model, n_resamples=80, rng=np.random.default_rng(2)
+        )
+        truth_fn = small_multiphase_app.kernels()[0].base_rate_function(core)
+        # for each detected segment, the true mean rate over that span
+        # should lie in (or very near) the CI
+        for interval, (x0, x1, _s) in zip(intervals, model.segments()):
+            t0, t1 = x0 * truth_fn.duration, x1 * truth_fn.duration
+            true_rate = truth_fn.integrate(t0, t1, "PAPI_TOT_INS") / (t1 - t0)
+            margin = 0.05 * true_rate
+            assert interval.low - margin <= true_rate <= interval.high + margin
+
+    def test_intervals_are_tight_for_long_runs(self, folded_and_model):
+        folded, model = folded_and_model
+        intervals = bootstrap_phase_rates(
+            folded, model, n_resamples=60, rng=np.random.default_rng(3)
+        )
+        # the dominant phase's rate should be known within a few percent
+        widest = max(i.relative_half_width for i in intervals)
+        longest = max(
+            intervals, key=lambda i: model.segment_lengths[i.phase_index]
+        )
+        assert longest.relative_half_width < 0.05
+        assert widest < 0.5  # even tiny phases stay bounded
+
+    def test_fewer_instances_widen_interval(self, folded_and_model):
+        folded, model = folded_and_model
+        few = folded.subset_instances(range(12))
+        wide = bootstrap_phase_rates(
+            few, model, n_resamples=60, rng=np.random.default_rng(4)
+        )
+        narrow = bootstrap_phase_rates(
+            folded, model, n_resamples=60, rng=np.random.default_rng(4)
+        )
+        dominant = max(range(model.n_segments), key=lambda i: model.segment_lengths[i])
+        assert wide[dominant].half_width > narrow[dominant].half_width
+
+    def test_parameter_validation(self, folded_and_model):
+        folded, model = folded_and_model
+        with pytest.raises(AnalysisError):
+            bootstrap_phase_rates(folded, model, n_resamples=3)
+        with pytest.raises(AnalysisError):
+            bootstrap_phase_rates(folded, model, confidence=0.3)
+
+    def test_interval_validation(self):
+        with pytest.raises(AnalysisError):
+            RateInterval(
+                counter="PAPI_TOT_INS",
+                phase_index=0,
+                point=1.0,
+                low=2.0,
+                high=1.0,
+                confidence=0.95,
+                n_resamples=10,
+            )
+
+    def test_deterministic_given_rng(self, folded_and_model):
+        folded, model = folded_and_model
+        a = bootstrap_phase_rates(
+            folded, model, n_resamples=30, rng=np.random.default_rng(7)
+        )
+        b = bootstrap_phase_rates(
+            folded, model, n_resamples=30, rng=np.random.default_rng(7)
+        )
+        assert [(i.low, i.high) for i in a] == [(i.low, i.high) for i in b]

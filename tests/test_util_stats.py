@@ -1,0 +1,121 @@
+"""Tests for repro.util.stats."""
+
+import numpy as np
+import pytest
+
+from repro.util.stats import (
+    iqr_bounds,
+    mad,
+    r_squared,
+    running_mean,
+    sse,
+    weighted_mean,
+    weighted_percentile,
+)
+
+
+class TestWeightedMean:
+    def test_uniform_weights(self):
+        assert weighted_mean(np.array([1.0, 2.0, 3.0]), np.ones(3)) == pytest.approx(2.0)
+
+    def test_weighting(self):
+        got = weighted_mean(np.array([0.0, 10.0]), np.array([3.0, 1.0]))
+        assert got == pytest.approx(2.5)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            weighted_mean(np.array([]), np.array([]))
+
+    def test_zero_weight_raises(self):
+        with pytest.raises(ValueError):
+            weighted_mean(np.array([1.0]), np.array([0.0]))
+
+
+class TestWeightedPercentile:
+    def test_median_uniform(self):
+        values = np.arange(1, 6, dtype=float)
+        assert weighted_percentile(values, np.ones(5), 50) == pytest.approx(3.0)
+
+    def test_heavy_weight_dominates(self):
+        values = np.array([1.0, 100.0])
+        weights = np.array([1.0, 99.0])
+        assert weighted_percentile(values, weights, 50) == pytest.approx(100.0)
+
+    def test_bad_percentile(self):
+        with pytest.raises(ValueError):
+            weighted_percentile(np.array([1.0]), np.array([1.0]), 101)
+
+
+class TestMad:
+    def test_constant_is_zero(self):
+        assert mad(np.full(5, 3.0)) == 0.0
+
+    def test_known_value(self):
+        assert mad(np.array([1.0, 2.0, 3.0, 4.0, 5.0])) == pytest.approx(1.0)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            mad(np.array([]))
+
+
+class TestIqrBounds:
+    def test_symmetric_data(self):
+        low, high = iqr_bounds(np.arange(101, dtype=float))
+        assert low < 0 < 100 < high
+
+    def test_outlier_outside_fences(self):
+        data = np.concatenate([np.random.default_rng(0).normal(10, 0.1, 200), [50.0]])
+        low, high = iqr_bounds(data)
+        assert not (low <= 50.0 <= high)
+
+    def test_factor_zero_is_quartiles(self):
+        data = np.arange(1, 101, dtype=float)
+        low, high = iqr_bounds(data, factor=0.0)
+        assert low == pytest.approx(np.percentile(data, 25))
+        assert high == pytest.approx(np.percentile(data, 75))
+
+
+class TestRunningMean:
+    def test_window_one_identity(self):
+        data = np.array([1.0, 5.0, 2.0])
+        assert np.allclose(running_mean(data, 1), data)
+
+    def test_constant_preserved(self):
+        assert np.allclose(running_mean(np.full(10, 4.0), 3), 4.0)
+
+    def test_bad_window(self):
+        with pytest.raises(ValueError):
+            running_mean(np.array([1.0]), 0)
+
+    def test_empty_input(self):
+        assert running_mean(np.array([]), 3).size == 0
+
+
+class TestRSquared:
+    def test_perfect_fit(self):
+        y = np.array([1.0, 2.0, 3.0])
+        assert r_squared(y, y) == pytest.approx(1.0)
+
+    def test_mean_prediction_is_zero(self):
+        y = np.array([1.0, 2.0, 3.0])
+        assert r_squared(y, np.full(3, 2.0)) == pytest.approx(0.0)
+
+    def test_constant_y_perfect(self):
+        y = np.full(4, 5.0)
+        assert r_squared(y, y) == 1.0
+
+    def test_constant_y_imperfect(self):
+        y = np.full(4, 5.0)
+        assert r_squared(y, y + 1.0) == 0.0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            r_squared(np.zeros(3), np.zeros(4))
+
+
+class TestSse:
+    def test_known(self):
+        assert sse(np.array([1.0, -2.0])) == pytest.approx(5.0)
+
+    def test_empty(self):
+        assert sse(np.array([])) == 0.0

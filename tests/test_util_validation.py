@@ -1,0 +1,87 @@
+"""Tests for repro.util.validation."""
+
+import numpy as np
+import pytest
+
+from repro.util.validation import (
+    check_finite,
+    check_in_range,
+    check_monotonic,
+    check_positive,
+    check_probability,
+)
+
+
+class TestCheckPositive:
+    def test_accepts_positive(self):
+        assert check_positive("x", 1.5) == 1.5
+
+    def test_rejects_zero_strict(self):
+        with pytest.raises(ValueError, match="x"):
+            check_positive("x", 0.0)
+
+    def test_accepts_zero_nonstrict(self):
+        assert check_positive("x", 0.0, strict=False) == 0.0
+
+    def test_rejects_negative_nonstrict(self):
+        with pytest.raises(ValueError):
+            check_positive("x", -1.0, strict=False)
+
+
+class TestCheckInRange:
+    def test_inclusive_bounds(self):
+        assert check_in_range("x", 0.0, 0.0, 1.0) == 0.0
+        assert check_in_range("x", 1.0, 0.0, 1.0) == 1.0
+
+    def test_exclusive_bounds(self):
+        with pytest.raises(ValueError):
+            check_in_range("x", 0.0, 0.0, 1.0, inclusive=False)
+
+    def test_out_of_range_message_names_param(self):
+        with pytest.raises(ValueError, match="myparam"):
+            check_in_range("myparam", 2.0, 0.0, 1.0)
+
+
+class TestCheckProbability:
+    def test_valid(self):
+        assert check_probability("p", 0.5) == 0.5
+
+    @pytest.mark.parametrize("value", [-0.1, 1.1])
+    def test_invalid(self, value):
+        with pytest.raises(ValueError):
+            check_probability("p", value)
+
+
+class TestCheckFinite:
+    def test_valid(self):
+        arr = check_finite("a", np.array([1.0, 2.0]))
+        assert arr.dtype == float
+
+    @pytest.mark.parametrize("bad", [np.nan, np.inf, -np.inf])
+    def test_invalid(self, bad):
+        with pytest.raises(ValueError, match="non-finite"):
+            check_finite("a", np.array([1.0, bad]))
+
+
+class TestCheckMonotonic:
+    def test_non_decreasing_ok(self):
+        check_monotonic("a", np.array([1.0, 1.0, 2.0]))
+
+    def test_decreasing_rejected(self):
+        with pytest.raises(ValueError):
+            check_monotonic("a", np.array([2.0, 1.0]))
+
+    def test_strict_rejects_ties(self):
+        with pytest.raises(ValueError):
+            check_monotonic("a", np.array([1.0, 1.0]), strict=True)
+
+    def test_tolerance_allows_small_dips(self):
+        check_monotonic("a", np.array([1.0, 0.999]), tolerance=0.01)
+
+    def test_tolerance_still_rejects_big_dips(self):
+        with pytest.raises(ValueError):
+            check_monotonic("a", np.array([1.0, 0.9]), tolerance=0.01)
+
+    def test_short_arrays_pass(self):
+        check_monotonic("a", np.array([5.0]))
+        check_monotonic("a", np.array([]))

@@ -1,0 +1,70 @@
+"""Tests for repro.viz — ASCII charts and CSV series."""
+
+import numpy as np
+import pytest
+
+from repro.viz.ascii import ascii_line, ascii_scatter
+from repro.viz.series import FigureSeries, write_csv
+
+
+class TestAsciiCharts:
+    def test_scatter_renders(self):
+        x = np.linspace(0, 1, 50)
+        chart = ascii_scatter([(x, x**2)], title="parabola")
+        assert "parabola" in chart
+        assert "·" in chart
+        assert "+--" in chart
+
+    def test_two_series_distinct_glyphs(self):
+        x = np.linspace(0, 1, 30)
+        chart = ascii_scatter([(x, x), (x, 1 - x)], labels=["up", "down"])
+        assert "·=up" in chart
+        assert "*=down" in chart
+        assert "*" in chart
+
+    def test_line_densifies(self):
+        chart = ascii_line([(np.array([0.0, 1.0]), np.array([0.0, 1.0]))], width=40)
+        # a 2-point series still draws a full diagonal
+        assert chart.count("·") > 20
+
+    def test_empty_data_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_scatter([(np.array([]), np.array([]))])
+
+    def test_size_validation(self):
+        x = np.linspace(0, 1, 5)
+        with pytest.raises(ValueError):
+            ascii_scatter([(x, x)], width=4)
+
+    def test_explicit_ranges(self):
+        x = np.array([0.5])
+        chart = ascii_scatter([(x, x)], x_range=(0, 1), y_range=(0, 1))
+        assert "0.5" not in chart.splitlines()[0]  # ranges shown, not data
+
+
+class TestFigureSeries:
+    def test_add_and_rows(self):
+        series = FigureSeries("fig")
+        series.add_column("x", [1, 2, 3])
+        series.add_column("y", [4.0, 5.0, 6.0])
+        assert series.n_rows == 3
+
+    def test_length_mismatch(self):
+        series = FigureSeries("fig")
+        series.add_column("x", [1, 2])
+        with pytest.raises(ValueError):
+            series.add_column("y", [1])
+
+    def test_write_csv(self, tmp_path):
+        series = FigureSeries("fig")
+        series.add_column("x", [1, 2])
+        series.add_column("y", [0.5, 0.25])
+        path = tmp_path / "fig.csv"
+        write_csv(series, str(path))
+        lines = path.read_text().strip().splitlines()
+        assert lines[0] == "x,y"
+        assert lines[1] == "1,0.5"
+
+    def test_write_empty_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_csv(FigureSeries("fig"), str(tmp_path / "fig.csv"))

@@ -1,0 +1,235 @@
+"""Tests for repro.workload — phases, variability, kernels, applications."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.machine.behavior import BEHAVIOR_LIBRARY
+from repro.workload.application import Application, CommStep, ComputeStep
+from repro.workload.apps import multiphase_app, two_phase_app
+from repro.workload.kernel import Kernel
+from repro.workload.phases import PhaseSpec
+from repro.workload.variability import VariabilityModel
+
+
+def make_phase(name="p", instructions=1e8, behavior="compute_bound"):
+    return PhaseSpec(
+        name=name, behavior=BEHAVIOR_LIBRARY[behavior], instructions=instructions
+    )
+
+
+class TestPhaseSpec:
+    def test_valid(self):
+        phase = make_phase()
+        assert phase.instructions == 1e8
+
+    def test_zero_instructions_rejected(self):
+        with pytest.raises(WorkloadError):
+            make_phase(instructions=0.0)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(WorkloadError):
+            PhaseSpec(name="", behavior=BEHAVIOR_LIBRARY["stencil"], instructions=1.0)
+
+    def test_with_behavior_scales_instructions(self):
+        phase = make_phase()
+        new = phase.with_behavior(BEHAVIOR_LIBRARY["stencil"], instruction_factor=0.5)
+        assert new.instructions == pytest.approx(5e7)
+        assert new.behavior.name == "stencil"
+        assert new.name == phase.name
+
+    def test_with_behavior_bad_factor(self):
+        with pytest.raises(WorkloadError):
+            make_phase().with_behavior(BEHAVIOR_LIBRARY["stencil"], instruction_factor=0.0)
+
+
+class TestVariabilityModel:
+    def test_none_is_deterministic(self):
+        model = VariabilityModel.none()
+        rng = np.random.default_rng(0)
+        pert = model.sample(4, rng)
+        assert pert.global_scale == 1.0
+        assert np.all(pert.phase_scales == 1.0)
+        assert not pert.is_outlier
+
+    def test_outlier_scale_applied(self):
+        model = VariabilityModel(
+            duration_sigma=0.0, phase_sigma=0.0, outlier_prob=1.0, outlier_scale=3.0
+        )
+        pert = model.sample(2, np.random.default_rng(0))
+        assert pert.is_outlier
+        assert pert.global_scale == pytest.approx(3.0)
+
+    def test_scale_for_phase_combines(self):
+        model = VariabilityModel(duration_sigma=0.1, phase_sigma=0.1)
+        pert = model.sample(3, np.random.default_rng(1))
+        for i in range(3):
+            assert pert.scale_for_phase(i) == pytest.approx(
+                pert.global_scale * pert.phase_scales[i]
+            )
+
+    def test_outlier_scale_below_one_rejected(self):
+        with pytest.raises(ValueError):
+            VariabilityModel(outlier_scale=0.5)
+
+    def test_sample_many(self):
+        model = VariabilityModel()
+        perts = model.sample_many(10, 2, np.random.default_rng(0))
+        assert len(perts) == 10
+
+    def test_bad_n_phases(self):
+        with pytest.raises(ValueError):
+            VariabilityModel().sample(0, np.random.default_rng(0))
+
+
+class TestKernel:
+    def _kernel(self, variability=None):
+        return Kernel(
+            name="k",
+            phases=[
+                make_phase("a", 1e8, "compute_bound"),
+                make_phase("b", 5e7, "stream_bandwidth"),
+            ],
+            variability=variability or VariabilityModel.none(),
+        )
+
+    def test_base_rate_function_structure(self, core):
+        kernel = self._kernel()
+        fn = kernel.base_rate_function(core)
+        assert len(fn) == 2
+        assert fn.total("PAPI_TOT_INS") == pytest.approx(1.5e8)
+        labels = [s.label for s in fn.segments]
+        assert labels == ["a", "b"]
+
+    def test_instantiate_preserves_work(self, core):
+        kernel = self._kernel(
+            VariabilityModel(duration_sigma=0.2, phase_sigma=0.1, outlier_prob=0.0)
+        )
+        instance, _ = kernel.instantiate(core, np.random.default_rng(3))
+        assert instance.total("PAPI_TOT_INS") == pytest.approx(1.5e8, rel=1e-9)
+
+    def test_instantiate_deterministic_rng(self, core):
+        kernel = self._kernel(VariabilityModel(duration_sigma=0.1))
+        a, _ = kernel.instantiate(core, np.random.default_rng(5))
+        b, _ = kernel.instantiate(core, np.random.default_rng(5))
+        assert a.duration == pytest.approx(b.duration)
+
+    def test_truth_boundaries_in_unit_interval(self, core):
+        bounds = self._kernel().truth_boundaries(core)
+        assert bounds.shape == (1,)
+        assert 0 < bounds[0] < 1
+
+    def test_transformed_replaces_phase(self, core):
+        kernel = self._kernel()
+        new = kernel.transformed(
+            "b", behavior=BEHAVIOR_LIBRARY["vector_compute"], instruction_factor=0.5
+        )
+        assert new.name == "k.opt"
+        assert new.total_instructions == pytest.approx(1e8 + 2.5e7)
+        # original untouched
+        assert kernel.total_instructions == pytest.approx(1.5e8)
+
+    def test_transformed_unknown_phase(self):
+        with pytest.raises(WorkloadError, match="no phase"):
+            self._kernel().transformed("zzz")
+
+    def test_empty_phases_rejected(self):
+        with pytest.raises(WorkloadError):
+            Kernel(name="k", phases=[])
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(WorkloadError):
+            Kernel(name="", phases=[make_phase()])
+
+
+class TestApplication:
+    def test_multiphase_structure(self, small_multiphase_app):
+        app = small_multiphase_app
+        assert app.bursts_per_rank == app.iterations
+        assert len(app.kernels()) == 1
+
+    def test_needs_compute_step(self):
+        from repro.parallel.network import NetworkModel
+        from repro.parallel.patterns import BarrierPattern
+        from repro.source.model import SourceModel
+
+        with pytest.raises(WorkloadError, match="ComputeStep"):
+            Application(
+                name="x",
+                source=SourceModel(),
+                steps=[CommStep(BarrierPattern(NetworkModel()))],
+                iterations=1,
+            )
+
+    def test_rank_speed_validation(self):
+        app = multiphase_app(iterations=2, ranks=2)
+        with pytest.raises(WorkloadError):
+            Application(
+                name="x",
+                source=app.source,
+                steps=app.steps,
+                iterations=1,
+                ranks=2,
+                rank_speed=np.array([1.0, 2.0, 3.0]),
+            )
+
+    def test_speed_of(self):
+        app = multiphase_app(iterations=2, ranks=2)
+        balanced = Application(
+            name="x",
+            source=app.source,
+            steps=app.steps,
+            iterations=1,
+            ranks=2,
+            rank_speed=np.array([1.0, 1.3]),
+        )
+        assert balanced.speed_of(1) == pytest.approx(1.3)
+        assert app.speed_of(0) == 1.0
+        with pytest.raises(WorkloadError):
+            app.speed_of(5)
+
+    def test_kernel_named(self, small_cgpop_app):
+        assert small_cgpop_app.kernel_named("cgpop.matvec").name == "cgpop.matvec"
+        with pytest.raises(WorkloadError):
+            small_cgpop_app.kernel_named("nope")
+
+    def test_with_kernel_replaced(self, small_cgpop_app):
+        matvec = small_cgpop_app.kernel_named("cgpop.matvec")
+        new_kernel = matvec.transformed(
+            "cgpop.matvec.axpy", instruction_factor=2.0
+        )
+        new_app = small_cgpop_app.with_kernel_replaced("cgpop.matvec", new_kernel)
+        assert new_app.kernel_named(new_kernel.name) is new_kernel
+        # old app unchanged
+        assert small_cgpop_app.kernel_named("cgpop.matvec") is matvec
+
+
+class TestMicrobench:
+    def test_two_phase_split_validation(self):
+        with pytest.raises(ValueError):
+            two_phase_app(split=0.0)
+
+    def test_two_phase_boundary_position(self, core):
+        app = two_phase_app(split=0.3, iterations=2, ranks=1)
+        kernel = app.kernels()[0]
+        bounds = kernel.truth_boundaries(core)
+        assert bounds.shape == (1,)
+        # boundary in time is split-dependent but not equal to split
+        assert 0 < bounds[0] < 1
+
+    def test_multiphase_empty_spec_rejected(self):
+        with pytest.raises(ValueError):
+            multiphase_app(phase_spec=())
+
+    def test_multiphase_custom_behaviors(self, core):
+        from repro.machine.behavior import Behavior
+
+        customs = [Behavior(name="c1"), Behavior(name="c2", ilp=3.0)]
+        app = multiphase_app(
+            phase_spec=(("x", 1e7), ("y", 2e7)),
+            behaviors=customs,
+            iterations=2,
+            ranks=1,
+        )
+        kernel = app.kernels()[0]
+        assert [p.behavior.name for p in kernel.phases] == ["c1", "c2"]

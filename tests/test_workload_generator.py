@@ -1,0 +1,71 @@
+"""Tests for repro.workload.generator — random kernels."""
+
+import numpy as np
+import pytest
+
+from repro.machine.behavior import BEHAVIOR_LIBRARY
+from repro.workload.generator import random_kernel, random_kernel_app
+
+
+class TestRandomKernel:
+    def test_reproducible(self):
+        a, _ = random_kernel(123)
+        b, _ = random_kernel(123)
+        assert a.phase_names() == b.phase_names()
+        assert [p.instructions for p in a.phases] == [p.instructions for p in b.phases]
+
+    def test_phase_count_range(self):
+        for seed in range(20):
+            kernel, _ = random_kernel(seed, min_phases=2, max_phases=5)
+            assert 2 <= kernel.n_phases <= 5
+
+    def test_explicit_phase_count(self):
+        kernel, _ = random_kernel(0, n_phases=4)
+        assert kernel.n_phases == 4
+
+    def test_total_instructions_preserved(self):
+        kernel, _ = random_kernel(7, total_instructions=1e9)
+        assert kernel.total_instructions == pytest.approx(1e9)
+
+    def test_min_phase_fraction_respected(self):
+        kernel, _ = random_kernel(5, total_instructions=1e9, min_phase_fraction=0.05)
+        for phase in kernel.phases:
+            assert phase.instructions >= 0.05 * 1e9 * (1 - 1e-9)
+
+    def test_consecutive_behaviors_differ(self):
+        for seed in range(10):
+            kernel, _ = random_kernel(seed, n_phases=6)
+            names = [p.behavior.name for p in kernel.phases]
+            assert all(a != b for a, b in zip(names, names[1:]))
+
+    def test_callpaths_assigned(self):
+        kernel, source = random_kernel(3)
+        for phase in kernel.phases:
+            assert phase.callpath is not None
+            assert phase.callpath.depth == 3
+            leaf = phase.callpath.leaf.routine.name
+            assert leaf in source.routines
+
+    def test_infeasible_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            random_kernel(0, n_phases=10, min_phase_fraction=0.2)
+
+    def test_bad_n_phases(self):
+        with pytest.raises(ValueError):
+            random_kernel(0, n_phases=0)
+
+    def test_custom_behavior_pool(self):
+        pool = [BEHAVIOR_LIBRARY["compute_bound"], BEHAVIOR_LIBRARY["stencil"]]
+        kernel, _ = random_kernel(1, n_phases=4, behavior_pool=pool)
+        for phase in kernel.phases:
+            assert phase.behavior in pool
+
+
+class TestRandomKernelApp:
+    def test_builds_runnable_app(self, core):
+        from repro.runtime.engine import ExecutionEngine
+
+        app = random_kernel_app(11, iterations=5, ranks=2)
+        timeline = ExecutionEngine(core, seed=0).run(app)
+        assert timeline.n_ranks == 2
+        assert len(timeline.ranks[0].bursts) == 5
