@@ -1,0 +1,135 @@
+"""TAB-8 — detection accuracy vs. trace corruption rate.
+
+Robustness claim: the folding mechanism needs no pristine input — it runs
+on whatever samples a production tracer managed to flush.  We corrupt the
+serialized trace with a fixed-seed mix of real-world damage (dropped
+samples, NaN counter reads, bit-rotted fields, a truncated tail, clock
+skew), salvage-read it, re-run the full analysis, and score the detected
+phase boundaries against ground truth at each corruption rate.
+
+The benchmark times the salvage-read + analyze path on the 10%-corrupted
+trace.  Shape claims: the clean run keeps perfect recall, accuracy decays
+gracefully (never catastrophically) as corruption grows, and every
+degraded run carries a non-empty diagnostics record.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import common
+from repro.analysis.pipeline import FoldingAnalyzer
+from repro.phases.compare import match_boundaries
+from repro.resilience import CorruptionSpec, corrupt_trace_text
+from repro.trace.reader import salvage_trace_text
+from repro.trace.writer import dump_trace_text
+from repro.viz.series import FigureSeries
+from repro.workload.apps import multiphase_app
+
+EXP_ID = "TAB-8"
+CLAIM = "phase detection degrades gracefully on corrupted traces"
+
+RATES = (0.0, 0.05, 0.10, 0.20)
+SEED = 42
+
+
+def _specs(rate: float) -> List[CorruptionSpec]:
+    """The damage mix applied at one corruption ``rate``."""
+    if rate == 0.0:
+        return []
+    return [
+        CorruptionSpec(op="drop_samples", rate=rate),
+        CorruptionSpec(op="nan_counters", rate=rate),
+        CorruptionSpec(op="bitflip_fields", rate=rate),
+        CorruptionSpec(op="clock_skew", rate=rate),
+        CorruptionSpec(op="truncate", rate=rate * 0.2),
+    ]
+
+
+def _baseline() -> RunArtifacts:
+    app = multiphase_app(iterations=350, ranks=2, name="mp4")
+    return common.standard_artifacts(app, seed=5, key="tab8-baseline")
+
+
+def _corrupted_text(rate: float) -> str:
+    base = _baseline()
+    return corrupt_trace_text(dump_trace_text(base.trace), _specs(rate), seed=SEED)
+
+
+def _salvage_and_analyze(text: str):
+    trace, report = salvage_trace_text(text)
+    result = FoldingAnalyzer().analyze(trace, salvage=report)
+    return trace, report, result
+
+
+def _row(rate: float) -> Dict[str, float]:
+    base = _baseline()
+    trace, report, result = _salvage_and_analyze(_corrupted_text(rate))
+    # Score the dominant cluster's boundaries directly against the single
+    # kernel's ground truth.  (The per-burst truth mapping of
+    # ``detection_scores`` assumes intact probe records; corrupted probes
+    # legitimately shift burst extents, so we score boundaries, which is
+    # what the table is about.)
+    kernel = base.app.kernels()[0]
+    truth_bounds = kernel.truth_boundaries(base.core)
+    detected = result.dominant_cluster().phase_set.boundaries
+    score = match_boundaries(detected, truth_bounds, tolerance=0.02)
+    return {
+        "corruption_rate": rate,
+        "records_kept": trace.n_records / base.trace.n_records,
+        "lines_dropped": report.n_lines_dropped,
+        "precision": score.precision,
+        "recall": score.recall,
+        "f1": score.f1,
+        "diag_events": len(result.diagnostics),
+    }
+
+
+def _rows() -> List[Dict]:
+    return [
+        common.cached_run(f"tab8-row-{rate}", lambda r=rate: _row(r))
+        for rate in RATES
+    ]
+
+
+def test_tab8_resilience(benchmark):
+    rows = _rows()
+    text = _corrupted_text(0.10)
+    benchmark(_salvage_and_analyze, text)
+    by_rate = {row["corruption_rate"]: row for row in rows}
+    # pristine input: the full-accuracy baseline, no diagnostics noise
+    assert by_rate[0.0]["recall"] == 1.0
+    assert by_rate[0.0]["f1"] >= 0.8
+    # damaged input: fewer records survive as the rate grows...
+    kept = [row["records_kept"] for row in rows]
+    assert all(a >= b for a, b in zip(kept, kept[1:]))
+    # ...yet detection never collapses, and the degradation is on record
+    for rate in RATES[1:]:
+        assert by_rate[rate]["recall"] >= 0.5
+        assert by_rate[rate]["diag_events"] > 0
+
+
+def main() -> None:
+    common.print_header(EXP_ID, CLAIM)
+    rows = _rows()
+    print(
+        f"{'rate':>5} {'kept':>6} {'dropped':>8} {'P':>6} {'R':>6} "
+        f"{'F1':>6} {'events':>7}"
+    )
+    for row in rows:
+        print(
+            f"{row['corruption_rate']:>5.2f} {row['records_kept']:>6.1%} "
+            f"{row['lines_dropped']:>8d} {row['precision']:>6.2f} "
+            f"{row['recall']:>6.2f} {row['f1']:>6.2f} {row['diag_events']:>7d}"
+        )
+    series = FigureSeries("tab8_resilience")
+    series.add_column("corruption_rate", [r["corruption_rate"] for r in rows])
+    series.add_column("records_kept", [r["records_kept"] for r in rows])
+    series.add_column("precision", [r["precision"] for r in rows])
+    series.add_column("recall", [r["recall"] for r in rows])
+    series.add_column("f1", [r["f1"] for r in rows])
+    print(f"series written to {common.save_series(series)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -30,6 +30,7 @@ BENCHES = [
     "bench_tab5_ablations",
     "bench_tab6_extrapolation",
     "bench_tab7_scaling",
+    "bench_tab8_resilience",
 ]
 
 

@@ -70,11 +70,21 @@ from repro.runtime import (
     Tracer,
     TracerConfig,
 )
+from repro.errors import DiagnosticsError, ReproError, SalvageError
+from repro.resilience import (
+    CorruptionSpec,
+    Diagnostics,
+    Severity,
+    corrupt_trace_text,
+)
 from repro.trace import (
+    ReadPolicy,
+    SalvageReport,
     Trace,
     compute_stats,
     merge_traces,
     read_trace,
+    read_trace_salvaged,
     trim_trace,
     write_trace,
 )
@@ -160,9 +170,20 @@ __all__ = [
     "Trace",
     "write_trace",
     "read_trace",
+    "read_trace_salvaged",
+    "ReadPolicy",
+    "SalvageReport",
     "merge_traces",
     "trim_trace",
     "compute_stats",
+    # resilience
+    "ReproError",
+    "SalvageError",
+    "DiagnosticsError",
+    "Severity",
+    "Diagnostics",
+    "CorruptionSpec",
+    "corrupt_trace_text",
     # analysis chain
     "extract_bursts",
     "build_features",

@@ -19,10 +19,21 @@ import numpy as np
 
 from repro.clustering.alignment import SPMDReport, spmd_score
 from repro.clustering.bursts import BurstSet, extract_bursts
-from repro.clustering.dbscan import DBSCAN, DBSCANResult, estimate_eps
+from repro.clustering.dbscan import (
+    DBSCAN,
+    DBSCANResult,
+    estimate_eps,
+    estimate_eps_quantile,
+)
 from repro.clustering.features import FeatureMatrix, build_features
 from repro.clustering.refinement import refine_clusters
-from repro.errors import AnalysisError, FoldingError
+from repro.errors import (
+    AnalysisError,
+    ClusteringError,
+    FittingError,
+    FoldingError,
+    PhaseError,
+)
 from repro.fitting.pwlr import PWLRConfig
 from repro.folding.callstack import FoldedCallstacks, fold_callstacks
 from repro.folding.filtering import (
@@ -35,6 +46,8 @@ from repro.folding.instances import ClusterInstances, select_instances
 from repro.folding.reconstruct import Reconstruction
 from repro.phases.detect import PhaseSet, detect_phases
 from repro.phases.mapping import PhaseSourceAttribution, map_phases_to_source
+from repro.resilience.diagnostics import Diagnostics
+from repro.trace.reader import SalvageReport
 from repro.trace.records import Trace
 from repro.trace.stats import TraceStats, compute_stats
 
@@ -49,6 +62,15 @@ class AnalyzerConfig:
     estimates the DBSCAN radius with the k-dist heuristic.  The remaining
     knobs expose the stages' parameters under their own names; ablation
     benches toggle ``prune_outliers``/``monotonicity_filter``/``pwlr``.
+
+    ``degraded_mode`` (default on) arms the per-stage fallback chains:
+    degenerate eps estimation falls back to a pairwise-quantile radius, a
+    failed PWLR fit falls back to kernel-smoother breakpoints, and a
+    counter that fails folding or refitting is dropped with a record
+    instead of sinking the cluster.  Every fallback lands in
+    :attr:`AnalysisResult.diagnostics`.  Switch it off to restore
+    fail-fast semantics (the first stage error aborts the cluster or the
+    analysis).
     """
 
     counters: Optional[Tuple[str, ...]] = None
@@ -66,6 +88,7 @@ class AnalyzerConfig:
     min_folded_points: int = 16
     min_burst_duration_s: float = 0.0
     check_spmd: bool = False
+    degraded_mode: bool = True
 
     def __post_init__(self) -> None:
         if self.min_pts < 1:
@@ -78,6 +101,16 @@ class AnalyzerConfig:
             )
         if self.eps is not None and self.eps <= 0:
             raise AnalysisError(f"eps must be positive when given: {self.eps}")
+        if self.iqr_factor <= 0:
+            raise AnalysisError(f"iqr_factor must be > 0: {self.iqr_factor}")
+        if self.min_folded_points < 2:
+            raise AnalysisError(
+                f"min_folded_points must be >= 2: {self.min_folded_points}"
+            )
+        if self.range_tolerance < 0:
+            raise AnalysisError(
+                f"range_tolerance must be >= 0: {self.range_tolerance}"
+            )
 
 
 @dataclass
@@ -109,6 +142,11 @@ class AnalysisResult:
     ``check_spmd=True``: the sequence-alignment validation that the
     detected structure really is SPMD (a low score flags a clustering
     problem or a genuinely non-SPMD code).
+
+    ``diagnostics`` records every salvage/fallback/skip decision the
+    pipeline took — empty means the run was pristine; anything at
+    DEGRADED or above means a fallback algorithm contributed to these
+    numbers.
     """
 
     app_name: str
@@ -119,6 +157,7 @@ class AnalysisResult:
     clusters: List[ClusterAnalysis]
     skipped: Dict[int, str]
     spmd: Optional["SPMDReport"] = None
+    diagnostics: Diagnostics = field(default_factory=Diagnostics)
 
     @property
     def n_clusters_analyzed(self) -> int:
@@ -149,11 +188,36 @@ class FoldingAnalyzer:
         self.config = config or AnalyzerConfig()
 
     # ------------------------------------------------------------------
-    def analyze(self, trace: Trace) -> AnalysisResult:
-        """Run the full pipeline on ``trace``."""
+    def analyze(
+        self, trace: Trace, salvage: Optional[SalvageReport] = None
+    ) -> AnalysisResult:
+        """Run the full pipeline on ``trace``.
+
+        ``salvage`` is the :class:`~repro.trace.reader.SalvageReport` of a
+        salvage-mode read, when there was one — its drop counts are folded
+        into the result's diagnostics so the analysis carries the full
+        damage history of its input.
+        """
         cfg = self.config
+        diagnostics = Diagnostics()
+        if salvage is not None:
+            self._record_salvage(diagnostics, salvage)
         stats = compute_stats(trace)
-        bursts = extract_bursts(trace, min_duration=cfg.min_burst_duration_s)
+        mispaired: Dict[int, int] = {}
+        bursts = extract_bursts(
+            trace, min_duration=cfg.min_burst_duration_s, mispaired=mispaired
+        )
+        if mispaired:
+            diagnostics.warning(
+                "clustering",
+                f"{sum(mispaired.values())} mispaired probe(s) skipped "
+                f"during burst extraction (lost probe lines)",
+                per_rank={int(r): int(n) for r, n in mispaired.items()},
+            )
+        if cfg.degraded_mode and salvage is not None and not salvage.clean:
+            # Known-damaged input: corruption that still parses produces
+            # physically absurd bursts — screen them before clustering.
+            bursts = self._screen_bursts(bursts, diagnostics)
 
         counters = list(cfg.counters) if cfg.counters else bursts.counter_names
         if cfg.pivot not in counters:
@@ -161,12 +225,20 @@ class FoldingAnalyzer:
                 f"pivot {cfg.pivot!r} not among analyzed counters {counters}"
             )
 
-        features = build_features(bursts)
-        clustering = self._cluster(features)
+        bursts, features = self._build_features(bursts, diagnostics)
+        clustering = self._cluster(features, diagnostics)
 
         durations = bursts.durations()
         total_compute = float(durations.sum())
 
+        # In degraded mode a cluster that dies in *any* stage is skipped
+        # with a diagnostic; fail-fast mode only tolerates folding
+        # failures (the historical contract).
+        cluster_errors = (
+            (FoldingError, FittingError, PhaseError)
+            if cfg.degraded_mode
+            else FoldingError
+        )
         clusters: List[ClusterAnalysis] = []
         skipped: Dict[int, str] = {}
         for cluster_id in range(clustering.n_clusters):
@@ -177,15 +249,31 @@ class FoldingAnalyzer:
                     f"covers {share:.1%} of compute time "
                     f"(< {cfg.min_cluster_fraction:.1%} threshold)"
                 )
+                diagnostics.info(
+                    "analysis",
+                    f"cluster {cluster_id} below time-share threshold",
+                    cluster_id=cluster_id,
+                    time_share=round(share, 4),
+                )
                 continue
             try:
                 clusters.append(
                     self._analyze_cluster(
-                        bursts, clustering.labels, cluster_id, counters, share
+                        bursts,
+                        clustering.labels,
+                        cluster_id,
+                        counters,
+                        share,
+                        diagnostics,
                     )
                 )
-            except FoldingError as exc:
+            except cluster_errors as exc:
                 skipped[cluster_id] = str(exc)
+                diagnostics.error(
+                    "analysis",
+                    f"cluster {cluster_id} skipped: {exc}",
+                    cluster_id=cluster_id,
+                )
         if not clusters:
             raise AnalysisError(
                 f"no cluster could be analyzed; skipped: {skipped}"
@@ -202,17 +290,146 @@ class FoldingAnalyzer:
             clusters=clusters,
             skipped=skipped,
             spmd=spmd,
+            diagnostics=diagnostics,
         )
 
     # ------------------------------------------------------------------
-    def _cluster(self, features: FeatureMatrix) -> DBSCANResult:
+    @staticmethod
+    def _record_salvage(diagnostics: Diagnostics, salvage: SalvageReport) -> None:
+        """Fold a salvage-read report into the run diagnostics."""
+        if salvage.clean:
+            diagnostics.info(
+                "read",
+                "salvage read was clean",
+                records=salvage.n_records_kept,
+            )
+            return
+        for reason in sorted(salvage.reasons):
+            diagnostics.warning(
+                "read",
+                f"salvage dropped {salvage.reasons[reason]} x {reason}",
+                reason=reason,
+                count=salvage.reasons[reason],
+            )
+        if salvage.inferred_ranks:
+            diagnostics.degraded(
+                "read",
+                "rank count inferred from records (damaged header)",
+            )
+
+    def _screen_bursts(
+        self, bursts: BurstSet, diagnostics: Diagnostics
+    ) -> BurstSet:
+        """Robust pre-screen of bursts from a known-damaged trace.
+
+        A corrupted-but-parseable probe value (one flipped digit of a
+        large cumulative counter) makes a burst's delta wrong by orders of
+        magnitude.  Screen log-duration and log-pivot-rate with a generous
+        MAD-based threshold — the scale divisor is floored so only
+        physically absurd bursts are dropped, never mere workload
+        variability.  Applied only when the salvage report says the input
+        was damaged; a clean read never passes through here.
+        """
+        n = len(bursts)
+        if n < self.config.min_pts:
+            return bursts
+        durations = bursts.durations()
+        deltas = bursts.deltas_or_nan(self.config.pivot)
+        keep = (
+            np.isfinite(durations)
+            & (durations > 0)
+            & np.isfinite(deltas)
+            & (deltas > 0)
+        )
+        safe_rate = np.where(keep, deltas, 1.0) / np.where(keep, durations, 1.0)
+        for values in (durations, safe_rate):
+            logs = np.log10(np.where(keep, values, 1.0))
+            kept_logs = logs[keep]
+            if kept_logs.size == 0:
+                break
+            median = float(np.median(kept_logs))
+            mad = float(np.median(np.abs(kept_logs - median)))
+            scale = max(1.4826 * mad, 0.15)  # >= ~1.4x before z moves
+            keep &= np.abs(logs - median) / scale <= 6.0
+        n_dropped = int(n - keep.sum())
+        if n_dropped == 0 or int(keep.sum()) < self.config.min_pts:
+            return bursts
+        diagnostics.warning(
+            "clustering",
+            f"{n_dropped} physically implausible burst(s) screened out "
+            f"of damaged trace",
+            n_dropped=n_dropped,
+            n_kept=int(keep.sum()),
+        )
+        return bursts.subset([int(i) for i in np.flatnonzero(keep)])
+
+    def _build_features(
+        self, bursts: BurstSet, diagnostics: Diagnostics
+    ) -> Tuple[BurstSet, FeatureMatrix]:
+        """Feature construction, with the degraded-mode burst guard.
+
+        A salvaged trace can contain bursts whose probe counters were
+        corrupted into parseable-but-wrong values (a bit flip turning an
+        instruction count negative).  ``build_features`` rightly rejects
+        them; in degraded mode we drop the inconsistent bursts, record the
+        drop, and retry on the survivors rather than lose the trace.
+        """
+        try:
+            return bursts, build_features(bursts)
+        except ClusteringError:
+            if not self.config.degraded_mode:
+                raise
+            deltas = bursts.deltas_or_nan("PAPI_TOT_INS")
+            good = np.flatnonzero(np.isfinite(deltas) & (deltas > 0))
+            if good.size == 0 or good.size == len(bursts):
+                raise  # nothing to drop, or nothing would remain
+            diagnostics.warning(
+                "clustering",
+                f"{len(bursts) - good.size} inconsistent burst(s) dropped "
+                f"before feature construction",
+                n_dropped=int(len(bursts) - good.size),
+                n_kept=int(good.size),
+            )
+            bursts = bursts.subset([int(i) for i in good])
+            return bursts, build_features(bursts)
+
+    def _cluster(
+        self, features: FeatureMatrix, diagnostics: Diagnostics
+    ) -> DBSCANResult:
         cfg = self.config
         if cfg.use_refinement:
             return refine_clusters(features.values, min_pts=cfg.min_pts)
-        eps = cfg.eps if cfg.eps is not None else estimate_eps(
-            features.values, k=cfg.min_pts
-        )
-        return DBSCAN(eps=eps, min_pts=cfg.min_pts).fit(features.values)
+        if cfg.eps is not None:
+            # Caller pinned the radius: no fallback second-guesses it.
+            return DBSCAN(eps=cfg.eps, min_pts=cfg.min_pts).fit(features.values)
+        eps: Optional[float] = None
+        try:
+            eps = estimate_eps(features.values, k=cfg.min_pts)
+            if eps <= 1e-8:
+                raise ClusteringError(
+                    f"k-dist eps estimate degenerate ({eps}); geometry has "
+                    f"no usable k-th neighbor scale"
+                )
+        except ClusteringError as exc:
+            if not cfg.degraded_mode:
+                raise
+            diagnostics.degraded(
+                "clustering",
+                "k-dist eps estimation failed; pairwise-quantile fallback used",
+                error=str(exc),
+            )
+        if eps is not None and eps > 1e-8:
+            result = DBSCAN(eps=eps, min_pts=cfg.min_pts).fit(features.values)
+            if result.n_clusters > 0 or not cfg.degraded_mode:
+                return result
+            diagnostics.degraded(
+                "clustering",
+                "k-dist eps yielded zero clusters; "
+                "retrying with pairwise-quantile fallback",
+                eps=eps,
+            )
+        fallback_eps = estimate_eps_quantile(features.values)
+        return DBSCAN(eps=fallback_eps, min_pts=cfg.min_pts).fit(features.values)
 
     def _analyze_cluster(
         self,
@@ -221,6 +438,7 @@ class FoldingAnalyzer:
         cluster_id: int,
         counters: Sequence[str],
         time_share: float,
+        diagnostics: Diagnostics,
     ) -> ClusterAnalysis:
         cfg = self.config
         instances = select_instances(
@@ -231,24 +449,50 @@ class FoldingAnalyzer:
             iqr_factor=cfg.iqr_factor,
             min_instances=cfg.min_instances,
         )
+        fold_drops: Dict[str, str] = {}
         folded = fold_cluster(
             instances,
             counters,
             min_points=cfg.min_folded_points,
             required=[cfg.pivot],
+            drops=fold_drops,
         )
+        for counter, reason in fold_drops.items():
+            diagnostics.warning(
+                "folding",
+                f"counter {counter} dropped from cluster {cluster_id}: {reason}",
+                cluster_id=cluster_id,
+                counter=counter,
+            )
 
         reports: List[FilterReport] = []
         for counter in list(folded):
-            fc, r_range = clip_to_unit_range(folded[counter], cfg.range_tolerance)
-            reports.append(r_range)
-            if cfg.monotonicity_filter:
-                fc, r_mono = enforce_instance_monotonicity(fc)
-                reports.append(r_mono)
-            folded[counter] = fc
+            try:
+                fc, r_range = clip_to_unit_range(folded[counter], cfg.range_tolerance)
+                reports.append(r_range)
+                if cfg.monotonicity_filter:
+                    fc, r_mono = enforce_instance_monotonicity(fc)
+                    reports.append(r_mono)
+                folded[counter] = fc
+            except FoldingError as exc:
+                if not cfg.degraded_mode or counter == cfg.pivot:
+                    raise
+                del folded[counter]
+                diagnostics.warning(
+                    "folding",
+                    f"physical filters failed for {counter}; counter dropped",
+                    cluster_id=cluster_id,
+                    counter=counter,
+                    error=str(exc),
+                )
 
         phase_set = detect_phases(
-            folded, cluster_id=cluster_id, pivot=cfg.pivot, config=cfg.pwlr
+            folded,
+            cluster_id=cluster_id,
+            pivot=cfg.pivot,
+            config=cfg.pwlr,
+            diagnostics=diagnostics,
+            allow_fallback=cfg.degraded_mode,
         )
 
         try:
@@ -258,13 +502,31 @@ class FoldingAnalyzer:
             # No stack samples in this cluster: phases stand unattributed.
             callstacks = None
             attributions = []
-
-        reconstructions = {
-            counter: Reconstruction.from_folded(
-                folded[counter], phase_set.counter_models[counter]
+            diagnostics.info(
+                "phases",
+                f"cluster {cluster_id}: no stack samples, "
+                f"phases stand unattributed",
+                cluster_id=cluster_id,
             )
-            for counter in folded
-        }
+
+        reconstructions: Dict[str, Reconstruction] = {}
+        for counter in folded:
+            if counter not in phase_set.counter_models:
+                continue  # refit dropped it; already in diagnostics
+            try:
+                reconstructions[counter] = Reconstruction.from_folded(
+                    folded[counter], phase_set.counter_models[counter]
+                )
+            except (FoldingError, FittingError) as exc:
+                if not cfg.degraded_mode:
+                    raise
+                diagnostics.warning(
+                    "phases",
+                    f"reconstruction failed for {counter}",
+                    cluster_id=cluster_id,
+                    counter=counter,
+                    error=str(exc),
+                )
         return ClusterAnalysis(
             cluster_id=cluster_id,
             n_members=int(np.sum(labels == cluster_id)),

@@ -5,15 +5,21 @@ Mirrors the real toolchain's workflow split::
     python -m repro apps                          # list built-in applications
     python -m repro trace --app cgpop -o run.rpt  # "run" + trace to a file
     python -m repro stats run.rpt                 # trace health summary
+    python -m repro check run.rpt                 # validate a trace file
+    python -m repro check run.rpt --salvage       # ...salvaging what it can
     python -m repro analyze run.rpt               # folding analysis + report
     python -m repro demo --app pmemd --optimize   # full methodology + case study
 
-All commands are deterministic given ``--seed``.
+All commands are deterministic given ``--seed``.  ``check`` exits 0 when
+the trace is usable under the selected policy, 1 on a strict-mode format
+violation (or a failed ``--deep`` analysis), and 2 when even salvage
+recovers nothing.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Callable, Dict, List, Optional
 
@@ -21,12 +27,13 @@ from repro.analysis.hints import generate_hints
 from repro.analysis.methodology import describe_application, run_case_study
 from repro.analysis.pipeline import FoldingAnalyzer
 from repro.analysis.report import render_report
+from repro.errors import AnalysisError, SalvageError, TraceFormatError
 from repro.machine.cpu import CoreModel
 from repro.machine.spec import MachineSpec
 from repro.runtime.engine import ExecutionEngine
 from repro.runtime.sampler import SamplerConfig
 from repro.runtime.tracer import Tracer, TracerConfig
-from repro.trace.reader import read_trace
+from repro.trace.reader import read_trace, read_trace_salvaged
 from repro.trace.stats import compute_stats
 from repro.trace.writer import write_trace
 from repro.workload.apps import (
@@ -121,6 +128,48 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_check(args: argparse.Namespace) -> int:
+    if not os.path.exists(args.trace):
+        print(f"check FAILED: no such file: {args.trace}")
+        return 2
+    if args.salvage:
+        try:
+            trace, report = read_trace_salvaged(args.trace)
+        except SalvageError as exc:
+            print(f"check FAILED (nothing salvageable): {exc}")
+            return 2
+        print(report.summary())
+    else:
+        try:
+            trace = read_trace(args.trace)
+        except TraceFormatError as exc:
+            print(f"check FAILED (strict): {exc}")
+            print("hint: re-run with --salvage to recover what is readable")
+            return 1
+        report = None
+        print(f"strict read OK: {trace.n_records} records, {trace.n_ranks} ranks")
+
+    stats = compute_stats(trace)
+    print(
+        f"trace summary: {trace.app_name or '(unnamed)'}, "
+        f"{stats.duration:.3f}s, "
+        f"{stats.n_states}/{stats.n_probes}/{stats.n_samples} "
+        f"states/probes/samples"
+    )
+    if args.deep:
+        try:
+            result = FoldingAnalyzer().analyze(trace, salvage=report)
+        except AnalysisError as exc:
+            print(f"deep check FAILED: {exc}")
+            return 1
+        print(
+            f"deep check OK: {result.n_clusters_analyzed} cluster(s) analyzed, "
+            f"{len(result.skipped)} skipped"
+        )
+        print(result.diagnostics.summary())
+    return 0
+
+
 def _cmd_analyze(args: argparse.Namespace) -> int:
     trace = read_trace(args.trace)
     result = FoldingAnalyzer().analyze(trace)
@@ -178,6 +227,22 @@ def build_parser() -> argparse.ArgumentParser:
     p_stats = sub.add_parser("stats", help="summarize a trace file")
     p_stats.add_argument("trace", help="trace file path")
     p_stats.set_defaults(func=_cmd_stats)
+
+    p_check = sub.add_parser(
+        "check", help="validate a trace file (exit 0 = usable)"
+    )
+    p_check.add_argument("trace", help="trace file path")
+    p_check.add_argument(
+        "--salvage",
+        action="store_true",
+        help="skip damaged lines and report them instead of failing",
+    )
+    p_check.add_argument(
+        "--deep",
+        action="store_true",
+        help="also run the folding analysis and print its diagnostics",
+    )
+    p_check.set_defaults(func=_cmd_check)
 
     p_analyze = sub.add_parser("analyze", help="folding analysis of a trace file")
     p_analyze.add_argument("trace", help="trace file path")

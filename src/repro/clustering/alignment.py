@@ -67,12 +67,17 @@ def align_identity(a: Sequence[int], b: Sequence[int]) -> float:
             left = score[i, j - 1] + GAP
             best = max(diag, up, left)
             score[i, j] = best
+            # Among equally-scoring moves, keep the one with the most
+            # matches — this picks the max-identity optimal alignment and
+            # makes the result symmetric in its arguments.
+            best_matches = -1
             if best == diag:
-                matches[i, j] = matches[i - 1, j - 1] + (1 if is_match else 0)
-            elif best == up:
-                matches[i, j] = matches[i - 1, j]
-            else:
-                matches[i, j] = matches[i, j - 1]
+                best_matches = matches[i - 1, j - 1] + (1 if is_match else 0)
+            if best == up and matches[i - 1, j] > best_matches:
+                best_matches = matches[i - 1, j]
+            if best == left and matches[i, j - 1] > best_matches:
+                best_matches = matches[i, j - 1]
+            matches[i, j] = best_matches
     return float(matches[n, m]) / float(max(n, m))
 
 

@@ -130,9 +130,10 @@ class BurstSet:
     def common_counters(self) -> List[str]:
         """Counters measured in *every* burst (the clustering features'
         vocabulary — feature vectors must be complete)."""
-        common = set(self.bursts[0].start_counters)
+        common = set(self.bursts[0].start_counters) & set(self.bursts[0].end_counters)
         for burst in self.bursts[1:]:
             common &= set(burst.start_counters)
+            common &= set(burst.end_counters)
         return [name for name in self.counter_names if name in common]
 
     def deltas_or_nan(self, counter: str) -> np.ndarray:
@@ -153,6 +154,7 @@ def extract_bursts(
     trace: Trace,
     min_duration: float = 0.0,
     attach_samples: bool = True,
+    mispaired: Optional[Dict[int, int]] = None,
 ) -> BurstSet:
     """Extract computation bursts from ``trace``.
 
@@ -161,6 +163,13 @@ def extract_bursts(
     (zero counters) to the first ``comm_enter``.  Bursts shorter than
     ``min_duration`` are skipped (Extrae-style duration filter).  Samples
     strictly inside a burst are attached in time order.
+
+    Pairing is a per-rank state machine, not a positional zip: on a
+    damaged trace a dropped probe line costs exactly the one burst it
+    delimited, never the alignment of every burst after it.  Probes that
+    break the exit/enter alternation are skipped and counted per rank in
+    ``mispaired`` when the caller passes a dict (a clean trace records
+    nothing).
     """
     if not trace.instrumentation:
         raise ClusteringError(
@@ -176,15 +185,26 @@ def extract_bursts(
         sample_times = [s.time for s in samples]
 
         zero = {name: 0.0 for name in probes[0].counters}
-        boundary_start: List[tuple] = [(0.0, zero)]
-        boundary_end: List[tuple] = []
+        open_boundary: Optional[tuple] = (0.0, zero)
+        pairs: List[tuple] = []
         for probe in probes:
             if probe.marker == "comm_enter":
-                boundary_end.append((probe.time, probe.counters))
+                if open_boundary is None:
+                    # enter with no preceding exit: its exit was lost
+                    if mispaired is not None:
+                        mispaired[rank] = mispaired.get(rank, 0) + 1
+                    continue
+                pairs.append((open_boundary, (probe.time, probe.counters)))
+                open_boundary = None
             else:
-                boundary_start.append((probe.time, probe.counters))
+                if open_boundary is not None and open_boundary[0] != 0.0:
+                    # two exits in a row: the burst in between lost its
+                    # enter probe — discard the stale opening
+                    if mispaired is not None:
+                        mispaired[rank] = mispaired.get(rank, 0) + 1
+                open_boundary = (probe.time, probe.counters)
         index = 0
-        for (t0, c0), (t1, c1) in zip(boundary_start, boundary_end):
+        for (t0, c0), (t1, c1) in pairs:
             if t1 <= t0:
                 # Back-to-back communication (no compute in between).
                 continue

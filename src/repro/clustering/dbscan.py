@@ -21,7 +21,7 @@ import numpy as np
 
 from repro.errors import ClusteringError
 
-__all__ = ["DBSCAN", "DBSCANResult", "estimate_eps"]
+__all__ = ["DBSCAN", "DBSCANResult", "estimate_eps", "estimate_eps_quantile"]
 
 NOISE = -1
 _UNVISITED = -2
@@ -168,3 +168,42 @@ def estimate_eps(
         # positive radius so DBSCAN still groups exact duplicates.
         eps = 1e-9
     return eps
+
+
+def estimate_eps_quantile(
+    points: np.ndarray,
+    quantile: float = 0.05,
+    margin: float = 1.5,
+    max_points: int = 2048,
+) -> float:
+    """Fallback eps: a low quantile of the pairwise-distance distribution.
+
+    The degraded-mode alternative when the k-dist heuristic is degenerate
+    (too few points, or a geometry where every k-dist collapses to zero).
+    Within-cluster pairs dominate the low tail of all pairwise distances,
+    so a small quantile times a modest ``margin`` approximates the
+    within-cluster scale without depending on a k-th neighbor.  Never
+    raises: degenerate inputs (fewer than two points, all points
+    coincident) return a small positive radius so DBSCAN can still run.
+    """
+    points = np.asarray(points, dtype=float)
+    n = points.shape[0]
+    if n < 2:
+        return 1.0
+    if not 0.0 < quantile < 1.0:
+        raise ClusteringError(f"quantile must be in (0, 1), got {quantile}")
+    if margin <= 0:
+        raise ClusteringError(f"margin must be positive, got {margin}")
+    if n > max_points:
+        # Deterministic thinning keeps the quantile stable at scale.
+        stride = int(np.ceil(n / max_points))
+        points = points[::stride]
+        n = points.shape[0]
+    norms = np.einsum("ij,ij->i", points, points)
+    d2 = norms[:, None] + norms[None, :] - 2.0 * points @ points.T
+    np.clip(d2, 0.0, None, out=d2)
+    distances = np.sqrt(d2[np.triu_indices(n, k=1)])
+    positive = distances[distances > 0]
+    if positive.size == 0:
+        return 1e-9
+    return float(np.quantile(positive, quantile)) * margin

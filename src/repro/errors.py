@@ -15,6 +15,8 @@ __all__ = [
     "MachineModelError",
     "WorkloadError",
     "TraceFormatError",
+    "SalvageError",
+    "DiagnosticsError",
     "ClusteringError",
     "FoldingError",
     "FittingError",
@@ -41,6 +43,17 @@ class WorkloadError(ReproError):
 
 class TraceFormatError(ReproError):
     """A trace file or record stream violates the trace format contract."""
+
+
+class SalvageError(TraceFormatError):
+    """Salvage-mode reading could not recover anything usable — the input
+    is not recognizably a trace, or every record in it is damaged."""
+
+
+class DiagnosticsError(ReproError):
+    """A diagnostics threshold was exceeded (see
+    :meth:`repro.resilience.Diagnostics.raise_if`) or a diagnostics query
+    was malformed."""
 
 
 class ClusteringError(ReproError):

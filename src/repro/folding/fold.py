@@ -90,6 +90,7 @@ def fold_cluster(
     counters: Sequence[str],
     min_points: int = 16,
     required: Optional[Sequence[str]] = None,
+    drops: Optional[Dict[str, str]] = None,
 ) -> Dict[str, FoldedCounter]:
     """Fold the samples of ``instances`` for each counter in ``counters``.
 
@@ -100,6 +101,11 @@ def fold_cluster(
     the result — unless it is listed in ``required`` (default: all
     requested counters), in which case a
     :class:`~repro.errors.FoldingError` is raised.
+
+    When ``drops`` is given (a mutable dict), every optional counter
+    dropped from the result is recorded there as ``counter -> reason`` so
+    the caller's diagnostics can report the degradation instead of losing
+    it silently.
     """
     if not counters:
         raise FoldingError("no counters requested for folding")
@@ -144,13 +150,20 @@ def fold_cluster(
                     f"counter {counter}: only {x.size} folded samples "
                     f"(need >= {min_points}); increase run length or sampling rate"
                 )
-            continue  # optional counter with too little support: drop it
+            # optional counter with too little support: drop it
+            if drops is not None:
+                drops[counter] = (
+                    f"only {x.size} folded samples (need >= {min_points})"
+                )
+            continue
         order = np.argsort(x, kind="stable")
         totals = instances.totals(counter)
         positive = totals[np.isfinite(totals) & (totals > 0)]
         if positive.size == 0:
             if counter in required_set:
                 raise FoldingError(f"counter {counter}: zero events in every instance")
+            if drops is not None:
+                drops[counter] = "zero events in every instance"
             continue
         out[counter] = FoldedCounter(
             counter=counter,

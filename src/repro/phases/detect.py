@@ -19,9 +19,11 @@ from typing import Dict, List, Mapping, Optional, Sequence
 import numpy as np
 
 from repro.counters.derived import compute_metrics
-from repro.errors import PhaseError
+from repro.errors import FittingError, PhaseError
+from repro.fitting.kernel_smooth import KernelSmoother, smoother_breakpoints
 from repro.fitting.pwlr import PiecewiseLinearModel, PWLRConfig, fit_pwlr, refit_slopes
 from repro.folding.fold import FoldedCounter
+from repro.resilience.diagnostics import Diagnostics
 
 __all__ = ["Phase", "PhaseSet", "detect_phases"]
 
@@ -125,12 +127,25 @@ class PhaseSet:
         return float(np.dot(values, weights) / weights.sum())
 
 
+def _smoother_fallback_breaks(fc: FoldedCounter) -> List[float]:
+    """Kernel-smoother baseline breakpoints for a counter whose PWLR fit
+    failed — the prior-work estimator never needs an optimizer, so it
+    survives data the breakpoint search cannot digest."""
+    try:
+        smoother = KernelSmoother.with_plugin_bandwidth(fc.x, fc.y)
+        return [float(b) for b in smoother_breakpoints(smoother)]
+    except FittingError:
+        return []
+
+
 def detect_phases(
     folded: Mapping[str, FoldedCounter],
     cluster_id: int = 0,
     pivot: str = DEFAULT_PIVOT,
     config: Optional[PWLRConfig] = None,
     breakpoint_counters: Optional[Sequence[str]] = None,
+    diagnostics: Optional[Diagnostics] = None,
+    allow_fallback: bool = False,
 ) -> PhaseSet:
     """Detect phases from folded counters.
 
@@ -142,6 +157,12 @@ def detect_phases(
     configured minimum separation and pruned of boundaries insignificant
     for *every* counter — defines the phases.  Per-counter slopes are then
     re-estimated at the shared boundaries.
+
+    With ``allow_fallback=True`` (degraded mode) a failed PWLR breakpoint
+    search falls back to the kernel-smoother baseline's breakpoints, and a
+    failed slope refit drops that counter from the phase metrics instead
+    of aborting the cluster — each event recorded in ``diagnostics``.  The
+    pivot's slope refit has no substitute: its failure still raises.
     """
     if pivot not in folded:
         raise PhaseError(
@@ -149,6 +170,7 @@ def detect_phases(
             f"({sorted(folded)})"
         )
     cfg = config or PWLRConfig()
+    diag = diagnostics if diagnostics is not None else Diagnostics()
     search_counters = [pivot] + [
         c
         for c in (
@@ -163,8 +185,23 @@ def detect_phases(
     candidate_breaks: List[float] = []
     for counter in search_counters:
         fc = folded[counter]
-        model = fit_pwlr(fc.x, fc.y, config=cfg)
-        candidate_breaks.extend(float(b) for b in model.breakpoints)
+        try:
+            model = fit_pwlr(fc.x, fc.y, config=cfg)
+            candidate_breaks.extend(float(b) for b in model.breakpoints)
+        except FittingError as exc:
+            if not allow_fallback:
+                raise
+            fallback_breaks = _smoother_fallback_breaks(fc)
+            diag.degraded(
+                "fitting",
+                f"PWLR breakpoint search failed for {counter}; "
+                f"kernel-smoother baseline supplied "
+                f"{len(fallback_breaks)} breakpoint(s)",
+                cluster_id=cluster_id,
+                counter=counter,
+                error=str(exc),
+            )
+            candidate_breaks.extend(fallback_breaks)
 
     # 2. dedupe co-located boundaries from different counters (they
     #    describe the same transition, jittered by the boundary blur)
@@ -173,25 +210,44 @@ def detect_phases(
 
     # 3. refit every counter at the merged boundaries and prune boundaries
     #    insignificant for every counter
+    refit_failed: set = set()
+
     def refit_all(breaks: Sequence[float]) -> Dict[str, PiecewiseLinearModel]:
-        return {
-            counter: refit_slopes(
-                fc.x,
-                fc.y,
-                _shell_model(breaks),
-                anchor=cfg.anchor,
-                anchor_weight=cfg.anchor_weight,
-                monotone=cfg.monotone,
-            )
-            for counter, fc in folded.items()
-        }
+        models: Dict[str, PiecewiseLinearModel] = {}
+        for counter, fc in folded.items():
+            if counter in refit_failed:
+                continue
+            try:
+                models[counter] = refit_slopes(
+                    fc.x,
+                    fc.y,
+                    _shell_model(breaks),
+                    anchor=cfg.anchor,
+                    anchor_weight=cfg.anchor_weight,
+                    monotone=cfg.monotone,
+                )
+            except FittingError as exc:
+                # The pivot's slopes ARE the phase definition — no refit,
+                # no phases.  Any other counter just loses its metrics.
+                if not allow_fallback or counter == pivot:
+                    raise
+                refit_failed.add(counter)
+                diag.warning(
+                    "fitting",
+                    f"slope refit failed for {counter}; "
+                    f"counter dropped from phase metrics",
+                    cluster_id=cluster_id,
+                    counter=counter,
+                    error=str(exc),
+                )
+        return models
 
     counter_models = refit_all(merged)
     boundaries = list(merged)
     if boundaries and cfg.merge_slope_tol > 0:
         kept = _significant_boundaries(
             boundaries,
-            [counter_models[c] for c in search_counters],
+            [counter_models[c] for c in search_counters if c in counter_models],
             cfg.merge_slope_tol,
         )
         if len(kept) < len(boundaries):
@@ -208,7 +264,9 @@ def detect_phases(
             break
         segment = int(narrow[np.argmin(spans[narrow])])
         adjacent = [b for b in (segment - 1, segment) if 0 <= b < len(boundaries)]
-        search_models = [counter_models[c] for c in search_counters]
+        search_models = [
+            counter_models[c] for c in search_counters if c in counter_models
+        ]
         weakest = min(
             adjacent, key=lambda b: _boundary_strength(b, search_models)
         )

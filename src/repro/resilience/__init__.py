@@ -1,0 +1,34 @@
+"""Resilience layer: structured diagnostics + deterministic fault injection.
+
+Production traces arrive damaged — truncated files, dropped samples,
+multiplexed-counter gaps, clock skew between the sampler and the probes.
+This package holds the two halves of the library's answer:
+
+* :mod:`repro.resilience.diagnostics` — the :class:`Diagnostics` object
+  every degraded pipeline stage appends to, so a salvaged read or a
+  fallback fit is *observable* instead of silent;
+* :mod:`repro.resilience.inject` — seedable corruption operators
+  (truncate, drop-samples, duplicate-records, NaN-counters, field
+  bit-flips, clock skew) that damage a serialized trace the way real
+  deployments do, powering the chaos tests and the TAB-8 bench.
+
+The consuming policies live where the data flows: the salvage read policy
+in :mod:`repro.trace.reader` and the degraded-mode fallback chains in
+:mod:`repro.analysis.pipeline`.
+"""
+
+from repro.resilience.diagnostics import DiagnosticEvent, Diagnostics, Severity
+from repro.resilience.inject import (
+    CORRUPTION_OPS,
+    CorruptionSpec,
+    corrupt_trace_text,
+)
+
+__all__ = [
+    "Severity",
+    "DiagnosticEvent",
+    "Diagnostics",
+    "CorruptionSpec",
+    "CORRUPTION_OPS",
+    "corrupt_trace_text",
+]

@@ -1,0 +1,179 @@
+"""Structured diagnostics: every degradation the pipeline took, on record.
+
+A resilient pipeline that silently patches over damage is worse than a
+brittle one — the analyst must be able to ask "what did you do to my
+data?".  :class:`Diagnostics` is the answer: an ordered list of
+:class:`DiagnosticEvent` entries, one per salvage/fallback decision, each
+tagged with a :class:`Severity` and the stage that took it.  The analyzer
+attaches one to every :class:`~repro.analysis.pipeline.AnalysisResult`;
+``repro check`` renders it on the CLI.
+
+Severity semantics:
+
+* ``INFO`` — normal bookkeeping (e.g. an optional counter folded from a
+  subset of instances);
+* ``WARNING`` — data was dropped but the primary code path still ran;
+* ``DEGRADED`` — a fallback replaced the primary algorithm (quantile eps,
+  kernel-smoother breakpoints) so results are approximate;
+* ``ERROR`` — a stage failed outright and its output is missing (e.g. a
+  cluster skipped wholesale).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Mapping, Optional
+
+from repro.errors import DiagnosticsError
+
+__all__ = ["Severity", "DiagnosticEvent", "Diagnostics"]
+
+
+class Severity(enum.IntEnum):
+    """How much a recorded event degrades trust in the result."""
+
+    INFO = 0
+    WARNING = 1
+    DEGRADED = 2
+    ERROR = 3
+
+    def __str__(self) -> str:  # "warning", not "Severity.WARNING"
+        return self.name.lower()
+
+
+@dataclass(frozen=True)
+class DiagnosticEvent:
+    """One salvage/fallback decision taken by a pipeline stage.
+
+    ``stage`` names the pipeline layer ("read", "clustering", "folding",
+    "fitting", "phases", "analysis"); ``context`` carries the structured
+    specifics (cluster id, counter name, drop counts) so tooling does not
+    have to parse the message.
+    """
+
+    severity: Severity
+    stage: str
+    message: str
+    context: Mapping[str, object] = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        detail = ""
+        if self.context:
+            parts = ", ".join(f"{k}={v}" for k, v in sorted(self.context.items()))
+            detail = f" [{parts}]"
+        return f"{self.severity}/{self.stage}: {self.message}{detail}"
+
+
+class Diagnostics:
+    """Ordered collection of the degradations one pipeline run recorded."""
+
+    def __init__(self, events: Optional[List[DiagnosticEvent]] = None) -> None:
+        self.events: List[DiagnosticEvent] = list(events or [])
+
+    # ------------------------------------------------------------------
+    # recording
+    # ------------------------------------------------------------------
+    def add(
+        self, severity: Severity, stage: str, message: str, **context: object
+    ) -> DiagnosticEvent:
+        """Append one event and return it."""
+        event = DiagnosticEvent(
+            severity=severity, stage=stage, message=message, context=dict(context)
+        )
+        self.events.append(event)
+        return event
+
+    def info(self, stage: str, message: str, **context: object) -> DiagnosticEvent:
+        """Record an INFO event."""
+        return self.add(Severity.INFO, stage, message, **context)
+
+    def warning(self, stage: str, message: str, **context: object) -> DiagnosticEvent:
+        """Record a WARNING event."""
+        return self.add(Severity.WARNING, stage, message, **context)
+
+    def degraded(self, stage: str, message: str, **context: object) -> DiagnosticEvent:
+        """Record a DEGRADED event (a fallback replaced the primary path)."""
+        return self.add(Severity.DEGRADED, stage, message, **context)
+
+    def error(self, stage: str, message: str, **context: object) -> DiagnosticEvent:
+        """Record an ERROR event (a stage's output is missing)."""
+        return self.add(Severity.ERROR, stage, message, **context)
+
+    def extend(self, other: "Diagnostics") -> None:
+        """Absorb another collection's events (order preserved)."""
+        self.events.extend(other.events)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[DiagnosticEvent]:
+        return iter(self.events)
+
+    def __bool__(self) -> bool:
+        return bool(self.events)
+
+    def by_severity(self, severity: Severity) -> List[DiagnosticEvent]:
+        """Events at exactly ``severity``."""
+        return [e for e in self.events if e.severity == severity]
+
+    def by_stage(self, stage: str) -> List[DiagnosticEvent]:
+        """Events recorded by ``stage``."""
+        return [e for e in self.events if e.stage == stage]
+
+    def count(self, severity: Severity) -> int:
+        """Number of events at exactly ``severity``."""
+        return len(self.by_severity(severity))
+
+    @property
+    def worst(self) -> Optional[Severity]:
+        """Highest severity recorded, or ``None`` when clean."""
+        if not self.events:
+            return None
+        return max(e.severity for e in self.events)
+
+    @property
+    def clean(self) -> bool:
+        """True when nothing above INFO was recorded."""
+        worst = self.worst
+        return worst is None or worst <= Severity.INFO
+
+    def counts(self) -> Dict[str, int]:
+        """Event counts keyed by severity name (only non-zero entries)."""
+        out: Dict[str, int] = {}
+        for severity in Severity:
+            n = self.count(severity)
+            if n:
+                out[str(severity)] = n
+        return out
+
+    # ------------------------------------------------------------------
+    # enforcement + rendering
+    # ------------------------------------------------------------------
+    def raise_if(self, threshold: Severity = Severity.ERROR) -> None:
+        """Raise :class:`~repro.errors.DiagnosticsError` when any event
+        reaches ``threshold`` — lets strict callers opt back into
+        fail-fast behaviour after a degraded run."""
+        offenders = [e for e in self.events if e.severity >= threshold]
+        if offenders:
+            listing = "; ".join(str(e) for e in offenders[:5])
+            more = f" (+{len(offenders) - 5} more)" if len(offenders) > 5 else ""
+            raise DiagnosticsError(
+                f"{len(offenders)} diagnostic(s) at or above "
+                f"{threshold}: {listing}{more}"
+            )
+
+    def summary(self) -> str:
+        """Multi-line human-readable rendering (CLI / report output)."""
+        if not self.events:
+            return "diagnostics: clean (no events)"
+        lines = [f"diagnostics: {len(self.events)} event(s), worst={self.worst}"]
+        for event in self.events:
+            lines.append(f"  - {event}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return f"Diagnostics({len(self.events)} events, worst={self.worst})"

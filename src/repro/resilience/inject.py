@@ -1,0 +1,215 @@
+"""Deterministic fault injection on serialized traces.
+
+Operators damage the *text* form of a trace (see
+:mod:`repro.trace.writer`) the way production trace files actually get
+damaged — a crashed tracer truncates the file, a lossy transport drops or
+duplicates lines, a broken PMU read writes NaN, disk corruption flips
+characters, an unsynchronized sampler clock skews timestamps.  Working on
+text rather than :class:`~repro.trace.records.Trace` objects matters: the
+whole point is to exercise the reader's salvage path on bytes it has never
+seen.
+
+Every operator draws from a generator derived via
+:func:`repro.util.rng.derive_rng`, so a ``(text, specs, seed)`` triple
+always produces the identical corrupted output — chaos tests and the
+TAB-8 bench are reproducible bit for bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.util.rng import derive_rng
+
+__all__ = ["CorruptionSpec", "CORRUPTION_OPS", "corrupt_trace_text"]
+
+
+@dataclass(frozen=True)
+class CorruptionSpec:
+    """One corruption operator application.
+
+    ``rate`` is the fraction of eligible record lines affected (for
+    ``truncate``: the fraction of the record section cut off the end).
+    ``params`` carries operator-specific knobs — currently only
+    ``clock_skew``'s ``sigma_s`` (timestamp noise scale in seconds,
+    default 0.005).
+    """
+
+    op: str
+    rate: float = 0.1
+    params: Mapping[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.op not in CORRUPTION_OPS:
+            raise ConfigurationError(
+                f"unknown corruption op {self.op!r}; "
+                f"available: {sorted(CORRUPTION_OPS)}"
+            )
+        if not 0.0 <= self.rate <= 1.0:
+            raise ConfigurationError(f"rate must be in [0, 1]: {self.rate}")
+
+
+def _split_sections(text: str) -> Tuple[List[str], List[str]]:
+    """Split serialized trace text into (head lines, record lines).
+
+    Corruption only ever touches the record section; damaging the header
+    or dictionary is modeled separately (``truncate`` can still eat into
+    them when rate is close to 1).
+    """
+    lines = text.splitlines()
+    try:
+        split = lines.index("[records]") + 1
+    except ValueError:
+        return lines, []
+    return lines[:split], lines[split:]
+
+
+def _join(head: List[str], records: List[str]) -> str:
+    return "\n".join(head + records) + "\n"
+
+
+# ----------------------------------------------------------------------
+# operators — each maps (head, records, rng, spec) -> (head, records)
+# ----------------------------------------------------------------------
+def _op_truncate(
+    head: List[str], records: List[str], rng: np.random.Generator, spec: CorruptionSpec
+) -> Tuple[List[str], List[str]]:
+    """Cut ``rate`` of the record section off the end, mid-line: the
+    classic crashed-writer artifact (last line left half-written)."""
+    if not records:
+        return head, records
+    body = "\n".join(records)
+    keep = int(len(body) * (1.0 - spec.rate))
+    cut = body[:keep]
+    return head, cut.splitlines()
+
+
+def _op_drop_samples(
+    head: List[str], records: List[str], rng: np.random.Generator, spec: CorruptionSpec
+) -> Tuple[List[str], List[str]]:
+    """Remove each sample (``P``) record with probability ``rate`` —
+    sampler back-pressure / lost UDP datagrams."""
+    kept = [
+        line
+        for line in records
+        if not (line.startswith("P ") and rng.random() < spec.rate)
+    ]
+    return head, kept
+
+
+def _op_duplicate_records(
+    head: List[str], records: List[str], rng: np.random.Generator, spec: CorruptionSpec
+) -> Tuple[List[str], List[str]]:
+    """Write each record line twice with probability ``rate`` — retried
+    writes after a transport hiccup."""
+    out: List[str] = []
+    for line in records:
+        out.append(line)
+        if rng.random() < spec.rate:
+            out.append(line)
+    return head, out
+
+
+def _mutate_counters(token: str, rng: np.random.Generator) -> str:
+    """Replace one counter value in a ``cid=val,...`` token with nan."""
+    if token == "-":
+        return token
+    items = token.split(",")
+    victim = int(rng.integers(0, len(items)))
+    cid, _, _value = items[victim].partition("=")
+    items[victim] = f"{cid}=nan"
+    return ",".join(items)
+
+
+def _op_nan_counters(
+    head: List[str], records: List[str], rng: np.random.Generator, spec: CorruptionSpec
+) -> Tuple[List[str], List[str]]:
+    """Replace one counter value with ``nan`` in each sample/probe record
+    with probability ``rate`` — a failed PMU read."""
+    out: List[str] = []
+    for line in records:
+        if line[:2] in ("P ", "I ") and rng.random() < spec.rate:
+            fields = line.split(" ")
+            # counters are field 3 for P records, field 4 for I records
+            idx = 3 if line.startswith("P ") else 4
+            if len(fields) > idx:
+                fields[idx] = _mutate_counters(fields[idx], rng)
+                line = " ".join(fields)
+        out.append(line)
+    return head, out
+
+
+_FLIP_ALPHABET = "0123456789.xq#!"
+
+
+def _op_bitflip_fields(
+    head: List[str], records: List[str], rng: np.random.Generator, spec: CorruptionSpec
+) -> Tuple[List[str], List[str]]:
+    """Overwrite one character of each record with probability ``rate`` —
+    bit rot / partial overwrites.  Some flips still parse (a digit became
+    another digit: a silently wrong value the downstream physical filters
+    must catch); others break the line outright."""
+    out: List[str] = []
+    for line in records:
+        if len(line) > 2 and rng.random() < spec.rate:
+            pos = int(rng.integers(2, len(line)))  # never the tag field
+            flip = _FLIP_ALPHABET[int(rng.integers(0, len(_FLIP_ALPHABET)))]
+            line = line[:pos] + flip + line[pos + 1 :]
+        out.append(line)
+    return head, out
+
+
+def _op_clock_skew(
+    head: List[str], records: List[str], rng: np.random.Generator, spec: CorruptionSpec
+) -> Tuple[List[str], List[str]]:
+    """Add Gaussian noise (``sigma_s`` seconds, default 0.005) to sample
+    timestamps with probability ``rate`` — an unsynchronized sampler
+    clock.  Negative results are kept: the salvage reader must reject
+    samples from before the epoch."""
+    sigma = float(spec.params.get("sigma_s", 0.005))
+    out: List[str] = []
+    for line in records:
+        if line.startswith("P ") and rng.random() < spec.rate:
+            fields = line.split(" ")
+            if len(fields) > 2:
+                try:
+                    t = float(fields[2])
+                except ValueError:
+                    pass
+                else:
+                    fields[2] = repr(t + sigma * float(rng.standard_normal()))
+                    line = " ".join(fields)
+        out.append(line)
+    return head, out
+
+
+CORRUPTION_OPS: Dict[str, Callable] = {
+    "truncate": _op_truncate,
+    "drop_samples": _op_drop_samples,
+    "duplicate_records": _op_duplicate_records,
+    "nan_counters": _op_nan_counters,
+    "bitflip_fields": _op_bitflip_fields,
+    "clock_skew": _op_clock_skew,
+}
+
+
+def corrupt_trace_text(
+    text: str,
+    specs: Sequence[CorruptionSpec],
+    seed: int = 0,
+) -> str:
+    """Apply ``specs`` in order to serialized trace ``text``.
+
+    Each operator gets an independent generator derived from
+    ``(seed, op, position)``, so adding or reordering operators never
+    silently reshuffles another operator's draws.
+    """
+    head, records = _split_sections(text)
+    for position, spec in enumerate(specs):
+        rng = derive_rng(seed, spec.op, position)
+        head, records = CORRUPTION_OPS[spec.op](head, records, rng, spec)
+    return _join(head, records)

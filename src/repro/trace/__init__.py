@@ -27,7 +27,14 @@ from repro.trace.records import (
 )
 from repro.trace.pcf import EventDictionary
 from repro.trace.writer import dump_trace_text, write_trace
-from repro.trace.reader import load_trace_text, read_trace
+from repro.trace.reader import (
+    ReadPolicy,
+    SalvageReport,
+    load_trace_text,
+    read_trace,
+    read_trace_salvaged,
+    salvage_trace_text,
+)
 from repro.trace.merge import merge_traces
 from repro.trace.trim import trim_trace
 from repro.trace.stats import TraceStats, compute_stats
@@ -42,7 +49,11 @@ __all__ = [
     "write_trace",
     "dump_trace_text",
     "read_trace",
+    "read_trace_salvaged",
     "load_trace_text",
+    "salvage_trace_text",
+    "ReadPolicy",
+    "SalvageReport",
     "merge_traces",
     "trim_trace",
     "TraceStats",

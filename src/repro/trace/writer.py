@@ -43,7 +43,13 @@ def _format_counters(counters: Mapping[str, float], dictionary: EventDictionary)
 
 
 def _quote(text: str) -> str:
-    return quote(text, safe="") if text else "-"
+    if not text:
+        return "-"
+    if text == "-":
+        # urllib never percent-encodes "-", which would collide with the
+        # empty-field sentinel and read back as "" — escape it by hand.
+        return "%2D"
+    return quote(text, safe="")
 
 
 def write_trace(trace: Trace, destination: Union[str, IO[str]]) -> None:

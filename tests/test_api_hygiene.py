@@ -18,6 +18,7 @@ SUBPACKAGES = [
     "repro.machine",
     "repro.parallel",
     "repro.phases",
+    "repro.resilience",
     "repro.runtime",
     "repro.signal",
     "repro.source",

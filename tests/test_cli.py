@@ -57,6 +57,80 @@ class TestCliTraceStatsAnalyze:
             main(["stats", "/nonexistent/trace.rpt"])
 
 
+class TestCliCheck:
+    @pytest.fixture(scope="class")
+    def good_trace(self, tmp_path_factory):
+        path = str(tmp_path_factory.mktemp("check") / "good.rpt")
+        assert (
+            main(
+                [
+                    "trace",
+                    "--app",
+                    "multiphase",
+                    "--iterations",
+                    "120",
+                    "--ranks",
+                    "2",
+                    "--seed",
+                    "5",
+                    "-o",
+                    path,
+                ]
+            )
+            == 0
+        )
+        return path
+
+    @pytest.fixture(scope="class")
+    def damaged_trace(self, good_trace, tmp_path_factory):
+        from repro.resilience import CorruptionSpec, corrupt_trace_text
+
+        with open(good_trace) as handle:
+            text = handle.read()
+        corrupted = corrupt_trace_text(
+            text,
+            [
+                CorruptionSpec(op="truncate", rate=0.05),
+                CorruptionSpec(op="nan_counters", rate=0.1),
+            ],
+            seed=7,
+        )
+        path = tmp_path_factory.mktemp("check") / "damaged.rpt"
+        path.write_text(corrupted)
+        return str(path)
+
+    def test_good_trace_passes_strict(self, good_trace, capsys):
+        assert main(["check", good_trace]) == 0
+        out = capsys.readouterr().out
+        assert "strict read OK" in out
+        assert "trace summary" in out
+
+    def test_damaged_trace_fails_strict(self, damaged_trace, capsys):
+        assert main(["check", damaged_trace]) == 1
+        out = capsys.readouterr().out
+        assert "check FAILED (strict)" in out
+        assert "--salvage" in out  # the hint
+
+    def test_damaged_trace_passes_with_salvage(self, damaged_trace, capsys):
+        assert main(["check", "--salvage", damaged_trace]) == 0
+        out = capsys.readouterr().out
+        assert "salvage: kept" in out
+
+    def test_deep_check_prints_diagnostics(self, damaged_trace, capsys):
+        assert main(["check", "--salvage", "--deep", damaged_trace]) == 0
+        out = capsys.readouterr().out
+        assert "deep check OK" in out
+        assert "diagnostics:" in out
+        assert "warning/read" in out
+
+    def test_garbage_exits_two_even_with_salvage(self, tmp_path, capsys):
+        path = tmp_path / "garbage.rpt"
+        path.write_text("not a trace\n")
+        assert main(["check", "--salvage", str(path)]) == 2
+        out = capsys.readouterr().out
+        assert "nothing salvageable" in out
+
+
 class TestCliDemo:
     def test_demo_report(self, capsys):
         code = main(

@@ -1,0 +1,135 @@
+"""Unit tests for the structured diagnostics collection."""
+
+import pytest
+
+from repro.errors import DiagnosticsError, ReproError, TraceFormatError
+from repro.resilience import DiagnosticEvent, Diagnostics, Severity
+
+
+class TestSeverity:
+    def test_total_order(self):
+        assert Severity.INFO < Severity.WARNING < Severity.DEGRADED < Severity.ERROR
+
+    def test_str_is_lowercase_name(self):
+        assert str(Severity.WARNING) == "warning"
+        assert str(Severity.DEGRADED) == "degraded"
+
+    def test_threshold_comparison(self):
+        assert Severity.ERROR >= Severity.DEGRADED
+        assert not Severity.INFO >= Severity.WARNING
+
+
+class TestDiagnosticEvent:
+    def test_str_without_context(self):
+        event = DiagnosticEvent(Severity.INFO, "read", "all fine")
+        assert str(event) == "info/read: all fine"
+
+    def test_str_with_sorted_context(self):
+        event = DiagnosticEvent(
+            Severity.DEGRADED, "fitting", "fallback", context={"b": 2, "a": 1}
+        )
+        assert str(event) == "degraded/fitting: fallback [a=1, b=2]"
+
+    def test_frozen(self):
+        event = DiagnosticEvent(Severity.INFO, "read", "x")
+        with pytest.raises(AttributeError):
+            event.message = "y"
+
+
+class TestDiagnostics:
+    def test_empty_is_clean_and_falsy(self):
+        diag = Diagnostics()
+        assert not diag
+        assert len(diag) == 0
+        assert diag.worst is None
+        assert diag.clean
+        assert diag.counts() == {}
+
+    def test_shortcuts_record_their_severity(self):
+        diag = Diagnostics()
+        diag.info("read", "a")
+        diag.warning("folding", "b")
+        diag.degraded("clustering", "c")
+        diag.error("analysis", "d")
+        assert [e.severity for e in diag] == [
+            Severity.INFO,
+            Severity.WARNING,
+            Severity.DEGRADED,
+            Severity.ERROR,
+        ]
+        assert diag.worst == Severity.ERROR
+        assert not diag.clean
+
+    def test_info_only_is_clean(self):
+        diag = Diagnostics()
+        diag.info("read", "bookkeeping")
+        assert diag.clean
+        assert diag.worst == Severity.INFO
+
+    def test_context_kwargs_land_in_event(self):
+        diag = Diagnostics()
+        event = diag.warning("folding", "dropped", counter="PAPI_L1_DCM", cluster_id=3)
+        assert event.context == {"counter": "PAPI_L1_DCM", "cluster_id": 3}
+
+    def test_by_severity_and_by_stage(self):
+        diag = Diagnostics()
+        diag.info("read", "a")
+        diag.warning("read", "b")
+        diag.warning("folding", "c")
+        assert len(diag.by_severity(Severity.WARNING)) == 2
+        assert diag.count(Severity.WARNING) == 2
+        assert [e.message for e in diag.by_stage("read")] == ["a", "b"]
+
+    def test_counts_only_nonzero(self):
+        diag = Diagnostics()
+        diag.warning("read", "a")
+        diag.warning("read", "b")
+        diag.error("analysis", "c")
+        assert diag.counts() == {"warning": 2, "error": 1}
+
+    def test_extend_preserves_order(self):
+        first = Diagnostics()
+        first.info("read", "a")
+        second = Diagnostics()
+        second.error("analysis", "b")
+        first.extend(second)
+        assert [e.message for e in first] == ["a", "b"]
+
+    def test_raise_if_below_threshold_is_silent(self):
+        diag = Diagnostics()
+        diag.degraded("clustering", "fallback")
+        diag.raise_if(Severity.ERROR)  # no raise
+
+    def test_raise_if_at_threshold(self):
+        diag = Diagnostics()
+        diag.degraded("clustering", "fallback")
+        with pytest.raises(DiagnosticsError, match="degraded/clustering"):
+            diag.raise_if(Severity.DEGRADED)
+
+    def test_raise_if_clips_long_listing(self):
+        diag = Diagnostics()
+        for i in range(8):
+            diag.error("analysis", f"event {i}")
+        with pytest.raises(DiagnosticsError, match=r"\+3 more"):
+            diag.raise_if()
+
+    def test_summary_clean(self):
+        assert "clean" in Diagnostics().summary()
+
+    def test_summary_lists_events(self):
+        diag = Diagnostics()
+        diag.warning("read", "dropped 3 lines")
+        text = diag.summary()
+        assert "1 event(s)" in text
+        assert "worst=warning" in text
+        assert "warning/read: dropped 3 lines" in text
+
+
+class TestErrorHierarchy:
+    def test_diagnostics_error_is_repro_error(self):
+        assert issubclass(DiagnosticsError, ReproError)
+
+    def test_salvage_error_is_trace_format_error(self):
+        from repro.errors import SalvageError
+
+        assert issubclass(SalvageError, TraceFormatError)

@@ -1,0 +1,129 @@
+"""Unit tests for the deterministic fault-injection operators."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.resilience import CORRUPTION_OPS, CorruptionSpec, corrupt_trace_text
+from repro.trace.writer import dump_trace_text
+
+
+@pytest.fixture(scope="module")
+def trace_text(multiphase_trace):
+    return dump_trace_text(multiphase_trace)
+
+
+class TestCorruptionSpec:
+    def test_unknown_op_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown corruption op"):
+            CorruptionSpec(op="melt")
+
+    def test_rate_out_of_range_rejected(self):
+        with pytest.raises(ConfigurationError, match="rate"):
+            CorruptionSpec(op="truncate", rate=1.5)
+        with pytest.raises(ConfigurationError, match="rate"):
+            CorruptionSpec(op="truncate", rate=-0.1)
+
+    def test_all_registered_ops_construct(self):
+        for op in CORRUPTION_OPS:
+            assert CorruptionSpec(op=op).rate == 0.1
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("op", sorted(CORRUPTION_OPS))
+    def test_same_seed_same_output(self, trace_text, op):
+        specs = [CorruptionSpec(op=op, rate=0.2)]
+        assert corrupt_trace_text(trace_text, specs, seed=11) == corrupt_trace_text(
+            trace_text, specs, seed=11
+        )
+
+    def test_different_seed_different_output(self, trace_text):
+        specs = [CorruptionSpec(op="drop_samples", rate=0.2)]
+        assert corrupt_trace_text(trace_text, specs, seed=1) != corrupt_trace_text(
+            trace_text, specs, seed=2
+        )
+
+    def test_zero_rate_is_identity(self, trace_text):
+        for op in sorted(CORRUPTION_OPS):
+            specs = [CorruptionSpec(op=op, rate=0.0)]
+            assert corrupt_trace_text(trace_text, specs, seed=0) == trace_text
+
+
+class TestOperators:
+    def test_truncate_shortens_and_keeps_head(self, trace_text):
+        out = corrupt_trace_text(
+            trace_text, [CorruptionSpec(op="truncate", rate=0.3)], seed=0
+        )
+        assert len(out) < len(trace_text)
+        head = trace_text[: trace_text.index("[records]")]
+        assert out.startswith(head)
+
+    def test_drop_samples_removes_only_p_records(self, trace_text):
+        out = corrupt_trace_text(
+            trace_text, [CorruptionSpec(op="drop_samples", rate=0.5)], seed=0
+        )
+
+        def tally(text):
+            lines = text.splitlines()
+            start = lines.index("[records]") + 1
+            tags = [line[0] for line in lines[start:]]
+            return {t: tags.count(t) for t in "SIP"}
+
+        before, after = tally(trace_text), tally(out)
+        assert after["P"] < before["P"]
+        assert after["S"] == before["S"]
+        assert after["I"] == before["I"]
+
+    def test_duplicate_records_adds_adjacent_copies(self, trace_text):
+        out = corrupt_trace_text(
+            trace_text, [CorruptionSpec(op="duplicate_records", rate=0.5)], seed=0
+        )
+        out_lines = out.splitlines()
+        assert len(out_lines) > len(trace_text.splitlines())
+        assert any(a == b for a, b in zip(out_lines, out_lines[1:]))
+
+    def test_nan_counters_injects_nan_tokens(self, trace_text):
+        out = corrupt_trace_text(
+            trace_text, [CorruptionSpec(op="nan_counters", rate=0.3)], seed=0
+        )
+        assert "=nan" not in trace_text
+        assert "=nan" in out
+
+    def test_bitflip_keeps_line_count_and_tags(self, trace_text):
+        out = corrupt_trace_text(
+            trace_text, [CorruptionSpec(op="bitflip_fields", rate=0.3)], seed=0
+        )
+        before, after = trace_text.splitlines(), out.splitlines()
+        assert len(before) == len(after)
+        assert out != trace_text
+        # the record tag character is never flipped
+        start = before.index("[records]") + 1
+        for old, new in zip(before[start:], after[start:]):
+            assert old[:2] == new[:2]
+
+    def test_clock_skew_perturbs_sample_timestamps(self, trace_text):
+        out = corrupt_trace_text(
+            trace_text,
+            [CorruptionSpec(op="clock_skew", rate=1.0, params={"sigma_s": 0.01})],
+            seed=0,
+        )
+        before, after = trace_text.splitlines(), out.splitlines()
+        assert len(before) == len(after)
+        changed = sum(
+            1
+            for old, new in zip(before, after)
+            if old.startswith("P ") and old != new
+        )
+        assert changed > 0
+        # only P timestamps move; S and I records are untouched
+        for old, new in zip(before, after):
+            if not old.startswith("P "):
+                assert old == new
+
+    def test_ops_compose_in_order(self, trace_text):
+        specs = [
+            CorruptionSpec(op="drop_samples", rate=0.1),
+            CorruptionSpec(op="nan_counters", rate=0.1),
+        ]
+        out = corrupt_trace_text(trace_text, specs, seed=5)
+        assert "=nan" in out
+        assert len(out.splitlines()) < len(trace_text.splitlines())

@@ -1,0 +1,191 @@
+"""Salvage-mode trace reading: drop, count, report — never lose the file."""
+
+import pytest
+
+from repro.errors import SalvageError, TraceFormatError
+from repro.resilience import CORRUPTION_OPS, CorruptionSpec, corrupt_trace_text
+from repro.trace.reader import (
+    ReadPolicy,
+    load_trace_text,
+    read_trace,
+    read_trace_salvaged,
+    salvage_trace_text,
+)
+from repro.trace.writer import dump_trace_text
+
+
+@pytest.fixture(scope="module")
+def trace_text(multiphase_trace):
+    return dump_trace_text(multiphase_trace)
+
+
+class TestStrictHardening:
+    def test_non_finite_counter_rejected(self, trace_text):
+        with pytest.raises(TraceFormatError, match="non-finite counter"):
+            load_trace_text(trace_text + "P 0 0.5 0=nan -\n")
+
+    def test_negative_timestamp_rejected(self, trace_text):
+        with pytest.raises(TraceFormatError, match="finite and >= 0"):
+            load_trace_text(trace_text + "P 0 -1.0 - -\n")
+
+    def test_unknown_tag_rejected(self, trace_text):
+        with pytest.raises(TraceFormatError, match="unknown record tag"):
+            load_trace_text(trace_text + "Z 0 0.5 junk\n")
+
+
+class TestSalvageClean:
+    def test_clean_trace_salvages_identically(self, trace_text):
+        strict = load_trace_text(trace_text)
+        salvaged, report = salvage_trace_text(trace_text)
+        assert report.clean
+        assert report.drop_fraction == 0.0
+        assert salvaged.n_records == strict.n_records
+        assert salvaged.n_ranks == strict.n_ranks
+        assert "clean" in report.summary()
+
+    def test_report_counts_are_consistent(self, trace_text):
+        _trace, report = salvage_trace_text(trace_text)
+        assert report.n_records_kept == report.n_record_lines
+        assert report.n_lines_dropped == 0
+        assert report.reasons == {}
+        assert report.first_bad is None
+
+
+class TestSalvageFatal:
+    def test_missing_header_raises_salvage_error(self):
+        with pytest.raises(SalvageError, match="missing trace header"):
+            salvage_trace_text("this is not a trace\nat all\n")
+
+    def test_empty_input(self):
+        with pytest.raises(SalvageError):
+            salvage_trace_text("")
+        with pytest.raises(TraceFormatError):
+            load_trace_text("")
+
+    def test_header_but_nothing_usable(self):
+        text = "#REPRO-TRACE v1\n[dict]\n[records]\n"
+        with pytest.raises(SalvageError, match="no usable 'ranks'"):
+            salvage_trace_text(text)
+
+
+class TestSalvageDropReasons:
+    def test_each_damage_class_is_categorized(self, trace_text):
+        damaged = (
+            trace_text
+            + "Z 0 0.5 junk\n"  # unknown-tag
+            + "P 0 -1.0 - -\n"  # bad-timestamp
+            + "P 0 0.5 999=1.0 -\n"  # unknown-id
+            + "P 0 notafloat - -\n"  # malformed-record
+            + "P 9 0.5 - -\n"  # rank-out-of-range (trace has 2 ranks)
+        )
+        trace, report = salvage_trace_text(damaged)
+        for reason in (
+            "unknown-tag",
+            "bad-timestamp",
+            "unknown-id",
+            "malformed-record",
+            "rank-out-of-range",
+        ):
+            assert report.reasons.get(reason) == 1, reason
+        assert report.n_lines_dropped == 5
+        assert trace.n_records == report.n_records_kept
+
+    def test_non_finite_counter_drops_entry_not_record(self, trace_text):
+        baseline = load_trace_text(trace_text)
+        trace, report = salvage_trace_text(trace_text + "P 0 0.5 0=nan -\n")
+        assert report.n_counters_dropped == 1
+        assert report.n_lines_dropped == 0
+        assert report.reasons == {"non-finite-counter": 1}
+        # the record itself survives, just without the bad entry
+        assert trace.n_records == baseline.n_records + 1
+
+    def test_first_and_last_bad_pin_the_region(self, trace_text):
+        damaged = trace_text + "Z 0 0.5 a\n" + "Z 0 0.6 b\n"
+        n_lines = len(trace_text.splitlines())
+        _trace, report = salvage_trace_text(damaged)
+        assert report.first_bad[0] == n_lines + 1
+        assert report.last_bad[0] == n_lines + 2
+        assert "first bad line" in report.summary()
+
+    def test_damaged_ranks_header_is_inferred(self, trace_text):
+        damaged = trace_text.replace("ranks 2", "ranks two", 1)
+        with pytest.raises(TraceFormatError, match="malformed ranks"):
+            load_trace_text(damaged)
+        trace, report = salvage_trace_text(damaged)
+        assert report.inferred_ranks
+        assert not report.clean
+        assert trace.n_ranks == 2  # max observed rank + 1
+        assert "inferred" in report.summary()
+
+    def test_unknown_header_line_dropped_in_salvage(self, trace_text):
+        damaged = trace_text.replace(
+            "#REPRO-TRACE v1\n", "#REPRO-TRACE v1\nbogus header line\n", 1
+        )
+        with pytest.raises(TraceFormatError, match="unknown header"):
+            load_trace_text(damaged)
+        _trace, report = salvage_trace_text(damaged)
+        assert report.reasons.get("header") == 1
+
+    def test_duplicates_deduped_only_in_salvage(self, trace_text):
+        baseline = load_trace_text(trace_text)
+        corrupted = corrupt_trace_text(
+            trace_text, [CorruptionSpec(op="duplicate_records", rate=0.5)], seed=4
+        )
+        strict = load_trace_text(corrupted)
+        assert strict.n_records > baseline.n_records
+        salvaged, report = salvage_trace_text(corrupted)
+        assert salvaged.n_records == baseline.n_records
+        assert report.reasons.get("duplicate-record", 0) > 0
+
+
+class TestSalvagePerOperator:
+    """Every corruption operator: salvage always recovers the bulk."""
+
+    @pytest.mark.parametrize("op", sorted(CORRUPTION_OPS))
+    def test_salvage_recovers_most_records(self, trace_text, op):
+        corrupted = corrupt_trace_text(
+            trace_text, [CorruptionSpec(op=op, rate=0.1)], seed=3
+        )
+        trace, report = salvage_trace_text(corrupted)
+        assert trace.n_records == report.n_records_kept
+        assert report.drop_fraction <= 0.2
+        baseline = load_trace_text(trace_text)
+        assert trace.n_records >= 0.8 * baseline.n_records
+
+    @pytest.mark.parametrize("op", ["truncate", "nan_counters", "bitflip_fields"])
+    def test_strict_read_rejects_parse_damage(self, trace_text, op):
+        corrupted = corrupt_trace_text(
+            trace_text, [CorruptionSpec(op=op, rate=0.1)], seed=3
+        )
+        with pytest.raises(TraceFormatError):
+            load_trace_text(corrupted)
+
+    @pytest.mark.parametrize("op", ["drop_samples", "duplicate_records"])
+    def test_format_preserving_damage_still_reads_strict(self, trace_text, op):
+        corrupted = corrupt_trace_text(
+            trace_text, [CorruptionSpec(op=op, rate=0.1)], seed=3
+        )
+        load_trace_text(corrupted)  # no raise
+
+
+class TestFileRoundTrip:
+    def test_read_trace_salvaged_from_path(self, trace_text, tmp_path):
+        corrupted = corrupt_trace_text(
+            trace_text, [CorruptionSpec(op="truncate", rate=0.05)], seed=9
+        )
+        path = tmp_path / "damaged.rpt"
+        path.write_text(corrupted)
+        with pytest.raises(TraceFormatError):
+            read_trace(str(path))
+        trace, report = read_trace_salvaged(str(path))
+        assert trace.n_records > 0
+        assert not report.clean
+
+    def test_read_trace_accepts_policy(self, trace_text, tmp_path):
+        corrupted = corrupt_trace_text(
+            trace_text, [CorruptionSpec(op="truncate", rate=0.05)], seed=9
+        )
+        path = tmp_path / "damaged.rpt"
+        path.write_text(corrupted)
+        trace = read_trace(str(path), policy=ReadPolicy.SALVAGE)
+        assert trace.n_records > 0
