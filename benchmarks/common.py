@@ -21,9 +21,14 @@ import os
 from typing import Callable, Dict
 
 from repro.analysis.experiments import RunArtifacts, default_core, run_app
+from repro.observability import MetricsRegistry, Observability
 from repro.viz.series import FigureSeries, write_csv
 
 _ARTIFACT_CACHE: Dict[str, RunArtifacts] = {}
+
+# Pipeline metrics accumulated across every run the harness performs;
+# run_all.py prints the aggregate at the end of a sweep.
+METRICS = MetricsRegistry()
 
 OUT_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "out")
 
@@ -35,13 +40,40 @@ def cached_run(key: str, builder: Callable[[], RunArtifacts]) -> RunArtifacts:
     return _ARTIFACT_CACHE[key]
 
 
+def _traced_run(key: str, builder: Callable[[], RunArtifacts]) -> RunArtifacts:
+    """Run ``builder`` under an enabled tracer and print per-stage timings."""
+    obs = Observability()
+    with obs.activate():
+        artifacts = builder()
+    METRICS.merge(obs.metrics)
+    profile = obs.profile()
+    totals = profile.stage_totals() if profile is not None else []
+    if totals:
+        top = ", ".join(
+            f"{t.name} {t.self_wall_s:.2f}s" for t in totals[:4]
+        )
+        print(f"[{key}] stage timings: {top}")
+    return artifacts
+
+
 def standard_artifacts(
     app, seed: int = 0, period_s: float = 0.02, key: str = ""
 ) -> RunArtifacts:
-    """Run ``app`` through the standard pipeline, memoized by ``key``."""
+    """Run ``app`` through the standard pipeline, memoized by ``key``.
+
+    Uncached runs execute under an enabled observability context: per-stage
+    wall times are printed once and pipeline metrics accumulate in
+    ``METRICS``.
+    """
     cache_key = key or f"{app.name}:{seed}:{period_s}"
     return cached_run(
-        cache_key, lambda: run_app(app, core=default_core(), seed=seed, period_s=period_s)
+        cache_key,
+        lambda: _traced_run(
+            cache_key,
+            lambda: run_app(
+                app, core=default_core(), seed=seed, period_s=period_s
+            ),
+        ),
     )
 
 

@@ -15,6 +15,9 @@ import importlib
 import sys
 import time
 
+import common
+from repro.observability import render_metrics
+
 BENCHES = [
     "bench_fig1_folding_scatter",
     "bench_fig2_rate_reconstruction",
@@ -31,6 +34,7 @@ BENCHES = [
     "bench_tab6_extrapolation",
     "bench_tab7_scaling",
     "bench_tab8_resilience",
+    "bench_tab9_observability",
 ]
 
 
@@ -51,6 +55,10 @@ def main(argv: list) -> int:
         module.main()
         print(f"[{name} done in {time.time() - t0:.1f}s]\n")
     print(f"all {len(selected)} benches done in {time.time() - t_start:.1f}s")
+    snapshot = common.METRICS.snapshot()
+    if snapshot:
+        print("\naggregated pipeline metrics across the sweep:")
+        print(render_metrics(snapshot))
     return 0
 
 

@@ -99,6 +99,22 @@ from repro.fitting import (
     evaluate_fit,
     fit_pwlr,
 )
+from repro.observability import (
+    MetricsRegistry,
+    Observability,
+    Profile,
+    SpanRecord,
+    configure_cli_logging,
+    get_logger,
+    progress,
+    read_profile_json,
+    render_hotspots,
+    render_metrics,
+    render_profile_tree,
+    write_chrome_trace,
+    write_jsonl_events,
+    write_profile_json,
+)
 from repro.phases import detect_phases, map_phases_to_source, match_boundaries
 from repro.analysis import (
     AnalyzerConfig,
@@ -184,6 +200,21 @@ __all__ = [
     "Diagnostics",
     "CorruptionSpec",
     "corrupt_trace_text",
+    # observability
+    "Observability",
+    "Profile",
+    "SpanRecord",
+    "MetricsRegistry",
+    "render_profile_tree",
+    "render_hotspots",
+    "render_metrics",
+    "write_profile_json",
+    "read_profile_json",
+    "write_jsonl_events",
+    "write_chrome_trace",
+    "get_logger",
+    "progress",
+    "configure_cli_logging",
     # analysis chain
     "extract_bursts",
     "build_features",

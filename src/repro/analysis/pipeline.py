@@ -44,6 +44,11 @@ from repro.folding.filtering import (
 from repro.folding.fold import FoldedCounter, fold_cluster
 from repro.folding.instances import ClusterInstances, select_instances
 from repro.folding.reconstruct import Reconstruction
+from repro.observability.context import DISABLED, current
+from repro.observability.context import counter as _metric_counter
+from repro.observability.context import span as _span
+from repro.observability.logs import progress
+from repro.observability.spans import Profile
 from repro.phases.detect import PhaseSet, detect_phases
 from repro.phases.mapping import PhaseSourceAttribution, map_phases_to_source
 from repro.resilience.diagnostics import Diagnostics
@@ -71,6 +76,13 @@ class AnalyzerConfig:
     :attr:`AnalysisResult.diagnostics`.  Switch it off to restore
     fail-fast semantics (the first stage error aborts the cluster or the
     analysis).
+
+    The observability knobs: ``profile`` (default on) lets the analysis
+    record stage spans when an enabled
+    :class:`~repro.observability.Observability` is active — set it False
+    to force the no-op path even under an enabled context;
+    ``progress_every`` emits a ``repro.progress`` log line every N-th
+    cluster (1 = every cluster) so long runs stay visibly alive.
     """
 
     counters: Optional[Tuple[str, ...]] = None
@@ -89,6 +101,8 @@ class AnalyzerConfig:
     min_burst_duration_s: float = 0.0
     check_spmd: bool = False
     degraded_mode: bool = True
+    profile: bool = True
+    progress_every: int = 1
 
     def __post_init__(self) -> None:
         if self.min_pts < 1:
@@ -110,6 +124,12 @@ class AnalyzerConfig:
         if self.range_tolerance < 0:
             raise AnalysisError(
                 f"range_tolerance must be >= 0: {self.range_tolerance}"
+            )
+        if not isinstance(self.profile, bool):
+            raise AnalysisError(f"profile must be a bool: {self.profile!r}")
+        if not isinstance(self.progress_every, int) or self.progress_every < 1:
+            raise AnalysisError(
+                f"progress_every must be an int >= 1: {self.progress_every!r}"
             )
 
 
@@ -147,6 +167,10 @@ class AnalysisResult:
     pipeline took — empty means the run was pristine; anything at
     DEGRADED or above means a fallback algorithm contributed to these
     numbers.
+
+    ``profile`` is the stage-span tree of this run (wall/CPU/peak-RSS per
+    pipeline stage) when the analysis ran under an enabled
+    :class:`~repro.observability.Observability`; ``None`` otherwise.
     """
 
     app_name: str
@@ -158,6 +182,7 @@ class AnalysisResult:
     skipped: Dict[int, str]
     spmd: Optional["SPMDReport"] = None
     diagnostics: Diagnostics = field(default_factory=Diagnostics)
+    profile: Optional[Profile] = None
 
     @property
     def n_clusters_analyzed(self) -> int:
@@ -197,12 +222,37 @@ class FoldingAnalyzer:
         salvage-mode read, when there was one — its drop counts are folded
         into the result's diagnostics so the analysis carries the full
         damage history of its input.
+
+        When an enabled :class:`~repro.observability.Observability` is
+        active (and ``config.profile`` is True), the run records a span
+        per stage and attaches the tree as :attr:`AnalysisResult.profile`.
         """
+        # config.profile=False silences instrumentation for the whole
+        # dynamic extent — activating DISABLED shadows any enabled outer
+        # context for every layer below.
+        obs = current() if self.config.profile else DISABLED
+        with obs.activate():
+            with obs.span("analyze", app=trace.app_name or "") as root:
+                result = self._analyze_impl(trace, salvage)
+        if root is not None:
+            result.profile = Profile(roots=[root])
+        return result
+
+    def _analyze_impl(
+        self, trace: Trace, salvage: Optional[SalvageReport]
+    ) -> AnalysisResult:
         cfg = self.config
         diagnostics = Diagnostics()
         if salvage is not None:
             self._record_salvage(diagnostics, salvage)
-        stats = compute_stats(trace)
+        with _span("trace_stats"):
+            stats = compute_stats(trace)
+        progress(
+            "%s: %d records / %d ranks, extracting bursts",
+            trace.app_name or "trace",
+            trace.n_records,
+            trace.n_ranks,
+        )
         mispaired: Dict[int, int] = {}
         bursts = extract_bursts(
             trace, min_duration=cfg.min_burst_duration_s, mispaired=mispaired
@@ -226,7 +276,14 @@ class FoldingAnalyzer:
             )
 
         bursts, features = self._build_features(bursts, diagnostics)
-        clustering = self._cluster(features, diagnostics)
+        progress("clustering %d bursts", len(bursts))
+        with _span("clustering", n_bursts=len(bursts)):
+            clustering = self._cluster(features, diagnostics)
+        progress(
+            "found %d cluster(s) (%.1f%% noise), analyzing",
+            clustering.n_clusters,
+            clustering.noise_fraction * 100.0,
+        )
 
         durations = bursts.durations()
         total_compute = float(durations.sum())
@@ -256,17 +313,26 @@ class FoldingAnalyzer:
                     time_share=round(share, 4),
                 )
                 continue
-            try:
-                clusters.append(
-                    self._analyze_cluster(
-                        bursts,
-                        clustering.labels,
-                        cluster_id,
-                        counters,
-                        share,
-                        diagnostics,
-                    )
+            if cluster_id % cfg.progress_every == 0:
+                progress(
+                    "cluster %d/%d: %d members, %.1f%% of compute time",
+                    cluster_id + 1,
+                    clustering.n_clusters,
+                    members.size,
+                    share * 100.0,
                 )
+            try:
+                with _span("cluster", cluster_id=cluster_id, n_members=int(members.size)):
+                    clusters.append(
+                        self._analyze_cluster(
+                            bursts,
+                            clustering.labels,
+                            cluster_id,
+                            counters,
+                            share,
+                            diagnostics,
+                        )
+                    )
             except cluster_errors as exc:
                 skipped[cluster_id] = str(exc)
                 diagnostics.error(
@@ -280,7 +346,15 @@ class FoldingAnalyzer:
             )
         spmd: Optional[SPMDReport] = None
         if cfg.check_spmd:
-            spmd = spmd_score(bursts, clustering.labels)
+            with _span("spmd_check"):
+                spmd = spmd_score(bursts, clustering.labels)
+        _metric_counter("analysis.clusters_analyzed").inc(len(clusters))
+        _metric_counter("analysis.clusters_skipped").inc(len(skipped))
+        progress(
+            "analysis complete: %d cluster(s) analyzed, %d skipped",
+            len(clusters),
+            len(skipped),
+        )
         return AnalysisResult(
             app_name=trace.app_name,
             trace_stats=stats,
@@ -354,6 +428,7 @@ class FoldingAnalyzer:
         n_dropped = int(n - keep.sum())
         if n_dropped == 0 or int(keep.sum()) < self.config.min_pts:
             return bursts
+        _metric_counter("bursts.screened").inc(n_dropped)
         diagnostics.warning(
             "clustering",
             f"{n_dropped} physically implausible burst(s) screened out "
@@ -383,6 +458,7 @@ class FoldingAnalyzer:
             good = np.flatnonzero(np.isfinite(deltas) & (deltas > 0))
             if good.size == 0 or good.size == len(bursts):
                 raise  # nothing to drop, or nothing would remain
+            _metric_counter("features.bursts_dropped").inc(len(bursts) - good.size)
             diagnostics.warning(
                 "clustering",
                 f"{len(bursts) - good.size} inconsistent burst(s) dropped "
@@ -466,25 +542,28 @@ class FoldingAnalyzer:
             )
 
         reports: List[FilterReport] = []
-        for counter in list(folded):
-            try:
-                fc, r_range = clip_to_unit_range(folded[counter], cfg.range_tolerance)
-                reports.append(r_range)
-                if cfg.monotonicity_filter:
-                    fc, r_mono = enforce_instance_monotonicity(fc)
-                    reports.append(r_mono)
-                folded[counter] = fc
-            except FoldingError as exc:
-                if not cfg.degraded_mode or counter == cfg.pivot:
-                    raise
-                del folded[counter]
-                diagnostics.warning(
-                    "folding",
-                    f"physical filters failed for {counter}; counter dropped",
-                    cluster_id=cluster_id,
-                    counter=counter,
-                    error=str(exc),
-                )
+        with _span("filter", cluster_id=cluster_id, n_counters=len(folded)):
+            for counter in list(folded):
+                try:
+                    fc, r_range = clip_to_unit_range(
+                        folded[counter], cfg.range_tolerance
+                    )
+                    reports.append(r_range)
+                    if cfg.monotonicity_filter:
+                        fc, r_mono = enforce_instance_monotonicity(fc)
+                        reports.append(r_mono)
+                    folded[counter] = fc
+                except FoldingError as exc:
+                    if not cfg.degraded_mode or counter == cfg.pivot:
+                        raise
+                    del folded[counter]
+                    diagnostics.warning(
+                        "folding",
+                        f"physical filters failed for {counter}; counter dropped",
+                        cluster_id=cluster_id,
+                        counter=counter,
+                        error=str(exc),
+                    )
 
         phase_set = detect_phases(
             folded,
@@ -496,7 +575,8 @@ class FoldingAnalyzer:
         )
 
         try:
-            callstacks: Optional[FoldedCallstacks] = fold_callstacks(instances)
+            with _span("fold_callstacks", cluster_id=cluster_id):
+                callstacks: Optional[FoldedCallstacks] = fold_callstacks(instances)
             attributions = map_phases_to_source(phase_set, callstacks)
         except FoldingError:
             # No stack samples in this cluster: phases stand unattributed.
@@ -510,23 +590,24 @@ class FoldingAnalyzer:
             )
 
         reconstructions: Dict[str, Reconstruction] = {}
-        for counter in folded:
-            if counter not in phase_set.counter_models:
-                continue  # refit dropped it; already in diagnostics
-            try:
-                reconstructions[counter] = Reconstruction.from_folded(
-                    folded[counter], phase_set.counter_models[counter]
-                )
-            except (FoldingError, FittingError) as exc:
-                if not cfg.degraded_mode:
-                    raise
-                diagnostics.warning(
-                    "phases",
-                    f"reconstruction failed for {counter}",
-                    cluster_id=cluster_id,
-                    counter=counter,
-                    error=str(exc),
-                )
+        with _span("reconstruct", cluster_id=cluster_id):
+            for counter in folded:
+                if counter not in phase_set.counter_models:
+                    continue  # refit dropped it; already in diagnostics
+                try:
+                    reconstructions[counter] = Reconstruction.from_folded(
+                        folded[counter], phase_set.counter_models[counter]
+                    )
+                except (FoldingError, FittingError) as exc:
+                    if not cfg.degraded_mode:
+                        raise
+                    diagnostics.warning(
+                        "phases",
+                        f"reconstruction failed for {counter}",
+                        cluster_id=cluster_id,
+                        counter=counter,
+                        error=str(exc),
+                    )
         return ClusterAnalysis(
             cluster_id=cluster_id,
             n_members=int(np.sum(labels == cluster_id)),

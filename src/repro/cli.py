@@ -8,7 +8,13 @@ Mirrors the real toolchain's workflow split::
     python -m repro check run.rpt                 # validate a trace file
     python -m repro check run.rpt --salvage       # ...salvaging what it can
     python -m repro analyze run.rpt               # folding analysis + report
+    python -m repro analyze run.rpt --profile p.json --log-jsonl ev.jsonl
+    python -m repro report p.json                 # where-did-the-time-go
     python -m repro demo --app pmemd --optimize   # full methodology + case study
+
+Global flags (before the subcommand) control logging: ``-q`` silences the
+stage-progress lines long analyses emit by default, ``-v`` shows all
+``repro.*`` INFO records, ``-vv`` turns on DEBUG with timestamps.
 
 All commands are deterministic given ``--seed``.  ``check`` exits 0 when
 the trace is usable under the selected policy, 1 on a strict-mode format
@@ -27,9 +33,20 @@ from repro.analysis.hints import generate_hints
 from repro.analysis.methodology import describe_application, run_case_study
 from repro.analysis.pipeline import FoldingAnalyzer
 from repro.analysis.report import render_report
-from repro.errors import AnalysisError, SalvageError, TraceFormatError
+from repro.errors import AnalysisError, ReproError, SalvageError, TraceFormatError
 from repro.machine.cpu import CoreModel
 from repro.machine.spec import MachineSpec
+from repro.observability import (
+    Observability,
+    configure_cli_logging,
+    read_profile_json,
+    render_hotspots,
+    render_metrics,
+    render_profile_tree,
+    write_chrome_trace,
+    write_jsonl_events,
+    write_profile_json,
+)
 from repro.runtime.engine import ExecutionEngine
 from repro.runtime.sampler import SamplerConfig
 from repro.runtime.tracer import Tracer, TracerConfig
@@ -171,10 +188,58 @@ def _cmd_check(args: argparse.Namespace) -> int:
 
 
 def _cmd_analyze(args: argparse.Namespace) -> int:
-    trace = read_trace(args.trace)
-    result = FoldingAnalyzer().analyze(trace)
+    sinks_requested = bool(args.profile or args.log_jsonl or args.chrome_trace)
+    if sinks_requested:
+        # Activate a fresh collector around the whole command so the
+        # read_trace span lands in the same profile as the analysis.
+        obs = Observability()
+        with obs.activate():
+            trace = read_trace(args.trace)
+            result = FoldingAnalyzer().analyze(trace)
+        profile = obs.profile()
+        metrics = obs.metrics.snapshot()
+        if args.profile:
+            write_profile_json(args.profile, profile, metrics)
+            print(f"profile written to {args.profile}", file=sys.stderr)
+        if args.log_jsonl:
+            with open(args.log_jsonl, "w") as fh:
+                n = write_jsonl_events(fh, profile, metrics, result.diagnostics)
+            print(
+                f"{n} events written to {args.log_jsonl}", file=sys.stderr
+            )
+        if args.chrome_trace:
+            write_chrome_trace(args.chrome_trace, profile)
+            print(
+                f"chrome trace written to {args.chrome_trace} "
+                "(load in chrome://tracing or ui.perfetto.dev)",
+                file=sys.stderr,
+            )
+    else:
+        trace = read_trace(args.trace)
+        result = FoldingAnalyzer().analyze(trace)
     hints = generate_hints(result)
     print(render_report(result, hints))
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    try:
+        profile, metrics = read_profile_json(args.profile)
+    except (OSError, ReproError) as exc:
+        print(f"cannot read profile: {exc}", file=sys.stderr)
+        return 1
+    print(render_hotspots(profile))
+    print()
+    print(render_profile_tree(profile))
+    if metrics:
+        print()
+        print(render_metrics(metrics))
+    if args.chrome:
+        write_chrome_trace(args.chrome, profile)
+        print(
+            f"\nchrome trace written to {args.chrome} "
+            "(load in chrome://tracing or ui.perfetto.dev)"
+        )
     return 0
 
 
@@ -213,6 +278,19 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Folding + piece-wise linear regression phase detection",
     )
+    parser.add_argument(
+        "-v",
+        "--verbose",
+        action="count",
+        default=0,
+        help="-v shows repro.* INFO logs, -vv adds DEBUG with timestamps",
+    )
+    parser.add_argument(
+        "-q",
+        "--quiet",
+        action="store_true",
+        help="silence stage-progress lines (warnings still shown)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("apps", help="list built-in applications").set_defaults(
@@ -246,7 +324,33 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_analyze = sub.add_parser("analyze", help="folding analysis of a trace file")
     p_analyze.add_argument("trace", help="trace file path")
+    p_analyze.add_argument(
+        "--profile",
+        metavar="PATH",
+        help="write a structured per-stage timing profile (JSON)",
+    )
+    p_analyze.add_argument(
+        "--log-jsonl",
+        metavar="PATH",
+        help="write span/metric/diagnostic events as JSON lines",
+    )
+    p_analyze.add_argument(
+        "--chrome-trace",
+        metavar="PATH",
+        help="write a Chrome trace_event file for chrome://tracing / Perfetto",
+    )
     p_analyze.set_defaults(func=_cmd_analyze)
+
+    p_report = sub.add_parser(
+        "report", help="render a profile written by `analyze --profile`"
+    )
+    p_report.add_argument("profile", help="profile JSON path")
+    p_report.add_argument(
+        "--chrome",
+        metavar="PATH",
+        help="also export the profile as a Chrome trace_event file",
+    )
+    p_report.set_defaults(func=_cmd_report)
 
     p_demo = sub.add_parser("demo", help="full methodology on a built-in app")
     _add_app_options(p_demo)
@@ -263,6 +367,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    configure_cli_logging(-1 if args.quiet else args.verbose)
     return args.func(args)
 
 

@@ -19,6 +19,8 @@ from typing import Dict, List, Mapping, Optional, Sequence
 import numpy as np
 
 from repro.errors import ClusteringError
+from repro.observability.context import counter as _metric_counter
+from repro.observability.context import span as _span
 from repro.trace.records import SampleRecord, Trace
 
 __all__ = ["ComputationBurst", "BurstSet", "extract_bursts"]
@@ -176,6 +178,22 @@ def extract_bursts(
             "trace has no instrumentation records — bursts cannot be "
             "delimited (was instrumentation disabled?)"
         )
+    with _span("extract_bursts", n_ranks=trace.n_ranks):
+        bursts = _extract_bursts_impl(
+            trace, min_duration, attach_samples, mispaired
+        )
+    _metric_counter("bursts.extracted").inc(len(bursts))
+    if mispaired:
+        _metric_counter("bursts.mispaired_probes").inc(sum(mispaired.values()))
+    return bursts
+
+
+def _extract_bursts_impl(
+    trace: Trace,
+    min_duration: float,
+    attach_samples: bool,
+    mispaired: Optional[Dict[int, int]],
+) -> BurstSet:
     all_bursts: List[ComputationBurst] = []
     for rank in range(trace.n_ranks):
         probes = trace.instrumentation_of(rank)

@@ -20,6 +20,9 @@ from typing import List
 import numpy as np
 
 from repro.errors import ClusteringError
+from repro.observability.context import counter as _metric_counter
+from repro.observability.context import gauge as _metric_gauge
+from repro.observability.context import span as _span
 
 __all__ = ["DBSCAN", "DBSCANResult", "estimate_eps", "estimate_eps_quantile"]
 
@@ -96,6 +99,15 @@ class DBSCAN:
             raise ClusteringError(
                 f"points must be a non-empty 2-D array, got shape {points.shape}"
             )
+        with _span("dbscan", n_points=points.shape[0], eps=round(self.eps, 6)):
+            result = self._fit_impl(points)
+        _metric_counter("clustering.clusters_found").inc(result.n_clusters)
+        _metric_counter("clustering.noise_points").inc(
+            int(np.sum(result.labels == NOISE))
+        )
+        return result
+
+    def _fit_impl(self, points: np.ndarray) -> DBSCANResult:
         n = points.shape[0]
         neighborhoods = self._neighborhoods(points)
         core = np.array([len(nb) >= self.min_pts for nb in neighborhoods])
@@ -150,6 +162,15 @@ def estimate_eps(
     n = points.shape[0]
     if n < 2:
         raise ClusteringError(f"need >= 2 points to estimate eps, got {n}")
+    with _span("estimate_eps", n_points=n, k=min(k, n - 1)):
+        eps = _estimate_eps_impl(points, n, k, quantile, margin)
+    _metric_gauge("clustering.estimated_eps").set(eps)
+    return eps
+
+
+def _estimate_eps_impl(
+    points: np.ndarray, n: int, k: int, quantile: float, margin: float
+) -> float:
     k = min(k, n - 1)
     norms = np.einsum("ij,ij->i", points, points)
     kdist = np.empty(n)

@@ -15,6 +15,7 @@ import numpy as np
 
 from repro.errors import ClusteringError
 from repro.clustering.bursts import BurstSet
+from repro.observability.context import span as _span
 
 __all__ = ["FeatureMatrix", "build_features", "DEFAULT_FEATURE_COUNTERS"]
 
@@ -81,6 +82,15 @@ def build_features(
     Instructions themselves enter through the duration + ratios, matching
     the published practice of clustering on (duration, IPC, L1/L2 misses).
     """
+    with _span("build_features", n_bursts=len(bursts)):
+        return _build_features_impl(bursts, counters, include_duration)
+
+
+def _build_features_impl(
+    bursts: BurstSet,
+    counters: Optional[Sequence[str]],
+    include_duration: bool,
+) -> FeatureMatrix:
     # Feature vectors must be complete, so only counters measured in
     # every burst qualify (under multiplexing that is the pivot set).
     available = set(bursts.common_counters())

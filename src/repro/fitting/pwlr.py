@@ -31,6 +31,9 @@ from scipy.optimize import minimize_scalar, nnls
 from repro.errors import FittingError
 from repro.fitting.linear import weighted_lstsq
 from repro.fitting import model_selection
+from repro.observability.context import counter as _metric_counter
+from repro.observability.context import histogram as _metric_histogram
+from repro.observability.context import span as _span
 
 __all__ = [
     "PiecewiseLinearModel",
@@ -301,13 +304,30 @@ def fit_pwlr(
     y = np.asarray(y, dtype=float)
     if x.size < 8:
         raise FittingError(f"need at least 8 points for the search, got {x.size}")
+    with _span("fit_pwlr", n_points=int(x.size)) as rec:
+        model, n_evals = _fit_pwlr_impl(x, y, cfg)
+    _metric_counter("pwlr.fits").inc()
+    _metric_counter("pwlr.candidate_evaluations").inc(n_evals)
+    if rec is not None:
+        _metric_histogram("pwlr.fit_seconds").observe(rec.wall_s)
+    return model
 
+
+def _fit_pwlr_impl(
+    x: np.ndarray, y: np.ndarray, cfg: "PWLRConfig"
+) -> Tuple[PiecewiseLinearModel, int]:
     grid = np.linspace(cfg.min_separation, 1.0 - cfg.min_separation, cfg.n_candidates)
+    # Evaluation count is accumulated locally and flushed to the metrics
+    # registry once per fit: the search calls fast_fit thousands of times
+    # and must not pay a context lookup per call.
+    n_evals = 0
 
     def fast_fit(breaks: Sequence[float]) -> PiecewiseLinearModel:
         # Search with the unconstrained solver (plain lstsq): orders of
         # magnitude faster than NNLS and equally good at *ranking*
         # breakpoint configurations by SSE.
+        nonlocal n_evals
+        n_evals += 1
         return fit_fixed_breakpoints(
             x,
             y,
@@ -379,7 +399,7 @@ def fit_pwlr(
                 best_model = final_fit(cleaned)
         if best_model.breakpoints.size == before:
             break
-    return best_model
+    return best_model, n_evals
 
 
 def _n_params(model: PiecewiseLinearModel) -> int:
@@ -499,6 +519,7 @@ def refit_slopes(
     and re-estimates per-segment slopes for every other counter at those
     shared boundaries, so all metrics describe the same phases.
     """
+    _metric_counter("pwlr.refits").inc()
     return fit_fixed_breakpoints(
         x,
         y,

@@ -21,6 +21,8 @@ import numpy as np
 
 from repro.errors import FoldingError
 from repro.folding.instances import ClusterInstances
+from repro.observability.context import counter as _metric_counter
+from repro.observability.context import span as _span
 
 __all__ = ["FoldedCounter", "fold_cluster"]
 
@@ -109,6 +111,23 @@ def fold_cluster(
     """
     if not counters:
         raise FoldingError("no counters requested for folding")
+    with _span(
+        "fold", n_instances=len(instances), n_counters=len(counters)
+    ):
+        out = _fold_cluster_impl(instances, counters, min_points, required, drops)
+    _metric_counter("folding.folds").inc(len(out))
+    if drops:
+        _metric_counter("folding.dropped_counters").inc(len(drops))
+    return out
+
+
+def _fold_cluster_impl(
+    instances: ClusterInstances,
+    counters: Sequence[str],
+    min_points: int,
+    required: Optional[Sequence[str]],
+    drops: Optional[Dict[str, str]],
+) -> Dict[str, FoldedCounter]:
     required_set = set(counters if required is None else required)
     unknown_required = required_set - set(counters)
     if unknown_required:

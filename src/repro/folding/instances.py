@@ -17,6 +17,8 @@ import numpy as np
 
 from repro.errors import FoldingError
 from repro.clustering.bursts import BurstSet, ComputationBurst
+from repro.observability.context import counter as _metric_counter
+from repro.observability.context import span as _span
 from repro.util.stats import iqr_bounds
 
 __all__ = ["ClusterInstances", "select_instances"]
@@ -105,6 +107,23 @@ def select_instances(
     labels = np.asarray(labels)
     if labels.shape[0] != len(bursts):
         raise FoldingError(f"{labels.shape[0]} labels for {len(bursts)} bursts")
+    with _span("select_instances", cluster_id=cluster_id):
+        instances = _select_instances_impl(
+            bursts, labels, cluster_id, prune_outliers, iqr_factor, min_instances
+        )
+    _metric_counter("folding.instances_selected").inc(len(instances.bursts))
+    _metric_counter("folding.instances_pruned").inc(instances.n_pruned_duration)
+    return instances
+
+
+def _select_instances_impl(
+    bursts: BurstSet,
+    labels: np.ndarray,
+    cluster_id: int,
+    prune_outliers: bool,
+    iqr_factor: float,
+    min_instances: int,
+) -> ClusterInstances:
     member_idx = np.flatnonzero(labels == cluster_id)
     if member_idx.size == 0:
         raise FoldingError(f"cluster {cluster_id} has no members")

@@ -1,0 +1,103 @@
+"""Structured observability for the folding pipeline.
+
+Three coordinated facilities, all with a no-op fast path when disabled
+(the default — the TAB-9 bench holds the disabled overhead under 2%):
+
+* **Spans** (:mod:`~repro.observability.spans`) — nested wall/CPU/peak-RSS
+  timings per pipeline stage, recorded as a tree and attached to
+  :attr:`AnalysisResult.profile <repro.analysis.pipeline.AnalysisResult>`.
+* **Metrics** (:mod:`~repro.observability.metrics`) — process-wide
+  counters/gauges/histograms: bursts screened, clusters found and
+  skipped, folds per counter, PWLR fits/refits, plus every
+  :class:`~repro.resilience.diagnostics.Diagnostics` event bridged as
+  ``diagnostics.*`` counters.
+* **Sinks** (:mod:`~repro.observability.sinks`) — human stage summary,
+  canonical profile JSON, JSONL event log, and Chrome ``trace_event``
+  export (chrome://tracing / Perfetto).
+
+Plus stdlib-``logging`` integration (:mod:`~repro.observability.logs`)
+under the ``repro.*`` hierarchy, including the ``repro.progress``
+stage-progress stream the CLI shows by default.
+
+Usage::
+
+    from repro.observability import Observability
+
+    obs = Observability()
+    with obs.activate():
+        result = FoldingAnalyzer().analyze(trace)
+    print(render_hotspots(result.profile))
+
+See ``docs/OBSERVABILITY.md`` for the span taxonomy, logger names, and
+sink formats.
+"""
+
+from repro.observability.context import (
+    DISABLED,
+    Observability,
+    counter,
+    current,
+    gauge,
+    histogram,
+    span,
+)
+from repro.observability.logs import (
+    PROGRESS_LOGGER,
+    configure_cli_logging,
+    get_logger,
+    progress,
+)
+from repro.observability.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullMetricsRegistry,
+)
+from repro.observability.sinks import (
+    profile_to_chrome_events,
+    read_profile_json,
+    render_hotspots,
+    render_metrics,
+    render_profile_tree,
+    write_chrome_trace,
+    write_jsonl_events,
+    write_profile_json,
+)
+from repro.observability.spans import NullTracer, Profile, SpanRecord, Tracer
+
+__all__ = [
+    # context
+    "Observability",
+    "DISABLED",
+    "current",
+    "span",
+    "counter",
+    "gauge",
+    "histogram",
+    # spans
+    "SpanRecord",
+    "Profile",
+    "Tracer",
+    "NullTracer",
+    # metrics
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullMetricsRegistry",
+    # sinks
+    "render_profile_tree",
+    "render_hotspots",
+    "render_metrics",
+    "write_profile_json",
+    "read_profile_json",
+    "write_jsonl_events",
+    "write_chrome_trace",
+    "profile_to_chrome_events",
+    # logging
+    "get_logger",
+    "progress",
+    "configure_cli_logging",
+    "PROGRESS_LOGGER",
+]

@@ -1,0 +1,97 @@
+"""stdlib-``logging`` integration: the ``repro.*`` logger hierarchy.
+
+The library logs under a single hierarchy rooted at ``repro`` —
+``repro.analysis``, ``repro.clustering``, ``repro.trace``, ... — and
+never configures handlers itself (standard library etiquette: embedding
+applications own the logging configuration).  One logger is special:
+
+* ``repro.progress`` — coarse stage-progress lines ("clustering 1842
+  bursts", "cluster 3/7: folding 8 counters") emitted at INFO so long
+  ``repro check --deep`` / ``repro demo`` runs are visibly alive.
+
+:func:`configure_cli_logging` is the CLI's opinionated setup, driven by
+the global ``-q``/``-v``/``-vv`` flags:
+
+===========  ===============================================
+verbosity    effect
+===========  ===============================================
+``-q`` (-1)  warnings and errors only (progress silenced)
+default (0)  progress lines + warnings
+``-v`` (1)   all ``repro.*`` INFO records, logger names shown
+``-vv`` (2)  DEBUG with timestamps
+===========  ===============================================
+"""
+
+from __future__ import annotations
+
+import logging
+from typing import Optional
+
+__all__ = ["get_logger", "progress", "configure_cli_logging", "PROGRESS_LOGGER"]
+
+ROOT_LOGGER = "repro"
+PROGRESS_LOGGER = "repro.progress"
+
+# The handler configure_cli_logging attached last (reconfiguration-safe:
+# tests and repeated main() calls must not stack handlers).
+_cli_handler: Optional[logging.Handler] = None
+
+
+def get_logger(name: str) -> logging.Logger:
+    """Logger under the ``repro`` hierarchy.
+
+    ``get_logger("clustering")`` and ``get_logger("repro.clustering")``
+    both return ``repro.clustering``.
+    """
+    if name != ROOT_LOGGER and not name.startswith(ROOT_LOGGER + "."):
+        name = f"{ROOT_LOGGER}.{name}"
+    return logging.getLogger(name)
+
+
+def progress(message: str, *args: object) -> None:
+    """Emit one stage-progress line (INFO on ``repro.progress``)."""
+    logging.getLogger(PROGRESS_LOGGER).info(message, *args)
+
+
+def configure_cli_logging(verbosity: int = 0) -> logging.Handler:
+    """Install the CLI's stderr handler for the ``repro`` hierarchy.
+
+    ``verbosity`` is the net of the global flags: ``-1`` for ``-q``, the
+    ``-v`` count otherwise.  Safe to call repeatedly — the previous CLI
+    handler is replaced, not stacked.  Returns the installed handler
+    (tests redirect its stream).
+    """
+    global _cli_handler
+    root = logging.getLogger(ROOT_LOGGER)
+    progress_logger = logging.getLogger(PROGRESS_LOGGER)
+    if _cli_handler is not None:
+        root.removeHandler(_cli_handler)
+
+    if verbosity >= 2:
+        fmt = "%(asctime)s [%(name)s %(levelname)s] %(message)s"
+    elif verbosity == 1:
+        fmt = "[%(name)s] %(message)s"
+    else:
+        fmt = "%(message)s"
+    handler = logging.StreamHandler()
+    handler.setFormatter(logging.Formatter(fmt))
+    root.addHandler(handler)
+    root.propagate = False
+
+    if verbosity <= -1:
+        root.setLevel(logging.WARNING)
+        progress_logger.setLevel(logging.WARNING)
+    elif verbosity == 0:
+        # progress lines only: the hierarchy stays at WARNING, the
+        # progress logger opts into INFO
+        root.setLevel(logging.WARNING)
+        progress_logger.setLevel(logging.INFO)
+    elif verbosity == 1:
+        root.setLevel(logging.INFO)
+        progress_logger.setLevel(logging.INFO)
+    else:
+        root.setLevel(logging.DEBUG)
+        progress_logger.setLevel(logging.DEBUG)
+
+    _cli_handler = handler
+    return handler

@@ -1,0 +1,260 @@
+"""Process-wide metrics: counters, gauges, and histograms.
+
+The pipeline counts what it does — bursts screened, clusters found and
+skipped, folds per counter, PWLR fits and refits, salvage and fallback
+events bridged from :class:`~repro.resilience.diagnostics.Diagnostics` —
+into the :class:`MetricsRegistry` of the active
+:class:`~repro.observability.Observability`.  Registries from separate
+runs :meth:`~MetricsRegistry.merge` (benchmark sweeps aggregate this
+way), and :meth:`~MetricsRegistry.snapshot` renders everything as a flat
+JSON-able dict for the sinks.
+
+The disabled path mirrors :mod:`repro.observability.spans`: a null
+registry hands out shared no-op instruments, so ``counter("x").inc()``
+costs two cheap calls when observability is off.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ReproError
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry", "NullMetricsRegistry"]
+
+#: Default histogram bucket upper bounds (log-spaced; seconds-friendly).
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1.0, 10.0, 100.0,
+)
+
+
+@dataclass
+class Counter:
+    """Monotonically increasing event count."""
+
+    name: str
+    value: float = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be >= 0) to the counter."""
+        if amount < 0:
+            raise ReproError(f"counter {self.name}: negative increment {amount}")
+        self.value += amount
+
+
+@dataclass
+class Gauge:
+    """Last-write-wins instantaneous value."""
+
+    name: str
+    value: float = 0.0
+    is_set: bool = False
+
+    def set(self, value: float) -> None:
+        """Record the current value."""
+        self.value = float(value)
+        self.is_set = True
+
+
+@dataclass
+class Histogram:
+    """Bucketed distribution with count/sum/min/max."""
+
+    name: str
+    bounds: Tuple[float, ...] = DEFAULT_BUCKETS
+    bucket_counts: List[int] = field(default_factory=list)
+    count: int = 0
+    total: float = 0.0
+    min: float = float("inf")
+    max: float = float("-inf")
+
+    def __post_init__(self) -> None:
+        bounds = tuple(float(b) for b in self.bounds)
+        if list(bounds) != sorted(bounds) or len(set(bounds)) != len(bounds):
+            raise ReproError(
+                f"histogram {self.name}: bounds must be strictly increasing"
+            )
+        self.bounds = bounds
+        if not self.bucket_counts:
+            # one bucket per bound plus the overflow bucket
+            self.bucket_counts = [0] * (len(bounds) + 1)
+        elif len(self.bucket_counts) != len(bounds) + 1:
+            raise ReproError(
+                f"histogram {self.name}: {len(self.bucket_counts)} bucket "
+                f"counts for {len(bounds)} bounds"
+            )
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        value = float(value)
+        self.bucket_counts[bisect.bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        """Mean observed value (0 when empty)."""
+        return self.total / self.count if self.count else 0.0
+
+
+class MetricsRegistry:
+    """Get-or-create store of named instruments."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self.counters: Dict[str, Counter] = {}
+        self.gauges: Dict[str, Gauge] = {}
+        self.histograms: Dict[str, Histogram] = {}
+
+    # ------------------------------------------------------------------
+    def counter(self, name: str) -> Counter:
+        """The counter named ``name`` (created on first use)."""
+        try:
+            return self.counters[name]
+        except KeyError:
+            instrument = self.counters[name] = Counter(name)
+            return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        """The gauge named ``name`` (created on first use)."""
+        try:
+            return self.gauges[name]
+        except KeyError:
+            instrument = self.gauges[name] = Gauge(name)
+            return instrument
+
+    def histogram(
+        self, name: str, bounds: Optional[Sequence[float]] = None
+    ) -> Histogram:
+        """The histogram named ``name`` (created on first use)."""
+        try:
+            return self.histograms[name]
+        except KeyError:
+            instrument = self.histograms[name] = Histogram(
+                name, bounds=tuple(bounds) if bounds else DEFAULT_BUCKETS
+            )
+            return instrument
+
+    # ------------------------------------------------------------------
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold ``other`` into this registry.
+
+        Counters and histograms add; a gauge takes the other registry's
+        value when that one was actually set (last-write-wins).
+        """
+        for name, counter in other.counters.items():
+            self.counter(name).value += counter.value
+        for name, gauge in other.gauges.items():
+            if gauge.is_set:
+                self.gauge(name).set(gauge.value)
+        for name, hist in other.histograms.items():
+            mine = self.histogram(name, bounds=hist.bounds)
+            if mine.bounds != hist.bounds:
+                raise ReproError(
+                    f"histogram {name}: merging incompatible bucket bounds"
+                )
+            mine.count += hist.count
+            mine.total += hist.total
+            mine.min = min(mine.min, hist.min)
+            mine.max = max(mine.max, hist.max)
+            for i, n in enumerate(hist.bucket_counts):
+                mine.bucket_counts[i] += n
+
+    def snapshot(self) -> Dict[str, object]:
+        """Flat JSON-able view: ``{"counter.name": value, ...}``.
+
+        Histograms expand to ``name.count``/``name.sum``/``name.min``/
+        ``name.max`` keys; empty histograms omit min/max.
+        """
+        out: Dict[str, object] = {}
+        for name in sorted(self.counters):
+            out[name] = self.counters[name].value
+        for name in sorted(self.gauges):
+            if self.gauges[name].is_set:
+                out[name] = self.gauges[name].value
+        for name in sorted(self.histograms):
+            hist = self.histograms[name]
+            out[f"{name}.count"] = hist.count
+            out[f"{name}.sum"] = hist.total
+            if hist.count:
+                out[f"{name}.min"] = hist.min
+                out[f"{name}.max"] = hist.max
+        return out
+
+    def __len__(self) -> int:
+        return len(self.counters) + len(self.gauges) + len(self.histograms)
+
+    def __bool__(self) -> bool:
+        return len(self) > 0
+
+
+class _NullCounter:
+    __slots__ = ()
+    value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """No-op."""
+
+
+class _NullGauge:
+    __slots__ = ()
+    value = 0.0
+    is_set = False
+
+    def set(self, value: float) -> None:
+        """No-op."""
+
+
+class _NullHistogram:
+    __slots__ = ()
+    count = 0
+    total = 0.0
+    mean = 0.0
+
+    def observe(self, value: float) -> None:
+        """No-op."""
+
+
+_NULL_COUNTER = _NullCounter()
+_NULL_GAUGE = _NullGauge()
+_NULL_HISTOGRAM = _NullHistogram()
+
+
+class NullMetricsRegistry:
+    """Disabled registry: shared no-op instruments, empty snapshot."""
+
+    enabled = False
+
+    def counter(self, name: str) -> _NullCounter:
+        """The shared no-op counter."""
+        return _NULL_COUNTER
+
+    def gauge(self, name: str) -> _NullGauge:
+        """The shared no-op gauge."""
+        return _NULL_GAUGE
+
+    def histogram(
+        self, name: str, bounds: Optional[Sequence[float]] = None
+    ) -> _NullHistogram:
+        """The shared no-op histogram."""
+        return _NULL_HISTOGRAM
+
+    def merge(self, other: object) -> None:
+        """No-op."""
+
+    def snapshot(self) -> Dict[str, object]:
+        """Always empty."""
+        return {}
+
+    def __len__(self) -> int:
+        return 0
+
+    def __bool__(self) -> bool:
+        return False

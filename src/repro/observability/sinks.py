@@ -1,0 +1,244 @@
+"""Profile/metrics sinks: human tables, profile JSON, JSONL, Chrome trace.
+
+Four interchangeable output formats for one :class:`~repro.observability.Profile`:
+
+* :func:`render_hotspots` / :func:`render_profile_tree` — human-readable
+  where-did-the-time-go table and indented span tree (``repro report``);
+* :func:`write_profile_json` / :func:`read_profile_json` — the canonical
+  round-trippable artifact (``repro analyze --profile out.json``);
+* :func:`write_jsonl_events` — one JSON object per line (spans, then
+  metrics, then diagnostics), greppable and streamable;
+* :func:`write_chrome_trace` — the Chrome ``trace_event`` array format,
+  viewable in ``chrome://tracing`` or https://ui.perfetto.dev.
+
+All writers are deterministic given their inputs (sorted keys, stable
+ordering), so golden-file tests pin the formats.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Mapping, Optional, TextIO, Tuple, Union
+
+from repro.errors import ReproError
+from repro.observability.spans import Profile, SpanRecord
+
+__all__ = [
+    "render_profile_tree",
+    "render_hotspots",
+    "render_metrics",
+    "write_profile_json",
+    "read_profile_json",
+    "write_jsonl_events",
+    "write_chrome_trace",
+    "profile_to_chrome_events",
+]
+
+
+def _fmt_seconds(seconds: float) -> str:
+    if seconds >= 1.0:
+        return f"{seconds:8.3f}s"
+    return f"{seconds * 1e3:7.2f}ms"
+
+
+def render_profile_tree(profile: Profile, max_depth: Optional[int] = None) -> str:
+    """Indented span tree with wall/CPU/RSS per span."""
+    lines = [f"{'wall':>9} {'cpu':>9} {'rss peak':>9}  span"]
+    for depth, rec in profile.walk():
+        if max_depth is not None and depth > max_depth:
+            continue
+        attrs = ""
+        if rec.attrs:
+            parts = ", ".join(f"{k}={v}" for k, v in sorted(rec.attrs.items()))
+            attrs = f" ({parts})"
+        rss = f"{rec.rss_peak_kb / 1024:6.1f}MB" if rec.rss_peak_kb else "       -"
+        lines.append(
+            f"{_fmt_seconds(rec.wall_s)} {_fmt_seconds(rec.cpu_s)} "
+            f"{rss:>9}  {'  ' * depth}{rec.name}{attrs}"
+        )
+    return "\n".join(lines)
+
+
+def render_hotspots(profile: Profile, top: Optional[int] = None) -> str:
+    """Sorted per-stage aggregate: the where-did-the-time-go table.
+
+    ``self`` excludes time attributed to child spans, so the column sums
+    to the profiled total and ranks stages by their own cost.
+    """
+    total = profile.total_wall_s or 1.0
+    rows = profile.stage_totals()
+    if top is not None:
+        rows = rows[:top]
+    lines = [
+        f"{'stage':<22} {'calls':>6} {'self':>10} {'total':>10} {'cpu':>10} {'%self':>6}"
+    ]
+    for row in rows:
+        lines.append(
+            f"{row.name:<22} {row.count:>6d} {_fmt_seconds(row.self_wall_s):>10} "
+            f"{_fmt_seconds(row.wall_s):>10} {_fmt_seconds(row.cpu_s):>10} "
+            f"{row.self_wall_s / total:>6.1%}"
+        )
+    lines.append(f"profiled total: {profile.total_wall_s:.3f}s over {profile.n_spans} spans")
+    return "\n".join(lines)
+
+
+def render_metrics(metrics: Mapping[str, object]) -> str:
+    """Aligned key/value rendering of a metrics snapshot."""
+    if not metrics:
+        return "metrics: (none recorded)"
+    width = max(len(k) for k in metrics)
+    lines = ["metrics:"]
+    for key in sorted(metrics):
+        value = metrics[key]
+        shown = f"{value:g}" if isinstance(value, float) else str(value)
+        lines.append(f"  {key:<{width}}  {shown}")
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# profile JSON (canonical artifact)
+# ----------------------------------------------------------------------
+def write_profile_json(
+    path: str,
+    profile: Profile,
+    metrics: Optional[Mapping[str, object]] = None,
+) -> None:
+    """Write the canonical profile artifact (spans + metrics snapshot)."""
+    payload = profile.to_dict()
+    if metrics:
+        payload["metrics"] = dict(metrics)
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=1, sort_keys=True)
+        handle.write("\n")
+
+
+def read_profile_json(path: str) -> Tuple[Profile, Dict[str, object]]:
+    """Read an artifact written by :func:`write_profile_json`."""
+    try:
+        with open(path) as handle:
+            data = json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ReproError(f"cannot read profile {path!r}: {exc}") from None
+    if not isinstance(data, dict):
+        raise ReproError(f"not a repro profile: {path!r}")
+    return Profile.from_dict(data), dict(data.get("metrics", {}))
+
+
+# ----------------------------------------------------------------------
+# JSONL event log
+# ----------------------------------------------------------------------
+def write_jsonl_events(
+    sink: Union[str, TextIO],
+    profile: Optional[Profile] = None,
+    metrics: Optional[Mapping[str, object]] = None,
+    diagnostics: Optional[object] = None,
+) -> int:
+    """Write one JSON object per line: spans, metrics, diagnostics.
+
+    Span lines carry the slash-joined ``path`` from their root so flat
+    consumers (``grep``, ``jq``) can reconstruct nesting without state.
+    ``diagnostics`` accepts a
+    :class:`~repro.resilience.diagnostics.Diagnostics` (or any iterable
+    of events with ``severity``/``stage``/``message``/``context``).
+    Returns the number of lines written.
+    """
+    lines: List[str] = []
+
+    def emit(obj: Mapping[str, object]) -> None:
+        lines.append(json.dumps(obj, sort_keys=True))
+
+    if profile is not None:
+        def emit_span(rec: SpanRecord, path: str) -> None:
+            span_path = f"{path}/{rec.name}" if path else rec.name
+            entry: Dict[str, object] = {
+                "event": "span",
+                "path": span_path,
+                "name": rec.name,
+                "t_start": rec.t_start,
+                "wall_s": rec.wall_s,
+                "cpu_s": rec.cpu_s,
+            }
+            if rec.rss_peak_kb:
+                entry["rss_peak_kb"] = rec.rss_peak_kb
+            if rec.attrs:
+                entry["attrs"] = dict(rec.attrs)
+            emit(entry)
+            for child in rec.children:
+                emit_span(child, span_path)
+
+        for root in profile.roots:
+            emit_span(root, "")
+    for key in sorted(metrics or {}):
+        emit({"event": "metric", "name": key, "value": metrics[key]})
+    if diagnostics is not None:
+        for event in diagnostics:
+            emit(
+                {
+                    "event": "diagnostic",
+                    "severity": str(event.severity),
+                    "stage": event.stage,
+                    "message": event.message,
+                    "context": dict(event.context),
+                }
+            )
+    text = "\n".join(lines) + ("\n" if lines else "")
+    if isinstance(sink, str):
+        with open(sink, "w") as handle:
+            handle.write(text)
+    else:
+        sink.write(text)
+    return len(lines)
+
+
+# ----------------------------------------------------------------------
+# Chrome trace_event export
+# ----------------------------------------------------------------------
+def profile_to_chrome_events(profile: Profile) -> List[Dict[str, object]]:
+    """The profile as Chrome ``trace_event`` complete ("X") events.
+
+    Timestamps are microseconds from the tracer epoch; every span lands
+    on pid 1 / tid 1 (the pipeline is single-threaded), and CPU time and
+    RSS ride along in ``args`` for the Perfetto detail pane.
+    """
+    events: List[Dict[str, object]] = [
+        {
+            "ph": "M",
+            "name": "process_name",
+            "pid": 1,
+            "tid": 1,
+            "args": {"name": "repro pipeline"},
+        }
+    ]
+    for _, rec in profile.walk():
+        args: Dict[str, object] = {"cpu_s": round(rec.cpu_s, 6)}
+        if rec.rss_peak_kb:
+            args["rss_peak_kb"] = rec.rss_peak_kb
+        args.update(rec.attrs)
+        events.append(
+            {
+                "ph": "X",
+                "name": rec.name,
+                "pid": 1,
+                "tid": 1,
+                "ts": round(rec.t_start * 1e6, 3),
+                "dur": round(rec.wall_s * 1e6, 3),
+                "args": args,
+            }
+        )
+    return events
+
+
+def write_chrome_trace(sink: Union[str, TextIO], profile: Profile) -> None:
+    """Write the Chrome ``trace_event`` JSON (open in chrome://tracing
+    or https://ui.perfetto.dev)."""
+    payload = {
+        "traceEvents": profile_to_chrome_events(profile),
+        "displayTimeUnit": "ms",
+    }
+    if isinstance(sink, str):
+        with open(sink, "w") as handle:
+            json.dump(payload, handle, sort_keys=True)
+            handle.write("\n")
+    else:
+        json.dump(payload, sink, sort_keys=True)
+        sink.write("\n")

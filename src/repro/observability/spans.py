@@ -1,0 +1,285 @@
+"""Span-based profiling: nested wall/CPU/RSS timings per pipeline stage.
+
+A *span* covers one pipeline stage (``extract_bursts``, ``dbscan``, one
+``cluster``, ...).  Spans nest: entering a span while another is open makes
+it a child, so one analysis produces a tree whose leaves are the innermost
+stages and whose root is the whole run.  Each closed span records
+
+* ``wall_s``   — elapsed wall time (``time.perf_counter``, monotonic);
+* ``cpu_s``    — process CPU time (``time.process_time``);
+* ``rss_peak_kb`` — the process-wide peak RSS observed at span exit
+  (monotone non-decreasing; the *increase* across a span bounds the
+  stage's allocation high-water contribution).
+
+The disabled path is a shared no-op context manager: entering and leaving
+it costs two attribute-free calls, which is what keeps instrumentation
+under the TAB-9 overhead budget when no tracer is active.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Mapping, Optional, Tuple
+
+from repro.errors import ReproError
+
+__all__ = ["SpanRecord", "Profile", "Tracer", "NullTracer", "NULL_SPAN"]
+
+try:  # POSIX; ru_maxrss is kilobytes on Linux
+    import resource
+
+    def _peak_rss_kb() -> float:
+        return float(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
+
+except ImportError:  # pragma: no cover - non-POSIX platforms
+
+    def _peak_rss_kb() -> float:
+        return 0.0
+
+
+@dataclass
+class SpanRecord:
+    """One closed (or still-open) span of the profile tree.
+
+    ``t_start`` is seconds since the owning tracer's epoch, so sibling
+    spans order correctly and a Chrome-trace export has real timestamps.
+    """
+
+    name: str
+    attrs: Dict[str, object] = field(default_factory=dict)
+    t_start: float = 0.0
+    wall_s: float = 0.0
+    cpu_s: float = 0.0
+    rss_peak_kb: float = 0.0
+    children: List["SpanRecord"] = field(default_factory=list)
+
+    @property
+    def self_wall_s(self) -> float:
+        """Wall time spent in this span outside any child span."""
+        return max(0.0, self.wall_s - sum(c.wall_s for c in self.children))
+
+    def walk(self, depth: int = 0) -> Iterator[Tuple[int, "SpanRecord"]]:
+        """Depth-first iteration as ``(depth, record)`` pairs."""
+        yield depth, self
+        for child in self.children:
+            yield from child.walk(depth + 1)
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-able representation (round-trips via :meth:`from_dict`)."""
+        out: Dict[str, object] = {
+            "name": self.name,
+            "t_start": self.t_start,
+            "wall_s": self.wall_s,
+            "cpu_s": self.cpu_s,
+            "rss_peak_kb": self.rss_peak_kb,
+        }
+        if self.attrs:
+            out["attrs"] = dict(self.attrs)
+        if self.children:
+            out["children"] = [c.to_dict() for c in self.children]
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "SpanRecord":
+        """Inverse of :meth:`to_dict`."""
+        try:
+            name = str(data["name"])
+        except KeyError:
+            raise ReproError(f"span record without a name: {data!r}") from None
+        return cls(
+            name=name,
+            attrs=dict(data.get("attrs", {})),  # type: ignore[arg-type]
+            t_start=float(data.get("t_start", 0.0)),  # type: ignore[arg-type]
+            wall_s=float(data.get("wall_s", 0.0)),  # type: ignore[arg-type]
+            cpu_s=float(data.get("cpu_s", 0.0)),  # type: ignore[arg-type]
+            rss_peak_kb=float(data.get("rss_peak_kb", 0.0)),  # type: ignore[arg-type]
+            children=[
+                cls.from_dict(c) for c in data.get("children", ())  # type: ignore[union-attr]
+            ],
+        )
+
+
+@dataclass
+class StageTotal:
+    """Aggregate of every span sharing one name (hotspot table row)."""
+
+    name: str
+    count: int = 0
+    wall_s: float = 0.0
+    self_wall_s: float = 0.0
+    cpu_s: float = 0.0
+
+    def absorb(self, record: SpanRecord) -> None:
+        """Fold one span into the aggregate."""
+        self.count += 1
+        self.wall_s += record.wall_s
+        self.self_wall_s += record.self_wall_s
+        self.cpu_s += record.cpu_s
+
+
+@dataclass
+class Profile:
+    """A forest of closed spans — what one observed run produced."""
+
+    roots: List[SpanRecord]
+
+    def walk(self) -> Iterator[Tuple[int, SpanRecord]]:
+        """Depth-first iteration over every span of every root."""
+        for root in self.roots:
+            yield from root.walk()
+
+    @property
+    def n_spans(self) -> int:
+        """Total number of spans in the forest."""
+        return sum(1 for _ in self.walk())
+
+    @property
+    def total_wall_s(self) -> float:
+        """Wall time covered by the roots."""
+        return sum(r.wall_s for r in self.roots)
+
+    def find_all(self, name: str) -> List[SpanRecord]:
+        """Every span named ``name``, in depth-first order."""
+        return [rec for _, rec in self.walk() if rec.name == name]
+
+    def stage_names(self) -> List[str]:
+        """Distinct span names, in first-appearance order."""
+        seen: Dict[str, None] = {}
+        for _, rec in self.walk():
+            seen.setdefault(rec.name, None)
+        return list(seen)
+
+    def stage_totals(self) -> List[StageTotal]:
+        """Per-name aggregates sorted by self wall time, descending —
+        the where-did-the-time-go table."""
+        totals: Dict[str, StageTotal] = {}
+        for _, rec in self.walk():
+            totals.setdefault(rec.name, StageTotal(rec.name)).absorb(rec)
+        return sorted(
+            totals.values(), key=lambda t: (-t.self_wall_s, t.name)
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-able representation of the whole forest."""
+        return {
+            "format": "repro-profile/1",
+            "spans": [r.to_dict() for r in self.roots],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "Profile":
+        """Inverse of :meth:`to_dict` (format-checked)."""
+        fmt = data.get("format")
+        if fmt != "repro-profile/1":
+            raise ReproError(f"not a repro profile (format={fmt!r})")
+        spans = data.get("spans")
+        if not isinstance(spans, list):
+            raise ReproError("profile without a 'spans' list")
+        return cls(roots=[SpanRecord.from_dict(s) for s in spans])
+
+
+class _ActiveSpan:
+    """Context manager for one live span (exception-safe)."""
+
+    __slots__ = ("_tracer", "record", "_wall0", "_cpu0")
+
+    def __init__(self, tracer: "Tracer", record: SpanRecord) -> None:
+        self._tracer = tracer
+        self.record = record
+
+    def __enter__(self) -> SpanRecord:
+        tracer = self._tracer
+        record = self.record
+        if tracer._stack:
+            tracer._stack[-1].children.append(record)
+        else:
+            tracer.roots.append(record)
+        tracer._stack.append(record)
+        self._wall0 = time.perf_counter()
+        self._cpu0 = time.process_time()
+        record.t_start = self._wall0 - tracer.epoch
+        return record
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        record = self.record
+        record.wall_s = time.perf_counter() - self._wall0
+        record.cpu_s = time.process_time() - self._cpu0
+        if self._tracer.collect_rss:
+            record.rss_peak_kb = _peak_rss_kb()
+        # Pop back to (and including) this record even if an exception
+        # escaped a child that never unwound through its own __exit__
+        # (e.g. a generator abandoned mid-span).
+        stack = self._tracer._stack
+        while stack:
+            if stack.pop() is record:
+                break
+        return False
+
+
+class _NullSpan:
+    """The shared disabled span: enter/exit are no-ops."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+#: Singleton no-op context manager returned by every disabled ``span()``.
+NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Records a tree of spans for one observed run.
+
+    Not shared across threads: each thread/task gets its own tracer via
+    the :func:`repro.observability.current` context variable.
+    """
+
+    enabled = True
+
+    def __init__(self, collect_rss: bool = True) -> None:
+        self.collect_rss = collect_rss
+        self.roots: List[SpanRecord] = []
+        self._stack: List[SpanRecord] = []
+        self.epoch = time.perf_counter()
+
+    def span(self, name: str, **attrs: object) -> _ActiveSpan:
+        """Open a span named ``name``; use as a context manager."""
+        return _ActiveSpan(self, SpanRecord(name=name, attrs=attrs))
+
+    @property
+    def depth(self) -> int:
+        """Current nesting depth of open spans."""
+        return len(self._stack)
+
+    def profile(self) -> Optional[Profile]:
+        """The closed-span forest recorded so far (``None`` when empty)."""
+        if not self.roots:
+            return None
+        return Profile(roots=list(self.roots))
+
+
+class NullTracer:
+    """Disabled tracer: every span is the shared no-op."""
+
+    enabled = False
+    collect_rss = False
+    roots: List[SpanRecord] = []
+
+    def span(self, name: str, **attrs: object) -> _NullSpan:
+        """Return the shared no-op span."""
+        return NULL_SPAN
+
+    @property
+    def depth(self) -> int:
+        """Always zero — nothing is ever open."""
+        return 0
+
+    def profile(self) -> None:
+        """A disabled tracer never has a profile."""
+        return None

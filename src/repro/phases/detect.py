@@ -23,6 +23,8 @@ from repro.errors import FittingError, PhaseError
 from repro.fitting.kernel_smooth import KernelSmoother, smoother_breakpoints
 from repro.fitting.pwlr import PiecewiseLinearModel, PWLRConfig, fit_pwlr, refit_slopes
 from repro.folding.fold import FoldedCounter
+from repro.observability.context import counter as _metric_counter
+from repro.observability.context import span as _span
 from repro.resilience.diagnostics import Diagnostics
 
 __all__ = ["Phase", "PhaseSet", "detect_phases"]
@@ -171,6 +173,26 @@ def detect_phases(
         )
     cfg = config or PWLRConfig()
     diag = diagnostics if diagnostics is not None else Diagnostics()
+    with _span(
+        "detect_phases", cluster_id=cluster_id, n_counters=len(folded)
+    ):
+        phase_set = _detect_phases_impl(
+            folded, cluster_id, pivot, cfg, breakpoint_counters, diag,
+            allow_fallback,
+        )
+    _metric_counter("phases.detected").inc(len(phase_set))
+    return phase_set
+
+
+def _detect_phases_impl(
+    folded: Mapping[str, FoldedCounter],
+    cluster_id: int,
+    pivot: str,
+    cfg: PWLRConfig,
+    breakpoint_counters: Optional[Sequence[str]],
+    diag: Diagnostics,
+    allow_fallback: bool,
+) -> PhaseSet:
     search_counters = [pivot] + [
         c
         for c in (

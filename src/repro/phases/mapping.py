@@ -14,6 +14,8 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.errors import PhaseError
 from repro.folding.callstack import FoldedCallstacks
+from repro.observability.context import counter as _metric_counter
+from repro.observability.context import span as _span
 from repro.phases.detect import Phase, PhaseSet
 from repro.trace.records import FrameTriple
 
@@ -64,8 +66,17 @@ def map_phases_to_source(
     if top_k_lines < 1:
         raise PhaseError(f"top_k_lines must be >= 1, got {top_k_lines}")
     out: List[PhaseSourceAttribution] = []
-    for phase in phase_set:
-        out.append(_attribute(phase, callstacks, top_k_lines))
+    with _span(
+        "map_source", cluster_id=phase_set.cluster_id, n_phases=len(phase_set)
+    ):
+        for phase in phase_set:
+            out.append(_attribute(phase, callstacks, top_k_lines))
+    _metric_counter("source.attributions").inc(
+        sum(1 for a in out if a.attributed)
+    )
+    _metric_counter("source.unattributed_phases").inc(
+        sum(1 for a in out if not a.attributed)
+    )
     return out
 
 

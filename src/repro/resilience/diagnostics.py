@@ -26,6 +26,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Mapping, Optional
 
 from repro.errors import DiagnosticsError
+from repro.observability.context import counter as _metric_counter
 
 __all__ = ["Severity", "DiagnosticEvent", "Diagnostics"]
 
@@ -82,6 +83,10 @@ class Diagnostics:
             severity=severity, stage=stage, message=message, context=dict(context)
         )
         self.events.append(event)
+        # Bridge to the metrics registry: every salvage/fallback decision
+        # is countable without walking event lists (no-op when disabled).
+        _metric_counter(f"diagnostics.{severity}").inc()
+        _metric_counter(f"diagnostics.stage.{stage}").inc()
         return event
 
     def info(self, stage: str, message: str, **context: object) -> DiagnosticEvent:

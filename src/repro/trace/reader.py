@@ -27,6 +27,8 @@ from typing import IO, Dict, List, Optional, Tuple, Union
 from urllib.parse import unquote
 
 from repro.errors import SalvageError, TraceFormatError
+from repro.observability.context import counter as _metric_counter
+from repro.observability.context import span as _span
 from repro.trace.pcf import EventDictionary
 from repro.trace.records import (
     InstrumentationRecord,
@@ -301,6 +303,14 @@ def _salvage_dictionary(
 
 
 def _read(handle: IO[str], policy: ReadPolicy) -> Tuple[Trace, SalvageReport]:
+    with _span("read_trace", policy=policy.value):
+        trace, report = _read_impl(handle, policy)
+    _metric_counter("read.records_kept").inc(trace.n_records)
+    _metric_counter("read.lines_dropped").inc(report.n_lines_dropped)
+    return trace, report
+
+
+def _read_impl(handle: IO[str], policy: ReadPolicy) -> Tuple[Trace, SalvageReport]:
     salvage = policy is ReadPolicy.SALVAGE
     report = SalvageReport()
     lines = handle.read().splitlines()

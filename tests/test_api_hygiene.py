@@ -16,6 +16,7 @@ SUBPACKAGES = [
     "repro.fitting",
     "repro.folding",
     "repro.machine",
+    "repro.observability",
     "repro.parallel",
     "repro.phases",
     "repro.resilience",

@@ -1,0 +1,189 @@
+"""Tests for the profile sinks: renderers, JSON, JSONL + Chrome goldens.
+
+The JSONL and Chrome trace formats are pinned against golden files in
+``tests/golden/`` — they are external interfaces (``jq`` scripts, the
+Perfetto UI), so any change to them must be deliberate.  Regenerate with
+the writers themselves after verifying the new output by hand.
+"""
+
+import io
+import json
+import os
+
+import pytest
+
+from repro.errors import ReproError
+from repro.observability import (
+    Profile,
+    SpanRecord,
+    profile_to_chrome_events,
+    read_profile_json,
+    render_hotspots,
+    render_metrics,
+    render_profile_tree,
+    write_chrome_trace,
+    write_jsonl_events,
+    write_profile_json,
+)
+
+GOLDEN_DIR = os.path.join(os.path.dirname(__file__), "golden")
+
+
+def synthetic_profile() -> Profile:
+    """A fixed-value profile so sink output is byte-stable."""
+    return Profile(
+        roots=[
+            SpanRecord(
+                name="read_trace",
+                attrs={"policy": "strict"},
+                t_start=0.0,
+                wall_s=0.25,
+                cpu_s=0.2,
+                rss_peak_kb=1024.0,
+            ),
+            SpanRecord(
+                name="analyze",
+                attrs={"app": "demo"},
+                t_start=0.25,
+                wall_s=2.0,
+                cpu_s=1.5,
+                rss_peak_kb=2048.0,
+                children=[
+                    SpanRecord(
+                        name="cluster",
+                        attrs={"cluster_id": 0},
+                        t_start=0.5,
+                        wall_s=1.5,
+                        cpu_s=1.25,
+                        rss_peak_kb=2048.0,
+                        children=[
+                            SpanRecord(
+                                name="fold",
+                                t_start=0.6,
+                                wall_s=0.5,
+                                cpu_s=0.5,
+                                rss_peak_kb=2048.0,
+                            ),
+                        ],
+                    ),
+                ],
+            ),
+        ]
+    )
+
+
+METRICS = {"folding.folds": 12, "pwlr.fits": 6.0}
+
+
+def _golden(name: str) -> str:
+    with open(os.path.join(GOLDEN_DIR, name)) as handle:
+        return handle.read()
+
+
+class TestRenderers:
+    def test_tree_shows_nesting_and_attrs(self):
+        text = render_profile_tree(synthetic_profile())
+        lines = text.splitlines()
+        assert "read_trace (policy=strict)" in lines[1]
+        assert "    cluster (cluster_id=0)" in text
+        assert "      fold" in text
+
+    def test_tree_max_depth(self):
+        text = render_profile_tree(synthetic_profile(), max_depth=0)
+        assert "cluster" not in text
+        assert "analyze" in text
+
+    def test_hotspots_table(self):
+        text = render_hotspots(synthetic_profile())
+        assert "profiled total: 2.250s over 4 spans" in text
+        # fold has no children: its self == total wall of 0.5s
+        fold_row = next(l for l in text.splitlines() if l.startswith("fold"))
+        assert "500.00ms" in fold_row
+
+    def test_metrics_rendering(self):
+        text = render_metrics(METRICS)
+        assert "folding.folds" in text
+        assert render_metrics({}) == "metrics: (none recorded)"
+
+
+class TestProfileJson:
+    def test_round_trip_with_metrics(self, tmp_path):
+        path = str(tmp_path / "profile.json")
+        write_profile_json(path, synthetic_profile(), METRICS)
+        profile, metrics = read_profile_json(path)
+        assert profile.to_dict() == synthetic_profile().to_dict()
+        assert metrics == METRICS
+
+    def test_read_rejects_garbage(self, tmp_path):
+        path = str(tmp_path / "bad.json")
+        with open(path, "w") as handle:
+            handle.write("not json")
+        with pytest.raises(ReproError):
+            read_profile_json(path)
+
+    def test_read_rejects_wrong_format(self, tmp_path):
+        path = str(tmp_path / "other.json")
+        with open(path, "w") as handle:
+            json.dump({"format": "other/1"}, handle)
+        with pytest.raises(ReproError):
+            read_profile_json(path)
+
+
+class TestJsonlGolden:
+    def test_matches_golden(self):
+        buf = io.StringIO()
+        n = write_jsonl_events(buf, synthetic_profile(), METRICS)
+        assert n == 6
+        assert buf.getvalue() == _golden("observability_events.jsonl")
+
+    def test_paths_reconstruct_nesting(self):
+        buf = io.StringIO()
+        write_jsonl_events(buf, synthetic_profile())
+        paths = [
+            json.loads(line)["path"] for line in buf.getvalue().splitlines()
+        ]
+        assert paths == [
+            "read_trace",
+            "analyze",
+            "analyze/cluster",
+            "analyze/cluster/fold",
+        ]
+
+    def test_diagnostics_events(self):
+        from repro.resilience.diagnostics import Diagnostics
+
+        diag = Diagnostics()
+        diag.warning("folding", "dropped a counter", counter="PAPI_TOT_INS")
+        buf = io.StringIO()
+        n = write_jsonl_events(buf, diagnostics=diag)
+        assert n == 1
+        entry = json.loads(buf.getvalue())
+        assert entry["event"] == "diagnostic"
+        assert entry["stage"] == "folding"
+        assert entry["context"] == {"counter": "PAPI_TOT_INS"}
+
+
+class TestChromeGolden:
+    def test_matches_golden(self):
+        buf = io.StringIO()
+        write_chrome_trace(buf, synthetic_profile())
+        assert buf.getvalue() == _golden("observability_chrome.json")
+
+    def test_event_shape(self):
+        events = profile_to_chrome_events(synthetic_profile())
+        meta, *spans = events
+        assert meta["ph"] == "M"
+        assert all(e["ph"] == "X" for e in spans)
+        cluster = next(e for e in spans if e["name"] == "cluster")
+        assert cluster["ts"] == pytest.approx(0.5e6)
+        assert cluster["dur"] == pytest.approx(1.5e6)
+        assert cluster["args"]["cluster_id"] == 0
+        assert cluster["args"]["cpu_s"] == 1.25
+
+    def test_file_is_loadable_json(self, tmp_path):
+        path = str(tmp_path / "trace.json")
+        write_chrome_trace(path, synthetic_profile())
+        with open(path) as handle:
+            data = json.load(handle)
+        assert data["displayTimeUnit"] == "ms"
+        assert len(data["traceEvents"]) == 5

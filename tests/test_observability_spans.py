@@ -1,0 +1,198 @@
+"""Tests for the span tracer: nesting, exception safety, clock sanity."""
+
+import time
+
+import pytest
+
+from repro.errors import ReproError
+from repro.observability import (
+    DISABLED,
+    NullTracer,
+    Observability,
+    Profile,
+    SpanRecord,
+    Tracer,
+    current,
+    span,
+)
+from repro.observability.spans import NULL_SPAN
+
+
+class TestTracerNesting:
+    def test_sequential_spans_are_siblings(self):
+        tracer = Tracer(collect_rss=False)
+        with tracer.span("a"):
+            pass
+        with tracer.span("b"):
+            pass
+        assert [r.name for r in tracer.roots] == ["a", "b"]
+        assert all(not r.children for r in tracer.roots)
+
+    def test_nested_spans_build_a_tree(self):
+        tracer = Tracer(collect_rss=False)
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                with tracer.span("leaf"):
+                    pass
+            with tracer.span("inner2"):
+                pass
+        (root,) = tracer.roots
+        assert root.name == "outer"
+        assert [c.name for c in root.children] == ["inner", "inner2"]
+        assert [c.name for c in root.children[0].children] == ["leaf"]
+
+    def test_span_yields_its_record(self):
+        tracer = Tracer(collect_rss=False)
+        with tracer.span("stage", cluster_id=3) as rec:
+            assert rec.name == "stage"
+        assert rec.attrs == {"cluster_id": 3}
+        assert rec in tracer.roots
+
+    def test_depth_tracks_open_spans(self):
+        tracer = Tracer(collect_rss=False)
+        assert tracer.depth == 0
+        with tracer.span("a"):
+            assert tracer.depth == 1
+            with tracer.span("b"):
+                assert tracer.depth == 2
+        assert tracer.depth == 0
+
+
+class TestTracerTiming:
+    def test_wall_time_is_monotone_and_plausible(self):
+        tracer = Tracer(collect_rss=False)
+        with tracer.span("sleep"):
+            time.sleep(0.01)
+        (rec,) = tracer.roots
+        assert rec.wall_s >= 0.01
+        assert rec.wall_s < 5.0
+        assert rec.cpu_s >= 0.0
+
+    def test_child_wall_time_within_parent(self):
+        tracer = Tracer(collect_rss=False)
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                time.sleep(0.005)
+        (root,) = tracer.roots
+        (child,) = root.children
+        assert child.wall_s <= root.wall_s
+        assert child.t_start >= root.t_start
+        assert root.self_wall_s == pytest.approx(
+            root.wall_s - child.wall_s, abs=1e-9
+        )
+
+    def test_sibling_t_start_ordering(self):
+        tracer = Tracer(collect_rss=False)
+        with tracer.span("a"):
+            pass
+        with tracer.span("b"):
+            pass
+        a, b = tracer.roots
+        assert b.t_start >= a.t_start + a.wall_s - 1e-9
+
+    def test_rss_collection_is_optional(self):
+        with_rss = Tracer(collect_rss=True)
+        without = Tracer(collect_rss=False)
+        with with_rss.span("x"):
+            pass
+        with without.span("x"):
+            pass
+        assert with_rss.roots[0].rss_peak_kb > 0
+        assert without.roots[0].rss_peak_kb == 0
+
+
+class TestExceptionSafety:
+    def test_span_closes_on_exception(self):
+        tracer = Tracer(collect_rss=False)
+        with pytest.raises(ValueError):
+            with tracer.span("failing"):
+                raise ValueError("boom")
+        assert tracer.depth == 0
+        (rec,) = tracer.roots
+        assert rec.wall_s > 0  # closed, timing recorded
+
+    def test_nested_exception_unwinds_whole_stack(self):
+        tracer = Tracer(collect_rss=False)
+        with pytest.raises(RuntimeError):
+            with tracer.span("outer"):
+                with tracer.span("inner"):
+                    raise RuntimeError("boom")
+        assert tracer.depth == 0
+        with tracer.span("after"):
+            pass
+        # "after" must be a new root, not a child of the failed spans
+        assert [r.name for r in tracer.roots] == ["outer", "after"]
+
+
+class TestDisabledPath:
+    def test_module_level_span_is_noop_by_default(self):
+        assert current() is DISABLED
+        with span("anything", k=1) as rec:
+            assert rec is None
+        assert DISABLED.profile() is None
+
+    def test_null_tracer_reuses_one_span(self):
+        tracer = NullTracer()
+        assert tracer.span("a") is tracer.span("b") is NULL_SPAN
+        assert tracer.profile() is None
+
+    def test_disabled_activation_shadows_enabled(self):
+        outer = Observability()
+        with outer.activate():
+            with DISABLED.activate():
+                with span("invisible"):
+                    pass
+            with span("visible"):
+                pass
+        assert [r.name for r in outer.tracer.roots] == ["visible"]
+
+    def test_activation_restores_previous_context(self):
+        obs = Observability()
+        with obs.activate():
+            assert current() is obs
+        assert current() is DISABLED
+
+
+class TestProfile:
+    def _forest(self):
+        return Profile(
+            roots=[
+                SpanRecord(
+                    name="analyze",
+                    wall_s=2.0,
+                    cpu_s=1.5,
+                    children=[
+                        SpanRecord(name="fold", wall_s=0.5, cpu_s=0.4),
+                        SpanRecord(name="fold", wall_s=0.7, cpu_s=0.6),
+                    ],
+                )
+            ]
+        )
+
+    def test_walk_and_find_all(self):
+        profile = self._forest()
+        assert profile.n_spans == 3
+        assert [rec.name for _, rec in profile.walk()] == [
+            "analyze", "fold", "fold",
+        ]
+        assert len(profile.find_all("fold")) == 2
+        assert profile.stage_names() == ["analyze", "fold"]
+
+    def test_stage_totals_aggregate_and_sort(self):
+        totals = self._forest().stage_totals()
+        assert [t.name for t in totals] == ["fold", "analyze"]
+        fold = totals[0]
+        assert fold.count == 2
+        assert fold.wall_s == pytest.approx(1.2)
+        analyze = totals[1]
+        assert analyze.self_wall_s == pytest.approx(0.8)
+
+    def test_round_trip_via_dict(self):
+        profile = self._forest()
+        clone = Profile.from_dict(profile.to_dict())
+        assert clone.to_dict() == profile.to_dict()
+        assert clone.n_spans == 3
+
+    def test_from_dict_rejects_foreign_format(self):
+        with pytest.raises(ReproError):
+            Profile.from_dict({"format": "speedscope", "spans": []})
