@@ -12,6 +12,7 @@ reason, never silently dropped.
 
 from __future__ import annotations
 
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -44,9 +45,10 @@ from repro.folding.filtering import (
 from repro.folding.fold import FoldedCounter, fold_cluster
 from repro.folding.instances import ClusterInstances, select_instances
 from repro.folding.reconstruct import Reconstruction
-from repro.observability.context import DISABLED, current
+from repro.observability.context import DISABLED, Observability, current
 from repro.observability.context import counter as _metric_counter
 from repro.observability.context import span as _span
+from repro.observability.spans import SpanRecord
 from repro.observability.logs import progress
 from repro.observability.spans import Profile
 from repro.phases.detect import PhaseSet, detect_phases
@@ -83,6 +85,15 @@ class AnalyzerConfig:
     to force the no-op path even under an enabled context;
     ``progress_every`` emits a ``repro.progress`` log line every N-th
     cluster (1 = every cluster) so long runs stay visibly alive.
+
+    ``n_jobs`` (default 1 = serial) fans the per-cluster analysis out
+    over a process pool.  Results are deterministic and identical to the
+    serial path: clusters are dispatched and collected in cluster-id
+    order, each worker's diagnostics merge into the main record in that
+    order, and each worker's stage spans attach under the corresponding
+    ``cluster`` span of the main profile (worker span timestamps are
+    relative to the worker process, so the hotspot *totals* are exact
+    while cross-process timeline alignment is approximate).
     """
 
     counters: Optional[Tuple[str, ...]] = None
@@ -103,6 +114,7 @@ class AnalyzerConfig:
     degraded_mode: bool = True
     profile: bool = True
     progress_every: int = 1
+    n_jobs: int = 1
 
     def __post_init__(self) -> None:
         if self.min_pts < 1:
@@ -131,6 +143,8 @@ class AnalyzerConfig:
             raise AnalysisError(
                 f"progress_every must be an int >= 1: {self.progress_every!r}"
             )
+        if not isinstance(self.n_jobs, int) or self.n_jobs < 1:
+            raise AnalysisError(f"n_jobs must be an int >= 1: {self.n_jobs!r}")
 
 
 @dataclass
@@ -204,6 +218,37 @@ class AnalysisResult:
         if not self.clusters:
             raise AnalysisError("no clusters were analyzed")
         return max(self.clusters, key=lambda c: c.time_share)
+
+
+def _analyze_cluster_task(payload):
+    """Process-pool worker: analyze one cluster in isolation.
+
+    The payload carries the cluster's own bursts with synthetic uniform
+    labels, so member selection inside ``_analyze_cluster`` reproduces the
+    serial path exactly.  Returns ``(analysis, error, diagnostics,
+    span_roots)``: tolerated per-cluster errors (folding/fitting/phase)
+    come back as values for the parent to apply its degraded-mode policy;
+    anything else propagates and aborts the pool, matching serial
+    fail-fast semantics.  When the parent is profiling, the worker records
+    its own span tree for the parent to graft under its ``cluster`` span.
+    """
+    cfg, bursts, cluster_id, counters, share, profiled = payload
+    diagnostics = Diagnostics()
+    labels = np.full(len(bursts), cluster_id, dtype=int)
+    obs = Observability() if profiled else DISABLED
+    analyzer = FoldingAnalyzer(cfg)
+    analysis: Optional[ClusterAnalysis] = None
+    error: Optional[Exception] = None
+    try:
+        with obs.activate():
+            analysis = analyzer._analyze_cluster(
+                bursts, labels, cluster_id, counters, share, diagnostics
+            )
+    except (FoldingError, FittingError, PhaseError) as exc:
+        error = exc
+    profile = obs.profile()
+    roots: List[SpanRecord] = profile.roots if profile is not None else []
+    return analysis, error, diagnostics, roots
 
 
 class FoldingAnalyzer:
@@ -298,6 +343,7 @@ class FoldingAnalyzer:
         )
         clusters: List[ClusterAnalysis] = []
         skipped: Dict[int, str] = {}
+        pending: List[Tuple[int, np.ndarray, float]] = []
         for cluster_id in range(clustering.n_clusters):
             members = clustering.members(cluster_id)
             share = float(durations[members].sum() / total_compute)
@@ -313,33 +359,52 @@ class FoldingAnalyzer:
                     time_share=round(share, 4),
                 )
                 continue
-            if cluster_id % cfg.progress_every == 0:
-                progress(
-                    "cluster %d/%d: %d members, %.1f%% of compute time",
-                    cluster_id + 1,
-                    clustering.n_clusters,
-                    members.size,
-                    share * 100.0,
-                )
-            try:
-                with _span("cluster", cluster_id=cluster_id, n_members=int(members.size)):
-                    clusters.append(
-                        self._analyze_cluster(
-                            bursts,
-                            clustering.labels,
-                            cluster_id,
-                            counters,
-                            share,
-                            diagnostics,
-                        )
+            pending.append((cluster_id, members, share))
+
+        if cfg.n_jobs > 1 and len(pending) > 1:
+            self._analyze_clusters_parallel(
+                bursts,
+                counters,
+                pending,
+                clustering,
+                cluster_errors,
+                clusters,
+                skipped,
+                diagnostics,
+            )
+        else:
+            for cluster_id, members, share in pending:
+                if cluster_id % cfg.progress_every == 0:
+                    progress(
+                        "cluster %d/%d: %d members, %.1f%% of compute time",
+                        cluster_id + 1,
+                        clustering.n_clusters,
+                        members.size,
+                        share * 100.0,
                     )
-            except cluster_errors as exc:
-                skipped[cluster_id] = str(exc)
-                diagnostics.error(
-                    "analysis",
-                    f"cluster {cluster_id} skipped: {exc}",
-                    cluster_id=cluster_id,
-                )
+                try:
+                    with _span(
+                        "cluster",
+                        cluster_id=cluster_id,
+                        n_members=int(members.size),
+                    ):
+                        clusters.append(
+                            self._analyze_cluster(
+                                bursts,
+                                clustering.labels,
+                                cluster_id,
+                                counters,
+                                share,
+                                diagnostics,
+                            )
+                        )
+                except cluster_errors as exc:
+                    skipped[cluster_id] = str(exc)
+                    diagnostics.error(
+                        "analysis",
+                        f"cluster {cluster_id} skipped: {exc}",
+                        cluster_id=cluster_id,
+                    )
         if not clusters:
             raise AnalysisError(
                 f"no cluster could be analyzed; skipped: {skipped}"
@@ -426,7 +491,21 @@ class FoldingAnalyzer:
             scale = max(1.4826 * mad, 0.15)  # >= ~1.4x before z moves
             keep &= np.abs(logs - median) / scale <= 6.0
         n_dropped = int(n - keep.sum())
-        if n_dropped == 0 or int(keep.sum()) < self.config.min_pts:
+        if n_dropped == 0:
+            return bursts
+        if int(keep.sum()) < self.config.min_pts:
+            # Screening would leave too few bursts to cluster.  The
+            # screen is abandoned and the known-absurd bursts stay in —
+            # a decision the analyst must see, not a silent pass-through.
+            diagnostics.degraded(
+                "clustering",
+                f"burst screening abandoned: only {int(keep.sum())} of {n} "
+                f"burst(s) would survive (< min_pts={self.config.min_pts}); "
+                f"implausible bursts kept",
+                n_flagged=n_dropped,
+                n_would_survive=int(keep.sum()),
+                min_pts=self.config.min_pts,
+            )
             return bursts
         _metric_counter("bursts.screened").inc(n_dropped)
         diagnostics.warning(
@@ -506,6 +585,74 @@ class FoldingAnalyzer:
             )
         fallback_eps = estimate_eps_quantile(features.values)
         return DBSCAN(eps=fallback_eps, min_pts=cfg.min_pts).fit(features.values)
+
+    def _analyze_clusters_parallel(
+        self,
+        bursts: BurstSet,
+        counters: Sequence[str],
+        pending: List[Tuple[int, np.ndarray, float]],
+        clustering: DBSCANResult,
+        cluster_errors,
+        clusters: List[ClusterAnalysis],
+        skipped: Dict[int, str],
+        diagnostics: Diagnostics,
+    ) -> None:
+        """Fan ``_analyze_cluster`` out over a process pool.
+
+        Deterministic by construction: clusters are submitted and
+        collected in cluster-id order (``Executor.map`` preserves input
+        order), so the appended analyses, skip records, and merged
+        diagnostics match the serial path event for event.  Each worker
+        receives only its cluster's bursts (with synthetic uniform
+        labels), which keeps pickling traffic proportional to the work.
+        """
+        cfg = self.config
+        profiled = cfg.profile and current().enabled
+        payloads = [
+            (
+                cfg,
+                bursts.subset([int(i) for i in members]),
+                cluster_id,
+                list(counters),
+                share,
+                profiled,
+            )
+            for cluster_id, members, share in pending
+        ]
+        n_workers = min(cfg.n_jobs, len(pending))
+        with _span("cluster_pool", n_jobs=n_workers, n_clusters=len(pending)):
+            with ProcessPoolExecutor(max_workers=n_workers) as pool:
+                outcomes = list(pool.map(_analyze_cluster_task, payloads))
+        for (cluster_id, members, share), outcome in zip(pending, outcomes):
+            if cluster_id % cfg.progress_every == 0:
+                progress(
+                    "cluster %d/%d: %d members, %.1f%% of compute time",
+                    cluster_id + 1,
+                    clustering.n_clusters,
+                    members.size,
+                    share * 100.0,
+                )
+            analysis, error, worker_diag, worker_spans = outcome
+            diagnostics.extend(worker_diag)
+            with _span(
+                "cluster",
+                cluster_id=cluster_id,
+                n_members=int(members.size),
+                parallel=True,
+            ) as rec:
+                if rec is not None and worker_spans:
+                    rec.children.extend(worker_spans)
+            if error is not None:
+                if not isinstance(error, cluster_errors):
+                    raise error
+                skipped[cluster_id] = str(error)
+                diagnostics.error(
+                    "analysis",
+                    f"cluster {cluster_id} skipped: {error}",
+                    cluster_id=cluster_id,
+                )
+            else:
+                clusters.append(analysis)
 
     def _analyze_cluster(
         self,

@@ -31,7 +31,7 @@ from typing import Callable, Dict, List, Optional
 
 from repro.analysis.hints import generate_hints
 from repro.analysis.methodology import describe_application, run_case_study
-from repro.analysis.pipeline import FoldingAnalyzer
+from repro.analysis.pipeline import AnalyzerConfig, FoldingAnalyzer
 from repro.analysis.report import render_report
 from repro.errors import AnalysisError, ReproError, SalvageError, TraceFormatError
 from repro.machine.cpu import CoreModel
@@ -188,6 +188,9 @@ def _cmd_check(args: argparse.Namespace) -> int:
 
 
 def _cmd_analyze(args: argparse.Namespace) -> int:
+    if args.jobs < 1:
+        raise SystemExit(f"--jobs must be >= 1, got {args.jobs}")
+    analyzer = FoldingAnalyzer(AnalyzerConfig(n_jobs=args.jobs))
     sinks_requested = bool(args.profile or args.log_jsonl or args.chrome_trace)
     if sinks_requested:
         # Activate a fresh collector around the whole command so the
@@ -195,7 +198,7 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         obs = Observability()
         with obs.activate():
             trace = read_trace(args.trace)
-            result = FoldingAnalyzer().analyze(trace)
+            result = analyzer.analyze(trace)
         profile = obs.profile()
         metrics = obs.metrics.snapshot()
         if args.profile:
@@ -216,7 +219,7 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
             )
     else:
         trace = read_trace(args.trace)
-        result = FoldingAnalyzer().analyze(trace)
+        result = analyzer.analyze(trace)
     hints = generate_hints(result)
     print(render_report(result, hints))
     return 0
@@ -338,6 +341,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--chrome-trace",
         metavar="PATH",
         help="write a Chrome trace_event file for chrome://tracing / Perfetto",
+    )
+    p_analyze.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="analyze clusters on N worker processes (1 = serial; "
+        "results are identical to a serial run)",
     )
     p_analyze.set_defaults(func=_cmd_analyze)
 

@@ -13,8 +13,9 @@ pipeline sees exactly what a real tool would.
 from __future__ import annotations
 
 import bisect
+import operator
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -24,6 +25,22 @@ from repro.observability.context import span as _span
 from repro.trace.records import SampleRecord, Trace
 
 __all__ = ["ComputationBurst", "BurstSet", "extract_bursts"]
+
+
+def _values_and_presence(raw: List[Optional[float]]) -> Tuple[np.ndarray, np.ndarray]:
+    """``(values, present)`` arrays from possibly-None sample values.
+
+    ``np.array(..., dtype=float)`` maps None to NaN in a single C-level
+    pass; the Python-level presence scan only runs when some value was
+    NaN-or-None, so the common complete case costs one pass instead of
+    three.  A genuinely-NaN trace value keeps ``present=True``.
+    """
+    values = np.array(raw, dtype=float)
+    if np.isnan(values).any():
+        present = np.array([v is not None for v in raw], dtype=bool)
+    else:
+        present = np.ones(values.size, dtype=bool)
+    return values, present
 
 
 @dataclass
@@ -44,6 +61,11 @@ class ComputationBurst:
                 f"burst rank={self.rank} idx={self.index}: empty interval "
                 f"[{self.t_start}, {self.t_end}]"
             )
+        # Lazy per-burst sample arrays (built on first access, after the
+        # extraction step assigns ``samples``).  These feed the vectorized
+        # folding inner loop; see sample_times()/sample_values().
+        self._sample_times: Optional[np.ndarray] = None
+        self._sample_values: Dict[str, Tuple[np.ndarray, np.ndarray]] = {}
 
     @property
     def duration(self) -> float:
@@ -82,16 +104,167 @@ class ComputationBurst:
         """Counters snapshot at the burst boundary."""
         return list(self.start_counters)
 
+    # ------------------------------------------------------------------
+    # vectorized sample views (the folding hot path)
+    # ------------------------------------------------------------------
+    def sample_times(self) -> np.ndarray:
+        """Sample timestamps as an array, cached after first access.
+
+        Mutating :attr:`samples` after this has been called requires
+        :meth:`invalidate_sample_cache` — extraction assigns samples once,
+        so normal pipeline flow never needs it.
+        """
+        if self._sample_times is None or self._sample_times.size != len(
+            self.samples
+        ):
+            self._sample_times = np.array(
+                [s.time for s in self.samples], dtype=float
+            )
+        return self._sample_times
+
+    def sample_values(self, counter: str) -> Tuple[np.ndarray, np.ndarray]:
+        """Per-sample values of ``counter`` plus a presence mask, cached.
+
+        Returns ``(values, present)`` index-aligned with :attr:`samples`:
+        ``present[i]`` is False where the sample did not carry the counter
+        (its ``values[i]`` is NaN).  A value that is genuinely NaN in the
+        trace stays NaN *with* ``present=True`` so callers can keep the
+        exact semantics of a per-sample ``counters.get``.
+        """
+        cached = self._sample_values.get(counter)
+        if cached is not None and cached[0].size == len(self.samples):
+            return cached
+        raw = [s.counters.get(counter) for s in self.samples]
+        values, present = _values_and_presence(raw)
+        self._sample_values[counter] = (values, present)
+        return values, present
+
+    def invalidate_sample_cache(self) -> None:
+        """Drop the cached sample arrays (call after mutating samples)."""
+        self._sample_times = None
+        self._sample_values.clear()
+
+    @staticmethod
+    def batch_sample_times(
+        bursts: Sequence["ComputationBurst"],
+    ) -> np.ndarray:
+        """Concatenated sample times of ``bursts`` in (burst, sample) order.
+
+        Builds the flat array in one pass and seeds each burst's
+        :meth:`sample_times` cache with a zero-copy view — constructing
+        thousands of tiny per-burst arrays one by one was the measured
+        cold-path cost of the vectorized fold.
+        """
+        if not bursts:
+            return np.empty(0)
+        if all(
+            b._sample_times is not None
+            and b._sample_times.size == len(b.samples)
+            for b in bursts
+        ):
+            return np.concatenate([b._sample_times for b in bursts])
+        flat = np.array(
+            [s.time for b in bursts for s in b.samples], dtype=float
+        )
+        offset = 0
+        for b in bursts:
+            n = len(b.samples)
+            b._sample_times = flat[offset : offset + n]
+            offset += n
+        return flat
+
+    @staticmethod
+    def batch_sample_values_all(
+        bursts: Sequence["ComputationBurst"], counters: Sequence[str]
+    ) -> Optional[Dict[str, Tuple[np.ndarray, np.ndarray]]]:
+        """All-counters-at-once variant of :meth:`batch_sample_values`.
+
+        When every sample carries every counter (no PMU multiplexing, no
+        NaN values) a single ``itemgetter`` pass extracts the whole
+        value matrix — one C-level call per sample instead of one dict
+        lookup per (sample, counter) pair.  Returns None when that fast
+        path cannot preserve exact per-counter presence semantics (a
+        missing key, or any NaN-or-None value); callers then fall back
+        to :meth:`batch_sample_values` per counter.
+        """
+        if not counters:
+            return {}
+        getter = operator.itemgetter(*counters)
+        try:
+            rows = [getter(s.counters) for b in bursts for s in b.samples]
+        except KeyError:
+            return None
+        mat = np.array(rows, dtype=float)
+        if not rows:
+            mat = mat.reshape(0, len(counters))
+        elif len(counters) == 1:
+            mat = mat.reshape(-1, 1)
+        if np.isnan(mat).any():
+            # Can't tell a genuine NaN (present=True) from a None value
+            # (present=False) after the float conversion — punt.
+            return None
+        present = np.ones(mat.shape[0], dtype=bool)
+        return {
+            c: (np.ascontiguousarray(mat[:, j]), present)
+            for j, c in enumerate(counters)
+        }
+
+    @staticmethod
+    def batch_sample_values(
+        bursts: Sequence["ComputationBurst"], counter: str
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Concatenated ``(values, present)`` of ``counter`` over ``bursts``.
+
+        Same semantics as :meth:`sample_values`, same (burst, sample)
+        order as :meth:`batch_sample_times`; seeds each burst's cache
+        with views of the flat arrays.
+        """
+        if not bursts:
+            return np.empty(0), np.empty(0, dtype=bool)
+        cached = [b._sample_values.get(counter) for b in bursts]
+        if all(
+            c is not None and c[0].size == len(b.samples)
+            for b, c in zip(bursts, cached)
+        ):
+            return (
+                np.concatenate([c[0] for c in cached]),
+                np.concatenate([c[1] for c in cached]),
+            )
+        raw = [s.counters.get(counter) for b in bursts for s in b.samples]
+        values, present = _values_and_presence(raw)
+        offset = 0
+        for b in bursts:
+            n = len(b.samples)
+            b._sample_values[counter] = (
+                values[offset : offset + n],
+                present[offset : offset + n],
+            )
+            offset += n
+        return values, present
+
 
 @dataclass
 class BurstSet:
-    """All bursts of a trace plus vectorized accessors."""
+    """All bursts of a trace plus vectorized accessors.
+
+    The array accessors (:meth:`durations`, :meth:`deltas`,
+    :meth:`deltas_or_nan`) are memoized — per-cluster analysis calls them
+    from inner loops, and rebuilding a 20k-element list per call was a
+    measured hot spot.  The cached arrays are shared, not copied: callers
+    must treat them as read-only.  :meth:`subset` returns a fresh
+    ``BurstSet``, which is what invalidates the caches — mutating
+    :attr:`bursts` in place after an accessor has been called is not
+    supported.
+    """
 
     bursts: List[ComputationBurst]
 
     def __post_init__(self) -> None:
         if not self.bursts:
             raise ClusteringError("burst set is empty")
+        self._durations: Optional[np.ndarray] = None
+        self._deltas: Dict[str, np.ndarray] = {}
+        self._deltas_or_nan: Dict[str, np.ndarray] = {}
 
     def __len__(self) -> int:
         return len(self.bursts)
@@ -103,12 +276,18 @@ class BurstSet:
         return self.bursts[i]
 
     def durations(self) -> np.ndarray:
-        """Array of burst durations."""
-        return np.array([b.duration for b in self.bursts])
+        """Array of burst durations (memoized; treat as read-only)."""
+        if self._durations is None:
+            self._durations = np.array([b.duration for b in self.bursts])
+        return self._durations
 
     def deltas(self, counter: str) -> np.ndarray:
-        """Array of per-burst totals for ``counter``."""
-        return np.array([b.delta(counter) for b in self.bursts])
+        """Array of per-burst totals for ``counter`` (memoized)."""
+        cached = self._deltas.get(counter)
+        if cached is None:
+            cached = np.array([b.delta(counter) for b in self.bursts])
+            self._deltas[counter] = cached
+        return cached
 
     def rates(self, counter: str) -> np.ndarray:
         """Array of per-burst mean rates for ``counter``."""
@@ -139,8 +318,12 @@ class BurstSet:
         return [name for name in self.counter_names if name in common]
 
     def deltas_or_nan(self, counter: str) -> np.ndarray:
-        """Per-burst totals with NaN where the counter was unmeasured."""
-        return np.array([b.delta_or_nan(counter) for b in self.bursts])
+        """Per-burst totals with NaN where unmeasured (memoized)."""
+        cached = self._deltas_or_nan.get(counter)
+        if cached is None:
+            cached = np.array([b.delta_or_nan(counter) for b in self.bursts])
+            self._deltas_or_nan[counter] = cached
+        return cached
 
     def subset(self, indices: Sequence[int]) -> "BurstSet":
         """New set holding the bursts at ``indices``."""

@@ -2,10 +2,23 @@
 
 Density-based clustering is the published choice for burst structure
 detection because cluster counts are unknown and noise bursts (startup,
-outlier iterations) must be rejectable.  This implementation computes
-neighborhoods in row blocks — O(n^2) work but O(block * n) memory — which
-handles the tens of thousands of bursts a long run produces without a
-spatial index.
+outlier iterations) must be rejectable.  Neighborhood queries have two
+interchangeable backends:
+
+* **grid** — a uniform spatial index with cell size ``eps``: each point's
+  neighbors can only live in the 3^d cells around its own, so the
+  per-point work is proportional to local density instead of n.  This is
+  the fast path for the low-dimensional feature geometries the pipeline
+  produces (a handful of standardized columns).
+* **blocked** — the dense row-block distance matrix: O(n^2) work but
+  O(block * n) memory.  It remains the fallback for high-dimensional or
+  grid-degenerate geometries (eps so large that every point lands in a
+  few cells), where the index cannot prune anything.
+
+Both backends return identical neighbor sets (indices in ascending
+order), so the produced labels are byte-identical — property-tested in
+``tests/test_clustering_algorithms.py``.  ``index="auto"`` (the default)
+picks per call; ``"grid"``/``"blocked"`` force a backend.
 
 Labels follow the scikit-learn convention: cluster ids 0..k-1, noise -1.
 Cluster ids are renumbered by decreasing cluster size so id 0 is always
@@ -14,8 +27,9 @@ the dominant structure.
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass
-from typing import List
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -28,6 +42,53 @@ __all__ = ["DBSCAN", "DBSCANResult", "estimate_eps", "estimate_eps_quantile"]
 
 NOISE = -1
 _UNVISITED = -2
+
+#: Above this dimensionality the 3^d neighbor-cell sweep stops paying for
+#: itself (the pipeline's feature matrices have <= 5-6 columns).
+_GRID_MAX_DIMS = 6
+#: Below this point count the blocked matrix is a single cheap matmul.
+_GRID_MIN_POINTS = 256
+#: Fewer occupied cells than this means eps is so large relative to the
+#: data extent that the index cannot prune — use the matrix path.
+_GRID_MIN_CELLS = 8
+#: Cell coordinates beyond this magnitude risk int64/float trouble.
+_GRID_MAX_COORD = 1e15
+
+
+def _grid_buckets(
+    points: np.ndarray, cell: float
+) -> Optional[Dict[Tuple[int, ...], np.ndarray]]:
+    """Bucket point indices into a uniform grid of size ``cell``.
+
+    Returns ``None`` when the geometry cannot be gridded safely (cell
+    coordinates would overflow).  Coordinates are shifted to start at the
+    data minimum so cell ids are small non-negative integers.
+    """
+    mins = points.min(axis=0)
+    span = points.max(axis=0) - mins
+    if np.any(span / cell > _GRID_MAX_COORD):
+        return None
+    coords = np.floor((points - mins) / cell).astype(np.int64)
+    buckets: Dict[Tuple[int, ...], List[int]] = {}
+    for i, key in enumerate(map(tuple, coords)):
+        buckets.setdefault(key, []).append(i)
+    return {k: np.asarray(v, dtype=np.intp) for k, v in buckets.items()}
+
+
+def _neighbor_candidates(
+    buckets: Dict[Tuple[int, ...], np.ndarray],
+    key: Tuple[int, ...],
+    offsets: List[Tuple[int, ...]],
+) -> np.ndarray:
+    """All point indices in the 3^d cells around ``key``, ascending."""
+    found = [
+        buckets[shifted]
+        for shifted in (tuple(k + o for k, o in zip(key, off)) for off in offsets)
+        if shifted in buckets
+    ]
+    cand = np.concatenate(found)
+    cand.sort()
+    return cand
 
 
 @dataclass
@@ -62,21 +123,68 @@ class DBSCANResult:
 
 
 class DBSCAN:
-    """Density-based clustering with Euclidean metric."""
+    """Density-based clustering with Euclidean metric.
 
-    def __init__(self, eps: float, min_pts: int = 8, block: int = 512) -> None:
+    ``index`` selects the neighborhood backend: ``"auto"`` (default) uses
+    the uniform-grid spatial index when the geometry allows and falls back
+    to the blocked distance matrix otherwise; ``"grid"``/``"blocked"``
+    force a backend (the property tests and the TAB-7 bench use this to
+    compare the two).
+    """
+
+    INDEXES = ("auto", "grid", "blocked")
+
+    def __init__(
+        self, eps: float, min_pts: int = 8, block: int = 512, index: str = "auto"
+    ) -> None:
         if eps <= 0:
             raise ClusteringError(f"eps must be positive, got {eps}")
         if min_pts < 1:
             raise ClusteringError(f"min_pts must be >= 1, got {min_pts}")
         if block < 1:
             raise ClusteringError(f"block must be >= 1, got {block}")
+        if index not in self.INDEXES:
+            raise ClusteringError(
+                f"index must be one of {self.INDEXES}, got {index!r}"
+            )
         self.eps = float(eps)
         self.min_pts = int(min_pts)
         self.block = int(block)
+        self.index = index
+        #: Backend the last fit actually used ("grid"/"blocked") — the
+        #: auto selection can still fall back on degenerate geometries.
+        self._last_index_used: Optional[str] = None
+
+    # ------------------------------------------------------------------
+    # neighborhood backends
+    # ------------------------------------------------------------------
+    def _select_index(self, points: np.ndarray) -> str:
+        """Resolve ``"auto"`` to a concrete backend for this geometry."""
+        if self.index != "auto":
+            return self.index
+        n, d = points.shape
+        if d > _GRID_MAX_DIMS or n < _GRID_MIN_POINTS:
+            return "blocked"
+        return "grid"
 
     def _neighborhoods(self, points: np.ndarray) -> List[np.ndarray]:
         """Indices within ``eps`` of each point (self included)."""
+        if self._select_index(points) == "grid":
+            grid = self._neighborhoods_grid(points, force=self.index == "grid")
+            if grid is not None:
+                self._last_index_used = "grid"
+                return grid
+            if self.index == "grid":
+                raise ClusteringError(
+                    "grid index forced but the geometry cannot be gridded "
+                    "(cell coordinates would overflow); use index='auto' "
+                    "or 'blocked'"
+                )
+        self._last_index_used = "blocked"
+        return self._neighborhoods_blocked(points)
+
+    def _neighborhoods_blocked(self, points: np.ndarray) -> List[np.ndarray]:
+        """O(n^2) row-block scan — the always-correct fallback."""
         n = points.shape[0]
         sq_eps = self.eps * self.eps
         norms = np.einsum("ij,ij->i", points, points)
@@ -92,6 +200,49 @@ class DBSCAN:
                 neighborhoods.append(np.flatnonzero(within[row]))
         return neighborhoods
 
+    def _neighborhoods_grid(
+        self, points: np.ndarray, force: bool = False
+    ) -> Optional[List[np.ndarray]]:
+        """Uniform-grid neighborhood queries (cell size = eps).
+
+        Every eps-ball around a point in cell c is contained in the 3^d
+        cells around c, so only those candidates are examined.  Distances
+        use the same norms identity as the blocked path so both backends
+        agree on membership.  Returns ``None`` when the grid degenerates:
+        always on coordinate overflow, and — unless ``force`` — when too
+        few cells are occupied for the index to prune anything (the grid
+        would still be correct there, just not faster).
+        """
+        n, d = points.shape
+        buckets = _grid_buckets(points, self.eps)
+        if buckets is None:
+            return None
+        if len(buckets) < _GRID_MIN_CELLS and not force:
+            return None
+        sq_eps = self.eps * self.eps
+        norms = np.einsum("ij,ij->i", points, points)
+        offsets = list(itertools.product((-1, 0, 1), repeat=d))
+        neighborhoods: List[Optional[np.ndarray]] = [None] * n
+        for key, idx in buckets.items():
+            cand = _neighbor_candidates(buckets, key, offsets)
+            cand_points = points[cand]
+            cand_norms = norms[cand]
+            for start in range(0, idx.size, self.block):
+                rows = idx[start : start + self.block]
+                d2 = (
+                    norms[rows, None]
+                    + cand_norms[None, :]
+                    - 2.0 * points[rows] @ cand_points.T
+                )
+                np.clip(d2, 0.0, None, out=d2)
+                within = d2 <= sq_eps
+                for row in range(rows.size):
+                    neighborhoods[int(rows[row])] = cand[
+                        np.flatnonzero(within[row])
+                    ]
+        return neighborhoods  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------
     def fit(self, points: np.ndarray) -> DBSCANResult:
         """Cluster ``points`` (n x d) and return labels."""
         points = np.asarray(points, dtype=float)
@@ -99,8 +250,12 @@ class DBSCAN:
             raise ClusteringError(
                 f"points must be a non-empty 2-D array, got shape {points.shape}"
             )
-        with _span("dbscan", n_points=points.shape[0], eps=round(self.eps, 6)):
+        with _span(
+            "dbscan", n_points=points.shape[0], eps=round(self.eps, 6)
+        ) as rec:
             result = self._fit_impl(points)
+            if rec is not None and self._last_index_used is not None:
+                rec.attrs["index"] = self._last_index_used
         _metric_counter("clustering.clusters_found").inc(result.n_clusters)
         _metric_counter("clustering.noise_points").inc(
             int(np.sum(result.labels == NOISE))
@@ -117,17 +272,21 @@ class DBSCAN:
         for seed in range(n):
             if labels[seed] != _UNVISITED or not core[seed]:
                 continue
-            # Expand a new cluster from this core point (BFS).
+            # Expand a new cluster from this core point (depth-first —
+            # the frontier is a stack).  Noise labels cannot appear here:
+            # they are only assigned after all expansions finish.  The
+            # per-neighborhood work is vectorized: claiming all unvisited
+            # neighbors at once and pushing the core ones in index order
+            # visits exactly the same points as a scalar loop would.
             labels[seed] = cluster_id
             frontier = [seed]
             while frontier:
                 point = frontier.pop()
-                for nb in neighborhoods[point]:
-                    if labels[nb] == _UNVISITED or labels[nb] == NOISE:
-                        newly = labels[nb] == _UNVISITED
-                        labels[nb] = cluster_id
-                        if newly and core[nb]:
-                            frontier.append(int(nb))
+                nbs = neighborhoods[point]
+                unvisited = nbs[labels[nbs] == _UNVISITED]
+                if unvisited.size:
+                    labels[unvisited] = cluster_id
+                    frontier.extend(unvisited[core[unvisited]].tolist())
             cluster_id += 1
         labels[labels == _UNVISITED] = NOISE
 
@@ -157,32 +316,105 @@ def estimate_eps(
     far below typical between-cluster separation (which is O(1) after
     feature standardization).  Used by the pipeline when the caller does
     not supply eps.
+
+    At scale the k-dist computation uses the same uniform-grid index as
+    :class:`DBSCAN`: a pilot sample fixes a cell size that upper-bounds
+    typical k-dists, each point's k-dist is computed from its 3^d
+    neighbor cells, and any point whose grid answer is not provably exact
+    (k-dist beyond the guaranteed coverage radius) is recomputed against
+    the full point set.  High-dimensional or degenerate geometries fall
+    back to the blocked O(n^2) scan.
     """
     points = np.asarray(points, dtype=float)
     n = points.shape[0]
     if n < 2:
         raise ClusteringError(f"need >= 2 points to estimate eps, got {n}")
+    if margin <= 0:
+        raise ClusteringError(f"margin must be positive, got {margin}")
     with _span("estimate_eps", n_points=n, k=min(k, n - 1)):
         eps = _estimate_eps_impl(points, n, k, quantile, margin)
     _metric_gauge("clustering.estimated_eps").set(eps)
     return eps
 
 
+def _kdist_rows(
+    points: np.ndarray, norms: np.ndarray, k: int, rows: np.ndarray
+) -> np.ndarray:
+    """Exact k-th NN distance of ``rows`` against the full point set."""
+    out = np.empty(rows.size)
+    block = 512
+    for start in range(0, rows.size, block):
+        sub = rows[start : start + block]
+        d2 = norms[sub, None] + norms[None, :] - 2.0 * points[sub] @ points.T
+        np.clip(d2, 0.0, None, out=d2)
+        part = np.partition(d2, k, axis=1)[:, k]
+        out[start : start + block] = np.sqrt(part)
+    return out
+
+
+def _kdist_grid(
+    points: np.ndarray, norms: np.ndarray, k: int
+) -> Optional[np.ndarray]:
+    """Grid-accelerated k-dists, exact by construction.
+
+    Returns ``None`` when the grid cannot help (degenerate pilot scale or
+    too few occupied cells); the caller then uses the blocked scan.
+    """
+    n, d = points.shape
+    # Pilot: exact k-dists of a deterministic stride sample bound the
+    # typical k-dist scale, which becomes the cell size.
+    pilot_rows = np.unique(np.linspace(0, n - 1, 256).astype(np.intp))
+    pilot = _kdist_rows(points, norms, k, pilot_rows)
+    cell = float(np.quantile(pilot, 0.98)) * 1.25
+    if cell <= 0 or not np.isfinite(cell):
+        return None
+    buckets = _grid_buckets(points, cell)
+    if buckets is None or len(buckets) < _GRID_MIN_CELLS:
+        return None
+    offsets = list(itertools.product((-1, 0, 1), repeat=d))
+    kdist = np.full(n, -1.0)
+    block = 512
+    for key, idx in buckets.items():
+        cand = _neighbor_candidates(buckets, key, offsets)
+        if cand.size <= k:
+            continue  # not enough candidates: exact fallback below
+        cand_points = points[cand]
+        cand_norms = norms[cand]
+        for start in range(0, idx.size, block):
+            rows = idx[start : start + block]
+            d2 = (
+                norms[rows, None]
+                + cand_norms[None, :]
+                - 2.0 * points[rows] @ cand_points.T
+            )
+            np.clip(d2, 0.0, None, out=d2)
+            part = np.partition(d2, k, axis=1)[:, k]
+            kd = np.sqrt(part)
+            # The 3^d neighbor cells are guaranteed to contain every point
+            # within distance ``cell``; a k-dist at or below that bound is
+            # therefore globally exact.  Anything larger gets the exact
+            # full-row treatment below.
+            exact = kd <= cell
+            kdist[rows[exact]] = kd[exact]
+    pending = np.flatnonzero(kdist < 0)
+    if pending.size:
+        if pending.size > n // 4:
+            return None  # grid pruned almost nothing: not worth finishing
+        kdist[pending] = _kdist_rows(points, norms, k, pending)
+    return kdist
+
+
 def _estimate_eps_impl(
     points: np.ndarray, n: int, k: int, quantile: float, margin: float
 ) -> float:
     k = min(k, n - 1)
+    d = points.shape[1]
     norms = np.einsum("ij,ij->i", points, points)
-    kdist = np.empty(n)
-    block = 512
-    for start in range(0, n, block):
-        stop = min(start + block, n)
-        d2 = norms[start:stop, None] + norms[None, :] - 2.0 * points[start:stop] @ points.T
-        np.clip(d2, 0.0, None, out=d2)
-        part = np.partition(d2, k, axis=1)[:, k]
-        kdist[start:stop] = np.sqrt(part)
-    if margin <= 0:
-        raise ClusteringError(f"margin must be positive, got {margin}")
+    kdist: Optional[np.ndarray] = None
+    if n >= 2048 and d <= _GRID_MAX_DIMS:
+        kdist = _kdist_grid(points, norms, k)
+    if kdist is None:
+        kdist = _kdist_rows(points, norms, k, np.arange(n, dtype=np.intp))
     eps = float(np.quantile(kdist, quantile)) * margin
     if eps <= 0:
         # Degenerate geometry (many duplicate points): fall back to a tiny

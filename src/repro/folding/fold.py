@@ -20,6 +20,7 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from repro.errors import FoldingError
+from repro.clustering.bursts import ComputationBurst
 from repro.folding.instances import ClusterInstances
 from repro.observability.context import counter as _metric_counter
 from repro.observability.context import span as _span
@@ -73,11 +74,23 @@ class FoldedCounter:
         )
 
     def subset_instances(self, instance_ids: Sequence[int]) -> "FoldedCounter":
-        """Folded set using only samples from ``instance_ids`` (sweeps)."""
-        wanted = np.isin(self.instance_ids, np.asarray(list(instance_ids)))
-        out = self.replaced(wanted)
-        out.n_instances = len(set(int(i) for i in instance_ids))
-        return out
+        """Folded set using only samples from ``instance_ids`` (sweeps).
+
+        Constructed in one shot with the subset's instance count —
+        mutating ``n_instances`` after construction would bypass
+        ``__post_init__`` validation.
+        """
+        ids = [int(i) for i in instance_ids]
+        wanted = np.isin(self.instance_ids, np.asarray(ids))
+        return FoldedCounter(
+            counter=self.counter,
+            x=self.x[wanted],
+            y=self.y[wanted],
+            instance_ids=self.instance_ids[wanted],
+            n_instances=len(set(ids)),
+            mean_duration=self.mean_duration,
+            mean_total=self.mean_total,
+        )
 
     def density(self, n_bins: int = 20) -> np.ndarray:
         """Samples per normalized-time bin (coverage diagnostic)."""
@@ -111,13 +124,18 @@ def fold_cluster(
     """
     if not counters:
         raise FoldingError("no counters requested for folding")
+    # Callers may pass a pre-populated drops dict (accumulating across
+    # clusters); only drops added by *this* call count toward the metric.
+    n_drops_before = len(drops) if drops is not None else 0
     with _span(
         "fold", n_instances=len(instances), n_counters=len(counters)
     ):
         out = _fold_cluster_impl(instances, counters, min_points, required, drops)
     _metric_counter("folding.folds").inc(len(out))
-    if drops:
-        _metric_counter("folding.dropped_counters").inc(len(drops))
+    if drops is not None and len(drops) > n_drops_before:
+        _metric_counter("folding.dropped_counters").inc(
+            len(drops) - n_drops_before
+        )
     return out
 
 
@@ -134,35 +152,75 @@ def _fold_cluster_impl(
         raise FoldingError(
             f"required counters not in requested set: {sorted(unknown_required)}"
         )
-    xs: List[float] = []
-    ids: List[int] = []
-    per_counter_y: Dict[str, List[float]] = {c: [] for c in counters}
-    per_counter_x: Dict[str, List[float]] = {c: [] for c in counters}
-    per_counter_ids: Dict[str, List[int]] = {c: [] for c in counters}
-
-    for instance_id, burst in enumerate(instances):
-        duration = burst.duration
-        for sample in burst.samples:
-            x = (sample.time - burst.t_start) / duration
-            for counter in counters:
-                start = burst.start_counters.get(counter)
-                end = burst.end_counters.get(counter)
-                value = sample.counters.get(counter)
-                if start is None or end is None or value is None:
-                    continue
-                span = end - start
-                if span <= 0:
-                    continue
-                y = (value - start) / span
-                per_counter_x[counter].append(x)
-                per_counter_y[counter].append(y)
-                per_counter_ids[counter].append(instance_id)
+    # Vectorized fold: all samples of all instances concatenate into one
+    # flat (instance, sample-time)-ordered array set, per-burst scalars
+    # (t_start, duration, probe start/span) broadcast over it with
+    # ``np.repeat``, and every counter folds with a single subtract/
+    # divide.  Element order and arithmetic match the historical scalar
+    # loop exactly, so outputs are bit-identical (tested on the demo
+    # trace in tests/test_folding.py).
+    bursts = list(instances)
+    counts = np.array([len(b.samples) for b in bursts], dtype=np.intp)
+    total_samples = int(counts.sum())
+    if total_samples:
+        times_all = ComputationBurst.batch_sample_times(bursts)
+        t0_rep = np.repeat(np.array([b.t_start for b in bursts]), counts)
+        dur_rep = np.repeat(np.array([b.duration for b in bursts]), counts)
+        x_all = (times_all - t0_rep) / dur_rep
+        inst_all = np.repeat(np.arange(len(bursts), dtype=int), counts)
+        all_values = ComputationBurst.batch_sample_values_all(bursts, counters)
 
     out: Dict[str, FoldedCounter] = {}
     for counter in counters:
-        x = np.asarray(per_counter_x[counter])
-        y = np.asarray(per_counter_y[counter])
-        inst = np.asarray(per_counter_ids[counter], dtype=int)
+        if total_samples:
+            starts_raw = [b.start_counters.get(counter) for b in bursts]
+            ends_raw = [b.end_counters.get(counter) for b in bursts]
+            # None (missing probe) maps to NaN during array construction;
+            # the Python-level presence scan only runs when some probe
+            # was NaN-or-None, because a *genuinely* NaN probe value must
+            # keep has_probe=True (see the semantics note below).
+            starts = np.array(starts_raw, dtype=float)
+            ends = np.array(ends_raw, dtype=float)
+            if np.isnan(starts).any() or np.isnan(ends).any():
+                has_probe = np.array(
+                    [s is not None and e is not None
+                     for s, e in zip(starts_raw, ends_raw)],
+                    dtype=bool,
+                )
+            else:
+                has_probe = np.True_
+            spans = ends - starts
+            # Historical semantics: a burst folds this counter when both
+            # probes carry it and the span is not <= 0 (a NaN span — a
+            # corrupt probe — passes through and yields NaN y, exactly
+            # like the scalar loop did).
+            valid = has_probe & ~(spans <= 0)
+            if all_values is not None:
+                values_all, present_all = all_values[counter]
+            else:
+                values_all, present_all = (
+                    ComputationBurst.batch_sample_values(bursts, counter)
+                )
+            if valid.all():
+                keep = present_all
+            else:
+                keep = present_all & np.repeat(valid, counts)
+            if keep.all():
+                x = x_all
+                y = (values_all - np.repeat(starts, counts)) / np.repeat(
+                    spans, counts
+                )
+                inst = inst_all
+            else:
+                x = x_all[keep]
+                y = (values_all[keep] - np.repeat(starts, counts)[keep]) / (
+                    np.repeat(spans, counts)[keep]
+                )
+                inst = inst_all[keep]
+        else:
+            x = np.empty(0)
+            y = np.empty(0)
+            inst = np.empty(0, dtype=int)
         if x.size < min_points:
             if counter in required_set:
                 raise FoldingError(

@@ -39,6 +39,11 @@ class ClusterInstances:
                 f"cluster {self.cluster_id}: no instances left after pruning "
                 f"({self.n_candidates} candidates, {self.n_pruned_duration} pruned)"
             )
+        # Accessor memoization: folding queries durations/totals once per
+        # counter, from inside the per-cluster loop.  The burst list is
+        # fixed after construction, so the caches never go stale.
+        self._durations: Optional[np.ndarray] = None
+        self._totals: Dict[str, np.ndarray] = {}
 
     def __len__(self) -> int:
         return len(self.bursts)
@@ -48,8 +53,10 @@ class ClusterInstances:
 
     @property
     def durations(self) -> np.ndarray:
-        """Per-instance durations (seconds)."""
-        return np.array([b.duration for b in self.bursts])
+        """Per-instance durations (seconds; memoized, treat as read-only)."""
+        if self._durations is None:
+            self._durations = np.array([b.duration for b in self.bursts])
+        return self._durations
 
     @property
     def mean_duration(self) -> float:
@@ -58,8 +65,24 @@ class ClusterInstances:
 
     def totals(self, counter: str) -> np.ndarray:
         """Per-instance totals of ``counter`` (NaN where unmeasured —
-        multiplexed instances carry only their scheduled counter set)."""
-        return np.array([b.delta_or_nan(counter) for b in self.bursts])
+        multiplexed instances carry only their scheduled counter set;
+        memoized)."""
+        cached = self._totals.get(counter)
+        if cached is None:
+            # np.array maps a missing probe (None) to NaN in one C-level
+            # pass; end - start is then NaN whenever either side is,
+            # matching ComputationBurst.delta_or_nan element-wise.
+            starts = np.array(
+                [b.start_counters.get(counter) for b in self.bursts],
+                dtype=float,
+            )
+            ends = np.array(
+                [b.end_counters.get(counter) for b in self.bursts],
+                dtype=float,
+            )
+            cached = ends - starts
+            self._totals[counter] = cached
+        return cached
 
     def mean_total(self, counter: str) -> float:
         """Mean per-instance total over the instances that measured it."""

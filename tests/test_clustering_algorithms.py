@@ -2,6 +2,7 @@
 
 import numpy as np
 import pytest
+from hypothesis import given, settings, strategies as st
 
 from repro.clustering.bursts import extract_bursts
 from repro.clustering.dbscan import DBSCAN, NOISE, estimate_eps
@@ -95,6 +96,91 @@ class TestEstimateEps:
         points = np.zeros((50, 2))
         eps = estimate_eps(points)
         assert eps > 0
+
+
+class TestGridIndex:
+    """The grid spatial index must be invisible: byte-identical labels."""
+
+    def _assert_identical(self, points, eps, min_pts=5):
+        grid = DBSCAN(eps=eps, min_pts=min_pts, index="grid").fit(points)
+        blocked = DBSCAN(eps=eps, min_pts=min_pts, index="blocked").fit(points)
+        assert grid.labels.tobytes() == blocked.labels.tobytes()
+        return grid
+
+    @given(st.integers(min_value=0, max_value=2**32 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_random_points_identical_labels(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(260, 600))
+        d = int(rng.integers(1, 5))
+        points = rng.normal(size=(n, d)) * rng.uniform(0.1, 10.0)
+        eps = float(rng.uniform(0.05, 2.0))
+        self._assert_identical(points, eps, min_pts=int(rng.integers(2, 10)))
+
+    @given(st.integers(min_value=0, max_value=2**32 - 1))
+    @settings(max_examples=15, deadline=None)
+    def test_duplicate_heavy_identical_labels(self, seed):
+        rng = np.random.default_rng(seed)
+        base = rng.normal(size=(12, 3))
+        points = base[rng.integers(0, 12, size=400)]
+        points += rng.normal(scale=1e-9, size=points.shape)
+        self._assert_identical(points, eps=0.5)
+
+    def test_single_cluster_identical_labels(self):
+        rng = np.random.default_rng(11)
+        points = rng.normal(size=(500, 2)) * 0.05
+        result = self._assert_identical(points, eps=0.5)
+        assert result.n_clusters == 1
+
+    def test_mixed_clusters_and_noise_identical(self):
+        rng = np.random.default_rng(12)
+        points = np.vstack(
+            [blobs(rng, [(0, 0), (6, 6), (12, 0)], 150), rng.uniform(-5, 20, (40, 2))]
+        )
+        self._assert_identical(points, eps=0.4)
+
+    def test_auto_selects_blocked_below_threshold(self):
+        rng = np.random.default_rng(13)
+        points = rng.normal(size=(100, 2))
+        clusterer = DBSCAN(eps=0.5, min_pts=5)
+        clusterer.fit(points)
+        assert clusterer._last_index_used == "blocked"
+
+    def test_auto_selects_grid_at_scale(self):
+        # spread-out geometry: many occupied cells, so auto picks the grid
+        rng = np.random.default_rng(14)
+        points = rng.uniform(0, 10, size=(800, 2))
+        clusterer = DBSCAN(eps=0.4, min_pts=5)
+        clusterer.fit(points)
+        assert clusterer._last_index_used == "grid"
+
+    def test_high_dim_falls_back_to_blocked(self):
+        rng = np.random.default_rng(15)
+        points = rng.normal(size=(400, 9))
+        clusterer = DBSCAN(eps=1.0, min_pts=5)
+        clusterer.fit(points)
+        assert clusterer._last_index_used == "blocked"
+
+    def test_invalid_index_rejected(self):
+        with pytest.raises(ClusteringError):
+            DBSCAN(eps=1.0, index="kdtree")
+
+    @given(st.integers(min_value=0, max_value=2**32 - 1))
+    @settings(max_examples=10, deadline=None)
+    def test_estimate_eps_grid_matches_exact(self, seed):
+        rng = np.random.default_rng(seed)
+        # >= 2048 points engages the pilot-sample grid path
+        points = rng.normal(size=(2200, 3)) * rng.uniform(0.5, 5.0)
+        eps_grid = estimate_eps(points, k=8)
+        # reference: the exact blocked k-dist scan with the same formula
+        from repro.clustering.dbscan import _kdist_rows
+
+        norms = np.einsum("ij,ij->i", points, points)
+        kdist = _kdist_rows(points, norms, 8, np.arange(len(points), dtype=np.intp))
+        eps_exact = float(np.quantile(kdist, 0.95)) * 3.0
+        # the grid path is mathematically exact; differently-shaped BLAS
+        # matmuls may still differ in the last ulp
+        assert eps_grid == pytest.approx(eps_exact, rel=1e-9)
 
 
 class TestRefinement:

@@ -139,6 +139,145 @@ class TestFoldCluster:
         sub = folded_ins.subset_instances(wanted)
         assert sub.n_points < folded_ins.n_points
         assert set(np.unique(sub.instance_ids)) <= set(wanted)
+        # n_instances must reflect the subset, set at construction time
+        # (not patched in afterwards, which would bypass validation)
+        assert sub.n_instances == len(wanted)
+
+    def test_drops_metric_counts_only_new_drops(self, instances):
+        # A caller accumulating drops across clusters must not have the
+        # pre-existing entries re-counted by every later call.
+        from repro.observability.context import Observability
+
+        obs = Observability()
+        with obs.activate():
+            drops = {"PREVIOUS_COUNTER": "dropped by an earlier cluster"}
+            fold_cluster(
+                instances,
+                ["PAPI_TOT_INS", "PAPI_L3_TCM"],
+                min_points=instances.n_samples + 1,
+                required=[],
+                drops=drops,
+            )
+        assert len(drops) == 3  # the two new drops joined the old entry
+        assert obs.metrics.snapshot()["folding.dropped_counters"] == 2
+
+
+def _scalar_reference_fold(instances, counters):
+    """The historical per-sample scalar fold, kept as the equivalence
+    oracle for the vectorized implementation."""
+    per = {}
+    for counter in counters:
+        xs, ys, ids = [], [], []
+        for instance_id, burst in enumerate(instances):
+            duration = burst.duration
+            for sample in burst.samples:
+                start = burst.start_counters.get(counter)
+                end = burst.end_counters.get(counter)
+                value = sample.counters.get(counter)
+                if start is None or end is None or value is None:
+                    continue
+                span = end - start
+                if span <= 0:
+                    continue
+                xs.append((sample.time - burst.t_start) / duration)
+                ys.append((value - start) / span)
+                ids.append(instance_id)
+        order = np.argsort(np.asarray(xs), kind="stable")
+        per[counter] = (
+            np.asarray(xs)[order],
+            np.asarray(ys)[order],
+            np.asarray(ids, dtype=int)[order],
+        )
+    return per
+
+
+class TestVectorizedFoldEquivalence:
+    """The vectorized fold must be bit-for-bit identical to the scalar
+    loop it replaced — same arithmetic, same (instance, sample) order."""
+
+    def _assert_bit_identical(self, instances, counters, **kwargs):
+        folded = fold_cluster(instances, counters, **kwargs)
+        reference = _scalar_reference_fold(instances, counters)
+        assert folded, "fold produced no counters"
+        for counter, fc in folded.items():
+            x, y, ids = reference[counter]
+            assert fc.x.tobytes() == x.tobytes()
+            assert fc.y.tobytes() == y.tobytes()
+            assert fc.instance_ids.tobytes() == ids.tobytes()
+
+    def test_multiphase_artifacts_bit_identical(self, multiphase_artifacts):
+        art = multiphase_artifacts
+        instances = select_instances(
+            art.result.bursts, art.result.clustering.labels, 0
+        )
+        counters = art.result.bursts.counter_names
+        self._assert_bit_identical(instances, counters, required=[])
+
+    def test_cgpop_all_clusters_bit_identical(self, cgpop_artifacts):
+        art = cgpop_artifacts
+        labels = art.result.clustering.labels
+        for cluster_id in sorted(set(labels[labels >= 0].tolist())):
+            instances = select_instances(art.result.bursts, labels, cluster_id)
+            counters = art.result.bursts.counter_names
+            self._assert_bit_identical(
+                instances, counters, min_points=1, required=[]
+            )
+
+    def test_multiplexed_samples_bit_identical(self):
+        # Samples carrying only a subset of counters (PMU multiplexing),
+        # missing probes, and a non-advancing counter: every skip rule of
+        # the scalar loop must survive vectorization.
+        from repro.clustering.bursts import ComputationBurst
+        from repro.folding.instances import ClusterInstances
+        from repro.trace.records import SampleRecord
+
+        rng = np.random.default_rng(42)
+        counters = ["A", "B", "C"]
+        bursts = []
+        t = 0.0
+        for i in range(30):
+            duration = 0.01
+            start = {"A": 0.0, "B": 0.0}
+            end = {"A": 1000.0, "B": 0.0}  # B never advances
+            if i % 3 == 0:
+                start["C"] = 0.0  # C probed only in some bursts
+                end["C"] = 500.0
+            samples = []
+            for s_time in np.sort(rng.uniform(t, t + duration, 6)):
+                frac = (s_time - t) / duration
+                carried = {"A": frac * 1000.0}
+                if rng.random() < 0.5:
+                    carried["C"] = frac * 500.0
+                samples.append(
+                    SampleRecord(rank=0, time=float(s_time), counters=carried)
+                )
+            bursts.append(
+                ComputationBurst(
+                    rank=0,
+                    index=i,
+                    t_start=t,
+                    t_end=t + duration,
+                    start_counters=start,
+                    end_counters=end,
+                    samples=samples,
+                )
+            )
+            t += duration * 2
+        instances = ClusterInstances(
+            cluster_id=0,
+            bursts=bursts,
+            n_candidates=len(bursts),
+            n_pruned_duration=0,
+        )
+        self._assert_bit_identical(
+            instances, ["A", "C"], min_points=1, required=[]
+        )
+        # B advances nowhere: required -> error, optional -> dropped
+        drops = {}
+        folded = fold_cluster(
+            instances, counters, min_points=1, required=[], drops=drops
+        )
+        assert "B" not in folded and "B" in drops
 
 
 class TestFilters:

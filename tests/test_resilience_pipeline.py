@@ -92,6 +92,54 @@ class TestEpsFallbackChain:
         assert result.n_clusters_analyzed >= 1
 
 
+class TestBurstScreening:
+    @staticmethod
+    def _burst_set(deltas, duration=0.01):
+        from repro.clustering.bursts import BurstSet, ComputationBurst
+
+        bursts = []
+        t = 0.0
+        for i, delta in enumerate(deltas):
+            bursts.append(
+                ComputationBurst(
+                    rank=0,
+                    index=i,
+                    t_start=t,
+                    t_end=t + duration,
+                    start_counters={PIVOT: 0.0},
+                    end_counters={PIVOT: float(delta)},
+                )
+            )
+            t += duration * 2
+        return BurstSet(bursts)
+
+    def test_screen_drops_absurd_bursts(self):
+        bursts = self._burst_set([1e7] * 20 + [1e13] * 2)
+        diag = Diagnostics()
+        screened = FoldingAnalyzer()._screen_bursts(bursts, diag)
+        assert len(screened) == 20
+        warnings = diag.by_severity(Severity.WARNING)
+        assert any("screened" in e.message for e in warnings)
+
+    def test_abandoned_screen_emits_degraded_diagnostic(self):
+        # 10 plausible + 4 absurd bursts, but min_pts=12: screening would
+        # leave too few to cluster, so it must back off *audibly*.
+        bursts = self._burst_set([1e7] * 10 + [1e13] * 4)
+        diag = Diagnostics()
+        analyzer = FoldingAnalyzer(AnalyzerConfig(min_pts=12))
+        screened = analyzer._screen_bursts(bursts, diag)
+        assert len(screened) == 14  # nothing dropped
+        degraded = diag.by_severity(Severity.DEGRADED)
+        assert any("abandoned" in e.message for e in degraded)
+        assert all(e.stage == "clustering" for e in degraded)
+
+    def test_clean_screen_is_silent(self):
+        bursts = self._burst_set([1e7] * 20)
+        diag = Diagnostics()
+        assert FoldingAnalyzer()._screen_bursts(bursts, diag) is bursts
+        assert diag.clean
+
+
 class TestPWLRFallbackChain:
     def test_breakpoint_search_falls_back_to_smoother(
         self, multiphase_artifacts, monkeypatch
