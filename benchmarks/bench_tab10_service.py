@@ -1,0 +1,168 @@
+"""TAB-10 — result store + batch service: cached re-analysis is ~free.
+
+The pipeline is deterministic, so a trace+config fingerprint fully
+determines the analysis result.  ``repro batch`` exploits that through
+the content-addressed store: the first pass over a manifest pays the
+full pipeline per trace, a second pass over unchanged traces only hashes
+bytes and loads JSON.  Claims:
+
+* a re-batch of an unchanged manifest completes with a 100% cache hit
+  ratio;
+* the cached pass is >= 10x faster than the cold pass (in practice it is
+  orders of magnitude faster — the floor is deliberately conservative);
+* fanning the cold pass across workers does not change what lands in
+  the store (same fingerprints, same artifacts).
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import tempfile
+import time
+from typing import Dict, List, Tuple
+
+import common
+from repro.analysis.experiments import default_core
+from repro.runtime.engine import ExecutionEngine
+from repro.runtime.sampler import SamplerConfig
+from repro.runtime.tracer import Tracer, TracerConfig
+from repro.service import BatchConfig, load_manifest, run_batch
+from repro.store import ResultStore
+from repro.trace.writer import write_trace
+from repro.viz.series import FigureSeries
+from repro.workload.apps import cgpop_app, multiphase_app, pmemd_app
+
+EXP_ID = "TAB-10"
+CLAIM = "re-batching an unchanged manifest: 100% cache hits, >= 10x faster"
+
+#: (label, app builder args, seed) per generated trace.
+FULL_TRACES: List[Tuple[str, object, int]] = [
+    ("multiphase", lambda: multiphase_app(iterations=150, ranks=2), 11),
+    ("cgpop", lambda: cgpop_app(iterations=100, ranks=2), 22),
+    ("pmemd", lambda: pmemd_app(iterations=100, ranks=2), 33),
+]
+SMOKE_TRACES: List[Tuple[str, object, int]] = [
+    ("multiphase", lambda: multiphase_app(iterations=60, ranks=2), 11),
+    ("multiphase2", lambda: multiphase_app(iterations=60, ranks=2), 12),
+    ("cgpop", lambda: cgpop_app(iterations=40, ranks=2), 22),
+]
+
+#: Speedup floors: conservative in full mode, lenient for CI smoke.
+FULL_SPEEDUP_FLOOR = 10.0
+SMOKE_SPEEDUP_FLOOR = 5.0
+
+
+def _write_traces(out_dir: str, specs) -> None:
+    core = default_core()
+    for label, builder, seed in specs:
+        timeline = ExecutionEngine(core, seed=seed).run(builder())
+        trace = Tracer(
+            TracerConfig(sampler=SamplerConfig(period_s=0.02), seed=seed)
+        ).trace(timeline)
+        write_trace(trace, os.path.join(out_dir, f"{label}.rpt"))
+
+
+def service_report(specs, workers: int = 2) -> Dict[str, float]:
+    """Cold vs cached vs worker-fanned batch over freshly written traces."""
+    with tempfile.TemporaryDirectory(prefix="tab10-") as root:
+        traces = os.path.join(root, "traces")
+        os.makedirs(traces)
+        _write_traces(traces, specs)
+        jobs = load_manifest(traces)
+
+        store = ResultStore(os.path.join(root, "store"))
+        t0 = time.perf_counter()
+        cold = run_batch(jobs, store)
+        cold_wall = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        cached = run_batch(jobs, store)
+        cached_wall = time.perf_counter() - t0
+
+        fanned_store = ResultStore(os.path.join(root, "store-fanned"))
+        t0 = time.perf_counter()
+        fanned = run_batch(jobs, fanned_store, BatchConfig(n_workers=workers))
+        fanned_wall = time.perf_counter() - t0
+
+        assert cold.ok and cached.ok and fanned.ok
+        assert sorted(store.fingerprints()) == sorted(
+            fanned_store.fingerprints()
+        ), "worker fan-out changed what landed in the store"
+        return {
+            "n_traces": float(len(jobs)),
+            "cold_wall_s": cold_wall,
+            "cached_wall_s": cached_wall,
+            "fanned_wall_s": fanned_wall,
+            "cache_hit_ratio": cached.cache_hit_ratio,
+            "speedup": cold_wall / cached_wall if cached_wall > 0 else float("inf"),
+            "fanned_speedup": cold_wall / fanned_wall if fanned_wall > 0 else 1.0,
+        }
+
+
+def print_report(report: Dict[str, float]) -> None:
+    n = int(report["n_traces"])
+    print(f"{'mode':<28} {'wall':>10} {'traces/s':>10}")
+    for mode, wall in (
+        ("cold (serial)", report["cold_wall_s"]),
+        ("cached re-batch", report["cached_wall_s"]),
+        ("cold, 2 workers", report["fanned_wall_s"]),
+    ):
+        rate = n / wall if wall > 0 else float("inf")
+        print(f"{mode:<28} {wall:>9.3f}s {rate:>10.1f}")
+    print(
+        f"cache hit ratio {report['cache_hit_ratio']:.0%}, "
+        f"cached speedup {report['speedup']:.0f}x, "
+        f"2-worker cold speedup {report['fanned_speedup']:.2f}x"
+    )
+
+
+def smoke() -> None:
+    """CI entry point: tiny traces, strict hit ratio, lenient speedup floor."""
+    report = service_report(SMOKE_TRACES)
+    print_report(report)
+    assert report["cache_hit_ratio"] == 1.0, (
+        f"re-batch of unchanged manifest was not fully cached: "
+        f"{report['cache_hit_ratio']:.0%}"
+    )
+    assert report["speedup"] >= SMOKE_SPEEDUP_FLOOR, (
+        f"cached re-batch speedup collapsed: {report['speedup']:.1f}x "
+        f"< {SMOKE_SPEEDUP_FLOOR}x"
+    )
+    print("TAB-10 smoke: PASS")
+
+
+def test_tab10_service(benchmark):
+    report = benchmark.pedantic(
+        lambda: service_report(SMOKE_TRACES), rounds=1, iterations=1
+    )
+    assert report["cache_hit_ratio"] == 1.0
+    assert report["speedup"] >= SMOKE_SPEEDUP_FLOOR
+
+
+def main() -> None:
+    common.print_header(EXP_ID, CLAIM)
+    report = service_report(FULL_TRACES)
+    print_report(report)
+    assert report["cache_hit_ratio"] == 1.0, "re-batch was not fully cached"
+    assert report["speedup"] >= FULL_SPEEDUP_FLOOR, (
+        f"cached speedup {report['speedup']:.1f}x < {FULL_SPEEDUP_FLOOR}x"
+    )
+    series = FigureSeries("tab10_service")
+    for column in (
+        "n_traces",
+        "cold_wall_s",
+        "cached_wall_s",
+        "fanned_wall_s",
+        "cache_hit_ratio",
+        "speedup",
+    ):
+        series.add_column(column, [report[column]])
+    print(f"\nseries written to {common.save_series(series)}")
+
+
+if __name__ == "__main__":
+    if "--smoke" in sys.argv[1:]:
+        smoke()
+    else:
+        main()

@@ -35,6 +35,7 @@ BENCHES = [
     "bench_tab7_scaling",
     "bench_tab8_resilience",
     "bench_tab9_observability",
+    "bench_tab10_service",
 ]
 
 

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -202,6 +202,23 @@ class AnalysisResult:
     def n_clusters_analyzed(self) -> int:
         """Clusters that made it through folding and fitting."""
         return len(self.clusters)
+
+    def to_dict(self) -> Dict[str, object]:
+        """Versioned JSON-able view (see :mod:`repro.store.serialize`).
+
+        Everything reports, hints and cross-run diffs consume round-trips
+        exactly; raw sample arrays are summarized, not stored.
+        """
+        from repro.store.serialize import result_to_dict  # avoid import cycle
+
+        return result_to_dict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "AnalysisResult":
+        """Rebuild a result serialized by :meth:`to_dict`."""
+        from repro.store.serialize import result_from_dict  # avoid import cycle
+
+        return result_from_dict(data)
 
     def cluster(self, cluster_id: int) -> ClusterAnalysis:
         """Analysis of one cluster by id."""

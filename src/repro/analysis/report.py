@@ -14,7 +14,12 @@ from typing import List, Optional, Sequence
 from repro.analysis.hints import Hint
 from repro.analysis.pipeline import AnalysisResult, ClusterAnalysis
 
-__all__ = ["render_report", "render_cluster", "format_table"]
+__all__ = [
+    "render_report",
+    "render_cluster",
+    "render_store_listing",
+    "format_table",
+]
 
 
 def format_table(headers: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
@@ -28,6 +33,28 @@ def format_table(headers: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
     lines = [fmt(headers), fmt(["-" * w for w in widths])]
     lines.extend(fmt(row) for row in rows)
     return "\n".join(lines)
+
+
+def render_store_listing(entries: Sequence) -> str:
+    """Table of stored-result entries for ``repro query``.
+
+    Duck-typed over :class:`repro.store.artifacts.StoreEntry` (this module
+    sits below the store in the layering, so it never imports it).
+    """
+    rows = [
+        [
+            entry.short,
+            entry.app_name or "(unnamed)",
+            str(entry.n_clusters),
+            str(entry.n_phases),
+            entry.worst_diagnostic or "clean",
+            entry.trace_path,
+        ]
+        for entry in entries
+    ]
+    return format_table(
+        ["fingerprint", "app", "clusters", "phases", "worst", "trace"], rows
+    )
 
 
 def render_cluster(cluster: ClusterAnalysis) -> str:

@@ -9,8 +9,13 @@ Mirrors the real toolchain's workflow split::
     python -m repro check run.rpt --salvage       # ...salvaging what it can
     python -m repro analyze run.rpt               # folding analysis + report
     python -m repro analyze run.rpt --profile p.json --log-jsonl ev.jsonl
+    python -m repro analyze run.rpt --store st/   # read-through result cache
     python -m repro report p.json                 # where-did-the-time-go
     python -m repro demo --app pmemd --optimize   # full methodology + case study
+    python -m repro batch traces/ --store st/     # analyze a whole directory
+    python -m repro query st/                     # list stored results
+    python -m repro query st/ 617f477ff543        # re-render one stored report
+    python -m repro diff st/ FP_A FP_B            # per-phase rate regressions
 
 Global flags (before the subcommand) control logging: ``-q`` silences the
 stage-progress lines long analyses emit by default, ``-v`` shows all
@@ -32,7 +37,7 @@ from typing import Callable, Dict, List, Optional
 from repro.analysis.hints import generate_hints
 from repro.analysis.methodology import describe_application, run_case_study
 from repro.analysis.pipeline import AnalyzerConfig, FoldingAnalyzer
-from repro.analysis.report import render_report
+from repro.analysis.report import render_report, render_store_listing
 from repro.errors import AnalysisError, ReproError, SalvageError, TraceFormatError
 from repro.machine.cpu import CoreModel
 from repro.machine.spec import MachineSpec
@@ -47,9 +52,12 @@ from repro.observability import (
     write_jsonl_events,
     write_profile_json,
 )
+from repro.resilience import Severity
 from repro.runtime.engine import ExecutionEngine
 from repro.runtime.sampler import SamplerConfig
 from repro.runtime.tracer import Tracer, TracerConfig
+from repro.service import BatchConfig, diff_stored, load_manifest, run_batch
+from repro.store import ResultStore, analyze_cached
 from repro.trace.reader import read_trace, read_trace_salvaged
 from repro.trace.stats import compute_stats
 from repro.trace.writer import write_trace
@@ -190,15 +198,27 @@ def _cmd_check(args: argparse.Namespace) -> int:
 def _cmd_analyze(args: argparse.Namespace) -> int:
     if args.jobs < 1:
         raise SystemExit(f"--jobs must be >= 1, got {args.jobs}")
-    analyzer = FoldingAnalyzer(AnalyzerConfig(n_jobs=args.jobs))
+    config = AnalyzerConfig(n_jobs=args.jobs)
+
+    def produce():
+        if args.store:
+            cached = analyze_cached(args.trace, ResultStore(args.store), config=config)
+            note = "cache hit" if cached.cache_hit else "analyzed and stored"
+            print(
+                f"store: {note} ({cached.fingerprint[:12]}) in {args.store}",
+                file=sys.stderr,
+            )
+            return cached.result
+        trace = read_trace(args.trace)
+        return FoldingAnalyzer(config).analyze(trace)
+
     sinks_requested = bool(args.profile or args.log_jsonl or args.chrome_trace)
     if sinks_requested:
         # Activate a fresh collector around the whole command so the
         # read_trace span lands in the same profile as the analysis.
         obs = Observability()
         with obs.activate():
-            trace = read_trace(args.trace)
-            result = analyzer.analyze(trace)
+            result = produce()
         profile = obs.profile()
         metrics = obs.metrics.snapshot()
         if args.profile:
@@ -218,10 +238,17 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
                 file=sys.stderr,
             )
     else:
-        trace = read_trace(args.trace)
-        result = analyzer.analyze(trace)
+        result = produce()
     hints = generate_hints(result)
     print(render_report(result, hints))
+    worst = result.diagnostics.worst
+    if args.strict and worst is not None and worst >= Severity.DEGRADED:
+        print(
+            f"strict: diagnostics reached {worst} "
+            f"(degraded-mode fallbacks were taken); failing",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 
@@ -239,11 +266,81 @@ def _cmd_report(args: argparse.Namespace) -> int:
         print(render_metrics(metrics))
     if args.chrome:
         write_chrome_trace(args.chrome, profile)
+        # Status goes to stderr like `analyze --chrome-trace`, keeping
+        # stdout clean for the report itself.
         print(
-            f"\nchrome trace written to {args.chrome} "
-            "(load in chrome://tracing or ui.perfetto.dev)"
+            f"chrome trace written to {args.chrome} "
+            "(load in chrome://tracing or ui.perfetto.dev)",
+            file=sys.stderr,
         )
     return 0
+
+
+def _cmd_batch(args: argparse.Namespace) -> int:
+    try:
+        specs = load_manifest(args.manifest)
+    except ReproError as exc:
+        print(f"batch: {exc}", file=sys.stderr)
+        return 1
+    config = BatchConfig(
+        n_workers=args.workers,
+        max_attempts=args.attempts,
+        backoff_base_s=args.backoff,
+        salvage=args.salvage,
+    )
+    store = ResultStore(args.store)
+    obs = Observability()
+    with obs.activate():
+        report = run_batch(specs, store, config)
+    print(report.render_status())
+    latency = obs.metrics.histogram("service.job_seconds")
+    if latency.count:
+        print(
+            f"job latency: p50 {latency.quantile(0.5):.3f}s, "
+            f"p95 {latency.quantile(0.95):.3f}s, "
+            f"max {latency.max:.3f}s",
+            file=sys.stderr,
+        )
+    if report.diagnostics:
+        print(report.diagnostics.summary(), file=sys.stderr)
+    return 0 if report.ok else 1
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    store = ResultStore(args.store)
+    if args.fingerprint:
+        try:
+            fingerprint = store.resolve(args.fingerprint)
+            result = store.get(fingerprint)
+            meta = store.get_meta(fingerprint)
+        except ReproError as exc:
+            print(f"query: {exc}", file=sys.stderr)
+            return 1
+        print(
+            f"stored result {fingerprint[:12]} "
+            f"(trace: {meta.get('trace_path', '?')})\n"
+        )
+        print(render_report(result, generate_hints(result)))
+        return 0
+    entries = list(store.entries())
+    if not entries:
+        print(f"store {args.store} is empty")
+        return 0
+    print(render_store_listing(entries))
+    return 0
+
+
+def _cmd_diff(args: argparse.Namespace) -> int:
+    store = ResultStore(args.store)
+    try:
+        report = diff_stored(
+            store, args.baseline, args.candidate, threshold=args.threshold
+        )
+    except ReproError as exc:
+        print(f"diff: {exc}", file=sys.stderr)
+        return 1
+    print(report.render())
+    return 1 if report.has_regressions else 0
 
 
 def _cmd_demo(args: argparse.Namespace) -> int:
@@ -350,6 +447,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="analyze clusters on N worker processes (1 = serial; "
         "results are identical to a serial run)",
     )
+    p_analyze.add_argument(
+        "--store",
+        metavar="DIR",
+        help="read-through result store: reuse a stored result when the "
+        "trace+config fingerprint matches, store the result otherwise",
+    )
+    p_analyze.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit non-zero when diagnostics record degraded-mode "
+        "fallbacks (severity >= degraded)",
+    )
     p_analyze.set_defaults(func=_cmd_analyze)
 
     p_report = sub.add_parser(
@@ -362,6 +471,70 @@ def build_parser() -> argparse.ArgumentParser:
         help="also export the profile as a Chrome trace_event file",
     )
     p_report.set_defaults(func=_cmd_report)
+
+    p_batch = sub.add_parser(
+        "batch", help="analyze a directory/manifest of traces through a store"
+    )
+    p_batch.add_argument(
+        "manifest",
+        help="directory of *.rpt traces, or a file listing one trace per line",
+    )
+    p_batch.add_argument(
+        "--store", required=True, metavar="DIR", help="result store directory"
+    )
+    p_batch.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="concurrent analysis jobs (1 = inline, no threads)",
+    )
+    p_batch.add_argument(
+        "--attempts",
+        type=int,
+        default=1,
+        metavar="N",
+        help="tries per job before it is recorded as failed",
+    )
+    p_batch.add_argument(
+        "--backoff",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help="base retry backoff (doubles per attempt; 0 = immediate)",
+    )
+    p_batch.add_argument(
+        "--salvage",
+        action="store_true",
+        help="read damaged traces with the salvage policy",
+    )
+    p_batch.set_defaults(func=_cmd_batch)
+
+    p_query = sub.add_parser(
+        "query", help="list a result store, or re-render one stored report"
+    )
+    p_query.add_argument("store", help="result store directory")
+    p_query.add_argument(
+        "fingerprint",
+        nargs="?",
+        help="fingerprint (or unique prefix) of the stored result to render",
+    )
+    p_query.set_defaults(func=_cmd_query)
+
+    p_diff = sub.add_parser(
+        "diff", help="compare two stored results (exit 1 on regressions)"
+    )
+    p_diff.add_argument("store", help="result store directory")
+    p_diff.add_argument("baseline", help="baseline fingerprint (or prefix)")
+    p_diff.add_argument("candidate", help="candidate fingerprint (or prefix)")
+    p_diff.add_argument(
+        "--threshold",
+        type=float,
+        default=0.10,
+        metavar="FRACTION",
+        help="minimum relative change reported (default 0.10 = 10%%)",
+    )
+    p_diff.set_defaults(func=_cmd_diff)
 
     p_demo = sub.add_parser("demo", help="full methodology on a built-in app")
     _add_app_options(p_demo)

@@ -102,6 +102,26 @@ class Histogram:
         """Mean observed value (0 when empty)."""
         return self.total / self.count if self.count else 0.0
 
+    def quantile(self, q: float) -> float:
+        """Bucketed quantile estimate (0 when empty).
+
+        Returns the upper bound of the bucket holding the ``q``-th ranked
+        observation, clamped to the observed [min, max] — exact enough for
+        the latency tables (`p50`/`p95`) without storing raw samples.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ReproError(f"histogram {self.name}: quantile {q} not in [0, 1]")
+        if not self.count:
+            return 0.0
+        target = q * self.count
+        cumulative = 0
+        for i, n in enumerate(self.bucket_counts):
+            cumulative += n
+            if cumulative >= target:
+                upper = self.bounds[i] if i < len(self.bounds) else self.max
+                return min(max(upper, self.min), self.max)
+        return self.max
+
 
 class MetricsRegistry:
     """Get-or-create store of named instruments."""
@@ -220,6 +240,10 @@ class _NullHistogram:
 
     def observe(self, value: float) -> None:
         """No-op."""
+
+    def quantile(self, q: float) -> float:
+        """Always 0."""
+        return 0.0
 
 
 _NULL_COUNTER = _NullCounter()

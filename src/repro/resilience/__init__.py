@@ -10,7 +10,10 @@ This package holds the two halves of the library's answer:
 * :mod:`repro.resilience.inject` — seedable corruption operators
   (truncate, drop-samples, duplicate-records, NaN-counters, field
   bit-flips, clock skew) that damage a serialized trace the way real
-  deployments do, powering the chaos tests and the TAB-8 bench.
+  deployments do, powering the chaos tests and the TAB-8 bench;
+* :mod:`repro.resilience.retry` — bounded deterministic-backoff retry
+  (:func:`call_with_retry`) that the batch scheduler in
+  :mod:`repro.service` wraps around each analysis job.
 
 The consuming policies live where the data flows: the salvage read policy
 in :mod:`repro.trace.reader` and the degraded-mode fallback chains in
@@ -23,6 +26,7 @@ from repro.resilience.inject import (
     CorruptionSpec,
     corrupt_trace_text,
 )
+from repro.resilience.retry import RetryPolicy, call_with_retry
 
 __all__ = [
     "Severity",
@@ -31,4 +35,6 @@ __all__ = [
     "CorruptionSpec",
     "CORRUPTION_OPS",
     "corrupt_trace_text",
+    "RetryPolicy",
+    "call_with_retry",
 ]

@@ -1,0 +1,90 @@
+"""Bounded retry with deterministic exponential backoff.
+
+Batch analysis jobs fail for reasons worth retrying (a trace file mid-
+copy, a transient filesystem error) and reasons that are permanent (a
+genuinely unparseable trace).  :func:`call_with_retry` makes that policy
+explicit and *observable*: every retry lands a WARNING on the caller's
+:class:`~repro.resilience.diagnostics.Diagnostics` and bumps the
+``retry.attempts`` counter, and the backoff schedule is deterministic
+(no jitter) so test runs and re-runs behave identically.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Optional, Tuple, Type, TypeVar
+
+from repro.errors import ConfigurationError
+from repro.observability.context import counter as _metric_counter
+from repro.resilience.diagnostics import Diagnostics
+
+__all__ = ["RetryPolicy", "call_with_retry"]
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How many times to try and how long to wait between tries.
+
+    ``backoff_base_s`` doubles on each failure: attempt *k* (1-based)
+    sleeps ``backoff_base_s * 2**(k-1)`` before retrying, capped at
+    ``backoff_max_s``.  The default base of 0 disables sleeping, which
+    is what tests and local batch runs over on-disk traces want; a
+    service pointed at flaky network storage raises it.
+    """
+
+    max_attempts: int = 1
+    backoff_base_s: float = 0.0
+    backoff_max_s: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ConfigurationError(
+                f"retry policy: max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.backoff_base_s < 0 or self.backoff_max_s < 0:
+            raise ConfigurationError("retry policy: backoff must be >= 0")
+
+    def delay_s(self, attempt: int) -> float:
+        """Backoff before the retry following failed attempt ``attempt``."""
+        return min(self.backoff_base_s * (2.0 ** (attempt - 1)), self.backoff_max_s)
+
+
+def call_with_retry(
+    fn: Callable[[], T],
+    policy: RetryPolicy,
+    retry_on: Tuple[Type[BaseException], ...] = (Exception,),
+    diagnostics: Optional[Diagnostics] = None,
+    label: str = "call",
+    sleep: Callable[[float], None] = time.sleep,
+) -> T:
+    """Invoke ``fn`` up to ``policy.max_attempts`` times.
+
+    Exceptions not matching ``retry_on`` propagate immediately (they are
+    permanent by declaration).  The exception of the final failed attempt
+    propagates unchanged so callers see the real error, with the retry
+    history recorded on ``diagnostics`` along the way.
+    """
+    last_error: Optional[BaseException] = None
+    for attempt in range(1, policy.max_attempts + 1):
+        try:
+            return fn()
+        except retry_on as exc:
+            last_error = exc
+            if attempt == policy.max_attempts:
+                raise
+            _metric_counter("retry.attempts").inc()
+            if diagnostics is not None:
+                diagnostics.warning(
+                    "retry",
+                    f"{label}: attempt {attempt}/{policy.max_attempts} failed, "
+                    "retrying",
+                    error=f"{type(exc).__name__}: {exc}",
+                    attempt=attempt,
+                )
+            delay = policy.delay_s(attempt)
+            if delay > 0:
+                sleep(delay)
+    raise AssertionError(f"unreachable: {last_error}")  # pragma: no cover

@@ -1,0 +1,37 @@
+"""Batch analysis service on top of :mod:`repro.store`.
+
+The store makes analysis results durable and addressable; this package
+makes *running* analyses at fleet scale routine:
+
+* :mod:`repro.service.manifest` — expand a directory or manifest file
+  into :class:`~repro.service.jobs.JobSpec` entries;
+* :mod:`repro.service.scheduler` — :func:`run_batch`, a bounded worker
+  pool with per-job retry/backoff (via :mod:`repro.resilience.retry`),
+  per-job states (queued/running/done/cached/failed) and merged
+  observability metrics (queue depth, cache hit ratio, latency);
+* :mod:`repro.service.query` — cross-run queries over stored results:
+  :func:`diff_results` flags per-phase rate and duration regressions
+  between two analyses.
+
+CLI surface: ``repro batch``, ``repro query``, ``repro diff``.
+"""
+
+from repro.service.jobs import JobRecord, JobSpec, JobState
+from repro.service.manifest import TRACE_SUFFIX, load_manifest
+from repro.service.query import DiffReport, PhaseDelta, diff_results, diff_stored
+from repro.service.scheduler import BatchConfig, BatchReport, run_batch
+
+__all__ = [
+    "JobState",
+    "JobSpec",
+    "JobRecord",
+    "TRACE_SUFFIX",
+    "load_manifest",
+    "BatchConfig",
+    "BatchReport",
+    "run_batch",
+    "DiffReport",
+    "PhaseDelta",
+    "diff_results",
+    "diff_stored",
+]

@@ -1,0 +1,78 @@
+"""Job model for the batch analysis service.
+
+One :class:`JobSpec` per trace to analyze; one :class:`JobRecord` per
+spec tracking its life cycle through the scheduler:
+
+``QUEUED`` → ``RUNNING`` → ``DONE`` | ``CACHED`` | ``FAILED``
+
+``CACHED`` is a successful terminal state — the store already held the
+result for the trace's fingerprint, so the pipeline never ran.  The
+record keeps everything ``repro batch`` prints per job (attempts, wall
+time, fingerprint, headline counts, error) without holding the full
+:class:`~repro.analysis.pipeline.AnalysisResult` alive for the whole
+batch.
+"""
+
+from __future__ import annotations
+
+import enum
+import os
+from dataclasses import dataclass, field
+from typing import Optional
+
+__all__ = ["JobState", "JobSpec", "JobRecord"]
+
+
+class JobState(enum.Enum):
+    """Where a batch job is in its life cycle."""
+
+    QUEUED = "queued"
+    RUNNING = "running"
+    DONE = "done"
+    CACHED = "cached"
+    FAILED = "failed"
+
+    def __str__(self) -> str:
+        return self.value
+
+    @property
+    def terminal(self) -> bool:
+        """Whether the job has finished (successfully or not)."""
+        return self in (JobState.DONE, JobState.CACHED, JobState.FAILED)
+
+    @property
+    def ok(self) -> bool:
+        """Whether the job produced a stored result."""
+        return self in (JobState.DONE, JobState.CACHED)
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One trace to analyze."""
+
+    trace_path: str
+
+    @property
+    def label(self) -> str:
+        """Short display name (the trace file's basename)."""
+        return os.path.basename(self.trace_path)
+
+
+@dataclass
+class JobRecord:
+    """Mutable progress record for one :class:`JobSpec`."""
+
+    spec: JobSpec
+    state: JobState = JobState.QUEUED
+    attempts: int = 0
+    wall_s: float = 0.0
+    fingerprint: Optional[str] = None
+    n_clusters: int = 0
+    n_phases: int = 0
+    error: Optional[str] = None
+    worst_diagnostic: Optional[str] = field(default=None)
+
+    @property
+    def short_fingerprint(self) -> str:
+        """Abbreviated fingerprint for tables (empty when unknown)."""
+        return self.fingerprint[:12] if self.fingerprint else ""

@@ -1,0 +1,61 @@
+"""Manifest loading: turn "what to analyze" into a list of job specs.
+
+``repro batch`` accepts either form:
+
+* a **directory** — every ``*.rpt`` file directly inside it, sorted by
+  name (deterministic fan-out order);
+* a **manifest file** — one trace path per line, ``#`` comments and
+  blank lines ignored, relative paths resolved against the manifest's
+  own directory so a manifest can travel with its traces.
+
+Duplicate paths are collapsed (first occurrence wins) — analyzing the
+same trace twice in one batch would only fight over the same store
+entry.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List
+
+from repro.errors import ConfigurationError
+from repro.service.jobs import JobSpec
+
+__all__ = ["TRACE_SUFFIX", "load_manifest"]
+
+#: File suffix a directory scan picks up.
+TRACE_SUFFIX = ".rpt"
+
+
+def load_manifest(path: str) -> List[JobSpec]:
+    """Expand ``path`` (directory or manifest file) into job specs."""
+    if os.path.isdir(path):
+        specs = [
+            JobSpec(trace_path=os.path.join(path, name))
+            for name in sorted(os.listdir(path))
+            if name.endswith(TRACE_SUFFIX)
+            and os.path.isfile(os.path.join(path, name))
+        ]
+        if not specs:
+            raise ConfigurationError(
+                f"directory {path} contains no {TRACE_SUFFIX} traces"
+            )
+        return specs
+    if not os.path.isfile(path):
+        raise ConfigurationError(f"manifest {path}: no such file or directory")
+    base = os.path.dirname(os.path.abspath(path))
+    specs: List[JobSpec] = []
+    seen = set()
+    with open(path, "r", encoding="utf-8") as handle:
+        for raw in handle:
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            trace_path = line if os.path.isabs(line) else os.path.join(base, line)
+            if trace_path in seen:
+                continue
+            seen.add(trace_path)
+            specs.append(JobSpec(trace_path=trace_path))
+    if not specs:
+        raise ConfigurationError(f"manifest {path} lists no traces")
+    return specs

@@ -1,0 +1,188 @@
+"""Cross-run queries over stored results: diff two analyses.
+
+``repro diff`` answers "did this code get slower between these two
+runs?" from the store alone — no traces re-read, no pipeline re-run.
+:func:`diff_results` aligns two :class:`~repro.analysis.pipeline.
+AnalysisResult` objects cluster-by-cluster (by cluster id) and
+phase-by-phase (by index), then flags:
+
+* **rate regressions** — a phase's per-counter event rate dropped by at
+  least ``threshold`` relative to the baseline (the paper's per-phase
+  rates are exactly what makes this comparable across runs);
+* **duration regressions** — a phase's absolute duration grew by at
+  least ``threshold``;
+* **structural changes** — clusters or phases that appear/disappear or
+  change count, reported as findings rather than silently skipped.
+
+Improvements (rates up, durations down by the same margin) are listed
+separately so a diff reads as a balance sheet, not an alarm feed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.analysis.pipeline import AnalysisResult
+from repro.analysis.report import format_table
+
+__all__ = ["PhaseDelta", "DiffReport", "diff_results"]
+
+
+@dataclass(frozen=True)
+class PhaseDelta:
+    """One per-phase metric change between baseline and candidate."""
+
+    cluster_id: int
+    phase_index: int
+    metric: str  # counter name for rates, "duration_s" for durations
+    baseline: float
+    candidate: float
+
+    @property
+    def rel_change(self) -> float:
+        """Relative change, candidate vs. baseline (0 when baseline is 0)."""
+        if self.baseline == 0:
+            return 0.0
+        return (self.candidate - self.baseline) / self.baseline
+
+    def describe(self) -> str:
+        """One-line rendering."""
+        return (
+            f"cluster {self.cluster_id} phase {self.phase_index} "
+            f"{self.metric}: {self.baseline:.4g} -> {self.candidate:.4g} "
+            f"({self.rel_change:+.1%})"
+        )
+
+
+@dataclass
+class DiffReport:
+    """Outcome of :func:`diff_results`."""
+
+    threshold: float
+    regressions: List[PhaseDelta] = field(default_factory=list)
+    improvements: List[PhaseDelta] = field(default_factory=list)
+    structural: List[str] = field(default_factory=list)
+
+    @property
+    def has_regressions(self) -> bool:
+        """Whether anything got worse (metric or structural)."""
+        return bool(self.regressions) or bool(self.structural)
+
+    def render(self) -> str:
+        """Human-readable diff summary."""
+        lines: List[str] = []
+        if self.structural:
+            lines.append("structural changes:")
+            lines.extend(f"  - {note}" for note in self.structural)
+        for title, deltas in (
+            ("regressions", self.regressions),
+            ("improvements", self.improvements),
+        ):
+            if not deltas:
+                continue
+            rows = [
+                [
+                    str(d.cluster_id),
+                    str(d.phase_index),
+                    d.metric,
+                    f"{d.baseline:.4g}",
+                    f"{d.candidate:.4g}",
+                    f"{d.rel_change:+.1%}",
+                ]
+                for d in deltas
+            ]
+            lines.append(f"{title} (threshold {self.threshold:.0%}):")
+            lines.append(
+                format_table(
+                    ["cluster", "phase", "metric", "baseline", "candidate",
+                     "change"],
+                    rows,
+                )
+            )
+        if not lines:
+            lines.append(
+                f"no changes beyond threshold {self.threshold:.0%} "
+                "(structure identical)"
+            )
+        return "\n".join(lines)
+
+
+def _phase_deltas(
+    cluster_id: int,
+    index: int,
+    metric: str,
+    baseline: float,
+    candidate: float,
+    threshold: float,
+    regressed_when_lower: bool,
+    report: DiffReport,
+) -> None:
+    delta = PhaseDelta(
+        cluster_id=cluster_id,
+        phase_index=index,
+        metric=metric,
+        baseline=float(baseline),
+        candidate=float(candidate),
+    )
+    change = delta.rel_change
+    if abs(change) < threshold:
+        return
+    worse = change < 0 if regressed_when_lower else change > 0
+    (report.regressions if worse else report.improvements).append(delta)
+
+
+def diff_results(
+    baseline: AnalysisResult,
+    candidate: AnalysisResult,
+    threshold: float = 0.10,
+) -> DiffReport:
+    """Compare ``candidate`` against ``baseline``.
+
+    ``threshold`` is the minimum relative change reported (default 10%).
+    """
+    report = DiffReport(threshold=threshold)
+    base_clusters = {c.cluster_id: c for c in baseline.clusters}
+    cand_clusters = {c.cluster_id: c for c in candidate.clusters}
+    for cid in sorted(set(base_clusters) - set(cand_clusters)):
+        report.structural.append(
+            f"cluster {cid} present in baseline only "
+            f"({base_clusters[cid].time_share:.1%} of compute time)"
+        )
+    for cid in sorted(set(cand_clusters) - set(base_clusters)):
+        report.structural.append(
+            f"cluster {cid} present in candidate only "
+            f"({cand_clusters[cid].time_share:.1%} of compute time)"
+        )
+    for cid in sorted(set(base_clusters) & set(cand_clusters)):
+        base_phases = list(base_clusters[cid].phase_set.phases)
+        cand_phases = list(cand_clusters[cid].phase_set.phases)
+        if len(base_phases) != len(cand_phases):
+            report.structural.append(
+                f"cluster {cid}: phase count changed "
+                f"{len(base_phases)} -> {len(cand_phases)}"
+            )
+            continue
+        for index, (bp, cp) in enumerate(zip(base_phases, cand_phases)):
+            _phase_deltas(
+                cid, index, "duration_s", bp.duration_s, cp.duration_s,
+                threshold, regressed_when_lower=False, report=report,
+            )
+            for name in sorted(set(bp.rates) & set(cp.rates)):
+                _phase_deltas(
+                    cid, index, name, bp.rates[name], cp.rates[name],
+                    threshold, regressed_when_lower=True, report=report,
+                )
+    return report
+
+
+def diff_stored(
+    store: "ResultStore",  # noqa: F821 — imported lazily to avoid a cycle
+    fingerprint_a: str,
+    fingerprint_b: str,
+    threshold: float = 0.10,
+) -> DiffReport:
+    """Diff two stored results by (possibly abbreviated) fingerprint."""
+    a = store.get(store.resolve(fingerprint_a))
+    b = store.get(store.resolve(fingerprint_b))
+    return diff_results(a, b, threshold=threshold)

@@ -1,0 +1,243 @@
+"""Batch scheduler: fan a manifest of traces across a bounded worker pool.
+
+:func:`run_batch` is the engine behind ``repro batch``.  Each job runs
+:func:`~repro.store.cache.analyze_cached` — fingerprint, cache lookup,
+pipeline on miss — wrapped in the resilience layer's
+:func:`~repro.resilience.retry.call_with_retry`, so a transiently
+unreadable trace gets ``max_attempts`` tries with deterministic backoff
+while a hard failure is recorded (state ``FAILED``, error preserved)
+without sinking the rest of the batch.
+
+Worker-pool semantics mirror ``AnalyzerConfig.n_jobs``: ``n_workers=1``
+runs inline (no threads — exceptions and profiling behave exactly like a
+loop), ``n_workers>1`` uses a thread pool.  Each worker re-activates the
+submitting thread's observability context, so queue depth
+(``service.queue_depth`` gauge), per-state job counters
+(``service.jobs.done`` / ``.cached`` / ``.failed``), job latency
+(``service.job_seconds`` histogram) and the store's hit/miss counters
+all land in one merged registry.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.analysis.pipeline import AnalyzerConfig
+from repro.analysis.report import format_table
+from repro.errors import ConfigurationError
+from repro.observability.context import counter as _metric_counter
+from repro.observability.context import current as _current_obs
+from repro.observability.context import gauge as _metric_gauge
+from repro.observability.context import histogram as _metric_histogram
+from repro.resilience.diagnostics import Diagnostics
+from repro.resilience.retry import RetryPolicy, call_with_retry
+from repro.service.jobs import JobRecord, JobSpec, JobState
+from repro.store.artifacts import ResultStore
+from repro.store.cache import analyze_cached
+
+__all__ = ["BatchConfig", "BatchReport", "run_batch"]
+
+#: Bucket bounds for the job latency histogram (seconds).
+_JOB_SECONDS_BOUNDS = (0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 15.0, 60.0, 300.0)
+
+
+@dataclass(frozen=True)
+class BatchConfig:
+    """Scheduler policy for one batch run."""
+
+    n_workers: int = 1
+    max_attempts: int = 1
+    backoff_base_s: float = 0.0
+    salvage: bool = False
+    analyzer: AnalyzerConfig = field(default_factory=AnalyzerConfig)
+
+    def __post_init__(self) -> None:
+        if self.n_workers < 1:
+            raise ConfigurationError(
+                f"batch config: n_workers must be >= 1, got {self.n_workers}"
+            )
+
+    @property
+    def retry_policy(self) -> RetryPolicy:
+        """The per-job retry policy this config implies."""
+        return RetryPolicy(
+            max_attempts=self.max_attempts, backoff_base_s=self.backoff_base_s
+        )
+
+
+@dataclass
+class BatchReport:
+    """Everything one :func:`run_batch` call did."""
+
+    records: List[JobRecord]
+    wall_s: float
+    diagnostics: Diagnostics
+
+    # ------------------------------------------------------------------
+    def _count(self, state: JobState) -> int:
+        return sum(1 for r in self.records if r.state == state)
+
+    @property
+    def n_jobs(self) -> int:
+        """Total jobs scheduled."""
+        return len(self.records)
+
+    @property
+    def n_done(self) -> int:
+        """Jobs that ran the pipeline to completion."""
+        return self._count(JobState.DONE)
+
+    @property
+    def n_cached(self) -> int:
+        """Jobs satisfied from the store without running the pipeline."""
+        return self._count(JobState.CACHED)
+
+    @property
+    def n_failed(self) -> int:
+        """Jobs that exhausted their attempts."""
+        return self._count(JobState.FAILED)
+
+    @property
+    def ok(self) -> bool:
+        """Whether every job produced a stored result."""
+        return self.n_failed == 0
+
+    @property
+    def cache_hit_ratio(self) -> float:
+        """Fraction of successful jobs served from the store."""
+        successes = self.n_done + self.n_cached
+        return self.n_cached / successes if successes else 0.0
+
+    # ------------------------------------------------------------------
+    def render_status(self) -> str:
+        """Human-readable per-job table plus a summary line."""
+        rows = []
+        for record in self.records:
+            rows.append(
+                [
+                    record.spec.label,
+                    str(record.state),
+                    str(record.attempts),
+                    f"{record.wall_s:.3f}",
+                    record.short_fingerprint,
+                    str(record.n_clusters),
+                    str(record.n_phases),
+                    record.error or record.worst_diagnostic or "",
+                ]
+            )
+        table = format_table(
+            ["trace", "state", "tries", "wall_s", "fingerprint", "clusters",
+             "phases", "note"],
+            rows,
+        )
+        summary = (
+            f"{self.n_jobs} job(s): {self.n_done} analyzed, "
+            f"{self.n_cached} cached, {self.n_failed} failed "
+            f"(hit ratio {self.cache_hit_ratio:.0%}) in {self.wall_s:.3f}s"
+        )
+        return f"{table}\n{summary}"
+
+
+def _run_job(
+    record: JobRecord,
+    store: ResultStore,
+    config: BatchConfig,
+    diagnostics: Diagnostics,
+    lock: threading.Lock,
+    pending: List[int],
+) -> None:
+    """Execute one job in place, updating ``record`` and the metrics."""
+    record.state = JobState.RUNNING
+    start = time.perf_counter()
+
+    def attempt():
+        record.attempts += 1
+        return analyze_cached(
+            record.spec.trace_path,
+            store,
+            config=config.analyzer,
+            salvage=config.salvage,
+        )
+
+    try:
+        cached = call_with_retry(
+            attempt,
+            config.retry_policy,
+            diagnostics=diagnostics,
+            label=f"analyze {record.spec.label}",
+        )
+    except Exception as exc:  # noqa: BLE001 — a job must not sink the batch
+        record.state = JobState.FAILED
+        record.error = f"{type(exc).__name__}: {exc}"
+        with lock:
+            diagnostics.error(
+                "service",
+                f"job {record.spec.label} failed after "
+                f"{record.attempts} attempt(s)",
+                error=record.error,
+            )
+        _metric_counter("service.jobs.failed").inc()
+    else:
+        record.state = JobState.CACHED if cached.cache_hit else JobState.DONE
+        record.fingerprint = cached.fingerprint
+        record.n_clusters = cached.result.n_clusters_analyzed
+        record.n_phases = sum(c.n_phases for c in cached.result.clusters)
+        worst = cached.result.diagnostics.worst
+        record.worst_diagnostic = None if worst is None else str(worst)
+        _metric_counter(
+            "service.jobs.cached" if cached.cache_hit else "service.jobs.done"
+        ).inc()
+    finally:
+        record.wall_s = time.perf_counter() - start
+        _metric_histogram(
+            "service.job_seconds", bounds=_JOB_SECONDS_BOUNDS
+        ).observe(record.wall_s)
+        with lock:
+            pending[0] -= 1
+            _metric_gauge("service.queue_depth").set(pending[0])
+
+
+def run_batch(
+    specs: Sequence[JobSpec],
+    store: ResultStore,
+    config: Optional[BatchConfig] = None,
+) -> BatchReport:
+    """Analyze every spec through ``store``; never raises for job failures.
+
+    Returns a :class:`BatchReport` whose records preserve the input order
+    regardless of completion order.  Check :attr:`BatchReport.ok` (the
+    CLI turns it into the exit status).
+    """
+    cfg = config or BatchConfig()
+    if not specs:
+        raise ConfigurationError("batch: no jobs to run")
+    records = [JobRecord(spec=spec) for spec in specs]
+    diagnostics = Diagnostics()
+    lock = threading.Lock()
+    pending = [len(records)]
+    _metric_gauge("service.queue_depth").set(pending[0])
+    start = time.perf_counter()
+    if cfg.n_workers == 1 or len(records) == 1:
+        for record in records:
+            _run_job(record, store, cfg, diagnostics, lock, pending)
+    else:
+        # Worker threads start with a fresh contextvars context where the
+        # observability ContextVar is DISABLED; re-activate the caller's.
+        obs = _current_obs()
+
+        def worker(record: JobRecord) -> None:
+            with obs.activate():
+                _run_job(record, store, cfg, diagnostics, lock, pending)
+
+        n_workers = min(cfg.n_workers, len(records))
+        with ThreadPoolExecutor(
+            max_workers=n_workers, thread_name_prefix="repro-batch"
+        ) as pool:
+            for future in [pool.submit(worker, r) for r in records]:
+                future.result()
+    wall_s = time.perf_counter() - start
+    return BatchReport(records=records, wall_s=wall_s, diagnostics=diagnostics)

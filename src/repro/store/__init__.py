@@ -1,0 +1,55 @@
+"""Stable serialization + content-addressed storage of analysis results.
+
+The pipeline is expensive and deterministic; its input (a trace file plus
+an :class:`~repro.analysis.pipeline.AnalyzerConfig`) fully determines its
+output.  This package exploits that:
+
+* :mod:`repro.store.serialize` — a versioned JSON codec for
+  :class:`~repro.analysis.pipeline.AnalysisResult`.  Everything a report,
+  the hint engine, or a cross-run diff needs round-trips exactly (phases,
+  fitted PWLR models, source attributions, diagnostics, profile); the raw
+  folded sample arrays are summarized, not stored (see docs/SERVICE.md).
+* :mod:`repro.store.fingerprint` — the content address: a digest of the
+  trace bytes plus the semantic analyzer configuration.  Knobs that
+  cannot change results (``n_jobs``, ``profile``, ``progress_every``) are
+  excluded, so a parallel re-run hits the cache of a serial one.
+* :mod:`repro.store.artifacts` — :class:`ResultStore`, the on-disk
+  fingerprint-keyed artifact store with atomic writes.
+* :mod:`repro.store.cache` — :func:`analyze_cached`, the read-through
+  cache wrapper around the pipeline that `repro batch` and
+  ``repro analyze --store`` share.
+"""
+
+from repro.store.artifacts import ResultStore, StoreEntry
+from repro.store.cache import CachedAnalysis, analyze_cached
+from repro.store.fingerprint import (
+    config_fingerprint_dict,
+    config_from_dict,
+    config_to_dict,
+    fingerprint_trace_file,
+    fingerprint_trace_text,
+)
+from repro.store.serialize import (
+    RESULT_FORMAT,
+    result_from_dict,
+    result_from_json,
+    result_to_dict,
+    result_to_json,
+)
+
+__all__ = [
+    "RESULT_FORMAT",
+    "result_to_dict",
+    "result_from_dict",
+    "result_to_json",
+    "result_from_json",
+    "config_to_dict",
+    "config_from_dict",
+    "config_fingerprint_dict",
+    "fingerprint_trace_file",
+    "fingerprint_trace_text",
+    "ResultStore",
+    "StoreEntry",
+    "CachedAnalysis",
+    "analyze_cached",
+]

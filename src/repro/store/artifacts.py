@@ -1,0 +1,226 @@
+"""Content-addressed on-disk store of serialized analysis results.
+
+Layout (one JSON envelope per artifact, sharded by digest prefix so a
+directory never accumulates millions of entries)::
+
+    <root>/
+      objects/
+        ab/
+          ab3f...e1.json      # {"format", "fingerprint", "meta", "result"}
+
+Writes are atomic (temp file + ``os.replace`` in the same directory), so
+a crashed writer never leaves a half-artifact a reader could load, and
+concurrent writers of the *same* fingerprint are idempotent — they
+produce identical bytes, so last-replace-wins is harmless.  The envelope
+carries a small ``meta`` block (app name, source trace path, creation
+time, analyzer config, headline counts) so ``repro query`` can list a
+store without deserializing full results.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, Iterator, List, Mapping, Optional, Tuple
+
+from repro.analysis.pipeline import AnalysisResult
+from repro.errors import AnalysisError
+from repro.observability.context import counter as _metric_counter
+from repro.store.serialize import RESULT_FORMAT, result_from_dict, result_to_dict
+
+__all__ = ["StoreEntry", "ResultStore", "STORE_FORMAT"]
+
+#: Envelope format identifier.
+STORE_FORMAT = "repro-store/1"
+
+_FULL_DIGEST_LEN = 64
+
+
+@dataclass(frozen=True)
+class StoreEntry:
+    """One stored artifact as listed by :meth:`ResultStore.entries`."""
+
+    fingerprint: str
+    app_name: str
+    trace_path: str
+    created_unix: float
+    n_clusters: int
+    n_phases: int
+    worst_diagnostic: Optional[str]
+
+    @property
+    def short(self) -> str:
+        """Abbreviated fingerprint for tables."""
+        return self.fingerprint[:12]
+
+
+class ResultStore:
+    """Fingerprint-keyed store of serialized analysis results."""
+
+    def __init__(self, root: str) -> None:
+        self.root = root
+
+    # ------------------------------------------------------------------
+    def _object_path(self, fingerprint: str) -> str:
+        self._check_fingerprint(fingerprint)
+        return os.path.join(
+            self.root, "objects", fingerprint[:2], f"{fingerprint}.json"
+        )
+
+    @staticmethod
+    def _check_fingerprint(fingerprint: str) -> None:
+        if len(fingerprint) != _FULL_DIGEST_LEN or not all(
+            c in "0123456789abcdef" for c in fingerprint
+        ):
+            raise AnalysisError(
+                f"malformed fingerprint {fingerprint!r} "
+                f"(expected {_FULL_DIGEST_LEN} hex chars)"
+            )
+
+    # ------------------------------------------------------------------
+    def has(self, fingerprint: str) -> bool:
+        """Whether an artifact exists for ``fingerprint``."""
+        return os.path.exists(self._object_path(fingerprint))
+
+    def put(
+        self,
+        fingerprint: str,
+        result: AnalysisResult,
+        meta: Optional[Mapping[str, Any]] = None,
+    ) -> str:
+        """Store ``result`` under ``fingerprint``; returns the object path.
+
+        The write is atomic; re-putting an existing fingerprint rewrites
+        the identical result bytes (only ``meta.created_unix`` moves).
+        """
+        path = self._object_path(fingerprint)
+        envelope: Dict[str, Any] = {
+            "format": STORE_FORMAT,
+            "fingerprint": fingerprint,
+            "meta": self._build_meta(result, meta),
+            "result": result_to_dict(result),
+        }
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        fd, tmp_path = tempfile.mkstemp(
+            dir=os.path.dirname(path), prefix=".tmp-", suffix=".json"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(envelope, handle, sort_keys=True)
+            os.replace(tmp_path, path)
+        except BaseException:
+            if os.path.exists(tmp_path):
+                os.unlink(tmp_path)
+            raise
+        _metric_counter("store.puts").inc()
+        return path
+
+    @staticmethod
+    def _build_meta(
+        result: AnalysisResult, extra: Optional[Mapping[str, Any]]
+    ) -> Dict[str, Any]:
+        worst = result.diagnostics.worst
+        meta: Dict[str, Any] = {
+            "app_name": result.app_name,
+            "created_unix": time.time(),
+            "n_clusters": result.n_clusters_analyzed,
+            "n_phases": sum(c.n_phases for c in result.clusters),
+            "worst_diagnostic": None if worst is None else str(worst),
+        }
+        if extra:
+            meta.update(extra)
+        return meta
+
+    def get(self, fingerprint: str) -> AnalysisResult:
+        """Load the result stored under ``fingerprint``."""
+        envelope = self._load_envelope(self._object_path(fingerprint))
+        _metric_counter("store.gets").inc()
+        return result_from_dict(envelope["result"])
+
+    def get_meta(self, fingerprint: str) -> Dict[str, Any]:
+        """Load only the ``meta`` block (cheap relative to a full get)."""
+        return dict(self._load_envelope(self._object_path(fingerprint))["meta"])
+
+    @staticmethod
+    def _load_envelope(path: str) -> Dict[str, Any]:
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                envelope = json.load(handle)
+        except FileNotFoundError:
+            raise AnalysisError(
+                f"no stored result at {path} (not analyzed yet?)"
+            ) from None
+        except (OSError, json.JSONDecodeError) as exc:
+            raise AnalysisError(f"cannot read stored result {path}: {exc}") from None
+        if not isinstance(envelope, dict) or envelope.get("format") != STORE_FORMAT:
+            raise AnalysisError(
+                f"{path} is not a {STORE_FORMAT} artifact "
+                f"(format={envelope.get('format') if isinstance(envelope, dict) else None!r})"
+            )
+        result = envelope.get("result")
+        if not isinstance(result, dict) or result.get("format") != RESULT_FORMAT:
+            raise AnalysisError(f"{path}: envelope carries no usable result")
+        return envelope
+
+    # ------------------------------------------------------------------
+    def fingerprints(self) -> List[str]:
+        """Every stored fingerprint, sorted."""
+        objects = os.path.join(self.root, "objects")
+        if not os.path.isdir(objects):
+            return []
+        found: List[str] = []
+        for shard in sorted(os.listdir(objects)):
+            shard_dir = os.path.join(objects, shard)
+            if not os.path.isdir(shard_dir):
+                continue
+            for name in sorted(os.listdir(shard_dir)):
+                if name.endswith(".json") and not name.startswith("."):
+                    found.append(name[: -len(".json")])
+        return found
+
+    def entries(self) -> Iterator[StoreEntry]:
+        """Iterate the store's artifacts as :class:`StoreEntry` rows.
+
+        Unreadable artifacts (foreign files, partial manual copies) are
+        skipped rather than aborting the listing.
+        """
+        for fingerprint in self.fingerprints():
+            try:
+                meta = self.get_meta(fingerprint)
+            except AnalysisError:
+                continue
+            yield StoreEntry(
+                fingerprint=fingerprint,
+                app_name=str(meta.get("app_name", "")),
+                trace_path=str(meta.get("trace_path", "")),
+                created_unix=float(meta.get("created_unix", 0.0)),
+                n_clusters=int(meta.get("n_clusters", 0)),
+                n_phases=int(meta.get("n_phases", 0)),
+                worst_diagnostic=meta.get("worst_diagnostic"),
+            )
+
+    def resolve(self, prefix: str) -> str:
+        """Expand a fingerprint prefix to the unique stored fingerprint."""
+        prefix = prefix.lower()
+        if not prefix:
+            raise AnalysisError("empty fingerprint prefix")
+        matches = [fp for fp in self.fingerprints() if fp.startswith(prefix)]
+        if not matches:
+            raise AnalysisError(
+                f"no stored result matches fingerprint prefix {prefix!r}"
+            )
+        if len(matches) > 1:
+            shorts = ", ".join(m[:12] for m in matches[:5])
+            raise AnalysisError(
+                f"fingerprint prefix {prefix!r} is ambiguous: {shorts}"
+            )
+        return matches[0]
+
+    def __len__(self) -> int:
+        return len(self.fingerprints())
+
+    def __repr__(self) -> str:
+        return f"ResultStore({self.root!r}, {len(self)} artifact(s))"

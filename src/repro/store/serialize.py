@@ -1,0 +1,574 @@
+"""Versioned JSON serialization of :class:`AnalysisResult`.
+
+The codec is built for three consumers: report re-rendering (``repro
+query``), the hint engine, and cross-run diff queries.  Everything those
+paths read round-trips *exactly* — floats are emitted with ``repr``
+semantics (Python's ``json`` module already guarantees shortest-repr
+round-trip for doubles), integer-keyed mappings are encoded as pairs so
+keys keep their type, and diagnostic context values that JSON cannot
+represent natively (nested int-keyed dicts, tuples) are carried as tagged
+``repr`` literals restored with :func:`ast.literal_eval`.
+
+The raw folded sample arrays (tens of thousands of points per cluster)
+are deliberately summarized rather than stored: a stored result answers
+"what did the analysis conclude", not "re-run the fit".  The stand-in
+classes below (:class:`BurstsSummary`, :class:`InstancesSummary`,
+:class:`FoldedSummary`, :class:`FeaturesSummary`) expose exactly the
+attributes reports and hints consume, so a deserialized
+:class:`~repro.analysis.pipeline.AnalysisResult` renders byte-identically
+to the live one (asserted in ``tests/test_store_roundtrip.py``).
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.analysis.pipeline import AnalysisResult, ClusterAnalysis
+from repro.clustering.alignment import SPMDReport
+from repro.clustering.dbscan import DBSCANResult
+from repro.errors import AnalysisError
+from repro.fitting.pwlr import PiecewiseLinearModel
+from repro.folding.filtering import FilterReport
+from repro.folding.reconstruct import Reconstruction
+from repro.observability.spans import Profile
+from repro.phases.detect import Phase, PhaseSet
+from repro.phases.mapping import PhaseSourceAttribution
+from repro.resilience.diagnostics import DiagnosticEvent, Diagnostics, Severity
+from repro.trace.stats import TraceStats
+
+__all__ = [
+    "RESULT_FORMAT",
+    "BurstsSummary",
+    "FeaturesSummary",
+    "InstancesSummary",
+    "FoldedSummary",
+    "result_to_dict",
+    "result_from_dict",
+    "result_to_json",
+    "result_from_json",
+]
+
+#: Store format identifier; bump on any incompatible schema change.
+RESULT_FORMAT = "repro-result/1"
+
+
+# ----------------------------------------------------------------------
+# stand-ins for the heavy raw fields
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class BurstsSummary:
+    """Replaces :class:`~repro.clustering.bursts.BurstSet` after a load.
+
+    Reports only ever ask a stored result's burst set for its size and
+    sample count; the bursts themselves live in the trace file.
+    """
+
+    n_bursts: int
+    n_samples: int
+    counter_names: Tuple[str, ...]
+
+    def __len__(self) -> int:
+        return self.n_bursts
+
+
+@dataclass(frozen=True)
+class FeaturesSummary:
+    """Replaces :class:`~repro.clustering.features.FeatureMatrix`."""
+
+    n_points: int
+    n_features: int
+    feature_names: Tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class InstancesSummary:
+    """Replaces :class:`~repro.folding.instances.ClusterInstances`."""
+
+    cluster_id: int
+    n_instances: int
+    n_candidates: int
+    n_pruned_duration: int
+    mean_duration: float
+    n_samples: int
+
+    def __len__(self) -> int:
+        return self.n_instances
+
+
+@dataclass(frozen=True)
+class FoldedSummary:
+    """Replaces :class:`~repro.folding.fold.FoldedCounter` (scalars only)."""
+
+    counter: str
+    n_points: int
+    n_instances: int
+    mean_duration: float
+    mean_total: float
+
+
+@dataclass(frozen=True)
+class CallstacksSummary:
+    """Replaces :class:`~repro.folding.callstack.FoldedCallstacks`.
+
+    Presence of the stand-in preserves the had-stack-samples fact (and
+    therefore re-serialization stability); the stacks themselves are
+    already distilled into the stored attributions.
+    """
+
+    n_points: int
+    n_instances: int
+
+
+# ----------------------------------------------------------------------
+# small encoding helpers
+# ----------------------------------------------------------------------
+_LITERAL_TAG = "!literal"
+
+
+def _encode_value(value: object) -> object:
+    """JSON-safe encoding of one diagnostic-context / attr value.
+
+    Native scalars pass through; anything else (int-keyed dicts, tuples)
+    is carried as a tagged ``repr`` literal so its exact Python rendering
+    — which :meth:`DiagnosticEvent.__str__` embeds in summaries —
+    survives the round trip.
+    """
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    return {_LITERAL_TAG: repr(value)}
+
+
+def _decode_value(value: object) -> object:
+    if isinstance(value, dict) and set(value) == {_LITERAL_TAG}:
+        return ast.literal_eval(value[_LITERAL_TAG])
+    return value
+
+
+def _int_keyed(mapping: Mapping[int, object]) -> List[List[object]]:
+    """Encode an int-keyed dict as pairs (JSON objects stringify keys)."""
+    return [[int(k), mapping[k]] for k in sorted(mapping)]
+
+
+def _from_pairs(pairs) -> Dict[int, object]:
+    return {int(k): v for k, v in pairs}
+
+
+# ----------------------------------------------------------------------
+# component codecs
+# ----------------------------------------------------------------------
+def _stats_to_dict(stats: TraceStats) -> Dict[str, object]:
+    return {
+        "n_ranks": stats.n_ranks,
+        "n_states": stats.n_states,
+        "n_probes": stats.n_probes,
+        "n_samples": stats.n_samples,
+        "duration": float(stats.duration),
+        "compute_time_total": float(stats.compute_time_total),
+        "comm_time_total": float(stats.comm_time_total),
+        "samples_per_second": float(stats.samples_per_second),
+        "mean_sample_period": float(stats.mean_sample_period),
+        "samples_in_mpi_fraction": float(stats.samples_in_mpi_fraction),
+        "per_rank_compute_time": [
+            [int(rank), float(value)]
+            for rank, value in sorted(stats.per_rank_compute_time.items())
+        ],
+    }
+
+
+def _stats_from_dict(data: Mapping[str, object]) -> TraceStats:
+    return TraceStats(
+        n_ranks=int(data["n_ranks"]),
+        n_states=int(data["n_states"]),
+        n_probes=int(data["n_probes"]),
+        n_samples=int(data["n_samples"]),
+        duration=float(data["duration"]),
+        compute_time_total=float(data["compute_time_total"]),
+        comm_time_total=float(data["comm_time_total"]),
+        samples_per_second=float(data["samples_per_second"]),
+        mean_sample_period=float(data["mean_sample_period"]),
+        samples_in_mpi_fraction=float(data["samples_in_mpi_fraction"]),
+        per_rank_compute_time={
+            k: float(v)
+            for k, v in _from_pairs(data["per_rank_compute_time"]).items()
+        },
+    )
+
+
+def _model_to_dict(model: PiecewiseLinearModel) -> Dict[str, object]:
+    return {
+        "breakpoints": [float(b) for b in model.breakpoints],
+        "slopes": [float(s) for s in model.slopes],
+        "intercept": model.intercept,
+        "sse": model.sse,
+        "n_points": model.n_points,
+    }
+
+
+def _model_from_dict(data: Mapping[str, object]) -> PiecewiseLinearModel:
+    return PiecewiseLinearModel(
+        breakpoints=np.asarray(data["breakpoints"], dtype=float),
+        slopes=np.asarray(data["slopes"], dtype=float),
+        intercept=float(data["intercept"]),
+        sse=float(data["sse"]),
+        n_points=int(data["n_points"]),
+    )
+
+
+def _phase_to_dict(phase: Phase) -> Dict[str, object]:
+    return {
+        "index": phase.index,
+        "x_start": phase.x_start,
+        "x_end": phase.x_end,
+        "t_start_s": phase.t_start_s,
+        "duration_s": phase.duration_s,
+        "rates": dict(phase.rates),
+        "metrics": dict(phase.metrics),
+    }
+
+
+def _phase_from_dict(data: Mapping[str, object]) -> Phase:
+    return Phase(
+        index=int(data["index"]),
+        x_start=float(data["x_start"]),
+        x_end=float(data["x_end"]),
+        t_start_s=float(data["t_start_s"]),
+        duration_s=float(data["duration_s"]),
+        rates={str(k): float(v) for k, v in data["rates"].items()},
+        metrics={str(k): float(v) for k, v in data["metrics"].items()},
+    )
+
+
+def _phase_set_to_dict(ps: PhaseSet) -> Dict[str, object]:
+    return {
+        "cluster_id": ps.cluster_id,
+        "phases": [_phase_to_dict(p) for p in ps.phases],
+        "pivot_counter": ps.pivot_counter,
+        "counter_models": {
+            name: _model_to_dict(model)
+            for name, model in sorted(ps.counter_models.items())
+        },
+        "mean_duration": ps.mean_duration,
+        "n_instances": ps.n_instances,
+    }
+
+
+def _phase_set_from_dict(data: Mapping[str, object]) -> PhaseSet:
+    models = {
+        str(name): _model_from_dict(m)
+        for name, m in data["counter_models"].items()
+    }
+    pivot = str(data["pivot_counter"])
+    if pivot not in models:
+        raise AnalysisError(
+            f"stored phase set: pivot model {pivot!r} missing "
+            f"(have {sorted(models)})"
+        )
+    return PhaseSet(
+        cluster_id=int(data["cluster_id"]),
+        phases=[_phase_from_dict(p) for p in data["phases"]],
+        pivot_counter=pivot,
+        pivot_model=models[pivot],
+        counter_models=models,
+        mean_duration=float(data["mean_duration"]),
+        n_instances=int(data["n_instances"]),
+    )
+
+
+def _attribution_to_dict(att: PhaseSourceAttribution) -> Dict[str, object]:
+    return {
+        "phase_index": att.phase_index,
+        "dominant_routine": att.dominant_routine,
+        "confidence": att.confidence,
+        "n_samples": att.n_samples,
+        "routine_shares": dict(att.routine_shares),
+        "top_lines": [[path, line, share] for path, line, share in att.top_lines],
+        "common_prefix": [
+            [routine, path, line] for routine, path, line in att.common_prefix
+        ],
+    }
+
+
+def _attribution_from_dict(data: Mapping[str, object]) -> PhaseSourceAttribution:
+    routine = data["dominant_routine"]
+    return PhaseSourceAttribution(
+        phase_index=int(data["phase_index"]),
+        dominant_routine=None if routine is None else str(routine),
+        confidence=float(data["confidence"]),
+        n_samples=int(data["n_samples"]),
+        routine_shares={
+            str(k): float(v) for k, v in data["routine_shares"].items()
+        },
+        top_lines=tuple(
+            (str(path), int(line), float(share))
+            for path, line, share in data["top_lines"]
+        ),
+        common_prefix=tuple(
+            (str(routine_), str(path), int(line))
+            for routine_, path, line in data["common_prefix"]
+        ),
+    )
+
+
+def _diagnostics_to_dict(diag: Diagnostics) -> List[Dict[str, object]]:
+    return [
+        {
+            "severity": int(event.severity),
+            "stage": event.stage,
+            "message": event.message,
+            "context": {
+                str(k): _encode_value(v) for k, v in event.context.items()
+            },
+        }
+        for event in diag
+    ]
+
+
+def _diagnostics_from_dict(events) -> Diagnostics:
+    # Rebuild DiagnosticEvent records directly (not via Diagnostics.add):
+    # loading a stored result must not re-bump the live metrics bridge.
+    return Diagnostics(
+        events=[
+            DiagnosticEvent(
+                severity=Severity(int(e["severity"])),
+                stage=str(e["stage"]),
+                message=str(e["message"]),
+                context={
+                    str(k): _decode_value(v) for k, v in e["context"].items()
+                },
+            )
+            for e in events
+        ]
+    )
+
+
+def _cluster_to_dict(cluster: ClusterAnalysis) -> Dict[str, object]:
+    instances = cluster.instances
+    return {
+        "cluster_id": cluster.cluster_id,
+        "n_members": cluster.n_members,
+        "time_share": cluster.time_share,
+        "instances": {
+            "n_instances": len(instances),
+            "n_candidates": instances.n_candidates,
+            "n_pruned_duration": instances.n_pruned_duration,
+            "mean_duration": instances.mean_duration,
+            "n_samples": instances.n_samples,
+        },
+        "folded": {
+            name: {
+                "n_points": fc.n_points,
+                "n_instances": fc.n_instances,
+                "mean_duration": fc.mean_duration,
+                "mean_total": fc.mean_total,
+            }
+            for name, fc in sorted(cluster.folded.items())
+        },
+        "filter_reports": [
+            {
+                "filter_name": r.filter_name,
+                "n_before": r.n_before,
+                "n_dropped": r.n_dropped,
+            }
+            for r in cluster.filter_reports
+        ],
+        "phase_set": _phase_set_to_dict(cluster.phase_set),
+        "attributions": [
+            _attribution_to_dict(a) for a in cluster.attributions
+        ],
+        "callstacks": None
+        if cluster.callstacks is None
+        else {
+            "n_points": int(cluster.callstacks.n_points),
+            "n_instances": int(cluster.callstacks.n_instances),
+        },
+        "reconstructions": sorted(cluster.reconstructions),
+    }
+
+
+def _cluster_from_dict(data: Mapping[str, object]) -> ClusterAnalysis:
+    cluster_id = int(data["cluster_id"])
+    inst = data["instances"]
+    instances = InstancesSummary(
+        cluster_id=cluster_id,
+        n_instances=int(inst["n_instances"]),
+        n_candidates=int(inst["n_candidates"]),
+        n_pruned_duration=int(inst["n_pruned_duration"]),
+        mean_duration=float(inst["mean_duration"]),
+        n_samples=int(inst["n_samples"]),
+    )
+    folded = {
+        str(name): FoldedSummary(
+            counter=str(name),
+            n_points=int(f["n_points"]),
+            n_instances=int(f["n_instances"]),
+            mean_duration=float(f["mean_duration"]),
+            mean_total=float(f["mean_total"]),
+        )
+        for name, f in data["folded"].items()
+    }
+    phase_set = _phase_set_from_dict(data["phase_set"])
+    reconstructions: Dict[str, Reconstruction] = {}
+    for counter in data["reconstructions"]:
+        counter = str(counter)
+        model = phase_set.counter_models.get(counter)
+        summary = folded.get(counter)
+        if model is None or summary is None:
+            raise AnalysisError(
+                f"stored cluster {cluster_id}: reconstruction for "
+                f"{counter!r} references a missing model or folded summary"
+            )
+        reconstructions[counter] = Reconstruction(
+            counter=counter,
+            model=model,
+            mean_duration=summary.mean_duration,
+            mean_total=summary.mean_total,
+        )
+    return ClusterAnalysis(
+        cluster_id=cluster_id,
+        n_members=int(data["n_members"]),
+        time_share=float(data["time_share"]),
+        instances=instances,
+        folded=folded,
+        filter_reports=[
+            FilterReport(
+                filter_name=str(r["filter_name"]),
+                n_before=int(r["n_before"]),
+                n_dropped=int(r["n_dropped"]),
+            )
+            for r in data["filter_reports"]
+        ],
+        phase_set=phase_set,
+        attributions=[
+            _attribution_from_dict(a) for a in data["attributions"]
+        ],
+        callstacks=None
+        if data["callstacks"] is None
+        else CallstacksSummary(
+            n_points=int(data["callstacks"]["n_points"]),
+            n_instances=int(data["callstacks"]["n_instances"]),
+        ),
+        reconstructions=reconstructions,
+    )
+
+
+def _spmd_to_dict(spmd: SPMDReport) -> Dict[str, object]:
+    return {
+        "score": spmd.score,
+        "identity_to_reference": _int_keyed(spmd.identity_to_reference),
+        "reference_rank": spmd.reference_rank,
+        "sequence_lengths": _int_keyed(spmd.sequence_lengths),
+    }
+
+
+def _spmd_from_dict(data: Mapping[str, object]) -> SPMDReport:
+    return SPMDReport(
+        score=float(data["score"]),
+        identity_to_reference={
+            k: float(v)
+            for k, v in _from_pairs(data["identity_to_reference"]).items()
+        },
+        reference_rank=int(data["reference_rank"]),
+        sequence_lengths={
+            k: int(v) for k, v in _from_pairs(data["sequence_lengths"]).items()
+        },
+    )
+
+
+# ----------------------------------------------------------------------
+# the public codec
+# ----------------------------------------------------------------------
+def result_to_dict(result: AnalysisResult) -> Dict[str, Any]:
+    """JSON-able representation of ``result`` (format-stamped)."""
+    bursts = result.bursts
+    features = result.features
+    return {
+        "format": RESULT_FORMAT,
+        "app_name": result.app_name,
+        "trace_stats": _stats_to_dict(result.trace_stats),
+        "bursts": {
+            "n_bursts": len(bursts),
+            "n_samples": bursts.n_samples,
+            "counter_names": list(bursts.counter_names),
+        },
+        "features": {
+            "n_points": features.n_points,
+            "n_features": features.n_features,
+            "feature_names": list(features.feature_names),
+        },
+        "clustering": {
+            "labels": [int(v) for v in result.clustering.labels],
+            "eps": result.clustering.eps,
+            "min_pts": result.clustering.min_pts,
+        },
+        "clusters": [_cluster_to_dict(c) for c in result.clusters],
+        "skipped": _int_keyed(result.skipped),
+        "spmd": None if result.spmd is None else _spmd_to_dict(result.spmd),
+        "diagnostics": _diagnostics_to_dict(result.diagnostics),
+        "profile": None if result.profile is None else result.profile.to_dict(),
+    }
+
+
+def result_from_dict(data: Mapping[str, Any]) -> AnalysisResult:
+    """Inverse of :func:`result_to_dict` (format-checked).
+
+    The returned :class:`AnalysisResult` carries lightweight summaries
+    in place of the raw burst/feature/folded arrays — everything reports,
+    hints, and diff queries touch is exact; re-fitting requires the trace.
+    """
+    fmt = data.get("format")
+    if fmt != RESULT_FORMAT:
+        raise AnalysisError(
+            f"not a stored analysis result (format={fmt!r}, "
+            f"expected {RESULT_FORMAT!r})"
+        )
+    bursts = data["bursts"]
+    features = data["features"]
+    clustering = data["clustering"]
+    profile = data.get("profile")
+    return AnalysisResult(
+        app_name=str(data["app_name"]),
+        trace_stats=_stats_from_dict(data["trace_stats"]),
+        bursts=BurstsSummary(
+            n_bursts=int(bursts["n_bursts"]),
+            n_samples=int(bursts["n_samples"]),
+            counter_names=tuple(str(n) for n in bursts["counter_names"]),
+        ),
+        features=FeaturesSummary(
+            n_points=int(features["n_points"]),
+            n_features=int(features["n_features"]),
+            feature_names=tuple(str(n) for n in features["feature_names"]),
+        ),
+        clustering=DBSCANResult(
+            labels=np.asarray(clustering["labels"], dtype=int),
+            eps=float(clustering["eps"]),
+            min_pts=int(clustering["min_pts"]),
+        ),
+        clusters=[_cluster_from_dict(c) for c in data["clusters"]],
+        skipped={k: str(v) for k, v in _from_pairs(data["skipped"]).items()},
+        spmd=None if data["spmd"] is None else _spmd_from_dict(data["spmd"]),
+        diagnostics=_diagnostics_from_dict(data["diagnostics"]),
+        profile=None if profile is None else Profile.from_dict(profile),
+    )
+
+
+def result_to_json(result: AnalysisResult, indent: Optional[int] = None) -> str:
+    """Serialize ``result`` to a JSON string (stable key order)."""
+    return json.dumps(result_to_dict(result), indent=indent, sort_keys=True)
+
+
+def result_from_json(text: str) -> AnalysisResult:
+    """Deserialize a result from :func:`result_to_json` output."""
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise AnalysisError(f"stored result is not valid JSON: {exc}") from None
+    if not isinstance(data, dict):
+        raise AnalysisError(
+            f"stored result must be a JSON object, got {type(data).__name__}"
+        )
+    return result_from_dict(data)

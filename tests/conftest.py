@@ -57,3 +57,13 @@ def multiphase_artifacts(core, small_multiphase_app) -> RunArtifacts:
 def cgpop_artifacts(core, small_cgpop_app) -> RunArtifacts:
     """Full pipeline artifacts for the cgpop app."""
     return run_app(small_cgpop_app, core=core, seed=202)
+
+
+@pytest.fixture(scope="session")
+def multiphase_trace_file(tmp_path_factory, multiphase_trace) -> str:
+    """The multiphase trace written to disk (store/service tests)."""
+    from repro.trace.writer import write_trace
+
+    path = tmp_path_factory.mktemp("traces") / "multiphase.rpt"
+    write_trace(multiphase_trace, str(path))
+    return str(path)

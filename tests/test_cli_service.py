@@ -1,0 +1,176 @@
+"""CLI coverage for the store/service surface: batch, query, diff,
+analyze --store/--strict, and the report --chrome stream fix."""
+
+from __future__ import annotations
+
+import dataclasses
+import shutil
+from types import SimpleNamespace
+
+import pytest
+
+from repro.cli import main
+from repro.store import ResultStore, result_from_json, result_to_json
+
+FAKE_FP = "d" * 64
+
+
+@pytest.fixture(scope="module")
+def service_dirs(tmp_path_factory, multiphase_trace_file):
+    """A traces directory (two identical-bytes traces) and a store path."""
+    root = tmp_path_factory.mktemp("cli-service")
+    traces = root / "traces"
+    traces.mkdir()
+    shutil.copy(multiphase_trace_file, traces / "run1.rpt")
+    shutil.copy(multiphase_trace_file, traces / "run2.rpt")
+    return SimpleNamespace(traces=str(traces), store=str(root / "store"))
+
+
+class TestCliBatch:
+    def test_cold_then_cached(self, service_dirs, capsys):
+        assert main(["-q", "batch", service_dirs.traces,
+                     "--store", service_dirs.store]) == 0
+        first = capsys.readouterr()
+        assert "run1.rpt" in first.out
+        assert "hit ratio" in first.out
+        assert "job latency" in first.err
+        assert main(["-q", "batch", service_dirs.traces,
+                     "--store", service_dirs.store, "--workers", "2"]) == 0
+        second = capsys.readouterr()
+        assert "0 analyzed, 2 cached, 0 failed (hit ratio 100%)" in second.out
+
+    def test_failed_job_exits_nonzero(self, service_dirs, tmp_path, capsys):
+        manifest = tmp_path / "jobs.txt"
+        manifest.write_text(
+            f"{service_dirs.traces}/run1.rpt\n{tmp_path}/missing.rpt\n"
+        )
+        assert main(["-q", "batch", str(manifest),
+                     "--store", service_dirs.store]) == 1
+        captured = capsys.readouterr()
+        assert "failed" in captured.out
+        assert "missing.rpt" in captured.out
+
+    def test_bad_manifest_exits_nonzero(self, tmp_path, capsys):
+        assert main(["-q", "batch", str(tmp_path), "--store",
+                     str(tmp_path / "s")]) == 1
+        assert "batch:" in capsys.readouterr().err
+
+
+class TestCliQuery:
+    def test_listing(self, service_dirs, capsys):
+        assert main(["-q", "query", service_dirs.store]) == 0
+        out = capsys.readouterr().out
+        assert "fingerprint" in out
+        assert "run1.rpt" in out or "run2.rpt" in out
+
+    def test_render_by_prefix(self, service_dirs, capsys):
+        store = ResultStore(service_dirs.store)
+        fingerprint = store.fingerprints()[0]
+        assert main(["-q", "query", service_dirs.store, fingerprint[:8]]) == 0
+        out = capsys.readouterr().out
+        assert "Folding analysis" in out
+        assert fingerprint[:12] in out
+
+    def test_unknown_prefix(self, service_dirs, capsys):
+        assert main(["-q", "query", service_dirs.store, "0000000000"]) == 1
+        assert "query:" in capsys.readouterr().err
+
+    def test_empty_store(self, tmp_path, capsys):
+        assert main(["-q", "query", str(tmp_path / "empty")]) == 0
+        assert "empty" in capsys.readouterr().out
+
+
+class TestCliDiff:
+    def test_identical_exit_zero(self, service_dirs, capsys):
+        store = ResultStore(service_dirs.store)
+        fingerprint = store.fingerprints()[0]
+        assert main(["-q", "diff", service_dirs.store,
+                     fingerprint, fingerprint]) == 0
+        assert "no changes" in capsys.readouterr().out
+
+    def test_regression_exit_one(self, service_dirs, capsys):
+        store = ResultStore(service_dirs.store)
+        fingerprint = store.fingerprints()[0]
+        result = result_from_json(result_to_json(store.get(fingerprint)))
+        phase_set = result.clusters[0].phase_set
+        phase = phase_set.phases[0]
+        phase_set.phases[0] = dataclasses.replace(
+            phase, rates={k: v * 0.5 for k, v in phase.rates.items()}
+        )
+        store.put(FAKE_FP, result)
+        assert main(["-q", "diff", service_dirs.store,
+                     fingerprint, FAKE_FP]) == 1
+        out = capsys.readouterr().out
+        assert "regressions" in out
+
+    def test_unknown_fingerprint(self, service_dirs, capsys):
+        assert main(["-q", "diff", service_dirs.store, "0000", "1111"]) == 1
+        assert "diff:" in capsys.readouterr().err
+
+
+class TestCliAnalyzeStore:
+    def test_cache_hit_note_on_stderr(self, service_dirs, capsys):
+        trace = f"{service_dirs.traces}/run1.rpt"
+        assert main(["-q", "analyze", trace, "--store", service_dirs.store]) == 0
+        captured = capsys.readouterr()
+        # the batch runs above already populated the store for this config
+        assert "cache hit" in captured.err
+        assert "Folding analysis" in captured.out
+        assert "cache hit" not in captured.out
+
+
+class TestCliAnalyzeStrict:
+    @staticmethod
+    def _patch_analysis(monkeypatch, result):
+        monkeypatch.setattr("repro.cli.read_trace", lambda path: object())
+        monkeypatch.setattr(
+            "repro.cli.FoldingAnalyzer",
+            lambda config=None: SimpleNamespace(analyze=lambda trace: result),
+        )
+
+    def test_strict_fails_on_degraded(
+        self, multiphase_artifacts, monkeypatch, capsys
+    ):
+        result = result_from_json(result_to_json(multiphase_artifacts.result))
+        result.diagnostics.degraded("fitting", "fallback breakpoints used")
+        self._patch_analysis(monkeypatch, result)
+        assert main(["-q", "analyze", "ignored.rpt", "--strict"]) == 1
+        captured = capsys.readouterr()
+        assert "strict: diagnostics reached degraded" in captured.err
+        # the report is still printed before the strict exit
+        assert "Folding analysis" in captured.out
+
+    def test_strict_passes_below_degraded(
+        self, multiphase_artifacts, monkeypatch, capsys
+    ):
+        result = result_from_json(result_to_json(multiphase_artifacts.result))
+        assert result.diagnostics.worst is None or (
+            result.diagnostics.worst.value < 2
+        )
+        self._patch_analysis(monkeypatch, result)
+        assert main(["-q", "analyze", "ignored.rpt", "--strict"]) == 0
+
+    def test_without_strict_degraded_still_passes(
+        self, multiphase_artifacts, monkeypatch
+    ):
+        result = result_from_json(result_to_json(multiphase_artifacts.result))
+        result.diagnostics.degraded("fitting", "fallback breakpoints used")
+        self._patch_analysis(monkeypatch, result)
+        assert main(["-q", "analyze", "ignored.rpt"]) == 0
+
+
+class TestCliReportChromeStream:
+    def test_chrome_note_goes_to_stderr(self, tmp_path, capsys):
+        from repro.observability import Observability, span, write_profile_json
+
+        obs = Observability()
+        with obs.activate():
+            with span("stage"):
+                pass
+        profile_path = str(tmp_path / "p.json")
+        write_profile_json(profile_path, obs.profile(), obs.metrics.snapshot())
+        chrome_path = str(tmp_path / "c.json")
+        assert main(["-q", "report", profile_path, "--chrome", chrome_path]) == 0
+        captured = capsys.readouterr()
+        assert "chrome trace written" in captured.err
+        assert "chrome trace written" not in captured.out

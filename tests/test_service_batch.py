@@ -1,0 +1,221 @@
+"""Batch scheduler, manifest loading, and the retry helper."""
+
+from __future__ import annotations
+
+import shutil
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.observability import Observability
+from repro.resilience import Diagnostics, RetryPolicy, call_with_retry
+from repro.service import (
+    BatchConfig,
+    JobState,
+    load_manifest,
+    run_batch,
+)
+from repro.store import ResultStore
+
+
+# ----------------------------------------------------------------------
+# retry helper
+# ----------------------------------------------------------------------
+class TestRetry:
+    def test_success_first_try(self):
+        assert call_with_retry(lambda: 42, RetryPolicy(max_attempts=3)) == 42
+
+    def test_succeeds_after_failures(self):
+        calls = []
+
+        def flaky():
+            calls.append(1)
+            if len(calls) < 3:
+                raise OSError("transient")
+            return "ok"
+
+        diagnostics = Diagnostics()
+        result = call_with_retry(
+            flaky, RetryPolicy(max_attempts=3), diagnostics=diagnostics
+        )
+        assert result == "ok"
+        assert len(calls) == 3
+        # One WARNING per retry (not per attempt).
+        assert len(diagnostics.by_stage("retry")) == 2
+
+    def test_raises_after_exhausting_attempts(self):
+        def always_fails():
+            raise ValueError("permanent")
+
+        with pytest.raises(ValueError, match="permanent"):
+            call_with_retry(always_fails, RetryPolicy(max_attempts=2))
+
+    def test_non_retryable_propagates_immediately(self):
+        calls = []
+
+        def fails():
+            calls.append(1)
+            raise KeyError("nope")
+
+        with pytest.raises(KeyError):
+            call_with_retry(
+                fails, RetryPolicy(max_attempts=5), retry_on=(OSError,)
+            )
+        assert len(calls) == 1
+
+    def test_backoff_schedule_deterministic(self):
+        policy = RetryPolicy(max_attempts=4, backoff_base_s=0.5, backoff_max_s=1.5)
+        assert [policy.delay_s(k) for k in (1, 2, 3)] == [0.5, 1.0, 1.5]
+
+    def test_sleep_called_with_backoff(self):
+        slept = []
+
+        def fails():
+            raise OSError("x")
+
+        with pytest.raises(OSError):
+            call_with_retry(
+                fails,
+                RetryPolicy(max_attempts=3, backoff_base_s=0.25),
+                sleep=slept.append,
+            )
+        assert slept == [0.25, 0.5]
+
+    def test_policy_validation(self):
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(backoff_base_s=-1.0)
+
+
+# ----------------------------------------------------------------------
+# manifests
+# ----------------------------------------------------------------------
+class TestManifest:
+    def test_directory_scan(self, tmp_path):
+        (tmp_path / "b.rpt").write_text("x")
+        (tmp_path / "a.rpt").write_text("x")
+        (tmp_path / "notes.txt").write_text("x")
+        specs = load_manifest(str(tmp_path))
+        assert [s.label for s in specs] == ["a.rpt", "b.rpt"]
+
+    def test_directory_without_traces_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="no .rpt traces"):
+            load_manifest(str(tmp_path))
+
+    def test_manifest_file(self, tmp_path):
+        (tmp_path / "a.rpt").write_text("x")
+        (tmp_path / "b.rpt").write_text("x")
+        manifest = tmp_path / "jobs.txt"
+        manifest.write_text("# batch of two\na.rpt\n\nb.rpt\na.rpt\n")
+        specs = load_manifest(str(manifest))
+        # comments and blanks skipped, duplicate collapsed, paths resolved
+        assert [s.label for s in specs] == ["a.rpt", "b.rpt"]
+        assert all(s.trace_path.startswith(str(tmp_path)) for s in specs)
+
+    def test_missing_manifest_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="no such file"):
+            load_manifest(str(tmp_path / "nope.txt"))
+
+    def test_empty_manifest_rejected(self, tmp_path):
+        manifest = tmp_path / "jobs.txt"
+        manifest.write_text("# nothing\n")
+        with pytest.raises(ConfigurationError, match="lists no traces"):
+            load_manifest(str(manifest))
+
+
+# ----------------------------------------------------------------------
+# the scheduler
+# ----------------------------------------------------------------------
+@pytest.fixture()
+def trace_dir(tmp_path, multiphase_trace_file):
+    """Directory with two copies of the small trace (distinct paths,
+    identical bytes — the second job hits the first job's store entry)."""
+    shutil.copy(multiphase_trace_file, tmp_path / "run1.rpt")
+    shutil.copy(multiphase_trace_file, tmp_path / "run2.rpt")
+    return tmp_path
+
+
+class TestRunBatch:
+    def test_cold_run_then_cached_run(self, trace_dir):
+        store = ResultStore(str(trace_dir / "store"))
+        specs = load_manifest(str(trace_dir))
+        cold = run_batch(specs, store)
+        # identical bytes → same fingerprint → second job is already a hit
+        assert cold.n_done == 1 and cold.n_cached == 1
+        assert cold.ok
+        warm = run_batch(specs, store)
+        assert warm.n_cached == 2 and warm.n_done == 0
+        assert warm.cache_hit_ratio == 1.0
+        assert warm.wall_s < cold.wall_s
+
+    def test_failed_job_does_not_sink_batch(self, trace_dir):
+        store = ResultStore(str(trace_dir / "store"))
+        specs = load_manifest(str(trace_dir))
+        manifest = trace_dir / "jobs.txt"
+        manifest.write_text("run1.rpt\nmissing.rpt\nrun2.rpt\n")
+        report = run_batch(load_manifest(str(manifest)), store)
+        assert report.n_failed == 1
+        assert not report.ok
+        failed = [r for r in report.records if r.state == JobState.FAILED]
+        assert len(failed) == 1
+        assert failed[0].error
+        assert report.diagnostics.by_stage("service")
+        # the two good jobs still completed
+        assert report.n_done + report.n_cached == 2
+
+    def test_retry_attempts_recorded(self, trace_dir):
+        store = ResultStore(str(trace_dir / "store"))
+        manifest = trace_dir / "jobs.txt"
+        manifest.write_text("missing.rpt\n")
+        report = run_batch(
+            load_manifest(str(manifest)),
+            store,
+            BatchConfig(max_attempts=3),
+        )
+        assert report.records[0].attempts == 3
+        assert len(report.diagnostics.by_stage("retry")) == 2
+
+    def test_parallel_matches_serial(self, trace_dir):
+        serial_store = ResultStore(str(trace_dir / "s1"))
+        parallel_store = ResultStore(str(trace_dir / "s2"))
+        specs = load_manifest(str(trace_dir))
+        serial = run_batch(specs, serial_store, BatchConfig(n_workers=1))
+        parallel = run_batch(specs, parallel_store, BatchConfig(n_workers=4))
+        assert [r.fingerprint for r in serial.records] == [
+            r.fingerprint for r in parallel.records
+        ]
+        assert serial_store.fingerprints() == parallel_store.fingerprints()
+
+    def test_metrics_merged_across_workers(self, trace_dir):
+        store = ResultStore(str(trace_dir / "store"))
+        specs = load_manifest(str(trace_dir))
+        obs = Observability()
+        with obs.activate():
+            run_batch(specs, store, BatchConfig(n_workers=2))
+        snapshot = obs.metrics.snapshot()
+        # identical trace bytes: with 2 workers the second job is either a
+        # cache hit (first finished already) or an independent miss (race)
+        assert (
+            snapshot.get("service.jobs.done", 0)
+            + snapshot.get("service.jobs.cached", 0)
+        ) == 2
+        assert snapshot["service.queue_depth"] == 0
+        assert snapshot["service.job_seconds.count"] == 2
+        assert snapshot["store.puts"] >= 1
+
+    def test_render_status_table(self, trace_dir):
+        store = ResultStore(str(trace_dir / "store"))
+        report = run_batch(load_manifest(str(trace_dir)), store)
+        text = report.render_status()
+        assert "run1.rpt" in text and "run2.rpt" in text
+        assert "2 job(s)" in text
+        assert "hit ratio" in text
+
+    def test_empty_specs_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="no jobs"):
+            run_batch([], ResultStore(str(tmp_path)))
+
+    def test_worker_validation(self):
+        with pytest.raises(ConfigurationError):
+            BatchConfig(n_workers=0)

@@ -1,0 +1,119 @@
+"""Cross-run diff queries: injected regressions must be flagged."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.service import diff_results, diff_stored
+from repro.store import ResultStore, result_from_json, result_to_json
+
+FP_A = "a" * 64
+FP_B = "b" * 64
+
+
+def _copy(result):
+    """Deep, independent copy via the serialization codec."""
+    return result_from_json(result_to_json(result))
+
+
+def _scale_phase(result, cluster_index, phase_index, rate_scale=1.0,
+                 duration_scale=1.0):
+    """Return a copy of ``result`` with one phase's rates/duration scaled."""
+    copied = _copy(result)
+    phase_set = copied.clusters[cluster_index].phase_set
+    phase = phase_set.phases[phase_index]
+    phase_set.phases[phase_index] = dataclasses.replace(
+        phase,
+        rates={k: v * rate_scale for k, v in phase.rates.items()},
+        duration_s=phase.duration_s * duration_scale,
+    )
+    return copied
+
+
+class TestDiffResults:
+    def test_identical_results_clean(self, multiphase_artifacts):
+        report = diff_results(
+            multiphase_artifacts.result, _copy(multiphase_artifacts.result)
+        )
+        assert not report.has_regressions
+        assert not report.regressions
+        assert not report.structural
+        assert "no changes" in report.render()
+
+    def test_injected_rate_regression_flagged(self, multiphase_artifacts):
+        baseline = multiphase_artifacts.result
+        candidate = _scale_phase(baseline, 0, 0, rate_scale=0.8)  # 20% slower
+        report = diff_results(baseline, candidate, threshold=0.10)
+        assert report.has_regressions
+        cluster_id = baseline.clusters[0].cluster_id
+        flagged = {
+            (d.cluster_id, d.phase_index) for d in report.regressions
+        }
+        assert (cluster_id, 0) in flagged
+        counters = {d.metric for d in report.regressions}
+        assert any(m.startswith("PAPI_") for m in counters)
+        # every flagged delta really crossed the threshold
+        assert all(abs(d.rel_change) >= 0.10 for d in report.regressions)
+
+    def test_rate_increase_is_improvement(self, multiphase_artifacts):
+        baseline = multiphase_artifacts.result
+        candidate = _scale_phase(baseline, 0, 0, rate_scale=1.3)
+        report = diff_results(baseline, candidate, threshold=0.10)
+        assert not report.regressions
+        assert report.improvements
+
+    def test_duration_increase_is_regression(self, multiphase_artifacts):
+        baseline = multiphase_artifacts.result
+        candidate = _scale_phase(baseline, 0, 0, duration_scale=1.5)
+        report = diff_results(baseline, candidate, threshold=0.10)
+        durations = [d for d in report.regressions if d.metric == "duration_s"]
+        assert len(durations) == 1
+        assert durations[0].rel_change == pytest.approx(0.5)
+
+    def test_threshold_filters_small_changes(self, multiphase_artifacts):
+        baseline = multiphase_artifacts.result
+        candidate = _scale_phase(baseline, 0, 0, rate_scale=0.95)  # only 5%
+        assert not diff_results(baseline, candidate, threshold=0.10).regressions
+        assert diff_results(baseline, candidate, threshold=0.01).regressions
+
+    def test_missing_cluster_is_structural(self, multiphase_artifacts):
+        baseline = multiphase_artifacts.result
+        candidate = _copy(baseline)
+        dropped = candidate.clusters.pop(0)
+        report = diff_results(baseline, candidate)
+        assert report.has_regressions
+        assert any(
+            f"cluster {dropped.cluster_id} present in baseline only" in note
+            for note in report.structural
+        )
+
+    def test_phase_count_change_is_structural(self, multiphase_artifacts):
+        baseline = multiphase_artifacts.result
+        candidate = _copy(baseline)
+        phase_set = candidate.clusters[0].phase_set
+        if len(phase_set.phases) < 2:
+            pytest.skip("needs a multi-phase cluster")
+        phase_set.phases.pop()
+        report = diff_results(baseline, candidate)
+        assert any("phase count changed" in note for note in report.structural)
+
+    def test_render_contains_table(self, multiphase_artifacts):
+        baseline = multiphase_artifacts.result
+        candidate = _scale_phase(baseline, 0, 0, rate_scale=0.5)
+        text = diff_results(baseline, candidate).render()
+        assert "regressions (threshold 10%):" in text
+        assert "baseline" in text and "candidate" in text
+
+
+class TestDiffStored:
+    def test_diff_through_store_with_prefixes(self, tmp_path, multiphase_artifacts):
+        store = ResultStore(str(tmp_path / "store"))
+        baseline = multiphase_artifacts.result
+        store.put(FP_A, baseline)
+        store.put(FP_B, _scale_phase(baseline, 0, 0, rate_scale=0.7))
+        report = diff_stored(store, "aaaa", "bbbb", threshold=0.10)
+        assert report.has_regressions
+        clean = diff_stored(store, FP_A, FP_A)
+        assert not clean.has_regressions
