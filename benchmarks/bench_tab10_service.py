@@ -12,10 +12,19 @@ bytes and loads JSON.  Claims:
   orders of magnitude faster — the floor is deliberately conservative);
 * fanning the cold pass across workers does not change what lands in
   the store (same fingerprints, same artifacts).
+
+Hardened-service section: the crash-safety layer keeps those claims
+under failure.  An interrupted batch (simulated SIGINT after the first
+job) resumed with ``--resume`` ends with a store whose artifacts are
+payload-identical to an uninterrupted run's, re-executing only the jobs
+the journal does not vouch for; and deadline mode (every attempt in a
+watched, killable worker process) still serves a warmed manifest
+entirely from cache.
 """
 
 from __future__ import annotations
 
+import json
 import os
 import sys
 import tempfile
@@ -24,6 +33,7 @@ from typing import Dict, List, Tuple
 
 import common
 from repro.analysis.experiments import default_core
+from repro.resilience import sigint_after_n_jobs
 from repro.runtime.engine import ExecutionEngine
 from repro.runtime.sampler import SamplerConfig
 from repro.runtime.tracer import Tracer, TracerConfig
@@ -100,6 +110,78 @@ def service_report(specs, workers: int = 2) -> Dict[str, float]:
         }
 
 
+def hardened_report(specs) -> Dict[str, float]:
+    """Interrupt + resume equivalence, and deadline-mode cache serving."""
+    with tempfile.TemporaryDirectory(prefix="tab10-hard-") as root:
+        traces = os.path.join(root, "traces")
+        os.makedirs(traces)
+        _write_traces(traces, specs)
+        jobs = load_manifest(traces)
+
+        pristine = ResultStore(os.path.join(root, "pristine"))
+        t0 = time.perf_counter()
+        uninterrupted = run_batch(jobs, pristine)
+        uninterrupted_wall = time.perf_counter() - t0
+        assert uninterrupted.ok
+
+        # Simulated Ctrl-C after the first job reaches a terminal state.
+        store = ResultStore(os.path.join(root, "store"))
+        interrupted = run_batch(
+            jobs, store, BatchConfig(faults=sigint_after_n_jobs(1))
+        )
+        assert interrupted.interrupted is not None
+        assert not interrupted.ok
+        n_cancelled = interrupted.n_cancelled
+
+        t0 = time.perf_counter()
+        resumed = run_batch(jobs, store, BatchConfig(resume=True))
+        resume_wall = time.perf_counter() - t0
+        assert resumed.ok
+        assert resumed.n_resumed >= 1, "journal did not vouch for any job"
+
+        # The resumed store is payload-identical to the uninterrupted one.
+        assert sorted(store.fingerprints()) == sorted(pristine.fingerprints())
+        for fingerprint in store.fingerprints():
+            with open(store.object_path(fingerprint)) as fh:
+                a = json.load(fh)
+            with open(pristine.object_path(fingerprint)) as fh:
+                b = json.load(fh)
+            assert a["digest"] == b["digest"] and a["result"] == b["result"], (
+                "resumed artifact diverged from the uninterrupted run"
+            )
+
+        # Deadline mode over the warmed store: every attempt runs in a
+        # watched worker process, yet the manifest is served from cache.
+        t0 = time.perf_counter()
+        watched = run_batch(jobs, store, BatchConfig(deadline_s=120.0))
+        watched_wall = time.perf_counter() - t0
+        assert watched.ok and watched.n_timeout == 0
+        assert watched.cache_hit_ratio == 1.0
+
+        return {
+            "uninterrupted_wall_s": uninterrupted_wall,
+            "resume_wall_s": resume_wall,
+            "watched_cached_wall_s": watched_wall,
+            "n_cancelled": float(n_cancelled),
+            "n_resumed": float(resumed.n_resumed),
+        }
+
+
+def print_hardened_report(report: Dict[str, float]) -> None:
+    print(
+        f"hardened: interrupt cancelled {int(report['n_cancelled'])} job(s); "
+        f"resume skipped {int(report['n_resumed'])} via journal "
+        f"in {report['resume_wall_s']:.3f}s "
+        f"(uninterrupted {report['uninterrupted_wall_s']:.3f}s); "
+        f"store payloads identical"
+    )
+    print(
+        f"hardened: deadline-watched cached re-batch "
+        f"{report['watched_cached_wall_s']:.3f}s (100% hits through "
+        f"killable worker processes)"
+    )
+
+
 def print_report(report: Dict[str, float]) -> None:
     n = int(report["n_traces"])
     print(f"{'mode':<28} {'wall':>10} {'traces/s':>10}")
@@ -129,6 +211,8 @@ def smoke() -> None:
         f"cached re-batch speedup collapsed: {report['speedup']:.1f}x "
         f"< {SMOKE_SPEEDUP_FLOOR}x"
     )
+    hardened = hardened_report(SMOKE_TRACES)
+    print_hardened_report(hardened)
     print("TAB-10 smoke: PASS")
 
 
@@ -148,6 +232,9 @@ def main() -> None:
     assert report["speedup"] >= FULL_SPEEDUP_FLOOR, (
         f"cached speedup {report['speedup']:.1f}x < {FULL_SPEEDUP_FLOOR}x"
     )
+    hardened = hardened_report(FULL_TRACES)
+    print_hardened_report(hardened)
+    report = {**report, **hardened}
     series = FigureSeries("tab10_service")
     for column in (
         "n_traces",
@@ -156,6 +243,9 @@ def main() -> None:
         "fanned_wall_s",
         "cache_hit_ratio",
         "speedup",
+        "uninterrupted_wall_s",
+        "resume_wall_s",
+        "watched_cached_wall_s",
     ):
         series.add_column(column, [report[column]])
     print(f"\nseries written to {common.save_series(series)}")

@@ -13,6 +13,8 @@ Mirrors the real toolchain's workflow split::
     python -m repro report p.json                 # where-did-the-time-go
     python -m repro demo --app pmemd --optimize   # full methodology + case study
     python -m repro batch traces/ --store st/     # analyze a whole directory
+    python -m repro batch traces/ --store st/ --deadline 60 --resume
+    python -m repro store fsck st/ --repair       # integrity scan + repair
     python -m repro query st/                     # list stored results
     python -m repro query st/ 617f477ff543        # re-render one stored report
     python -m repro diff st/ FP_A FP_B            # per-phase rate regressions
@@ -38,7 +40,13 @@ from repro.analysis.hints import generate_hints
 from repro.analysis.methodology import describe_application, run_case_study
 from repro.analysis.pipeline import AnalyzerConfig, FoldingAnalyzer
 from repro.analysis.report import render_report, render_store_listing
-from repro.errors import AnalysisError, ReproError, SalvageError, TraceFormatError
+from repro.errors import (
+    AnalysisError,
+    ReproError,
+    SalvageError,
+    StoreLockError,
+    TraceFormatError,
+)
 from repro.machine.cpu import CoreModel
 from repro.machine.spec import MachineSpec
 from repro.observability import (
@@ -57,7 +65,7 @@ from repro.runtime.engine import ExecutionEngine
 from repro.runtime.sampler import SamplerConfig
 from repro.runtime.tracer import Tracer, TracerConfig
 from repro.service import BatchConfig, diff_stored, load_manifest, run_batch
-from repro.store import ResultStore, analyze_cached
+from repro.store import ResultStore, analyze_cached, fsck_store
 from repro.trace.reader import read_trace, read_trace_salvaged
 from repro.trace.stats import compute_stats
 from repro.trace.writer import write_trace
@@ -282,17 +290,35 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     except ReproError as exc:
         print(f"batch: {exc}", file=sys.stderr)
         return 1
-    config = BatchConfig(
-        n_workers=args.workers,
-        max_attempts=args.attempts,
-        backoff_base_s=args.backoff,
-        salvage=args.salvage,
-    )
+    try:
+        config = BatchConfig(
+            n_workers=args.workers,
+            max_attempts=args.attempts,
+            backoff_base_s=args.backoff,
+            salvage=args.salvage,
+            deadline_s=args.deadline,
+            resume=args.resume,
+        )
+    except ReproError as exc:
+        print(f"batch: {exc}", file=sys.stderr)
+        return 1
     store = ResultStore(args.store)
     obs = Observability()
-    with obs.activate():
-        report = run_batch(specs, store, config)
+    try:
+        with obs.activate():
+            report = run_batch(specs, store, config)
+    except StoreLockError as exc:
+        print(f"batch: {exc}", file=sys.stderr)
+        return 1
+    except KeyboardInterrupt:
+        # Belt and braces: run_batch drains SIGINT cooperatively on the
+        # main thread, so reaching here means the interrupt landed
+        # outside the scheduler's window.  Never exit 0 on a Ctrl-C.
+        print("batch: interrupted before completion", file=sys.stderr)
+        sys.stderr.flush()
+        return 130
     print(report.render_status())
+    sys.stdout.flush()
     latency = obs.metrics.histogram("service.job_seconds")
     if latency.count:
         print(
@@ -303,6 +329,10 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         )
     if report.diagnostics:
         print(report.diagnostics.summary(), file=sys.stderr)
+    if report.interrupted:
+        # Partial run: the status table above is the flushed partial
+        # report; 130 is the conventional "died on SIGINT" exit code.
+        return 130
     return 0 if report.ok else 1
 
 
@@ -341,6 +371,22 @@ def _cmd_diff(args: argparse.Namespace) -> int:
         return 1
     print(report.render())
     return 1 if report.has_regressions else 0
+
+
+def _cmd_store_fsck(args: argparse.Namespace) -> int:
+    store = ResultStore(args.store)
+    obs = Observability()
+    with obs.activate():
+        report = fsck_store(store, repair=args.repair)
+    print(report.render())
+    quarantined = store.quarantined()
+    if quarantined:
+        print(
+            f"quarantine holds {len(quarantined)} artifact(s) "
+            f"(see {store.quarantine_dir})",
+            file=sys.stderr,
+        )
+    return 0 if report.healthy else 1
 
 
 def _cmd_demo(args: argparse.Namespace) -> int:
@@ -508,6 +554,20 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="read damaged traces with the salvage policy",
     )
+    p_batch.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-job deadline; each attempt runs in a killable worker "
+        "process and a hung job is killed and recorded as timeout",
+    )
+    p_batch.add_argument(
+        "--resume",
+        action="store_true",
+        help="skip jobs the store journal records as already complete "
+        "(after a crash, kill, or Ctrl-C)",
+    )
     p_batch.set_defaults(func=_cmd_batch)
 
     p_query = sub.add_parser(
@@ -535,6 +595,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="minimum relative change reported (default 0.10 = 10%%)",
     )
     p_diff.set_defaults(func=_cmd_diff)
+
+    p_store = sub.add_parser("store", help="result-store maintenance")
+    store_sub = p_store.add_subparsers(dest="store_command", required=True)
+    p_fsck = store_sub.add_parser(
+        "fsck", help="scan a store for corrupt artifacts (exit 1 if unhealthy)"
+    )
+    p_fsck.add_argument("store", help="result store directory")
+    p_fsck.add_argument(
+        "--repair",
+        action="store_true",
+        help="upgrade legacy artifacts, quarantine + re-derive corrupt "
+        "ones, evict what cannot be recovered, drop stale temp files",
+    )
+    p_fsck.set_defaults(func=_cmd_store_fsck)
 
     p_demo = sub.add_parser("demo", help="full methodology on a built-in app")
     _add_app_options(p_demo)

@@ -9,6 +9,8 @@ debugger attached.
 
 from __future__ import annotations
 
+from typing import Sequence
+
 __all__ = [
     "ReproError",
     "ConfigurationError",
@@ -22,6 +24,12 @@ __all__ = [
     "FittingError",
     "PhaseError",
     "AnalysisError",
+    "RetryExhaustedError",
+    "CircuitOpenError",
+    "DeadlineExceededError",
+    "StoreIntegrityError",
+    "AmbiguousPrefixError",
+    "StoreLockError",
 ]
 
 
@@ -74,3 +82,44 @@ class PhaseError(ReproError):
 
 class AnalysisError(ReproError):
     """The end-to-end analysis pipeline failed."""
+
+
+class RetryExhaustedError(ReproError):
+    """Every attempt a :class:`repro.resilience.retry.RetryPolicy` allowed
+    failed; ``__cause__`` holds the final attempt's original exception."""
+
+
+class CircuitOpenError(RetryExhaustedError):
+    """A circuit breaker opened for this key and shed the remaining
+    attempts; ``__cause__`` holds the failure that tripped it."""
+
+
+class DeadlineExceededError(ReproError):
+    """A job overran its deadline and its worker process was killed by
+    the watchdog."""
+
+
+class StoreIntegrityError(AnalysisError):
+    """A stored artifact is corrupt (unparseable, wrong format, or its
+    content digest does not match) — quarantined, not trusted."""
+
+
+class AmbiguousPrefixError(AnalysisError):
+    """A fingerprint prefix matches more than one stored artifact.
+
+    ``candidates`` lists every colliding full digest (sorted) so callers
+    can disambiguate without re-listing the store.
+    """
+
+    def __init__(self, prefix: str, candidates: Sequence[str]) -> None:
+        self.prefix = prefix
+        self.candidates = sorted(candidates)
+        listing = ", ".join(c[:12] for c in self.candidates)
+        super().__init__(
+            f"fingerprint prefix {prefix!r} is ambiguous: "
+            f"{len(self.candidates)} matches ({listing})"
+        )
+
+
+class StoreLockError(ReproError):
+    """The store's advisory batch lock is held by another process."""

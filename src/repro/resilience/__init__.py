@@ -1,26 +1,44 @@
 """Resilience layer: structured diagnostics + deterministic fault injection.
 
 Production traces arrive damaged — truncated files, dropped samples,
-multiplexed-counter gaps, clock skew between the sampler and the probes.
-This package holds the two halves of the library's answer:
+multiplexed-counter gaps, clock skew between the sampler and the probes —
+and production *services* break around them: workers hang, operators hit
+Ctrl-C, stored artifacts rot on disk.  This package holds the library's
+answer:
 
 * :mod:`repro.resilience.diagnostics` — the :class:`Diagnostics` object
   every degraded pipeline stage appends to, so a salvaged read or a
   fallback fit is *observable* instead of silent;
-* :mod:`repro.resilience.inject` — seedable corruption operators
-  (truncate, drop-samples, duplicate-records, NaN-counters, field
-  bit-flips, clock skew) that damage a serialized trace the way real
-  deployments do, powering the chaos tests and the TAB-8 bench;
+* :mod:`repro.resilience.inject` — seedable trace-text corruption
+  operators (truncate, drop-samples, duplicate-records, NaN-counters,
+  field bit-flips, clock skew), powering the chaos tests and TAB-8;
+* :mod:`repro.resilience.faults` — service-level fault operators
+  (hang_worker, sigint_after_n_jobs, truncate_artifact,
+  flip_artifact_byte) that drive the crash-safety chaos tests;
 * :mod:`repro.resilience.retry` — bounded deterministic-backoff retry
-  (:func:`call_with_retry`) that the batch scheduler in
-  :mod:`repro.service` wraps around each analysis job.
+  (:func:`call_with_retry`), raising
+  :class:`~repro.errors.RetryExhaustedError` with the original failure
+  as ``__cause__``;
+* :mod:`repro.resilience.breaker` — :class:`CircuitBreaker`, which
+  sheds the remaining retries of a failure that keeps repeating
+  identically.
 
 The consuming policies live where the data flows: the salvage read policy
-in :mod:`repro.trace.reader` and the degraded-mode fallback chains in
-:mod:`repro.analysis.pipeline`.
+in :mod:`repro.trace.reader`, the degraded-mode fallback chains in
+:mod:`repro.analysis.pipeline`, and the crash-safe batch scheduler in
+:mod:`repro.service.scheduler`.
 """
 
+from repro.resilience.breaker import CircuitBreaker
 from repro.resilience.diagnostics import DiagnosticEvent, Diagnostics, Severity
+from repro.resilience.faults import (
+    SERVICE_FAULT_OPS,
+    FaultPlan,
+    flip_artifact_byte,
+    hang_worker,
+    sigint_after_n_jobs,
+    truncate_artifact,
+)
 from repro.resilience.inject import (
     CORRUPTION_OPS,
     CorruptionSpec,
@@ -35,6 +53,13 @@ __all__ = [
     "CorruptionSpec",
     "CORRUPTION_OPS",
     "corrupt_trace_text",
+    "FaultPlan",
+    "SERVICE_FAULT_OPS",
+    "hang_worker",
+    "sigint_after_n_jobs",
+    "truncate_artifact",
+    "flip_artifact_byte",
     "RetryPolicy",
     "call_with_retry",
+    "CircuitBreaker",
 ]

@@ -1,0 +1,104 @@
+"""Per-key circuit breaker: stop re-trying a failure that never changes.
+
+Retry policies assume failures are transient.  When the same job fails
+the same way over and over — the trace file is gone, the bytes are not a
+trace — every extra attempt is pure waste (and with backoff, *slow*
+waste).  :class:`CircuitBreaker` tracks consecutive *identical* failures
+per key (the batch scheduler keys by manifest entry) and opens after
+``threshold`` of them; an open key sheds all remaining attempts via
+:class:`~repro.errors.CircuitOpenError` in
+:func:`~repro.resilience.retry.call_with_retry`.
+
+"Identical" means same exception type and message — a job that fails
+with *different* errors (a flaky filesystem) keeps its retry budget,
+because varied failures are precisely the transient kind retries exist
+for.  A success resets the key.
+
+State is observable: ``service.breaker.opened`` counts open transitions
+and the ``service.breaker.open`` gauge tracks how many keys are
+currently open.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Tuple
+
+from repro.errors import ConfigurationError
+from repro.observability.context import counter as _metric_counter
+from repro.observability.context import gauge as _metric_gauge
+
+__all__ = ["CircuitBreaker"]
+
+
+class CircuitBreaker:
+    """Thread-safe consecutive-identical-failure breaker.
+
+    ``threshold`` is the number of consecutive identical failures that
+    opens a key; ``threshold=0`` disables the breaker entirely (every
+    key always allowed, nothing ever opens).
+    """
+
+    def __init__(self, threshold: int = 3) -> None:
+        if threshold < 0:
+            raise ConfigurationError(
+                f"circuit breaker: threshold must be >= 0, got {threshold}"
+            )
+        self.threshold = threshold
+        self._lock = threading.Lock()
+        # key -> ((exc type name, message), consecutive count)
+        self._streaks: Dict[str, Tuple[Tuple[str, str], int]] = {}
+        self._open: Dict[str, bool] = {}
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _signature(exc: BaseException) -> Tuple[str, str]:
+        return (type(exc).__name__, str(exc))
+
+    def allow(self, key: str) -> bool:
+        """Whether attempts for ``key`` may proceed (closed breaker)."""
+        if self.threshold == 0:
+            return True
+        with self._lock:
+            return not self._open.get(key, False)
+
+    def record_failure(self, key: str, exc: BaseException) -> bool:
+        """Record one failure; returns True when ``key`` is (now) open."""
+        if self.threshold == 0:
+            return False
+        signature = self._signature(exc)
+        with self._lock:
+            if self._open.get(key, False):
+                return True
+            previous, count = self._streaks.get(key, (signature, 0))
+            count = count + 1 if previous == signature else 1
+            self._streaks[key] = (signature, count)
+            if count < self.threshold:
+                return False
+            self._open[key] = True
+            n_open = sum(1 for v in self._open.values() if v)
+        _metric_counter("service.breaker.opened").inc()
+        _metric_gauge("service.breaker.open").set(n_open)
+        return True
+
+    def record_success(self, key: str) -> None:
+        """Reset ``key``'s streak (and close it if it was open)."""
+        with self._lock:
+            self._streaks.pop(key, None)
+            was_open = self._open.pop(key, False)
+            n_open = sum(1 for v in self._open.values() if v)
+        if was_open:
+            _metric_gauge("service.breaker.open").set(n_open)
+
+    # ------------------------------------------------------------------
+    @property
+    def open_keys(self) -> List[str]:
+        """Currently open keys, sorted."""
+        with self._lock:
+            return sorted(k for k, v in self._open.items() if v)
+
+    def __repr__(self) -> str:
+        return (
+            f"CircuitBreaker(threshold={self.threshold}, "
+            f"open={len(self.open_keys)})"
+        )

@@ -1,0 +1,151 @@
+"""Service-level fault injection: hung workers, damaged artifacts, signals.
+
+:mod:`repro.resilience.inject` damages *trace text* — the input side of
+the pipeline.  This module damages the *service* around it, the way
+production batch deployments actually break:
+
+* :func:`hang_worker` — a job's worker process stops making progress
+  (an NFS stall, a livelocked native library).  The scheduler's
+  watchdog must detect, kill, and account for it.
+* :func:`sigint_after_n_jobs` — the operator hits Ctrl-C (or the
+  supervisor sends SIGTERM) mid-batch.  Injected as a deterministic
+  in-process trigger so chaos tests don't race real signal delivery.
+* :func:`truncate_artifact` — a stored result loses its tail (full
+  disk, crashed copy).  The store must quarantine, not crash.
+* :func:`flip_artifact_byte` — silent bit rot inside an artifact that
+  may still parse as JSON; only the content digest can catch it.
+
+The first two compose into a :class:`FaultPlan` consumed by
+``run_batch``; the last two are direct, deterministic file operations on
+an artifact path (use :meth:`ResultStore.object_path
+<repro.store.artifacts.ResultStore.object_path>` to locate one).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "FaultPlan",
+    "SERVICE_FAULT_OPS",
+    "hang_worker",
+    "sigint_after_n_jobs",
+    "truncate_artifact",
+    "flip_artifact_byte",
+]
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Scheduler-consumed faults for one batch run.
+
+    ``hang`` maps job labels (trace basenames) to the number of seconds
+    the job's worker process stalls before doing any work — effectively
+    forever relative to a test deadline.  ``sigint_after`` simulates a
+    SIGINT arriving after that many jobs have reached a terminal state.
+    """
+
+    hang: Mapping[str, float] = field(default_factory=dict)
+    sigint_after: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        for label, seconds in self.hang.items():
+            if seconds <= 0:
+                raise ConfigurationError(
+                    f"fault plan: hang seconds for {label!r} must be > 0"
+                )
+        if self.sigint_after is not None and self.sigint_after < 0:
+            raise ConfigurationError(
+                f"fault plan: sigint_after must be >= 0, got {self.sigint_after}"
+            )
+
+    def merge(self, other: "FaultPlan") -> "FaultPlan":
+        """Combine two plans (``other`` wins on conflicting keys)."""
+        hang: Dict[str, float] = dict(self.hang)
+        hang.update(other.hang)
+        sigint = other.sigint_after if other.sigint_after is not None else (
+            self.sigint_after
+        )
+        return FaultPlan(hang=hang, sigint_after=sigint)
+
+    def hang_s(self, label: str) -> Optional[float]:
+        """Seconds the job ``label`` should stall, or ``None``."""
+        return self.hang.get(label)
+
+
+def hang_worker(label: str, seconds: float = 3600.0) -> FaultPlan:
+    """Plan: the worker for job ``label`` stalls for ``seconds``."""
+    return FaultPlan(hang={label: seconds})
+
+
+def sigint_after_n_jobs(n: int) -> FaultPlan:
+    """Plan: deliver a (simulated) SIGINT once ``n`` jobs are terminal."""
+    return FaultPlan(sigint_after=n)
+
+
+# ----------------------------------------------------------------------
+# artifact damage — deterministic file operations
+# ----------------------------------------------------------------------
+def truncate_artifact(path: str, keep_fraction: float = 0.5) -> int:
+    """Cut the tail off the artifact at ``path``; returns bytes kept.
+
+    Mirrors a crashed copy / full disk: the JSON envelope is left
+    syntactically broken, which the store's read path must quarantine.
+    """
+    if not 0.0 <= keep_fraction < 1.0:
+        raise ConfigurationError(
+            f"truncate_artifact: keep_fraction must be in [0, 1), "
+            f"got {keep_fraction}"
+        )
+    size = os.path.getsize(path)
+    keep = int(size * keep_fraction)
+    with open(path, "r+b") as handle:
+        handle.truncate(keep)
+    return keep
+
+
+def flip_artifact_byte(path: str, offset: Optional[int] = None) -> int:
+    """Deterministically corrupt one byte of the artifact at ``path``.
+
+    With no ``offset``, the first digit after the ``"result"`` key is
+    incremented (mod 10) — the artifact usually still *parses*, so only
+    the envelope's content digest exposes the damage (classic silent bit
+    rot).  Returns the offset actually flipped.
+    """
+    with open(path, "rb") as handle:
+        data = bytearray(handle.read())
+    if not data:
+        raise ConfigurationError(f"flip_artifact_byte: {path} is empty")
+    if offset is None:
+        anchor = data.find(b'"result"')
+        start = anchor + len(b'"result"') if anchor >= 0 else 0
+        offset = next(
+            (i for i in range(start, len(data)) if 0x30 <= data[i] <= 0x39),
+            len(data) // 2,
+        )
+    if not 0 <= offset < len(data):
+        raise ConfigurationError(
+            f"flip_artifact_byte: offset {offset} outside file of {len(data)} bytes"
+        )
+    byte = data[offset]
+    if 0x30 <= byte <= 0x39:  # digit -> next digit, keeps JSON parseable
+        data[offset] = 0x30 + ((byte - 0x30 + 1) % 10)
+    else:
+        data[offset] = byte ^ 0x01
+    with open(path, "wb") as handle:
+        handle.write(bytes(data))
+    return offset
+
+
+#: Service-level fault operators by name (docs / chaos-test discovery),
+#: sibling of :data:`repro.resilience.inject.CORRUPTION_OPS`.
+SERVICE_FAULT_OPS = {
+    "hang_worker": hang_worker,
+    "sigint_after_n_jobs": sigint_after_n_jobs,
+    "truncate_artifact": truncate_artifact,
+    "flip_artifact_byte": flip_artifact_byte,
+}

@@ -5,19 +5,32 @@ copy, a transient filesystem error) and reasons that are permanent (a
 genuinely unparseable trace).  :func:`call_with_retry` makes that policy
 explicit and *observable*: every retry lands a WARNING on the caller's
 :class:`~repro.resilience.diagnostics.Diagnostics` and bumps the
-``retry.attempts`` counter, and the backoff schedule is deterministic
-(no jitter) so test runs and re-runs behave identically.
+``retry.attempts`` counter, and the backoff schedule is deterministic —
+no jitter unless the policy asks for it, and jittered schedules draw
+from a caller-supplied seeded RNG so re-runs still sleep identically.
+
+Exhaustion raises :class:`~repro.errors.RetryExhaustedError` with the
+final attempt's exception preserved as ``__cause__`` — callers that need
+the original failure (state classification, error rendering) read it
+there rather than parsing messages.  A :class:`CircuitBreaker
+<repro.resilience.breaker.CircuitBreaker>` can be threaded through to
+shed the remaining attempts once the same failure keeps repeating
+(:class:`~repro.errors.CircuitOpenError`).
 """
 
 from __future__ import annotations
 
+import random
 import time
 from dataclasses import dataclass
-from typing import Callable, Optional, Tuple, Type, TypeVar
+from typing import TYPE_CHECKING, Callable, Optional, Tuple, Type, TypeVar
 
-from repro.errors import ConfigurationError
+from repro.errors import CircuitOpenError, ConfigurationError, RetryExhaustedError
 from repro.observability.context import counter as _metric_counter
 from repro.resilience.diagnostics import Diagnostics
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (breaker uses errors only)
+    from repro.resilience.breaker import CircuitBreaker
 
 __all__ = ["RetryPolicy", "call_with_retry"]
 
@@ -33,11 +46,18 @@ class RetryPolicy:
     ``backoff_max_s``.  The default base of 0 disables sleeping, which
     is what tests and local batch runs over on-disk traces want; a
     service pointed at flaky network storage raises it.
+
+    ``jitter`` spreads the delay uniformly over ``[delay * (1-jitter),
+    delay]`` to de-synchronize retry storms across workers.  The draw
+    comes from the ``rng`` passed to :meth:`delay_s` — hand every worker
+    a :class:`random.Random` seeded from the run seed and the schedule
+    stays reproducible.
     """
 
     max_attempts: int = 1
     backoff_base_s: float = 0.0
     backoff_max_s: float = 30.0
+    jitter: float = 0.0
 
     def __post_init__(self) -> None:
         if self.max_attempts < 1:
@@ -46,10 +66,18 @@ class RetryPolicy:
             )
         if self.backoff_base_s < 0 or self.backoff_max_s < 0:
             raise ConfigurationError("retry policy: backoff must be >= 0")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ConfigurationError(
+                f"retry policy: jitter must be in [0, 1], got {self.jitter}"
+            )
 
-    def delay_s(self, attempt: int) -> float:
+    def delay_s(self, attempt: int, rng: Optional[random.Random] = None) -> float:
         """Backoff before the retry following failed attempt ``attempt``."""
-        return min(self.backoff_base_s * (2.0 ** (attempt - 1)), self.backoff_max_s)
+        delay = min(self.backoff_base_s * (2.0 ** (attempt - 1)), self.backoff_max_s)
+        if self.jitter and delay > 0:
+            draw = (rng or random).random()
+            delay *= 1.0 - self.jitter * draw
+        return delay
 
 
 def call_with_retry(
@@ -59,22 +87,53 @@ def call_with_retry(
     diagnostics: Optional[Diagnostics] = None,
     label: str = "call",
     sleep: Callable[[float], None] = time.sleep,
+    rng: Optional[random.Random] = None,
+    breaker: Optional["CircuitBreaker"] = None,
+    breaker_key: Optional[str] = None,
 ) -> T:
     """Invoke ``fn`` up to ``policy.max_attempts`` times.
 
     Exceptions not matching ``retry_on`` propagate immediately (they are
-    permanent by declaration).  The exception of the final failed attempt
-    propagates unchanged so callers see the real error, with the retry
-    history recorded on ``diagnostics`` along the way.
+    permanent by declaration).  When every attempt fails, a
+    :class:`~repro.errors.RetryExhaustedError` is raised *from* the final
+    attempt's exception, so the real error survives as ``__cause__``.
+
+    When a ``breaker`` is supplied, each failure is recorded under
+    ``breaker_key`` (default: ``label``); once the breaker opens, the
+    remaining attempts are shed with
+    :class:`~repro.errors.CircuitOpenError` instead of burning more
+    backoff time on a failure that keeps repeating identically.
     """
-    last_error: Optional[BaseException] = None
+    key = breaker_key if breaker_key is not None else label
+    if breaker is not None and not breaker.allow(key):
+        raise CircuitOpenError(
+            f"{label}: circuit open for {key!r}, shedding attempts"
+        )
     for attempt in range(1, policy.max_attempts + 1):
         try:
             return fn()
         except retry_on as exc:
-            last_error = exc
+            opened = breaker is not None and breaker.record_failure(key, exc)
             if attempt == policy.max_attempts:
-                raise
+                # Exhaustion beats circuit-open on the final attempt:
+                # there are no remaining attempts left to shed.
+                raise RetryExhaustedError(
+                    f"{label}: all {policy.max_attempts} attempt(s) failed: "
+                    f"{type(exc).__name__}: {exc}"
+                ) from exc
+            if opened:
+                if diagnostics is not None:
+                    diagnostics.warning(
+                        "retry",
+                        f"{label}: circuit opened after repeated identical "
+                        f"failures, shedding remaining attempts",
+                        error=f"{type(exc).__name__}: {exc}",
+                        attempt=attempt,
+                    )
+                raise CircuitOpenError(
+                    f"{label}: circuit opened after {attempt} attempt(s): "
+                    f"{type(exc).__name__}: {exc}"
+                ) from exc
             _metric_counter("retry.attempts").inc()
             if diagnostics is not None:
                 diagnostics.warning(
@@ -84,7 +143,7 @@ def call_with_retry(
                     error=f"{type(exc).__name__}: {exc}",
                     attempt=attempt,
                 )
-            delay = policy.delay_s(attempt)
+            delay = policy.delay_s(attempt, rng=rng)
             if delay > 0:
                 sleep(delay)
-    raise AssertionError(f"unreachable: {last_error}")  # pragma: no cover
+    raise AssertionError("unreachable")  # pragma: no cover

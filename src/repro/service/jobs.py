@@ -3,12 +3,17 @@
 One :class:`JobSpec` per trace to analyze; one :class:`JobRecord` per
 spec tracking its life cycle through the scheduler:
 
-``QUEUED`` → ``RUNNING`` → ``DONE`` | ``CACHED`` | ``FAILED``
+``QUEUED`` → ``RUNNING`` → ``DONE`` | ``CACHED`` | ``FAILED`` |
+``TIMEOUT`` | ``CANCELLED``
 
 ``CACHED`` is a successful terminal state — the store already held the
-result for the trace's fingerprint, so the pipeline never ran.  The
-record keeps everything ``repro batch`` prints per job (attempts, wall
-time, fingerprint, headline counts, error) without holding the full
+result for the trace's fingerprint, so the pipeline never ran (a resumed
+batch also lands journaled-complete jobs here, flagged ``resumed``).
+``TIMEOUT`` means the job's worker overran its deadline on every attempt
+and was killed by the watchdog; ``CANCELLED`` means the batch was
+interrupted (SIGINT/SIGTERM) before the job started.  The record keeps
+everything ``repro batch`` prints per job (attempts, wall time,
+fingerprint, headline counts, error) without holding the full
 :class:`~repro.analysis.pipeline.AnalysisResult` alive for the whole
 batch.
 """
@@ -31,6 +36,8 @@ class JobState(enum.Enum):
     DONE = "done"
     CACHED = "cached"
     FAILED = "failed"
+    TIMEOUT = "timeout"
+    CANCELLED = "cancelled"
 
     def __str__(self) -> str:
         return self.value
@@ -38,7 +45,13 @@ class JobState(enum.Enum):
     @property
     def terminal(self) -> bool:
         """Whether the job has finished (successfully or not)."""
-        return self in (JobState.DONE, JobState.CACHED, JobState.FAILED)
+        return self in (
+            JobState.DONE,
+            JobState.CACHED,
+            JobState.FAILED,
+            JobState.TIMEOUT,
+            JobState.CANCELLED,
+        )
 
     @property
     def ok(self) -> bool:
@@ -71,8 +84,19 @@ class JobRecord:
     n_phases: int = 0
     error: Optional[str] = None
     worst_diagnostic: Optional[str] = field(default=None)
+    resumed: bool = False
 
     @property
     def short_fingerprint(self) -> str:
         """Abbreviated fingerprint for tables (empty when unknown)."""
         return self.fingerprint[:12] if self.fingerprint else ""
+
+    @property
+    def note(self) -> str:
+        """The per-job note column: error, resume marker, or worst
+        diagnostic (first that applies)."""
+        if self.error:
+            return self.error
+        if self.resumed:
+            return "resumed from journal"
+        return self.worst_diagnostic or ""

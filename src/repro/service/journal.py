@@ -1,0 +1,130 @@
+"""Write-ahead batch journal: what happened, durable line by line.
+
+``run_batch`` appends one JSON line to ``<store>/journal.jsonl`` every
+time a job reaches a terminal state (flushed and fsynced before the next
+job starts), plus a header line per batch run.  After a crash, a kill,
+or a Ctrl-C, ``repro batch --resume`` replays the journal: jobs whose
+last entry is a *successful* terminal state (``done``/``cached``) and
+whose artifact is still present in the store are skipped; everything
+else — failed, timed out, cancelled, or simply never journaled — runs
+again.  Because the store is content-addressed and the pipeline
+deterministic, a resumed batch's artifacts are byte-identical to an
+uninterrupted run's.
+
+The journal is append-only across runs (last entry per trace wins) and
+deliberately tolerant on read: a torn final line from a crash mid-append
+is skipped, not fatal — that is the crash-safety contract.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import IO, Any, Dict, Optional
+
+from repro.service.jobs import JobRecord
+
+__all__ = ["JOURNAL_NAME", "BatchJournal"]
+
+#: Journal file name, directly under the store root.
+JOURNAL_NAME = "journal.jsonl"
+
+
+class BatchJournal:
+    """Append-only JSONL journal of batch job outcomes."""
+
+    def __init__(self, store_root: str) -> None:
+        self.path = os.path.join(store_root, JOURNAL_NAME)
+        self._handle: Optional[IO[str]] = None
+
+    # ------------------------------------------------------------------
+    # writing
+    # ------------------------------------------------------------------
+    def _append(self, entry: Dict[str, Any]) -> None:
+        if self._handle is None:
+            os.makedirs(os.path.dirname(self.path), exist_ok=True)
+            self._handle = open(self.path, "a", encoding="utf-8")
+        json.dump(entry, self._handle, sort_keys=True)
+        self._handle.write("\n")
+        # Durability over throughput: a journal that loses its tail on
+        # power-cut would re-run work, but one that lies would not be a
+        # journal.  Jobs cost seconds; an fsync costs microseconds.
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+
+    def record_start(self, n_jobs: int, resumed: int = 0) -> None:
+        """Journal the beginning of a batch run."""
+        self._append(
+            {
+                "type": "batch",
+                "ts": time.time(),
+                "n_jobs": n_jobs,
+                "resumed": resumed,
+                "pid": os.getpid(),
+            }
+        )
+
+    def record_job(self, record: JobRecord) -> None:
+        """Journal one job's terminal state."""
+        self._append(
+            {
+                "type": "job",
+                "ts": time.time(),
+                "trace_path": record.spec.trace_path,
+                "label": record.spec.label,
+                "state": str(record.state),
+                "fingerprint": record.fingerprint,
+                "attempts": record.attempts,
+                "wall_s": round(record.wall_s, 6),
+                "n_clusters": record.n_clusters,
+                "n_phases": record.n_phases,
+                "worst_diagnostic": record.worst_diagnostic,
+                "error": record.error,
+            }
+        )
+
+    def close(self) -> None:
+        """Close the append handle (idempotent)."""
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "BatchJournal":
+        return self
+
+    def __exit__(self, *_exc: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # reading (resume)
+    # ------------------------------------------------------------------
+    def load_last_entries(self) -> Dict[str, Dict[str, Any]]:
+        """Last journaled entry per trace path (empty when no journal).
+
+        Unparseable lines — a torn tail from a crashed writer, manual
+        edits — are skipped silently: the journal is an optimization,
+        and the worst case of a lost line is re-running one job.
+        """
+        entries: Dict[str, Dict[str, Any]] = {}
+        if not os.path.isfile(self.path):
+            return entries
+        with open(self.path, "r", encoding="utf-8") as handle:
+            for raw in handle:
+                line = raw.strip()
+                if not line:
+                    continue
+                try:
+                    entry = json.loads(line)
+                except json.JSONDecodeError:
+                    continue
+                if (
+                    isinstance(entry, dict)
+                    and entry.get("type") == "job"
+                    and isinstance(entry.get("trace_path"), str)
+                ):
+                    entries[entry["trace_path"]] = entry
+        return entries
+
+    def __repr__(self) -> str:
+        return f"BatchJournal({self.path!r})"

@@ -14,14 +14,21 @@ output.  This package exploits that:
   cannot change results (``n_jobs``, ``profile``, ``progress_every``) are
   excluded, so a parallel re-run hits the cache of a serial one.
 * :mod:`repro.store.artifacts` — :class:`ResultStore`, the on-disk
-  fingerprint-keyed artifact store with atomic writes.
+  fingerprint-keyed artifact store with atomic writes, per-read content
+  digest verification, and a quarantine for artifacts that fail it.
 * :mod:`repro.store.cache` — :func:`analyze_cached`, the read-through
   cache wrapper around the pipeline that `repro batch` and
-  ``repro analyze --store`` share.
+  ``repro analyze --store`` share; corrupt hits are quarantined and
+  re-derived instead of raised.
+* :mod:`repro.store.fsck` — :func:`fsck_store`, the integrity scanner
+  behind ``repro store fsck [--repair]``.
+* :mod:`repro.store.lock` — :class:`StoreLock`, the advisory exclusive
+  lock two concurrent ``repro batch`` processes contend on.
 """
 
-from repro.store.artifacts import ResultStore, StoreEntry
+from repro.store.artifacts import ResultStore, StoreEntry, content_digest
 from repro.store.cache import CachedAnalysis, analyze_cached
+from repro.store.fsck import FsckIssue, FsckReport, fsck_store
 from repro.store.fingerprint import (
     config_fingerprint_dict,
     config_from_dict,
@@ -29,6 +36,7 @@ from repro.store.fingerprint import (
     fingerprint_trace_file,
     fingerprint_trace_text,
 )
+from repro.store.lock import StoreLock
 from repro.store.serialize import (
     RESULT_FORMAT,
     result_from_dict,
@@ -50,6 +58,11 @@ __all__ = [
     "fingerprint_trace_text",
     "ResultStore",
     "StoreEntry",
+    "content_digest",
     "CachedAnalysis",
     "analyze_cached",
+    "FsckIssue",
+    "FsckReport",
+    "fsck_store",
+    "StoreLock",
 ]

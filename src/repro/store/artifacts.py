@@ -6,37 +6,69 @@ directory never accumulates millions of entries)::
     <root>/
       objects/
         ab/
-          ab3f...e1.json      # {"format", "fingerprint", "meta", "result"}
+          ab3f...e1.json      # {"format", "fingerprint", "digest", "meta", "result"}
+      quarantine/
+        cd91...07.json        # artifacts that failed an integrity check
+        quarantine.jsonl      # one {"fingerprint", "reason", "ts"} line per event
 
 Writes are atomic (temp file + ``os.replace`` in the same directory), so
 a crashed writer never leaves a half-artifact a reader could load, and
 concurrent writers of the *same* fingerprint are idempotent — they
-produce identical bytes, so last-replace-wins is harmless.  The envelope
-carries a small ``meta`` block (app name, source trace path, creation
-time, analyzer config, headline counts) so ``repro query`` can list a
-store without deserializing full results.
+produce identical bytes, so last-replace-wins is harmless.  Every
+envelope carries a SHA-256 ``digest`` of its canonical result payload;
+:meth:`ResultStore.get` re-verifies it on every read, and anything that
+fails — unparseable JSON, wrong format stamp, digest mismatch — is moved
+to ``quarantine/`` and surfaced as
+:class:`~repro.errors.StoreIntegrityError` rather than trusted.  The
+``meta`` block (app name, source trace path, creation time, analyzer
+config, headline counts) lets ``repro query`` list a store without
+deserializing full results.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 import tempfile
 import time
 from dataclasses import dataclass
-from typing import Any, Dict, Iterator, List, Mapping, Optional, Tuple
+from typing import Any, Dict, Iterator, List, Mapping, Optional
 
 from repro.analysis.pipeline import AnalysisResult
-from repro.errors import AnalysisError
+from repro.errors import AmbiguousPrefixError, AnalysisError, StoreIntegrityError
 from repro.observability.context import counter as _metric_counter
 from repro.store.serialize import RESULT_FORMAT, result_from_dict, result_to_dict
 
-__all__ = ["StoreEntry", "ResultStore", "STORE_FORMAT"]
+__all__ = ["StoreEntry", "ResultStore", "STORE_FORMAT", "content_digest"]
 
 #: Envelope format identifier.
 STORE_FORMAT = "repro-store/1"
 
 _FULL_DIGEST_LEN = 64
+
+#: Quarantine subdirectory and event log names.
+QUARANTINE_DIR = "quarantine"
+QUARANTINE_LOG = "quarantine.jsonl"
+
+
+def content_digest(result_dict: Mapping[str, Any]) -> str:
+    """``sha256:<hex>`` digest of a result payload's canonical JSON.
+
+    The canonical form (sorted keys, no whitespace) is independent of
+    how the envelope happens to be pretty-printed on disk, so the digest
+    survives any JSON re-encoding that preserves content.
+
+    The ``profile`` block is excluded: span wall/CPU timings vary run to
+    run whenever observability is active, while the digest must be a
+    function of what the analysis *concluded* — the same determinism
+    carve-out the fingerprint makes for ``n_jobs``. Two analyses of the
+    same trace and config therefore share a digest even when one was
+    profiled and the other was not.
+    """
+    semantic = {k: v for k, v in result_dict.items() if k != "profile"}
+    canonical = json.dumps(semantic, sort_keys=True, separators=(",", ":"))
+    return "sha256:" + hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
 
 @dataclass(frozen=True)
@@ -63,12 +95,23 @@ class ResultStore:
     def __init__(self, root: str) -> None:
         self.root = root
 
+    @property
+    def quarantine_dir(self) -> str:
+        """Directory corrupt artifacts are moved to (may not exist yet)."""
+        return os.path.join(self.root, QUARANTINE_DIR)
+
     # ------------------------------------------------------------------
-    def _object_path(self, fingerprint: str) -> str:
+    def object_path(self, fingerprint: str) -> str:
+        """On-disk path of the artifact for ``fingerprint`` (may not exist)."""
         self._check_fingerprint(fingerprint)
         return os.path.join(
             self.root, "objects", fingerprint[:2], f"{fingerprint}.json"
         )
+
+    def quarantine_path(self, fingerprint: str) -> str:
+        """Where the artifact for ``fingerprint`` lands when quarantined."""
+        self._check_fingerprint(fingerprint)
+        return os.path.join(self.root, QUARANTINE_DIR, f"{fingerprint}.json")
 
     @staticmethod
     def _check_fingerprint(fingerprint: str) -> None:
@@ -83,7 +126,7 @@ class ResultStore:
     # ------------------------------------------------------------------
     def has(self, fingerprint: str) -> bool:
         """Whether an artifact exists for ``fingerprint``."""
-        return os.path.exists(self._object_path(fingerprint))
+        return os.path.exists(self.object_path(fingerprint))
 
     def put(
         self,
@@ -96,12 +139,14 @@ class ResultStore:
         The write is atomic; re-putting an existing fingerprint rewrites
         the identical result bytes (only ``meta.created_unix`` moves).
         """
-        path = self._object_path(fingerprint)
+        path = self.object_path(fingerprint)
+        result_dict = result_to_dict(result)
         envelope: Dict[str, Any] = {
             "format": STORE_FORMAT,
             "fingerprint": fingerprint,
+            "digest": content_digest(result_dict),
             "meta": self._build_meta(result, meta),
-            "result": result_to_dict(result),
+            "result": result_dict,
         }
         os.makedirs(os.path.dirname(path), exist_ok=True)
         fd, tmp_path = tempfile.mkstemp(
@@ -135,14 +180,30 @@ class ResultStore:
         return meta
 
     def get(self, fingerprint: str) -> AnalysisResult:
-        """Load the result stored under ``fingerprint``."""
-        envelope = self._load_envelope(self._object_path(fingerprint))
+        """Load the result stored under ``fingerprint``.
+
+        Every read re-verifies the envelope's content digest.  A corrupt
+        or truncated artifact is moved to ``quarantine/`` and raised as
+        :class:`~repro.errors.StoreIntegrityError` — callers like
+        :func:`~repro.store.cache.analyze_cached` treat that as a cache
+        miss and re-derive, so one rotten artifact never poisons a batch.
+        """
+        path = self.object_path(fingerprint)
+        try:
+            envelope = self._load_envelope(path)
+            self._verify_digest(path, envelope)
+        except StoreIntegrityError as exc:
+            _metric_counter("store.integrity_failures").inc()
+            quarantined = self.quarantine(fingerprint, str(exc))
+            raise StoreIntegrityError(
+                f"{exc} (artifact quarantined to {quarantined})"
+            ) from None
         _metric_counter("store.gets").inc()
         return result_from_dict(envelope["result"])
 
     def get_meta(self, fingerprint: str) -> Dict[str, Any]:
         """Load only the ``meta`` block (cheap relative to a full get)."""
-        return dict(self._load_envelope(self._object_path(fingerprint))["meta"])
+        return dict(self._load_envelope(self.object_path(fingerprint))["meta"])
 
     @staticmethod
     def _load_envelope(path: str) -> Dict[str, Any]:
@@ -154,16 +215,70 @@ class ResultStore:
                 f"no stored result at {path} (not analyzed yet?)"
             ) from None
         except (OSError, json.JSONDecodeError) as exc:
-            raise AnalysisError(f"cannot read stored result {path}: {exc}") from None
+            raise StoreIntegrityError(
+                f"cannot read stored result {path}: {exc}"
+            ) from None
         if not isinstance(envelope, dict) or envelope.get("format") != STORE_FORMAT:
-            raise AnalysisError(
+            raise StoreIntegrityError(
                 f"{path} is not a {STORE_FORMAT} artifact "
                 f"(format={envelope.get('format') if isinstance(envelope, dict) else None!r})"
             )
         result = envelope.get("result")
         if not isinstance(result, dict) or result.get("format") != RESULT_FORMAT:
-            raise AnalysisError(f"{path}: envelope carries no usable result")
+            raise StoreIntegrityError(f"{path}: envelope carries no usable result")
         return envelope
+
+    @staticmethod
+    def _verify_digest(path: str, envelope: Mapping[str, Any]) -> None:
+        """Check the envelope's content digest (legacy artifacts without
+        one pass — ``repro store fsck --repair`` upgrades them)."""
+        stored = envelope.get("digest")
+        if stored is None:
+            return
+        actual = content_digest(envelope["result"])
+        if actual != stored:
+            raise StoreIntegrityError(
+                f"{path}: content digest mismatch "
+                f"(stored {stored[:19]}..., actual {actual[:19]}...)"
+            )
+
+    # ------------------------------------------------------------------
+    def quarantine(self, fingerprint: str, reason: str) -> str:
+        """Move ``fingerprint``'s artifact into ``quarantine/``.
+
+        The move is a same-filesystem rename (atomic); the reason is
+        appended to ``quarantine/quarantine.jsonl`` so ``repro store
+        fsck`` and operators can audit what was evicted and why.
+        Returns the quarantine path (even if the source was already
+        gone — quarantining is idempotent).
+        """
+        destination = self.quarantine_path(fingerprint)
+        os.makedirs(os.path.dirname(destination), exist_ok=True)
+        try:
+            os.replace(self.object_path(fingerprint), destination)
+        except FileNotFoundError:
+            pass
+        log_path = os.path.join(self.root, QUARANTINE_DIR, QUARANTINE_LOG)
+        with open(log_path, "a", encoding="utf-8") as handle:
+            json.dump(
+                {"fingerprint": fingerprint, "reason": reason, "ts": time.time()},
+                handle,
+                sort_keys=True,
+            )
+            handle.write("\n")
+        _metric_counter("store.quarantined").inc()
+        return destination
+
+    def quarantined(self) -> List[str]:
+        """Fingerprints currently sitting in ``quarantine/``, sorted."""
+        qdir = os.path.join(self.root, QUARANTINE_DIR)
+        if not os.path.isdir(qdir):
+            return []
+        return sorted(
+            name[: -len(".json")]
+            for name in os.listdir(qdir)
+            if name.endswith(".json") and len(name) == _FULL_DIGEST_LEN + len(".json")
+        )
 
     # ------------------------------------------------------------------
     def fingerprints(self) -> List[str]:
@@ -203,7 +318,12 @@ class ResultStore:
             )
 
     def resolve(self, prefix: str) -> str:
-        """Expand a fingerprint prefix to the unique stored fingerprint."""
+        """Expand a fingerprint prefix to the unique stored fingerprint.
+
+        Raises :class:`~repro.errors.AmbiguousPrefixError` (with the full
+        colliding digests on ``.candidates``) when more than one artifact
+        matches.
+        """
         prefix = prefix.lower()
         if not prefix:
             raise AnalysisError("empty fingerprint prefix")
@@ -213,10 +333,7 @@ class ResultStore:
                 f"no stored result matches fingerprint prefix {prefix!r}"
             )
         if len(matches) > 1:
-            shorts = ", ".join(m[:12] for m in matches[:5])
-            raise AnalysisError(
-                f"fingerprint prefix {prefix!r} is ambiguous: {shorts}"
-            )
+            raise AmbiguousPrefixError(prefix, matches)
         return matches[0]
 
     def __len__(self) -> int:

@@ -7,6 +7,13 @@ trace parsing and the whole pipeline), otherwise read, analyze, store,
 and return.  Hits and misses are counted on the active metrics registry
 (``store.hits`` / ``store.misses``) so batch runs report their cache hit
 ratio without any extra bookkeeping.
+
+A hit that fails the store's integrity check (truncated or bit-rotted
+artifact) is *not* an error here: the store quarantines the bad file,
+the event lands on the caller's diagnostics and the
+``store.integrity_failures`` counter, and the trace is simply
+re-analyzed — the deterministic pipeline regenerates the identical
+artifact, so corruption self-heals on the next read.
 """
 
 from __future__ import annotations
@@ -15,8 +22,10 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.analysis.pipeline import AnalysisResult, AnalyzerConfig, FoldingAnalyzer
+from repro.errors import StoreIntegrityError
 from repro.observability.context import counter as _metric_counter
 from repro.observability.context import span as _span
+from repro.resilience.diagnostics import Diagnostics
 from repro.store.artifacts import ResultStore
 from repro.store.fingerprint import config_fingerprint_dict, fingerprint_trace_file
 from repro.trace.reader import read_trace, read_trace_salvaged
@@ -38,6 +47,7 @@ def analyze_cached(
     store: ResultStore,
     config: Optional[AnalyzerConfig] = None,
     salvage: bool = False,
+    diagnostics: Optional[Diagnostics] = None,
 ) -> CachedAnalysis:
     """Analyze ``trace_path`` through ``store``.
 
@@ -45,16 +55,33 @@ def analyze_cached(
     hashed — which is what makes re-batching an unchanged manifest an
     order of magnitude cheaper than the cold run (TAB-10).  ``salvage``
     selects the salvage read policy for damaged traces and participates
-    in the fingerprint.
+    in the fingerprint.  ``diagnostics`` (when given) receives store
+    integrity events — the result's own diagnostics stay exactly what
+    the pipeline produced, keeping re-derived artifacts byte-identical.
     """
     cfg = config or AnalyzerConfig()
     with _span("fingerprint", trace=trace_path):
         fingerprint = fingerprint_trace_file(trace_path, cfg, salvage=salvage)
     if store.has(fingerprint):
-        _metric_counter("store.hits").inc()
-        with _span("store_get", fingerprint=fingerprint[:12]):
-            result = store.get(fingerprint)
-        return CachedAnalysis(result=result, fingerprint=fingerprint, cache_hit=True)
+        try:
+            with _span("store_get", fingerprint=fingerprint[:12]):
+                result = store.get(fingerprint)
+        except StoreIntegrityError as exc:
+            # The store already quarantined the artifact; record the
+            # recovery and fall through to a fresh analysis.
+            if diagnostics is not None:
+                diagnostics.warning(
+                    "store",
+                    "stored artifact failed integrity check; "
+                    "quarantined and re-deriving",
+                    fingerprint=fingerprint[:12],
+                    error=str(exc),
+                )
+        else:
+            _metric_counter("store.hits").inc()
+            return CachedAnalysis(
+                result=result, fingerprint=fingerprint, cache_hit=True
+            )
     _metric_counter("store.misses").inc()
     if salvage:
         trace, salvage_report = read_trace_salvaged(trace_path)

@@ -1,0 +1,235 @@
+"""Store integrity scan: find, quarantine, and repair bad artifacts.
+
+``repro store fsck`` walks every artifact in a store and verifies the
+full contract the read path enforces lazily — parseable JSON, the
+``repro-store/1`` format stamp, the envelope fingerprint matching the
+file name, and the content digest matching the result payload.  Legacy
+artifacts written before digests existed are flagged separately: they
+are readable, just unverifiable.
+
+With ``--repair`` the scan acts on what it finds:
+
+* **legacy** artifacts are rewritten in place (same result bytes, now
+  with a digest);
+* **corrupt** artifacts are quarantined, then *re-derived* when the
+  envelope still names a source trace that exists on disk — the
+  pipeline is deterministic, so re-running it under the stored config
+  regenerates the identical artifact under the identical fingerprint;
+* corrupt artifacts that cannot be re-derived (unparseable envelope,
+  missing trace) are **evicted** — quarantined with no replacement;
+* stale ``.tmp-*`` files from crashed writers are removed.
+
+Without ``--repair`` nothing is mutated: the scan only reports, so it is
+safe to run against a store another process is using.
+"""
+
+from __future__ import annotations
+
+import glob
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.errors import AnalysisError, ReproError, StoreIntegrityError
+from repro.observability.context import counter as _metric_counter
+from repro.resilience.diagnostics import Diagnostics
+from repro.store.artifacts import ResultStore, content_digest
+from repro.store.fingerprint import config_from_dict, fingerprint_trace_file
+
+__all__ = ["FsckIssue", "FsckReport", "fsck_store"]
+
+
+@dataclass(frozen=True)
+class FsckIssue:
+    """One problem artifact and what the scan did about it.
+
+    ``action`` is one of ``reported`` (scan-only), ``repaired`` (legacy
+    envelope rewritten with a digest), ``rederived`` (quarantined and
+    regenerated from its source trace), or ``evicted`` (quarantined with
+    no replacement).
+    """
+
+    fingerprint: str
+    problem: str
+    action: str
+
+    @property
+    def resolved(self) -> bool:
+        """Whether the store holds a good artifact for this entry again."""
+        return self.action in ("repaired", "rederived")
+
+
+@dataclass
+class FsckReport:
+    """Outcome of one :func:`fsck_store` scan."""
+
+    n_scanned: int = 0
+    n_ok: int = 0
+    issues: List[FsckIssue] = field(default_factory=list)
+    tmp_removed: List[str] = field(default_factory=list)
+    repaired: bool = False
+
+    @property
+    def n_legacy(self) -> int:
+        """Artifacts readable but missing a content digest."""
+        return sum(1 for i in self.issues if i.problem.startswith("legacy"))
+
+    @property
+    def unresolved(self) -> List[FsckIssue]:
+        """Issues the store still carries (nothing good stored for them)."""
+        return [i for i in self.issues if not i.resolved]
+
+    @property
+    def healthy(self) -> bool:
+        """Whether every scanned entry is (now) good."""
+        return not self.unresolved
+
+    def render(self) -> str:
+        """Human-readable scan summary (the CLI's output)."""
+        lines = [
+            f"fsck: scanned {self.n_scanned} artifact(s): "
+            f"{self.n_ok} ok, {len(self.issues)} with issues"
+        ]
+        for issue in self.issues:
+            lines.append(
+                f"  {issue.fingerprint[:12]}  {issue.action:<9} {issue.problem}"
+            )
+        if self.tmp_removed:
+            lines.append(
+                f"  removed {len(self.tmp_removed)} stale temp file(s)"
+            )
+        verdict = "healthy" if self.healthy else (
+            f"{len(self.unresolved)} unresolved issue(s)"
+            + ("" if self.repaired else " (run with --repair)")
+        )
+        lines.append(f"fsck: store is {verdict}")
+        return "\n".join(lines)
+
+
+def _inspect(store: ResultStore, fingerprint: str) -> Optional[str]:
+    """Problem description for ``fingerprint``'s artifact, or ``None``."""
+    path = store.object_path(fingerprint)
+    try:
+        envelope = store._load_envelope(path)
+    except StoreIntegrityError as exc:
+        return str(exc)
+    except AnalysisError as exc:
+        return f"unreadable: {exc}"
+    if envelope.get("fingerprint") != fingerprint:
+        return (
+            f"envelope fingerprint {str(envelope.get('fingerprint'))[:12]!r} "
+            f"does not match file name"
+        )
+    stored_digest = envelope.get("digest")
+    if stored_digest is None:
+        return "legacy artifact without content digest"
+    actual = content_digest(envelope["result"])
+    if actual != stored_digest:
+        return (
+            f"content digest mismatch (stored {stored_digest[:19]}..., "
+            f"actual {actual[:19]}...)"
+        )
+    return None
+
+
+def _try_load_meta(path: str) -> Optional[Dict[str, Any]]:
+    """Best-effort meta block from a (possibly damaged) envelope."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            envelope = json.load(handle)
+    except (OSError, json.JSONDecodeError):
+        return None
+    if isinstance(envelope, dict) and isinstance(envelope.get("meta"), dict):
+        return dict(envelope["meta"])
+    return None
+
+
+def _rederive(
+    store: ResultStore, fingerprint: str, meta: Optional[Dict[str, Any]]
+) -> bool:
+    """Regenerate ``fingerprint`` from its source trace; True on success.
+
+    Only succeeds when the stored meta names a trace that still exists
+    *and* that trace+config still fingerprints to the same digest — a
+    changed trace means the old artifact is simply stale, and eviction
+    is the honest outcome.
+    """
+    from repro.store.cache import analyze_cached  # local: avoids import cycle
+
+    if not meta:
+        return False
+    trace_path = meta.get("trace_path")
+    if not isinstance(trace_path, str) or not os.path.isfile(trace_path):
+        return False
+    try:
+        config = (
+            config_from_dict(meta["config"])
+            if isinstance(meta.get("config"), dict)
+            else None
+        )
+        salvage = bool(meta.get("salvage", False))
+        if config is not None:
+            expected = fingerprint_trace_file(trace_path, config, salvage=salvage)
+            if expected != fingerprint:
+                return False
+        analyze_cached(trace_path, store, config=config, salvage=salvage)
+    except ReproError:
+        return False
+    return store.has(fingerprint)
+
+
+def fsck_store(
+    store: ResultStore,
+    repair: bool = False,
+    diagnostics: Optional[Diagnostics] = None,
+) -> FsckReport:
+    """Scan ``store`` for integrity problems; optionally repair them."""
+    diagnostics = diagnostics if diagnostics is not None else Diagnostics()
+    report = FsckReport(repaired=repair)
+    for fingerprint in store.fingerprints():
+        report.n_scanned += 1
+        problem = _inspect(store, fingerprint)
+        if problem is None:
+            report.n_ok += 1
+            continue
+        _metric_counter("store.fsck.issues").inc()
+        if not repair:
+            diagnostics.warning(
+                "store", "fsck found a bad artifact",
+                fingerprint=fingerprint[:12], problem=problem,
+            )
+            report.issues.append(FsckIssue(fingerprint, problem, "reported"))
+            continue
+        if problem.startswith("legacy"):
+            # Readable, just unverifiable: rewrite with a digest.
+            store.put(fingerprint, store.get(fingerprint),
+                      meta=store.get_meta(fingerprint))
+            diagnostics.info(
+                "store", "fsck upgraded a legacy artifact",
+                fingerprint=fingerprint[:12],
+            )
+            report.issues.append(FsckIssue(fingerprint, problem, "repaired"))
+            report.n_ok += 1
+            continue
+        meta = _try_load_meta(store.object_path(fingerprint))
+        store.quarantine(fingerprint, f"fsck: {problem}")
+        if _rederive(store, fingerprint, meta):
+            diagnostics.warning(
+                "store", "fsck quarantined and re-derived a corrupt artifact",
+                fingerprint=fingerprint[:12], problem=problem,
+            )
+            report.issues.append(FsckIssue(fingerprint, problem, "rederived"))
+            report.n_ok += 1
+        else:
+            diagnostics.error(
+                "store", "fsck evicted an unrecoverable artifact",
+                fingerprint=fingerprint[:12], problem=problem,
+            )
+            report.issues.append(FsckIssue(fingerprint, problem, "evicted"))
+    if repair:
+        pattern = os.path.join(store.root, "objects", "*", ".tmp-*")
+        for tmp in sorted(glob.glob(pattern)):
+            os.unlink(tmp)
+            report.tmp_removed.append(tmp)
+    return report

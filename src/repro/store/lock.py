@@ -1,0 +1,90 @@
+"""Advisory file locking for stores shared between processes.
+
+Artifact writes are individually atomic, but a batch run also appends to
+the write-ahead journal and may quarantine/re-derive artifacts — two
+``repro batch`` processes interleaving those operations on one store
+would corrupt the journal's last-entry-wins semantics.  :class:`StoreLock`
+takes an exclusive ``flock`` on ``<root>/.batch.lock`` for the duration
+of a batch; a second process fails fast with
+:class:`~repro.errors.StoreLockError` (and a message naming the lock
+file) instead of silently racing.
+
+The lock is *advisory*: tooling that only reads (``repro query``,
+``repro store fsck`` without ``--repair``) does not take it.  On
+platforms without ``fcntl`` the lock degrades to a no-op — single-host
+POSIX deployments are the concurrency case this guards.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+from repro.errors import StoreLockError
+
+try:  # pragma: no cover - platform probe
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX fallback
+    fcntl = None  # type: ignore[assignment]
+
+__all__ = ["StoreLock", "LOCK_FILE_NAME"]
+
+#: Lock file name, directly under the store root.
+LOCK_FILE_NAME = ".batch.lock"
+
+
+class StoreLock:
+    """Exclusive advisory lock on a store root (context manager)."""
+
+    def __init__(self, root: str) -> None:
+        self.root = root
+        self.path = os.path.join(root, LOCK_FILE_NAME)
+        self._fd: Optional[int] = None
+
+    @property
+    def held(self) -> bool:
+        """Whether this instance currently holds the lock."""
+        return self._fd is not None
+
+    def acquire(self) -> None:
+        """Take the lock, or raise :class:`~repro.errors.StoreLockError`
+        immediately if another process holds it (no blocking — a batch
+        queued behind another batch should be the operator's decision)."""
+        if self._fd is not None:
+            return
+        os.makedirs(self.root, exist_ok=True)
+        fd = os.open(self.path, os.O_RDWR | os.O_CREAT, 0o644)
+        if fcntl is not None:
+            try:
+                fcntl.flock(fd, fcntl.LOCK_EX | fcntl.LOCK_NB)
+            except OSError:
+                os.close(fd)
+                raise StoreLockError(
+                    f"store {self.root} is locked by another repro batch "
+                    f"process (lock file: {self.path}); wait for it to "
+                    f"finish or remove a stale lock"
+                ) from None
+        # Record the holder for post-mortem debugging of stale locks.
+        os.truncate(fd, 0)
+        os.write(fd, f"pid={os.getpid()}\n".encode("ascii"))
+        self._fd = fd
+
+    def release(self) -> None:
+        """Drop the lock (idempotent)."""
+        if self._fd is None:
+            return
+        if fcntl is not None:
+            fcntl.flock(self._fd, fcntl.LOCK_UN)
+        os.close(self._fd)
+        self._fd = None
+
+    def __enter__(self) -> "StoreLock":
+        self.acquire()
+        return self
+
+    def __exit__(self, *_exc: object) -> None:
+        self.release()
+
+    def __repr__(self) -> str:
+        state = "held" if self.held else "free"
+        return f"StoreLock({self.path!r}, {state})"

@@ -55,6 +55,73 @@ class TestCliBatch:
                      str(tmp_path / "s")]) == 1
         assert "batch:" in capsys.readouterr().err
 
+    def test_bad_deadline_exits_nonzero(self, service_dirs, capsys):
+        assert main(["-q", "batch", service_dirs.traces,
+                     "--store", service_dirs.store, "--deadline", "-5"]) == 1
+        assert "deadline_s" in capsys.readouterr().err
+
+    def test_resume_flag(self, service_dirs, capsys):
+        # The store was populated by the batches above; the journal marks
+        # both jobs complete, so a resume run skips them entirely.
+        assert main(["-q", "batch", service_dirs.traces,
+                     "--store", service_dirs.store, "--resume"]) == 0
+        out = capsys.readouterr().out
+        assert "resumed from journal" in out
+
+    def test_interrupted_report_exits_130(self, service_dirs, monkeypatch,
+                                          capsys):
+        from repro.resilience import Diagnostics
+        from repro.service import BatchReport
+
+        def fake_run_batch(specs, store, config):
+            return BatchReport(
+                records=[], wall_s=0.1, diagnostics=Diagnostics(),
+                interrupted="SIGINT",
+            )
+
+        monkeypatch.setattr("repro.cli.run_batch", fake_run_batch)
+        assert main(["-q", "batch", service_dirs.traces,
+                     "--store", service_dirs.store]) == 130
+        # The partial status table was still flushed to stdout.
+        assert "interrupted by SIGINT" in capsys.readouterr().out
+
+    def test_keyboard_interrupt_exits_130(self, service_dirs, monkeypatch,
+                                          capsys):
+        def raising_run_batch(specs, store, config):
+            raise KeyboardInterrupt()
+
+        monkeypatch.setattr("repro.cli.run_batch", raising_run_batch)
+        assert main(["-q", "batch", service_dirs.traces,
+                     "--store", service_dirs.store]) == 130
+        assert "interrupted" in capsys.readouterr().err
+
+
+class TestCliStoreFsck:
+    def test_healthy_store_exits_zero(self, service_dirs, capsys):
+        assert main(["-q", "store", "fsck", service_dirs.store]) == 0
+        out = capsys.readouterr().out
+        assert "fsck:" in out and "healthy" in out
+
+    def test_corrupt_store_exits_nonzero_then_repairs(
+        self, service_dirs, capsys
+    ):
+        from repro.resilience import flip_artifact_byte
+
+        store = ResultStore(service_dirs.store)
+        fingerprint = store.fingerprints()[0]
+        flip_artifact_byte(store.object_path(fingerprint))
+        assert main(["-q", "store", "fsck", service_dirs.store]) == 1
+        first = capsys.readouterr()
+        assert "digest mismatch" in first.out
+        assert "--repair" in first.out
+        # The traces still exist, so --repair re-derives the artifact.
+        assert main(["-q", "store", "fsck", service_dirs.store,
+                     "--repair"]) == 0
+        second = capsys.readouterr()
+        assert "rederived" in second.out
+        assert "quarantine holds" in second.err
+        assert store.has(fingerprint)
+
 
 class TestCliQuery:
     def test_listing(self, service_dirs, capsys):

@@ -1,0 +1,200 @@
+"""Retry policy edge cases and the circuit breaker."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.errors import CircuitOpenError, ConfigurationError, RetryExhaustedError
+from repro.resilience import (
+    CircuitBreaker,
+    Diagnostics,
+    RetryPolicy,
+    call_with_retry,
+)
+
+
+# ----------------------------------------------------------------------
+# zero-retry policy
+# ----------------------------------------------------------------------
+class TestZeroRetry:
+    def test_single_attempt_failure_is_exhaustion(self):
+        """max_attempts=1 means one try: no retries, no sleeping."""
+        calls = []
+        slept = []
+
+        def fails():
+            calls.append(1)
+            raise OSError("gone")
+
+        with pytest.raises(RetryExhaustedError, match="all 1 attempt"):
+            call_with_retry(fails, RetryPolicy(max_attempts=1), sleep=slept.append)
+        assert calls == [1]
+        assert slept == []
+
+    def test_single_attempt_success_untouched(self):
+        assert call_with_retry(lambda: "v", RetryPolicy(max_attempts=1)) == "v"
+
+    def test_no_retry_diagnostics_on_single_attempt(self):
+        diagnostics = Diagnostics()
+
+        def fails():
+            raise OSError("gone")
+
+        with pytest.raises(RetryExhaustedError):
+            call_with_retry(
+                fails, RetryPolicy(max_attempts=1), diagnostics=diagnostics
+            )
+        # No "retrying" warnings when there is nothing to retry.
+        assert diagnostics.by_stage("retry") == []
+
+
+# ----------------------------------------------------------------------
+# deterministic backoff
+# ----------------------------------------------------------------------
+class TestBackoffDeterminism:
+    def test_no_jitter_schedule_is_exact(self):
+        policy = RetryPolicy(max_attempts=5, backoff_base_s=0.1, backoff_max_s=0.5)
+        assert [policy.delay_s(k) for k in (1, 2, 3, 4)] == [0.1, 0.2, 0.4, 0.5]
+
+    def test_jitter_with_seeded_rng_reproduces(self):
+        policy = RetryPolicy(max_attempts=4, backoff_base_s=1.0, jitter=0.5)
+        a = [policy.delay_s(k, rng=random.Random(42)) for k in (1, 2, 3)]
+        b = [policy.delay_s(k, rng=random.Random(42)) for k in (1, 2, 3)]
+        assert a == b
+        # Jitter only ever shortens the delay, never lengthens it.
+        for delay, nominal in zip(a, (1.0, 2.0, 4.0)):
+            assert 0.5 * nominal <= delay <= nominal
+
+    def test_jittered_sleeps_identical_across_runs(self):
+        def run():
+            slept = []
+
+            def fails():
+                raise OSError("x")
+
+            with pytest.raises(RetryExhaustedError):
+                call_with_retry(
+                    fails,
+                    RetryPolicy(max_attempts=3, backoff_base_s=0.25, jitter=0.3),
+                    sleep=slept.append,
+                    rng=random.Random(7),
+                )
+            return slept
+
+        assert run() == run()
+
+    def test_jitter_validation(self):
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(jitter=1.5)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(jitter=-0.1)
+
+
+# ----------------------------------------------------------------------
+# exhaustion preserves the original failure
+# ----------------------------------------------------------------------
+class TestExhaustionCause:
+    def test_cause_is_final_attempt_exception(self):
+        errors = [OSError("first"), ValueError("second")]
+
+        def fails():
+            raise errors.pop(0)
+
+        with pytest.raises(RetryExhaustedError) as excinfo:
+            call_with_retry(fails, RetryPolicy(max_attempts=2))
+        cause = excinfo.value.__cause__
+        assert isinstance(cause, ValueError)
+        assert str(cause) == "second"
+
+    def test_message_names_type_and_text(self):
+        def fails():
+            raise KeyError("missing-key")
+
+        with pytest.raises(RetryExhaustedError, match="KeyError") as excinfo:
+            call_with_retry(fails, RetryPolicy(max_attempts=1), label="job x")
+        assert "job x" in str(excinfo.value)
+        assert "all 1 attempt(s) failed" in str(excinfo.value)
+
+
+# ----------------------------------------------------------------------
+# circuit breaker
+# ----------------------------------------------------------------------
+class TestCircuitBreaker:
+    def test_opens_after_threshold_identical_failures(self):
+        breaker = CircuitBreaker(threshold=3)
+        exc = OSError("same")
+        assert breaker.record_failure("k", exc) is False
+        assert breaker.record_failure("k", exc) is False
+        assert breaker.record_failure("k", exc) is True
+        assert breaker.open_keys == ["k"]
+        assert not breaker.allow("k")
+
+    def test_different_failures_reset_streak(self):
+        breaker = CircuitBreaker(threshold=2)
+        assert breaker.record_failure("k", OSError("a")) is False
+        assert breaker.record_failure("k", OSError("b")) is False
+        assert breaker.record_failure("k", OSError("b")) is True
+
+    def test_success_closes(self):
+        breaker = CircuitBreaker(threshold=1)
+        breaker.record_failure("k", OSError("x"))
+        assert not breaker.allow("k")
+        breaker.record_success("k")
+        assert breaker.allow("k")
+        assert breaker.open_keys == []
+
+    def test_threshold_zero_disables(self):
+        breaker = CircuitBreaker(threshold=0)
+        for _ in range(10):
+            assert breaker.record_failure("k", OSError("x")) is False
+        assert breaker.allow("k")
+
+    def test_retry_sheds_remaining_attempts(self):
+        calls = []
+
+        def fails():
+            calls.append(1)
+            raise OSError("stuck")
+
+        breaker = CircuitBreaker(threshold=2)
+        with pytest.raises(CircuitOpenError, match="circuit opened") as excinfo:
+            call_with_retry(
+                fails,
+                RetryPolicy(max_attempts=10),
+                breaker=breaker,
+                breaker_key="job",
+            )
+        # Opened on the 2nd identical failure: 8 attempts shed.
+        assert len(calls) == 2
+        assert isinstance(excinfo.value.__cause__, OSError)
+
+    def test_open_key_sheds_before_first_attempt(self):
+        breaker = CircuitBreaker(threshold=1)
+        breaker.record_failure("job", OSError("x"))
+        calls = []
+        with pytest.raises(CircuitOpenError, match="circuit open"):
+            call_with_retry(
+                lambda: calls.append(1),
+                RetryPolicy(max_attempts=3),
+                breaker=breaker,
+                breaker_key="job",
+            )
+        assert calls == []
+
+    def test_exhaustion_beats_open_on_final_attempt(self):
+        """A breaker that trips on the last attempt has nothing to shed:
+        the caller sees plain exhaustion with the true cause."""
+
+        def fails():
+            raise OSError("same")
+
+        breaker = CircuitBreaker(threshold=2)
+        with pytest.raises(RetryExhaustedError):
+            call_with_retry(
+                fails,
+                RetryPolicy(max_attempts=2),
+                breaker=breaker,
+                breaker_key="job",
+            )

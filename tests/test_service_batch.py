@@ -6,7 +6,7 @@ import shutil
 
 import pytest
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, RetryExhaustedError
 from repro.observability import Observability
 from repro.resilience import Diagnostics, RetryPolicy, call_with_retry
 from repro.service import (
@@ -47,8 +47,10 @@ class TestRetry:
         def always_fails():
             raise ValueError("permanent")
 
-        with pytest.raises(ValueError, match="permanent"):
+        with pytest.raises(RetryExhaustedError, match="permanent") as excinfo:
             call_with_retry(always_fails, RetryPolicy(max_attempts=2))
+        # The original exception survives as the cause.
+        assert isinstance(excinfo.value.__cause__, ValueError)
 
     def test_non_retryable_propagates_immediately(self):
         calls = []
@@ -73,7 +75,7 @@ class TestRetry:
         def fails():
             raise OSError("x")
 
-        with pytest.raises(OSError):
+        with pytest.raises(RetryExhaustedError):
             call_with_retry(
                 fails,
                 RetryPolicy(max_attempts=3, backoff_base_s=0.25),

@@ -1,0 +1,271 @@
+"""Chaos tests: hung workers, corrupted artifacts, interrupted batches.
+
+Everything here is marked ``chaos`` — the CI chaos job runs the marker
+explicitly (`pytest -m chaos`) because these tests kill real processes
+and wait out real deadlines, making them slower than the unit suite.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+from types import SimpleNamespace
+
+import pytest
+
+from repro.errors import StoreLockError
+from repro.observability import Observability
+from repro.resilience import (
+    FaultPlan,
+    flip_artifact_byte,
+    hang_worker,
+    sigint_after_n_jobs,
+    truncate_artifact,
+)
+from repro.service import (
+    JOURNAL_NAME,
+    BatchConfig,
+    JobState,
+    load_manifest,
+    run_batch,
+)
+from repro.store import ResultStore, StoreLock, analyze_cached
+
+pytestmark = pytest.mark.chaos
+
+
+@pytest.fixture(scope="module")
+def chaos_trace_file(tmp_path_factory) -> str:
+    """A smaller trace than the session fixture (chaos tests re-analyze
+    it repeatedly, some of that inside deadline-watched workers)."""
+    from repro.machine.cpu import CoreModel
+    from repro.machine.spec import MachineSpec
+    from repro.runtime.engine import ExecutionEngine
+    from repro.runtime.tracer import Tracer, TracerConfig
+    from repro.trace.writer import write_trace
+    from repro.workload.apps import multiphase_app
+
+    app = multiphase_app(iterations=60, ranks=2)
+    timeline = ExecutionEngine(CoreModel(MachineSpec()), seed=11).run(app)
+    trace = Tracer(TracerConfig(seed=3)).trace(timeline)
+    path = tmp_path_factory.mktemp("chaos-traces") / "chaos.rpt"
+    write_trace(trace, str(path))
+    return str(path)
+
+
+@pytest.fixture()
+def chaos_dirs(tmp_path, chaos_trace_file):
+    """Three identical-bytes trace copies plus a store path."""
+    traces = tmp_path / "traces"
+    traces.mkdir()
+    for name in ("run1.rpt", "run2.rpt", "run3.rpt"):
+        shutil.copy(chaos_trace_file, traces / name)
+    return SimpleNamespace(traces=str(traces), store=str(tmp_path / "store"))
+
+
+class TestHungWorker:
+    def test_hung_job_killed_and_marked_timeout(self, chaos_dirs):
+        store = ResultStore(chaos_dirs.store)
+        # Warm the store so the non-faulted path inside the worker is fast.
+        analyze_cached(f"{chaos_dirs.traces}/run1.rpt", store)
+        specs = load_manifest(chaos_dirs.traces)
+        obs = Observability()
+        with obs.activate():
+            report = run_batch(
+                specs,
+                store,
+                BatchConfig(
+                    deadline_s=1.0,
+                    max_attempts=2,
+                    faults=hang_worker("run2.rpt", seconds=3600.0),
+                ),
+            )
+        states = {r.spec.label: r.state for r in report.records}
+        assert states["run2.rpt"] == JobState.TIMEOUT
+        assert states["run1.rpt"].ok and states["run3.rpt"].ok
+        timed_out = next(r for r in report.records if r.state == JobState.TIMEOUT)
+        assert timed_out.attempts == 2
+        assert "deadline" in (timed_out.error or "")
+        assert not report.ok
+        snapshot = obs.metrics.snapshot()
+        # One kill per attempt.
+        assert snapshot["service.watchdog.kills"] == 2
+        assert snapshot["service.jobs.timeout"] == 1
+        assert any(
+            "timed out" in e.message
+            for e in report.diagnostics.by_stage("service")
+        )
+
+    def test_deadline_not_hit_when_jobs_fast(self, chaos_dirs):
+        store = ResultStore(chaos_dirs.store)
+        analyze_cached(f"{chaos_dirs.traces}/run1.rpt", store)
+        report = run_batch(
+            load_manifest(chaos_dirs.traces),
+            store,
+            BatchConfig(deadline_s=30.0),
+        )
+        assert report.ok
+        assert report.n_timeout == 0
+        # Isolated workers report through the store, same as inline mode.
+        assert all(r.fingerprint for r in report.records)
+
+
+class TestCorruptArtifact:
+    def test_batch_self_heals_truncated_artifact(self, chaos_dirs):
+        store = ResultStore(chaos_dirs.store)
+        cold = analyze_cached(f"{chaos_dirs.traces}/run1.rpt", store)
+        truncate_artifact(store.object_path(cold.fingerprint))
+        report = run_batch(load_manifest(chaos_dirs.traces), store)
+        assert report.ok
+        # The first job re-derived (no hit); the rest hit the new artifact.
+        assert report.n_done == 1 and report.n_cached == 2
+        assert store.quarantined() == [cold.fingerprint]
+        assert any(
+            "quarantined" in e.message
+            for e in report.diagnostics.by_stage("store")
+        )
+
+    def test_hung_worker_and_corrupt_artifact_together(self, chaos_dirs):
+        """The issue's acceptance scenario: one hung job plus one corrupt
+        artifact in the same batch — it completes (no crash), the hung
+        job is TIMEOUT, the corruption is quarantined and healed."""
+        store = ResultStore(chaos_dirs.store)
+        cold = analyze_cached(f"{chaos_dirs.traces}/run1.rpt", store)
+        flip_artifact_byte(store.object_path(cold.fingerprint))
+        report = run_batch(
+            load_manifest(chaos_dirs.traces),
+            store,
+            BatchConfig(
+                deadline_s=30.0,
+                faults=hang_worker("run2.rpt", seconds=3600.0),
+            ),
+        )
+        states = {r.spec.label: r.state for r in report.records}
+        assert states["run1.rpt"] == JobState.DONE  # re-derived, not a hit
+        assert states["run2.rpt"] == JobState.TIMEOUT
+        assert states["run3.rpt"] == JobState.CACHED
+        assert report.n_timeout == 1 and report.n_failed == 0
+        assert store.quarantined() == [cold.fingerprint]
+        assert store.has(cold.fingerprint)  # healed in place
+        text = report.render_status()
+        assert "1 timeout" in text
+
+
+class TestInterruptAndResume:
+    def test_injected_sigint_drains_and_cancels(self, chaos_dirs):
+        store = ResultStore(chaos_dirs.store)
+        report = run_batch(
+            load_manifest(chaos_dirs.traces),
+            store,
+            BatchConfig(faults=sigint_after_n_jobs(1)),
+        )
+        assert report.interrupted == "SIGINT (injected)"
+        assert report.records[0].state.ok
+        assert report.n_cancelled == 2
+        assert not report.ok
+        assert "interrupted" in report.render_status()
+        # Terminal states (including the cancellations) were journaled.
+        journal_path = os.path.join(chaos_dirs.store, JOURNAL_NAME)
+        entries = [json.loads(line) for line in open(journal_path)]
+        job_states = [e["state"] for e in entries if e["type"] == "job"]
+        assert sorted(job_states) == ["cancelled", "cancelled", "done"]
+
+    def test_resume_runs_only_non_terminal_jobs(self, chaos_dirs, tmp_path):
+        store = ResultStore(chaos_dirs.store)
+        specs = load_manifest(chaos_dirs.traces)
+        interrupted = run_batch(
+            specs, store, BatchConfig(faults=sigint_after_n_jobs(1))
+        )
+        assert interrupted.n_cancelled == 2
+
+        obs = Observability()
+        with obs.activate():
+            resumed = run_batch(specs, store, BatchConfig(resume=True))
+        assert resumed.ok
+        assert resumed.interrupted is None
+        # Job 1 was satisfied straight from the journal: not re-executed.
+        assert resumed.records[0].resumed
+        assert resumed.records[0].attempts == 0
+        assert resumed.records[0].note == "resumed from journal"
+        assert resumed.n_resumed == 1
+        assert obs.metrics.snapshot()["service.jobs.resumed"] == 1
+        # Jobs 2 and 3 actually ran this time.
+        assert all(r.attempts == 1 for r in resumed.records[1:])
+
+        # Byte-identical result payloads vs an uninterrupted run.
+        pristine = ResultStore(str(tmp_path / "pristine"))
+        uninterrupted = run_batch(specs, pristine, BatchConfig())
+        assert uninterrupted.ok
+        assert store.fingerprints() == pristine.fingerprints()
+        for fingerprint in store.fingerprints():
+            with open(store.object_path(fingerprint)) as fh:
+                resumed_env = json.load(fh)
+            with open(pristine.object_path(fingerprint)) as fh:
+                pristine_env = json.load(fh)
+            assert resumed_env["result"] == pristine_env["result"]
+            assert resumed_env["digest"] == pristine_env["digest"]
+
+    def test_resume_reruns_failed_jobs(self, chaos_dirs):
+        store = ResultStore(chaos_dirs.store)
+        manifest = os.path.join(chaos_dirs.traces, "jobs.txt")
+        with open(manifest, "w") as fh:
+            fh.write("run1.rpt\nmissing.rpt\n")
+        specs = load_manifest(manifest)
+        first = run_batch(specs, store)
+        assert first.n_failed == 1
+        second = run_batch(specs, store, BatchConfig(resume=True))
+        # The good job is journal-skipped; the failed one runs again.
+        assert second.records[0].resumed
+        assert second.records[1].state == JobState.FAILED
+        assert second.records[1].attempts == 1
+
+    def test_resume_tolerates_torn_journal_line(self, chaos_dirs):
+        store = ResultStore(chaos_dirs.store)
+        specs = load_manifest(chaos_dirs.traces)
+        run_batch(specs, store)
+        journal_path = os.path.join(chaos_dirs.store, JOURNAL_NAME)
+        with open(journal_path, "a") as fh:
+            fh.write('{"type": "job", "trace_path": "torn')  # no newline
+        report = run_batch(specs, store, BatchConfig(resume=True))
+        assert report.ok
+        assert report.n_resumed == 3
+
+    def test_resume_ignores_journal_entry_without_artifact(self, chaos_dirs):
+        store = ResultStore(chaos_dirs.store)
+        specs = load_manifest(chaos_dirs.traces)
+        first = run_batch(specs, store)
+        # Evict the artifact behind the journal's back.
+        fingerprint = first.records[0].fingerprint
+        os.unlink(store.object_path(fingerprint))
+        report = run_batch(specs, store, BatchConfig(resume=True))
+        assert report.ok
+        assert report.n_resumed == 0  # journal not trusted without bytes
+        assert store.has(fingerprint)
+
+
+class TestStoreLockContention:
+    def test_concurrent_batch_fails_fast(self, chaos_dirs):
+        store = ResultStore(chaos_dirs.store)
+        os.makedirs(chaos_dirs.store, exist_ok=True)
+        with StoreLock(chaos_dirs.store):
+            with pytest.raises(StoreLockError, match="locked"):
+                run_batch(load_manifest(chaos_dirs.traces), store)
+
+    def test_lock_released_after_batch(self, chaos_dirs):
+        store = ResultStore(chaos_dirs.store)
+        run_batch(load_manifest(chaos_dirs.traces), store)
+        with StoreLock(chaos_dirs.store):
+            pass  # reacquirable: the batch released it
+
+
+class TestFaultPlan:
+    def test_merge_and_validation(self):
+        plan = hang_worker("a.rpt").merge(sigint_after_n_jobs(2))
+        assert plan.hang_s("a.rpt") == 3600.0
+        assert plan.hang_s("b.rpt") is None
+        assert plan.sigint_after == 2
+        with pytest.raises(Exception):
+            FaultPlan(sigint_after=-1)
+        with pytest.raises(Exception):
+            FaultPlan(hang={"a.rpt": 0.0})

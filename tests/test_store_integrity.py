@@ -1,0 +1,293 @@
+"""Store integrity: digest verification, quarantine, fsck, locking."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.errors import (
+    AmbiguousPrefixError,
+    AnalysisError,
+    StoreIntegrityError,
+    StoreLockError,
+)
+from repro.observability import Observability
+from repro.resilience import Diagnostics, flip_artifact_byte, truncate_artifact
+from repro.store import ResultStore, StoreLock, analyze_cached, fsck_store
+
+FP_A = "a" * 64
+FP_B = "b" * 64
+
+
+# ----------------------------------------------------------------------
+# read-path digest verification + quarantine
+# ----------------------------------------------------------------------
+class TestIntegrityOnRead:
+    def test_flipped_byte_quarantined_on_get(self, tmp_path, multiphase_artifacts):
+        store = ResultStore(str(tmp_path / "store"))
+        path = store.put(FP_A, multiphase_artifacts.result)
+        flip_artifact_byte(path)
+        obs = Observability()
+        with obs.activate():
+            with pytest.raises(StoreIntegrityError, match="digest mismatch"):
+                store.get(FP_A)
+        assert not store.has(FP_A)
+        assert store.quarantined() == [FP_A]
+        assert os.path.exists(store.quarantine_path(FP_A))
+        snapshot = obs.metrics.snapshot()
+        assert snapshot["store.integrity_failures"] == 1
+        assert snapshot["store.quarantined"] == 1
+
+    def test_truncated_artifact_quarantined_on_get(
+        self, tmp_path, multiphase_artifacts
+    ):
+        store = ResultStore(str(tmp_path / "store"))
+        path = store.put(FP_A, multiphase_artifacts.result)
+        truncate_artifact(path)
+        with pytest.raises(StoreIntegrityError, match="cannot read"):
+            store.get(FP_A)
+        assert store.quarantined() == [FP_A]
+
+    def test_quarantine_log_records_reason(self, tmp_path, multiphase_artifacts):
+        store = ResultStore(str(tmp_path / "store"))
+        flip_artifact_byte(store.put(FP_A, multiphase_artifacts.result))
+        with pytest.raises(StoreIntegrityError):
+            store.get(FP_A)
+        log = os.path.join(store.quarantine_dir, "quarantine.jsonl")
+        entries = [json.loads(line) for line in open(log)]
+        assert entries[0]["fingerprint"] == FP_A
+        assert "digest mismatch" in entries[0]["reason"]
+
+    def test_legacy_artifact_without_digest_still_reads(
+        self, tmp_path, multiphase_artifacts
+    ):
+        store = ResultStore(str(tmp_path / "store"))
+        path = store.put(FP_A, multiphase_artifacts.result)
+        with open(path) as fh:
+            envelope = json.load(fh)
+        del envelope["digest"]
+        with open(path, "w") as fh:
+            json.dump(envelope, fh)
+        restored = store.get(FP_A)
+        assert restored.app_name == multiphase_artifacts.result.app_name
+
+    def test_missing_artifact_is_not_integrity_error(self, tmp_path):
+        store = ResultStore(str(tmp_path / "store"))
+        with pytest.raises(AnalysisError, match="no stored result"):
+            store.get(FP_A)
+        assert store.quarantined() == []
+
+
+# ----------------------------------------------------------------------
+# the cache self-heals through re-derivation
+# ----------------------------------------------------------------------
+class TestCacheSelfHeal:
+    def test_corrupt_hit_rederives_identical_artifact(
+        self, tmp_path, multiphase_trace_file
+    ):
+        store = ResultStore(str(tmp_path / "store"))
+        cold = analyze_cached(multiphase_trace_file, store)
+        path = store.object_path(cold.fingerprint)
+        with open(path) as fh:
+            original = json.load(fh)
+        flip_artifact_byte(path)
+
+        diagnostics = Diagnostics()
+        healed = analyze_cached(
+            multiphase_trace_file, store, diagnostics=diagnostics
+        )
+        assert not healed.cache_hit
+        assert healed.fingerprint == cold.fingerprint
+        # Deterministic pipeline: the re-derived result (and therefore
+        # its digest) is identical; only meta.created_unix moves.
+        with open(path) as fh:
+            rederived = json.load(fh)
+        assert rederived["result"] == original["result"]
+        assert rederived["digest"] == original["digest"]
+        events = diagnostics.by_stage("store")
+        assert len(events) == 1
+        assert "quarantined and re-deriving" in events[0].message
+        assert store.quarantined() == [cold.fingerprint]
+
+
+# ----------------------------------------------------------------------
+# fsck
+# ----------------------------------------------------------------------
+class TestFsck:
+    def test_healthy_store(self, tmp_path, multiphase_artifacts):
+        store = ResultStore(str(tmp_path / "store"))
+        store.put(FP_A, multiphase_artifacts.result)
+        report = fsck_store(store)
+        assert report.n_scanned == 1
+        assert report.n_ok == 1
+        assert report.healthy
+        assert "healthy" in report.render()
+
+    def test_scan_only_reports_without_mutating(
+        self, tmp_path, multiphase_artifacts
+    ):
+        store = ResultStore(str(tmp_path / "store"))
+        path = store.put(FP_A, multiphase_artifacts.result)
+        flip_artifact_byte(path)
+        report = fsck_store(store, repair=False)
+        assert not report.healthy
+        assert [i.action for i in report.issues] == ["reported"]
+        # Nothing moved: the bad artifact is still in place.
+        assert store.has(FP_A)
+        assert store.quarantined() == []
+        assert "--repair" in report.render()
+
+    def test_repair_upgrades_legacy_artifact(self, tmp_path, multiphase_artifacts):
+        store = ResultStore(str(tmp_path / "store"))
+        path = store.put(FP_A, multiphase_artifacts.result)
+        with open(path) as fh:
+            envelope = json.load(fh)
+        del envelope["digest"]
+        with open(path, "w") as fh:
+            json.dump(envelope, fh)
+        report = fsck_store(store, repair=True)
+        assert report.n_legacy == 1
+        assert [i.action for i in report.issues] == ["repaired"]
+        assert report.healthy
+        with open(path) as fh:
+            assert "digest" in json.load(fh)
+
+    def test_repair_rederives_corrupt_artifact(
+        self, tmp_path, multiphase_trace_file
+    ):
+        store = ResultStore(str(tmp_path / "store"))
+        cold = analyze_cached(multiphase_trace_file, store)
+        path = store.object_path(cold.fingerprint)
+        with open(path) as fh:
+            original = json.load(fh)
+        flip_artifact_byte(path)
+        report = fsck_store(store, repair=True)
+        assert [i.action for i in report.issues] == ["rederived"]
+        assert report.healthy
+        with open(path) as fh:
+            rederived = json.load(fh)
+        assert rederived["result"] == original["result"]
+        assert rederived["digest"] == original["digest"]
+        # The corrupt original is preserved for the audit trail.
+        assert store.quarantined() == [cold.fingerprint]
+
+    def test_repair_evicts_unrecoverable_artifact(
+        self, tmp_path, multiphase_artifacts
+    ):
+        # No trace_path in meta: nothing to re-derive from.
+        store = ResultStore(str(tmp_path / "store"))
+        flip_artifact_byte(store.put(FP_A, multiphase_artifacts.result))
+        report = fsck_store(store, repair=True)
+        assert [i.action for i in report.issues] == ["evicted"]
+        assert not report.healthy
+        assert not store.has(FP_A)
+        assert store.quarantined() == [FP_A]
+
+    def test_repair_removes_stale_tmp_files(self, tmp_path, multiphase_artifacts):
+        store = ResultStore(str(tmp_path / "store"))
+        store.put(FP_A, multiphase_artifacts.result)
+        shard = os.path.dirname(store.object_path(FP_A))
+        stale = os.path.join(shard, ".tmp-crashed.json")
+        with open(stale, "w") as fh:
+            fh.write("{")
+        report = fsck_store(store, repair=True)
+        assert report.tmp_removed == [stale]
+        assert not os.path.exists(stale)
+
+    def test_mismatched_fingerprint_detected(self, tmp_path, multiphase_artifacts):
+        store = ResultStore(str(tmp_path / "store"))
+        path = store.put(FP_A, multiphase_artifacts.result)
+        wrong = store.object_path(FP_B)
+        os.makedirs(os.path.dirname(wrong), exist_ok=True)
+        os.rename(path, wrong)
+        report = fsck_store(store)
+        assert not report.healthy
+        assert "does not match file name" in report.issues[0].problem
+
+
+# ----------------------------------------------------------------------
+# content digest semantics
+# ----------------------------------------------------------------------
+class TestContentDigest:
+    def test_profile_excluded_from_digest(self, multiphase_artifacts):
+        # Span timings vary run to run whenever observability is active;
+        # a profiled and an unprofiled analysis of the same trace must
+        # still share a digest, or CLI-written artifacts could never be
+        # byte-stable across resume/heal.
+        from repro.store import content_digest, result_to_dict
+
+        payload = result_to_dict(multiphase_artifacts.result)
+        reference = content_digest(payload)
+        mutated = dict(payload)
+        mutated["profile"] = {"format": "repro-profile/1", "spans": [{"wall_s": 9.9}]}
+        assert content_digest(mutated) == reference
+
+    def test_semantic_change_moves_digest(self, multiphase_artifacts):
+        from repro.store import content_digest, result_to_dict
+
+        payload = result_to_dict(multiphase_artifacts.result)
+        mutated = dict(payload)
+        mutated["app_name"] = payload["app_name"] + "-x"
+        assert content_digest(mutated) != content_digest(payload)
+
+
+# ----------------------------------------------------------------------
+# prefix resolution
+# ----------------------------------------------------------------------
+class TestAmbiguousPrefix:
+    def test_candidates_listed(self, tmp_path, multiphase_artifacts):
+        store = ResultStore(str(tmp_path / "store"))
+        colliding = ["a" * 64, "a" * 63 + "b"]
+        for fp in colliding:
+            store.put(fp, multiphase_artifacts.result)
+        with pytest.raises(AmbiguousPrefixError) as excinfo:
+            store.resolve("aaa")
+        err = excinfo.value
+        assert err.prefix == "aaa"
+        assert err.candidates == sorted(colliding)
+        # The message names every colliding digest (abbreviated).
+        for fp in colliding:
+            assert fp[:12] in str(err)
+
+    def test_ambiguous_is_an_analysis_error(self, tmp_path, multiphase_artifacts):
+        store = ResultStore(str(tmp_path / "store"))
+        store.put("a" * 64, multiphase_artifacts.result)
+        store.put("a" * 63 + "b", multiphase_artifacts.result)
+        # CLI handlers catch ReproError/AnalysisError; ambiguity must not
+        # escape that net.
+        with pytest.raises(AnalysisError):
+            store.resolve("a")
+
+
+# ----------------------------------------------------------------------
+# advisory locking
+# ----------------------------------------------------------------------
+class TestStoreLock:
+    def test_second_acquire_fails(self, tmp_path):
+        root = str(tmp_path / "store")
+        os.makedirs(root)
+        first = StoreLock(root)
+        first.acquire()
+        try:
+            with pytest.raises(StoreLockError, match="locked"):
+                StoreLock(root).acquire()
+        finally:
+            first.release()
+
+    def test_release_allows_reacquire(self, tmp_path):
+        root = str(tmp_path / "store")
+        os.makedirs(root)
+        lock = StoreLock(root)
+        lock.acquire()
+        lock.release()
+        with StoreLock(root):
+            pass
+
+    def test_context_manager(self, tmp_path):
+        root = str(tmp_path / "store")
+        os.makedirs(root)
+        with StoreLock(root) as lock:
+            assert lock.held
+        assert not lock.held
