@@ -167,6 +167,81 @@ def hardened_report(specs) -> Dict[str, float]:
         }
 
 
+def telemetry_report(specs) -> Dict[str, float]:
+    """Fleet telemetry riding a real batch: bus, scrape, and ledger.
+
+    Runs the same manifest twice — observability disabled, then enabled
+    with a state tracker on the bus and a live ``/metrics`` endpoint —
+    and prices the telemetry layer while checking it actually observed
+    the batch: every job produced lifecycle events, a mid-run scrape
+    parses as OpenMetrics, and the run landed in the ledger.
+    """
+    import urllib.request
+
+    from repro.observability import (
+        JobStateTracker,
+        Observability,
+        RunLedger,
+        TelemetryServer,
+        validate_openmetrics,
+    )
+
+    with tempfile.TemporaryDirectory(prefix="tab10-telem-") as root:
+        traces = os.path.join(root, "traces")
+        os.makedirs(traces)
+        _write_traces(traces, specs)
+        jobs = load_manifest(traces)
+
+        dark_store = ResultStore(os.path.join(root, "dark"))
+        t0 = time.perf_counter()
+        dark = run_batch(jobs, dark_store)
+        dark_wall = time.perf_counter() - t0
+        assert dark.ok
+
+        obs = Observability()
+        tracker = JobStateTracker(registry=obs.metrics)
+        obs.events.subscribe(tracker)
+        events: List[object] = []
+        obs.events.subscribe(events.append)
+        store = ResultStore(os.path.join(root, "store"))
+        with TelemetryServer(obs.metrics, tracker=tracker) as server:
+            t0 = time.perf_counter()
+            with obs.activate():
+                lit = run_batch(jobs, store)
+            lit_wall = time.perf_counter() - t0
+            with urllib.request.urlopen(server.url + "/metrics") as resp:
+                scrape = resp.read().decode()
+        assert lit.ok
+        families = validate_openmetrics(scrape)
+        assert "repro_service_live_done" in families
+        kinds = {getattr(e, "kind", None) for e in events}
+        assert {"batch_started", "job_started", "job_finished",
+                "batch_drained"} <= kinds
+        ledger = RunLedger(os.path.join(root, "store"))
+        assert len(ledger.records()) == 1
+
+        return {
+            "dark_wall_s": dark_wall,
+            "lit_wall_s": lit_wall,
+            "n_events": float(len(events)),
+            "n_families": float(len(families)),
+            "telemetry_overhead_pct": (
+                100.0 * (lit_wall - dark_wall) / dark_wall
+                if dark_wall > 0 else 0.0
+            ),
+        }
+
+
+def print_telemetry_report(report: Dict[str, float]) -> None:
+    print(
+        f"telemetry: {int(report['n_events'])} bus event(s), "
+        f"{int(report['n_families'])} OpenMetrics familie(s) scraped "
+        f"mid-serve, 1 ledger record; lit batch {report['lit_wall_s']:.3f}s "
+        f"vs dark {report['dark_wall_s']:.3f}s "
+        f"({report['telemetry_overhead_pct']:+.1f}%)"
+    )
+
+
 def print_hardened_report(report: Dict[str, float]) -> None:
     print(
         f"hardened: interrupt cancelled {int(report['n_cancelled'])} job(s); "
@@ -213,6 +288,8 @@ def smoke() -> None:
     )
     hardened = hardened_report(SMOKE_TRACES)
     print_hardened_report(hardened)
+    telemetry = telemetry_report(SMOKE_TRACES)
+    print_telemetry_report(telemetry)
     print("TAB-10 smoke: PASS")
 
 
@@ -234,7 +311,9 @@ def main() -> None:
     )
     hardened = hardened_report(FULL_TRACES)
     print_hardened_report(hardened)
-    report = {**report, **hardened}
+    telemetry = telemetry_report(FULL_TRACES)
+    print_telemetry_report(telemetry)
+    report = {**report, **hardened, **telemetry}
     series = FigureSeries("tab10_service")
     for column in (
         "n_traces",
@@ -246,6 +325,9 @@ def main() -> None:
         "uninterrupted_wall_s",
         "resume_wall_s",
         "watched_cached_wall_s",
+        "lit_wall_s",
+        "dark_wall_s",
+        "telemetry_overhead_pct",
     ):
         series.add_column(column, [report[column]])
     print(f"\nseries written to {common.save_series(series)}")

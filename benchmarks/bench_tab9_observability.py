@@ -23,7 +23,7 @@ from typing import Dict, List
 import common
 from repro.analysis.pipeline import AnalyzerConfig, FoldingAnalyzer
 from repro.observability import Observability
-from repro.observability.context import counter, span
+from repro.observability.context import counter, publish, span
 from repro.workload.apps import multiphase_app
 
 EXP_ID = "TAB-9"
@@ -47,6 +47,19 @@ def _null_point_cost(n: int = 20000) -> float:
     for _ in range(n):
         with span("bench", k=1):
             counter("bench.calls").inc()
+    return (time.perf_counter() - t0) / n
+
+
+def _null_publish_cost(n: int = 20000) -> float:
+    """Mean cost of one disabled telemetry-bus publish.
+
+    The scheduler and watchdog publish job-lifecycle events
+    unconditionally; with no enabled context the call lands on the
+    shared ``NULL_BUS`` and must price like the no-op span path.
+    """
+    t0 = time.perf_counter()
+    for _ in range(n):
+        publish("job_finished", label="bench", wall_s=0.0)
     return (time.perf_counter() - t0) / n
 
 
@@ -93,6 +106,12 @@ def _rows() -> List[Dict[str, object]]:
             "spans": 0,
             "instr_pct": float("nan"),
         },
+        {
+            "config": "no-op bus publish x1000",
+            "wall_s": 1000 * _null_publish_cost(),
+            "spans": 0,
+            "instr_pct": float("nan"),
+        },
     ]
 
 
@@ -108,6 +127,8 @@ def test_tab9_observability(benchmark):
     assert null_cost < NULL_POINT_BUDGET_S
     n_points = 4 * int(enabled["n_spans"])
     assert n_points * null_cost < 0.02 * disabled["wall_s"]
+    # the telemetry bus rides the same no-op fast path when disabled
+    assert _null_publish_cost(2000) < NULL_POINT_BUDGET_S
 
 
 def main() -> None:

@@ -14,6 +14,10 @@ Mirrors the real toolchain's workflow split::
     python -m repro demo --app pmemd --optimize   # full methodology + case study
     python -m repro batch traces/ --store st/     # analyze a whole directory
     python -m repro batch traces/ --store st/ --deadline 60 --resume
+    python -m repro batch traces/ --store st/ --live --metrics-port 9461
+    python -m repro batch traces/ --store st/ --json > report.json
+    python -m repro perf history st/              # recorded run history
+    python -m repro perf check st/ --gate         # PWLR self-regression gate
     python -m repro store fsck st/ --repair       # integrity scan + repair
     python -m repro query st/                     # list stored results
     python -m repro query st/ 617f477ff543        # re-render one stored report
@@ -32,14 +36,21 @@ recovers nothing.
 from __future__ import annotations
 
 import argparse
+import json
+import logging
 import os
 import sys
+import time
 from typing import Callable, Dict, List, Optional
 
 from repro.analysis.hints import generate_hints
 from repro.analysis.methodology import describe_application, run_case_study
 from repro.analysis.pipeline import AnalyzerConfig, FoldingAnalyzer
-from repro.analysis.report import render_report, render_store_listing
+from repro.analysis.report import (
+    format_table,
+    render_report,
+    render_store_listing,
+)
 from repro.errors import (
     AnalysisError,
     ReproError,
@@ -50,12 +61,17 @@ from repro.errors import (
 from repro.machine.cpu import CoreModel
 from repro.machine.spec import MachineSpec
 from repro.observability import (
+    PROGRESS_LOGGER,
+    JobStateTracker,
     Observability,
+    RunLedger,
+    TelemetryServer,
     configure_cli_logging,
     read_profile_json,
     render_hotspots,
     render_metrics,
     render_profile_tree,
+    stage_table,
     write_chrome_trace,
     write_jsonl_events,
     write_profile_json,
@@ -64,8 +80,21 @@ from repro.resilience import Severity
 from repro.runtime.engine import ExecutionEngine
 from repro.runtime.sampler import SamplerConfig
 from repro.runtime.tracer import Tracer, TracerConfig
-from repro.service import BatchConfig, diff_stored, load_manifest, run_batch
-from repro.store import ResultStore, analyze_cached, fsck_store
+from repro.service import (
+    BatchConfig,
+    LiveDashboard,
+    check_history,
+    diff_stored,
+    load_manifest,
+    run_batch,
+    stage_series,
+)
+from repro.store import (
+    ResultStore,
+    analyze_cached,
+    fingerprint_config,
+    fsck_store,
+)
 from repro.trace.reader import read_trace, read_trace_salvaged
 from repro.trace.stats import compute_stats
 from repro.trace.writer import write_trace
@@ -221,14 +250,21 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         return FoldingAnalyzer(config).analyze(trace)
 
     sinks_requested = bool(args.profile or args.log_jsonl or args.chrome_trace)
-    if sinks_requested:
+    if sinks_requested or args.store:
         # Activate a fresh collector around the whole command so the
-        # read_trace span lands in the same profile as the analysis.
+        # read_trace span lands in the same profile as the analysis —
+        # and, with --store, in the store's telemetry ledger.
         obs = Observability()
+        start = time.perf_counter()
         with obs.activate():
             result = produce()
+        wall_s = time.perf_counter() - start
         profile = obs.profile()
         metrics = obs.metrics.snapshot()
+        if args.store:
+            _record_ledger_run(
+                args.store, "analyze", wall_s, profile, metrics, config
+            )
         if args.profile:
             write_profile_json(args.profile, profile, metrics)
             print(f"profile written to {args.profile}", file=sys.stderr)
@@ -284,6 +320,23 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _record_ledger_run(store_root, kind, wall_s, profile, metrics, config) -> None:
+    """Append one run record to the store's telemetry ledger (best effort)."""
+    ledger = RunLedger(store_root)
+    try:
+        ledger.append(
+            ledger.build_record(
+                kind=kind,
+                wall_s=wall_s,
+                stages=stage_table(profile),
+                metrics=dict(metrics),
+                config_fingerprint=fingerprint_config(config),
+            )
+        )
+    except OSError as exc:
+        print(f"telemetry: ledger write failed: {exc}", file=sys.stderr)
+
+
 def _cmd_batch(args: argparse.Namespace) -> int:
     try:
         specs = load_manifest(args.manifest)
@@ -304,20 +357,61 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         return 1
     store = ResultStore(args.store)
     obs = Observability()
+    dashboard = None
+    server = None
+    progress_logger = logging.getLogger(PROGRESS_LOGGER)
+    progress_was_disabled = progress_logger.disabled
     try:
-        with obs.activate():
-            report = run_batch(specs, store, config)
-    except StoreLockError as exc:
-        print(f"batch: {exc}", file=sys.stderr)
-        return 1
-    except KeyboardInterrupt:
-        # Belt and braces: run_batch drains SIGINT cooperatively on the
-        # main thread, so reaching here means the interrupt landed
-        # outside the scheduler's window.  Never exit 0 on a Ctrl-C.
-        print("batch: interrupted before completion", file=sys.stderr)
-        sys.stderr.flush()
-        return 130
-    print(report.render_status())
+        if args.live and sys.stderr.isatty():
+            # The in-place redraws and the per-job progress lines share
+            # stderr; silence the latter while the dashboard owns it.
+            dashboard = LiveDashboard()
+            obs.events.subscribe(dashboard)
+            progress_logger.disabled = True
+        if args.metrics_port is not None:
+            tracker = JobStateTracker(registry=obs.metrics)
+            obs.events.subscribe(tracker)
+            server = TelemetryServer(
+                obs.metrics, tracker=tracker, port=args.metrics_port
+            )
+            try:
+                port = server.start()
+            except ReproError as exc:
+                print(f"batch: {exc}", file=sys.stderr)
+                return 1
+            print(
+                f"telemetry: serving /metrics and /healthz on "
+                f"http://127.0.0.1:{port}",
+                file=sys.stderr,
+            )
+        try:
+            with obs.activate():
+                report = run_batch(specs, store, config)
+        except StoreLockError as exc:
+            print(f"batch: {exc}", file=sys.stderr)
+            return 1
+        except KeyboardInterrupt:
+            # Belt and braces: run_batch drains SIGINT cooperatively on
+            # the main thread, so reaching here means the interrupt
+            # landed outside the scheduler's window.  Never exit 0 on a
+            # Ctrl-C.
+            print("batch: interrupted before completion", file=sys.stderr)
+            sys.stderr.flush()
+            return 130
+    finally:
+        if dashboard is not None:
+            obs.events.unsubscribe(dashboard)
+            dashboard.close()
+            progress_logger.disabled = progress_was_disabled
+        if server is not None:
+            server.close()
+    if args.json:
+        # Machine-readable report owns stdout; the human table moves to
+        # stderr so `repro batch --json | jq` stays clean.
+        print(json.dumps(report.to_dict(), indent=1, sort_keys=True))
+        print(report.render_status(), file=sys.stderr)
+    else:
+        print(report.render_status())
     sys.stdout.flush()
     latency = obs.metrics.histogram("service.job_seconds")
     if latency.count:
@@ -387,6 +481,66 @@ def _cmd_store_fsck(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
     return 0 if report.healthy else 1
+
+
+def _cmd_perf_history(args: argparse.Namespace) -> int:
+    ledger = RunLedger(args.store)
+    records = ledger.records()
+    if not records:
+        print(f"perf: no telemetry records at {ledger.path}")
+        return 0
+    kinds: Dict[str, int] = {}
+    for record in records:
+        kind = str(record.get("kind", "?"))
+        kinds[kind] = kinds.get(kind, 0) + 1
+    by_kind = ", ".join(f"{n} {kind}" for kind, n in sorted(kinds.items()))
+    print(f"{len(records)} run(s) recorded ({by_kind}) in {ledger.path}")
+    rows = []
+    for stage, durations in sorted(stage_series(records).items()):
+        if args.stage and stage != args.stage:
+            continue
+        rows.append(
+            [
+                stage,
+                str(len(durations)),
+                f"{sum(durations) / len(durations):.4f}",
+                f"{min(durations):.4f}",
+                f"{max(durations):.4f}",
+                f"{durations[-1]:.4f}",
+            ]
+        )
+    if not rows:
+        print(f"perf: no stage named {args.stage!r} in the ledger",
+              file=sys.stderr)
+        return 1
+    print(format_table(
+        ["stage", "runs", "mean s", "min s", "max s", "latest s"], rows
+    ))
+    return 0
+
+
+def _cmd_perf_check(args: argparse.Namespace) -> int:
+    ledger = RunLedger(args.store)
+    records = ledger.records()
+    if not records:
+        # A fresh store has no history to regress against; the gate must
+        # pass so CI can run the check from day one.
+        print(f"perf: no telemetry records at {ledger.path}; nothing to check")
+        return 0
+    try:
+        report = check_history(
+            records, threshold=args.threshold, min_runs=args.min_runs
+        )
+    except ReproError as exc:
+        print(f"perf: {exc}", file=sys.stderr)
+        return 1
+    print(report.render())
+    if report.regressions and not args.gate:
+        print(
+            "perf: regressions detected (informational; use --gate to fail)",
+            file=sys.stderr,
+        )
+    return 1 if args.gate and not report.ok else 0
 
 
 def _cmd_demo(args: argparse.Namespace) -> int:
@@ -568,6 +722,26 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip jobs the store journal records as already complete "
         "(after a crash, kill, or Ctrl-C)",
     )
+    p_batch.add_argument(
+        "--live",
+        action="store_true",
+        help="in-place TTY status dashboard (states, rate, ETA, slowest "
+        "running jobs); falls back to progress lines when not a TTY",
+    )
+    p_batch.add_argument(
+        "--metrics-port",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help="serve /metrics (OpenMetrics) and /healthz (live job states) "
+        "on 127.0.0.1:PORT for the duration of the batch (0 = ephemeral)",
+    )
+    p_batch.add_argument(
+        "--json",
+        action="store_true",
+        help="print the machine-readable report as JSON on stdout "
+        "(the human table moves to stderr)",
+    )
     p_batch.set_defaults(func=_cmd_batch)
 
     p_query = sub.add_parser(
@@ -609,6 +783,48 @@ def build_parser() -> argparse.ArgumentParser:
         "ones, evict what cannot be recovered, drop stale temp files",
     )
     p_fsck.set_defaults(func=_cmd_store_fsck)
+
+    p_perf = sub.add_parser(
+        "perf",
+        help="self-regression checks over a store's telemetry ledger",
+    )
+    perf_sub = p_perf.add_subparsers(dest="perf_command", required=True)
+    p_perf_history = perf_sub.add_parser(
+        "history", help="summarize recorded runs and per-stage durations"
+    )
+    p_perf_history.add_argument("store", help="result store directory")
+    p_perf_history.add_argument(
+        "--stage", metavar="NAME", help="show only this stage"
+    )
+    p_perf_history.set_defaults(func=_cmd_perf_history)
+    p_perf_check = perf_sub.add_parser(
+        "check",
+        help="fit the PWLR model to each stage's duration history and "
+        "report level shifts as regressions",
+    )
+    p_perf_check.add_argument("store", help="result store directory")
+    p_perf_check.add_argument(
+        "--gate",
+        action="store_true",
+        help="exit 1 when any stage's latest level exceeds the previous "
+        "segment by more than --threshold",
+    )
+    p_perf_check.add_argument(
+        "--threshold",
+        type=float,
+        default=1.5,
+        metavar="FACTOR",
+        help="level-shift factor that counts as a regression (default 1.5)",
+    )
+    p_perf_check.add_argument(
+        "--min-runs",
+        type=int,
+        default=8,
+        metavar="N",
+        help="stages with fewer recorded runs are reported as "
+        "insufficient, never failed (default 8, the fitter's floor)",
+    )
+    p_perf_check.set_defaults(func=_cmd_perf_check)
 
     p_demo = sub.add_parser("demo", help="full methodology on a built-in app")
     _add_app_options(p_demo)

@@ -14,6 +14,15 @@ Three coordinated facilities, all with a no-op fast path when disabled
 * **Sinks** (:mod:`~repro.observability.sinks`) — human stage summary,
   canonical profile JSON, JSONL event log, and Chrome ``trace_event``
   export (chrome://tracing / Perfetto).
+* **Events** (:mod:`~repro.observability.events`) — a thread-safe
+  :class:`TelemetryBus` of typed job-lifecycle events published by the
+  batch service; subscribers drive the live dashboard and ``/healthz``.
+* **OpenMetrics** (:mod:`~repro.observability.openmetrics`) — the
+  registry rendered in OpenMetrics text, plus the opt-in
+  :class:`TelemetryServer` scrape endpoint (``repro batch --metrics-port``).
+* **Ledger** (:mod:`~repro.observability.ledger`) — one fsynced record
+  per run in ``<store>/telemetry/runs.jsonl``; ``repro perf`` fits the
+  paper's PWLR model to its per-stage durations for regression checks.
 
 Plus stdlib-``logging`` integration (:mod:`~repro.observability.logs`)
 under the ``repro.*`` hierarchy, including the ``repro.progress``
@@ -39,7 +48,22 @@ from repro.observability.context import (
     current,
     gauge,
     histogram,
+    publish,
     span,
+)
+from repro.observability.events import (
+    EVENT_KINDS,
+    NULL_BUS,
+    JobStateTracker,
+    NullTelemetryBus,
+    TelemetryBus,
+    TelemetryEvent,
+)
+from repro.observability.ledger import (
+    LEDGER_FORMAT,
+    RunLedger,
+    host_info,
+    stage_table,
 )
 from repro.observability.logs import (
     PROGRESS_LOGGER,
@@ -53,6 +77,12 @@ from repro.observability.metrics import (
     Histogram,
     MetricsRegistry,
     NullMetricsRegistry,
+)
+from repro.observability.openmetrics import (
+    TelemetryServer,
+    metric_name,
+    render_openmetrics,
+    validate_openmetrics,
 )
 from repro.observability.sinks import (
     profile_to_chrome_events,
@@ -75,6 +105,24 @@ __all__ = [
     "counter",
     "gauge",
     "histogram",
+    "publish",
+    # events
+    "EVENT_KINDS",
+    "TelemetryEvent",
+    "TelemetryBus",
+    "NullTelemetryBus",
+    "NULL_BUS",
+    "JobStateTracker",
+    # openmetrics
+    "metric_name",
+    "render_openmetrics",
+    "validate_openmetrics",
+    "TelemetryServer",
+    # ledger
+    "LEDGER_FORMAT",
+    "RunLedger",
+    "host_info",
+    "stage_table",
     # spans
     "SpanRecord",
     "Profile",

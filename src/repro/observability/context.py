@@ -30,6 +30,12 @@ import contextlib
 from contextvars import ContextVar
 from typing import Iterator, Optional, Sequence, Union
 
+from repro.observability.events import (
+    NULL_BUS,
+    NullTelemetryBus,
+    TelemetryBus,
+    TelemetryEvent,
+)
 from repro.observability.metrics import (
     Counter,
     Gauge,
@@ -47,6 +53,7 @@ __all__ = [
     "counter",
     "gauge",
     "histogram",
+    "publish",
 ]
 
 
@@ -69,6 +76,9 @@ class Observability:
         self.metrics: Union[MetricsRegistry, NullMetricsRegistry] = (
             MetricsRegistry() if enabled else NullMetricsRegistry()
         )
+        self.events: Union[TelemetryBus, NullTelemetryBus] = (
+            TelemetryBus() if enabled else NULL_BUS
+        )
 
     # ------------------------------------------------------------------
     def span(self, name: str, **attrs: object):
@@ -88,6 +98,13 @@ class Observability:
     ) -> Histogram:
         """Histogram instrument by name."""
         return self.metrics.histogram(name, bounds=bounds)  # type: ignore[return-value]
+
+    def publish(
+        self, kind: str, label: Optional[str] = None, **payload: object
+    ) -> Optional[TelemetryEvent]:
+        """Publish a telemetry event on this instance's bus (no-op when
+        disabled)."""
+        return self.events.publish(kind, label=label, **payload)
 
     def profile(self) -> Optional[Profile]:
         """Everything the tracer recorded so far (``None`` when empty)."""
@@ -143,3 +160,15 @@ def gauge(name: str):
 def histogram(name: str, bounds: Optional[Sequence[float]] = None):
     """Histogram on the active context (no-op instrument when disabled)."""
     return _CURRENT.get().metrics.histogram(name, bounds=bounds)
+
+
+def publish(kind: str, label: Optional[str] = None, **payload: object):
+    """Publish a telemetry event on the active context's bus — the
+    service layer's instrumentation one-liner::
+
+        publish("job_started", label=spec.label, attempt=1)
+
+    Returns the :class:`~repro.observability.events.TelemetryEvent`
+    delivered to subscribers, or ``None`` when disabled.
+    """
+    return _CURRENT.get().events.publish(kind, label=label, **payload)

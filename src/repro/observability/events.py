@@ -1,0 +1,282 @@
+"""Typed job-lifecycle telemetry bus for the batch service.
+
+The scheduler and watchdog publish small, typed events — jobs moving
+through their lifecycle, watchdog heartbeats carrying elapsed/deadline,
+batch start and drain — onto the :class:`TelemetryBus` of the active
+:class:`~repro.observability.Observability`.  Subscribers are plain
+callables (the live dashboard, the :class:`JobStateTracker` behind the
+``/healthz`` endpoint, tests); a subscriber that raises is counted and
+dropped for that event, never allowed to sink the batch.
+
+The disabled path mirrors the tracer and metrics registry: a shared
+:data:`NULL_BUS` whose :meth:`~NullTelemetryBus.publish` is a no-op, so
+``publish("job_started", ...)`` from an un-activated context costs one
+context-variable read plus one cheap call (held under the TAB-9 budget).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.errors import ReproError
+
+__all__ = [
+    "EVENT_KINDS",
+    "JOB_STATE_EVENTS",
+    "TelemetryEvent",
+    "TelemetryBus",
+    "NullTelemetryBus",
+    "NULL_BUS",
+    "JobStateTracker",
+]
+
+#: Every event kind the service layer may publish.  ``publish`` rejects
+#: anything else so a typo'd kind fails loudly in tests, not silently in
+#: a dashboard that filters on the string.
+EVENT_KINDS = frozenset(
+    {
+        "batch_started",
+        "batch_drained",
+        "job_queued",
+        "job_started",
+        "job_finished",
+        "job_cached",
+        "job_failed",
+        "job_timeout",
+        "job_cancelled",
+        "watchdog_heartbeat",
+    }
+)
+
+#: Event kind -> job-state string, for consumers that track lifecycles.
+JOB_STATE_EVENTS: Dict[str, str] = {
+    "job_queued": "queued",
+    "job_started": "running",
+    "job_finished": "done",
+    "job_cached": "cached",
+    "job_failed": "failed",
+    "job_timeout": "timeout",
+    "job_cancelled": "cancelled",
+}
+
+
+@dataclass(frozen=True)
+class TelemetryEvent:
+    """One published event: a kind, a timestamp, and a small payload."""
+
+    kind: str
+    ts: float
+    label: Optional[str] = None
+    payload: Dict[str, object] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, object]:
+        """Flat JSON-able view (payload keys inline, never shadowing)."""
+        out: Dict[str, object] = {"event": self.kind, "ts": self.ts}
+        if self.label is not None:
+            out["label"] = self.label
+        for key, value in self.payload.items():
+            if key not in out:
+                out[key] = value
+        return out
+
+
+Subscriber = Callable[[TelemetryEvent], None]
+
+
+class TelemetryBus:
+    """Thread-safe publish/subscribe fan-out for telemetry events.
+
+    Publishing takes a snapshot of the subscriber list under the lock and
+    calls subscribers outside it, so a slow subscriber never blocks
+    ``subscribe``/``unsubscribe`` from other threads, and a subscriber
+    may unsubscribe itself from inside its own callback.
+    """
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._subscribers: Tuple[Subscriber, ...] = ()
+        self.n_published = 0
+        self.n_subscriber_errors = 0
+        self.last_subscriber_error: Optional[str] = None
+
+    # ------------------------------------------------------------------
+    def subscribe(self, subscriber: Subscriber) -> Subscriber:
+        """Register ``subscriber`` for every future event; returns it."""
+        with self._lock:
+            if subscriber not in self._subscribers:
+                self._subscribers = self._subscribers + (subscriber,)
+        return subscriber
+
+    def unsubscribe(self, subscriber: Subscriber) -> None:
+        """Remove ``subscriber`` (no error when it was never registered)."""
+        with self._lock:
+            self._subscribers = tuple(
+                s for s in self._subscribers if s != subscriber
+            )
+
+    @property
+    def n_subscribers(self) -> int:
+        """How many subscribers are currently registered."""
+        return len(self._subscribers)
+
+    # ------------------------------------------------------------------
+    def publish(
+        self, kind: str, label: Optional[str] = None, **payload: object
+    ) -> Optional[TelemetryEvent]:
+        """Publish one event to every subscriber; returns the event.
+
+        ``kind`` must be one of :data:`EVENT_KINDS`.  Subscriber
+        exceptions are swallowed (counted in ``n_subscriber_errors``,
+        last message kept) — telemetry must never fail the work it
+        observes.
+        """
+        if kind not in EVENT_KINDS:
+            raise ReproError(f"telemetry: unknown event kind {kind!r}")
+        event = TelemetryEvent(
+            kind=kind, ts=time.time(), label=label, payload=payload
+        )
+        with self._lock:
+            self.n_published += 1
+            subscribers = self._subscribers
+        for subscriber in subscribers:
+            try:
+                subscriber(event)
+            except Exception as exc:  # noqa: BLE001 — observers can't sink work
+                with self._lock:
+                    self.n_subscriber_errors += 1
+                    self.last_subscriber_error = f"{type(exc).__name__}: {exc}"
+        return event
+
+    def __repr__(self) -> str:
+        return (
+            f"TelemetryBus(subscribers={self.n_subscribers}, "
+            f"published={self.n_published})"
+        )
+
+
+class NullTelemetryBus:
+    """Disabled bus: publishing is a no-op, subscribing is refused.
+
+    Refusing (rather than silently dropping) a subscriber catches the
+    real mistake — attaching a dashboard to a context that will never
+    publish — while the hot ``publish`` path stays a constant return.
+    """
+
+    enabled = False
+    n_published = 0
+    n_subscribers = 0
+    n_subscriber_errors = 0
+    last_subscriber_error = None
+
+    def subscribe(self, subscriber: Subscriber) -> Subscriber:
+        """Raise: a disabled context never publishes, so a subscriber
+        here would silently observe nothing."""
+        raise ReproError(
+            "telemetry: cannot subscribe on a disabled observability "
+            "context (activate an enabled Observability first)"
+        )
+
+    def unsubscribe(self, subscriber: Subscriber) -> None:
+        """No-op."""
+
+    def publish(
+        self, kind: str, label: Optional[str] = None, **payload: object
+    ) -> Optional[TelemetryEvent]:
+        """No-op; always returns ``None``."""
+        return None
+
+
+#: The shared no-op bus used by every disabled observability context.
+NULL_BUS = NullTelemetryBus()
+
+
+class JobStateTracker:
+    """Bus subscriber that folds lifecycle events into live job state.
+
+    Tracks the latest state per job label, per-state counts, and start
+    timestamps for running jobs.  When built with a metrics registry it
+    also maintains ``service.live.<state>`` gauges, which is how the
+    OpenMetrics endpoint exposes job-state gauges during a batch.  All
+    reads return snapshots under the tracker's lock, so the HTTP thread
+    and worker threads never see a half-applied transition.
+    """
+
+    def __init__(self, registry: Optional[object] = None) -> None:
+        self._lock = threading.Lock()
+        self._registry = registry
+        self._states: Dict[str, str] = {}
+        self._started_ts: Dict[str, float] = {}
+        self.n_total = 0
+        self.batch_done = False
+
+    # ------------------------------------------------------------------
+    def __call__(self, event: TelemetryEvent) -> None:
+        """Apply one bus event (the subscriber entry point)."""
+        with self._lock:
+            if event.kind == "batch_started":
+                n_jobs = event.payload.get("n_jobs")
+                if isinstance(n_jobs, int):
+                    self.n_total = n_jobs
+            elif event.kind == "batch_drained":
+                self.batch_done = True
+            state = JOB_STATE_EVENTS.get(event.kind)
+            if state is not None and event.label is not None:
+                self._states[event.label] = state
+                if state == "running":
+                    self._started_ts[event.label] = event.ts
+                else:
+                    self._started_ts.pop(event.label, None)
+            counts = self._counts_locked()
+        if self._registry is not None and state is not None:
+            for name in JOB_STATE_EVENTS.values():
+                self._registry.gauge(f"service.live.{name}").set(
+                    counts.get(name, 0)
+                )
+
+    def _counts_locked(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for state in self._states.values():
+            counts[state] = counts.get(state, 0) + 1
+        return counts
+
+    # ------------------------------------------------------------------
+    def counts(self) -> Dict[str, int]:
+        """Current per-state job counts (states with zero jobs omitted)."""
+        with self._lock:
+            return self._counts_locked()
+
+    def running_jobs(self, now: Optional[float] = None) -> List[Tuple[str, float]]:
+        """``(label, elapsed_s)`` for running jobs, slowest first."""
+        now = time.time() if now is None else now
+        with self._lock:
+            items = [
+                (label, max(0.0, now - ts))
+                for label, ts in self._started_ts.items()
+            ]
+        return sorted(items, key=lambda item: (-item[1], item[0]))
+
+    def snapshot(self) -> Dict[str, object]:
+        """JSON-able live view for the ``/healthz`` endpoint."""
+        running = [
+            {"label": label, "elapsed_s": round(elapsed, 3)}
+            for label, elapsed in self.running_jobs()
+        ]
+        with self._lock:
+            counts = self._counts_locked()
+            n_total = self.n_total
+            done = self.batch_done
+        return {
+            "states": counts,
+            "running": running,
+            "n_jobs": n_total,
+            "n_terminal": sum(
+                n for state, n in counts.items()
+                if state not in ("queued", "running")
+            ),
+            "batch_done": done,
+        }

@@ -12,11 +12,20 @@ JSON-able dict for the sinks.
 The disabled path mirrors :mod:`repro.observability.spans`: a null
 registry hands out shared no-op instruments, so ``counter("x").inc()``
 costs two cheap calls when observability is off.
+
+Instruments and the registry are thread-safe: a batch run has worker
+threads, bus subscribers, and the OpenMetrics scrape thread all touching
+one registry, so every update happens under a per-instrument lock (a
+plain attribute created in ``__post_init__`` — not a dataclass field, so
+``repr``/``eq`` and the constructor signature are unchanged) and
+get-or-create happens under a registry lock.  Locks are dropped on
+pickle and recreated on unpickle.
 """
 
 from __future__ import annotations
 
 import bisect
+import threading
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -29,37 +38,86 @@ DEFAULT_BUCKETS: Tuple[float, ...] = (
     1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1.0, 10.0, 100.0,
 )
 
+#: Quantiles every snapshot exposes per histogram (as ``.p50`` etc.).
+SNAPSHOT_QUANTILES: Tuple[Tuple[str, float], ...] = (
+    ("p50", 0.50), ("p95", 0.95), ("p99", 0.99),
+)
+
+
+def _bucket_quantile(
+    bounds: Sequence[float],
+    bucket_counts: Sequence[int],
+    count: int,
+    min_: float,
+    max_: float,
+    q: float,
+) -> float:
+    """Quantile over a consistent histogram state copy (0 when empty)."""
+    if not count:
+        return 0.0
+    target = q * count
+    cumulative = 0
+    for i, n in enumerate(bucket_counts):
+        cumulative += n
+        if cumulative >= target:
+            upper = bounds[i] if i < len(bounds) else max_
+            return min(max(upper, min_), max_)
+    return max_
+
+
+class _Lockable:
+    """Mixin giving instruments a non-field lock that survives pickling."""
+
+    def __getstate__(self) -> Dict[str, object]:
+        """Pickle everything except the (unpicklable) lock."""
+        state = self.__dict__.copy()
+        state.pop("_lock", None)
+        return state
+
+    def __setstate__(self, state: Dict[str, object]) -> None:
+        """Restore state and recreate a fresh lock."""
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
+
 
 @dataclass
-class Counter:
+class Counter(_Lockable):
     """Monotonically increasing event count."""
 
     name: str
     value: float = 0.0
 
+    def __post_init__(self) -> None:
+        self._lock = threading.Lock()
+
     def inc(self, amount: float = 1.0) -> None:
         """Add ``amount`` (must be >= 0) to the counter."""
         if amount < 0:
             raise ReproError(f"counter {self.name}: negative increment {amount}")
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
 
 @dataclass
-class Gauge:
+class Gauge(_Lockable):
     """Last-write-wins instantaneous value."""
 
     name: str
     value: float = 0.0
     is_set: bool = False
 
+    def __post_init__(self) -> None:
+        self._lock = threading.Lock()
+
     def set(self, value: float) -> None:
         """Record the current value."""
-        self.value = float(value)
-        self.is_set = True
+        with self._lock:
+            self.value = float(value)
+            self.is_set = True
 
 
 @dataclass
-class Histogram:
+class Histogram(_Lockable):
     """Bucketed distribution with count/sum/min/max."""
 
     name: str
@@ -85,17 +143,41 @@ class Histogram:
                 f"histogram {self.name}: {len(self.bucket_counts)} bucket "
                 f"counts for {len(bounds)} bounds"
             )
+        self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
         """Record one observation."""
         value = float(value)
-        self.bucket_counts[bisect.bisect_left(self.bounds, value)] += 1
-        self.count += 1
-        self.total += value
-        if value < self.min:
-            self.min = value
-        if value > self.max:
-            self.max = value
+        bucket = bisect.bisect_left(self.bounds, value)
+        with self._lock:
+            self.bucket_counts[bucket] += 1
+            self.count += 1
+            self.total += value
+            if value < self.min:
+                self.min = value
+            if value > self.max:
+                self.max = value
+
+    def _state(self) -> Tuple[int, float, float, float, List[int]]:
+        """Consistent (count, total, min, max, buckets) snapshot."""
+        with self._lock:
+            return (
+                self.count, self.total, self.min, self.max,
+                list(self.bucket_counts),
+            )
+
+    def _add(
+        self, count: int, total: float, min_: float, max_: float,
+        bucket_counts: Sequence[int],
+    ) -> None:
+        """Fold another histogram's state in (same bounds assumed)."""
+        with self._lock:
+            self.count += count
+            self.total += total
+            self.min = min(self.min, min_)
+            self.max = max(self.max, max_)
+            for i, n in enumerate(bucket_counts):
+                self.bucket_counts[i] += n
 
     @property
     def mean(self) -> float:
@@ -111,16 +193,8 @@ class Histogram:
         """
         if not 0.0 <= q <= 1.0:
             raise ReproError(f"histogram {self.name}: quantile {q} not in [0, 1]")
-        if not self.count:
-            return 0.0
-        target = q * self.count
-        cumulative = 0
-        for i, n in enumerate(self.bucket_counts):
-            cumulative += n
-            if cumulative >= target:
-                upper = self.bounds[i] if i < len(self.bounds) else self.max
-                return min(max(upper, self.min), self.max)
-        return self.max
+        count, _total, min_, max_, buckets = self._state()
+        return _bucket_quantile(self.bounds, buckets, count, min_, max_, q)
 
 
 class MetricsRegistry:
@@ -132,6 +206,18 @@ class MetricsRegistry:
         self.counters: Dict[str, Counter] = {}
         self.gauges: Dict[str, Gauge] = {}
         self.histograms: Dict[str, Histogram] = {}
+        self._lock = threading.Lock()
+
+    def __getstate__(self) -> Dict[str, object]:
+        """Pickle the instrument maps without the registry lock."""
+        state = self.__dict__.copy()
+        state.pop("_lock", None)
+        return state
+
+    def __setstate__(self, state: Dict[str, object]) -> None:
+        """Restore the instrument maps and recreate the lock."""
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
 
     # ------------------------------------------------------------------
     def counter(self, name: str) -> Counter:
@@ -139,16 +225,16 @@ class MetricsRegistry:
         try:
             return self.counters[name]
         except KeyError:
-            instrument = self.counters[name] = Counter(name)
-            return instrument
+            with self._lock:
+                return self.counters.setdefault(name, Counter(name))
 
     def gauge(self, name: str) -> Gauge:
         """The gauge named ``name`` (created on first use)."""
         try:
             return self.gauges[name]
         except KeyError:
-            instrument = self.gauges[name] = Gauge(name)
-            return instrument
+            with self._lock:
+                return self.gauges.setdefault(name, Gauge(name))
 
     def histogram(
         self, name: str, bounds: Optional[Sequence[float]] = None
@@ -157,10 +243,13 @@ class MetricsRegistry:
         try:
             return self.histograms[name]
         except KeyError:
-            instrument = self.histograms[name] = Histogram(
-                name, bounds=tuple(bounds) if bounds else DEFAULT_BUCKETS
-            )
-            return instrument
+            with self._lock:
+                return self.histograms.setdefault(
+                    name,
+                    Histogram(
+                        name, bounds=tuple(bounds) if bounds else DEFAULT_BUCKETS
+                    ),
+                )
 
     # ------------------------------------------------------------------
     def merge(self, other: "MetricsRegistry") -> None:
@@ -170,7 +259,7 @@ class MetricsRegistry:
         value when that one was actually set (last-write-wins).
         """
         for name, counter in other.counters.items():
-            self.counter(name).value += counter.value
+            self.counter(name).inc(counter.value)
         for name, gauge in other.gauges.items():
             if gauge.is_set:
                 self.gauge(name).set(gauge.value)
@@ -180,18 +269,14 @@ class MetricsRegistry:
                 raise ReproError(
                     f"histogram {name}: merging incompatible bucket bounds"
                 )
-            mine.count += hist.count
-            mine.total += hist.total
-            mine.min = min(mine.min, hist.min)
-            mine.max = max(mine.max, hist.max)
-            for i, n in enumerate(hist.bucket_counts):
-                mine.bucket_counts[i] += n
+            mine._add(*hist._state())
 
     def snapshot(self) -> Dict[str, object]:
         """Flat JSON-able view: ``{"counter.name": value, ...}``.
 
         Histograms expand to ``name.count``/``name.sum``/``name.min``/
-        ``name.max`` keys; empty histograms omit min/max.
+        ``name.max`` plus bucketed ``name.p50``/``.p95``/``.p99``
+        estimates; empty histograms omit everything but count/sum.
         """
         out: Dict[str, object] = {}
         for name in sorted(self.counters):
@@ -201,11 +286,16 @@ class MetricsRegistry:
                 out[name] = self.gauges[name].value
         for name in sorted(self.histograms):
             hist = self.histograms[name]
-            out[f"{name}.count"] = hist.count
-            out[f"{name}.sum"] = hist.total
-            if hist.count:
-                out[f"{name}.min"] = hist.min
-                out[f"{name}.max"] = hist.max
+            count, total, min_, max_, buckets = hist._state()
+            out[f"{name}.count"] = count
+            out[f"{name}.sum"] = total
+            if count:
+                out[f"{name}.min"] = min_
+                out[f"{name}.max"] = max_
+                for suffix, q in SNAPSHOT_QUANTILES:
+                    out[f"{name}.{suffix}"] = _bucket_quantile(
+                        hist.bounds, buckets, count, min_, max_, q
+                    )
         return out
 
     def __len__(self) -> int:

@@ -132,6 +132,7 @@ def write_jsonl_events(
     profile: Optional[Profile] = None,
     metrics: Optional[Mapping[str, object]] = None,
     diagnostics: Optional[object] = None,
+    flush_each: bool = False,
 ) -> int:
     """Write one JSON object per line: spans, metrics, diagnostics.
 
@@ -140,7 +141,10 @@ def write_jsonl_events(
     ``diagnostics`` accepts a
     :class:`~repro.resilience.diagnostics.Diagnostics` (or any iterable
     of events with ``severity``/``stage``/``message``/``context``).
-    Returns the number of lines written.
+    With ``flush_each`` every record is written and flushed on its own
+    — a killed worker's log ends at a record boundary instead of
+    mid-line — at the cost of one syscall per record; the default keeps
+    the single buffered write.  Returns the number of lines written.
     """
     lines: List[str] = []
 
@@ -181,12 +185,19 @@ def write_jsonl_events(
                     "context": dict(event.context),
                 }
             )
-    text = "\n".join(lines) + ("\n" if lines else "")
+    def stream(handle: TextIO) -> None:
+        if flush_each:
+            for line in lines:
+                handle.write(line + "\n")
+                handle.flush()
+        else:
+            handle.write("\n".join(lines) + ("\n" if lines else ""))
+
     if isinstance(sink, str):
         with open(sink, "w") as handle:
-            handle.write(text)
+            stream(handle)
     else:
-        sink.write(text)
+        stream(sink)
     return len(lines)
 
 

@@ -17,15 +17,29 @@ makes *running* analyses at fleet scale routine — and crash-safe:
   journal that makes ``repro batch --resume`` skip completed jobs;
 * :mod:`repro.service.query` — cross-run queries over stored results:
   :func:`diff_results` flags per-phase rate and duration regressions
-  between two analyses.
+  between two analyses;
+* :mod:`repro.service.dashboard` — :class:`LiveDashboard`, the in-place
+  TTY status block behind ``repro batch --live``, driven by the
+  telemetry bus;
+* :mod:`repro.service.perf` — :func:`check_history`, self-regression
+  checks that fit the paper's PWLR model to the telemetry ledger's
+  per-stage duration series (``repro perf history`` / ``check``).
 
 CLI surface: ``repro batch``, ``repro query``, ``repro diff``,
-``repro store fsck``.
+``repro store fsck``, ``repro perf``.
 """
 
+from repro.service.dashboard import LiveDashboard
 from repro.service.jobs import JobRecord, JobSpec, JobState
 from repro.service.journal import JOURNAL_NAME, BatchJournal
 from repro.service.manifest import TRACE_SUFFIX, load_manifest
+from repro.service.perf import (
+    PerfReport,
+    StageVerdict,
+    check_history,
+    fit_duration_series,
+    stage_series,
+)
 from repro.service.query import DiffReport, PhaseDelta, diff_results, diff_stored
 from repro.service.scheduler import BatchConfig, BatchReport, run_batch
 from repro.service.watchdog import JobOutcome, RemoteJobError, run_job_isolated
@@ -48,4 +62,10 @@ __all__ = [
     "PhaseDelta",
     "diff_results",
     "diff_stored",
+    "LiveDashboard",
+    "PerfReport",
+    "StageVerdict",
+    "check_history",
+    "fit_duration_series",
+    "stage_series",
 ]

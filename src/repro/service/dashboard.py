@@ -1,0 +1,156 @@
+"""In-place TTY dashboard for a running batch (``repro batch --live``).
+
+A :class:`LiveDashboard` subscribes to the telemetry bus and redraws a
+small status block in place (ANSI cursor-up + erase): per-state counts,
+throughput, ETA from the terminal-job rate, and the slowest currently
+running jobs with their watchdog heartbeat when deadlines are armed.
+Renders are throttled to ``refresh_s`` except on state-changing events,
+and every draw happens under a lock — bus events arrive from worker
+threads.  The CLI only attaches the dashboard when stderr is a TTY;
+otherwise the existing per-job progress lines remain the interface.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+import time
+from typing import Dict, List, Optional, TextIO
+
+from repro.observability.events import (
+    JOB_STATE_EVENTS,
+    JobStateTracker,
+    TelemetryEvent,
+)
+
+__all__ = ["LiveDashboard"]
+
+#: Events that always force a redraw (state transitions, batch edges).
+_FORCE_KINDS = frozenset(JOB_STATE_EVENTS) | {"batch_started", "batch_drained"}
+
+#: Display order for the per-state counts line.
+_STATE_ORDER = ("queued", "running", "done", "cached", "failed", "timeout",
+                "cancelled")
+
+
+class LiveDashboard:
+    """Bus subscriber that keeps a live status block on a terminal.
+
+    Subscribe it to an enabled bus, let the batch run, and call
+    :meth:`close` afterwards to leave the final frame on screen::
+
+        dash = LiveDashboard()
+        obs.events.subscribe(dash)
+        try:
+            report = run_batch(specs, store, config)
+        finally:
+            obs.events.unsubscribe(dash)
+            dash.close()
+    """
+
+    def __init__(
+        self,
+        stream: Optional[TextIO] = None,
+        refresh_s: float = 0.25,
+        top_running: int = 3,
+    ) -> None:
+        self.stream = stream if stream is not None else sys.stderr
+        self.refresh_s = refresh_s
+        self.top_running = top_running
+        self.tracker = JobStateTracker()
+        self._lock = threading.Lock()
+        self._t0 = time.time()
+        self._last_draw = 0.0
+        self._lines_drawn = 0
+        self._heartbeats: Dict[str, Dict[str, float]] = {}
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    def __call__(self, event: TelemetryEvent) -> None:
+        """Apply one bus event and redraw when due (subscriber entry)."""
+        self.tracker(event)
+        if event.kind == "watchdog_heartbeat" and event.label is not None:
+            beat = {
+                key: float(value)
+                for key, value in event.payload.items()
+                if key in ("elapsed_s", "deadline_s")
+                and isinstance(value, (int, float))
+            }
+            with self._lock:
+                self._heartbeats[event.label] = beat
+        elif event.label is not None and event.kind in JOB_STATE_EVENTS:
+            if JOB_STATE_EVENTS[event.kind] != "running":
+                with self._lock:
+                    self._heartbeats.pop(event.label, None)
+        now = time.time()
+        force = event.kind in _FORCE_KINDS
+        with self._lock:
+            due = force or (now - self._last_draw) >= self.refresh_s
+        if due:
+            self._draw(now)
+
+    # ------------------------------------------------------------------
+    def render_lines(self, now: Optional[float] = None) -> List[str]:
+        """The current frame as plain lines (no ANSI) — testable as-is."""
+        now = time.time() if now is None else now
+        snap = self.tracker.snapshot()
+        counts: Dict[str, int] = dict(snap["states"])  # type: ignore[arg-type]
+        n_total = int(snap["n_jobs"]) or sum(counts.values())
+        n_terminal = int(snap["n_terminal"])
+        elapsed = max(now - self._t0, 1e-9)
+        rate = n_terminal / elapsed
+        remaining = max(n_total - n_terminal, 0)
+        if snap["batch_done"] or not remaining:
+            eta = "done" if snap["batch_done"] else "-"
+        elif rate > 0:
+            eta = f"{remaining / rate:.0f}s"
+        else:
+            eta = "-"
+        lines = [
+            f"batch: {n_terminal}/{n_total} finished · "
+            f"{counts.get('running', 0)} running · "
+            f"{rate:.2f} job/s · elapsed {elapsed:.1f}s · ETA {eta}",
+            "  " + "  ".join(
+                f"{state} {counts.get(state, 0)}" for state in _STATE_ORDER
+            ),
+        ]
+        with self._lock:
+            heartbeats = dict(self._heartbeats)
+        for label, job_elapsed in self.tracker.running_jobs(now)[: self.top_running]:
+            beat = heartbeats.get(label)
+            if beat and "deadline_s" in beat:
+                shown = (
+                    f"{beat.get('elapsed_s', job_elapsed):.1f}s "
+                    f"of {beat['deadline_s']:g}s deadline"
+                )
+            else:
+                shown = f"{job_elapsed:.1f}s"
+            lines.append(f"  > {label}  {shown}")
+        return lines
+
+    def _draw(self, now: float) -> None:
+        lines = self.render_lines(now)
+        with self._lock:
+            if self._closed:
+                return
+            text = ""
+            if self._lines_drawn:
+                # Cursor to the start of our block, erase to screen end.
+                text += f"\x1b[{self._lines_drawn}F\x1b[0J"
+            text += "\n".join(lines) + "\n"
+            try:
+                self.stream.write(text)
+                self.stream.flush()
+            except (OSError, ValueError):  # stream died; go quiet
+                self._closed = True
+                return
+            self._lines_drawn = len(lines)
+            self._last_draw = now
+
+    def close(self) -> None:
+        """Draw the final frame and stop updating (idempotent)."""
+        if self._closed:
+            return
+        self._draw(time.time())
+        with self._lock:
+            self._closed = True

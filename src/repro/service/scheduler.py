@@ -34,6 +34,15 @@ submitting thread's observability context, so queue depth
 histogram) and the store's hit/miss counters all land in one merged
 registry.  (In deadline mode the child process's store counters stay in
 the child; the parent-side job-state counters remain authoritative.)
+
+Beyond metrics, the scheduler narrates the batch on the telemetry bus
+(:mod:`repro.observability.events`): ``batch_started``, a ``job_queued``
+per runnable job, lifecycle events as each job starts and reaches its
+terminal state, and ``batch_drained`` with the final counts — feeding
+the ``--live`` dashboard and the ``/healthz`` endpoint.  When
+``BatchConfig.ledger`` is on and observability is enabled, the finished
+batch also appends one fsynced record to the store's telemetry ledger
+(:mod:`repro.observability.ledger`) for ``repro perf``.
 """
 
 from __future__ import annotations
@@ -56,6 +65,8 @@ from repro.observability.context import counter as _metric_counter
 from repro.observability.context import current as _current_obs
 from repro.observability.context import gauge as _metric_gauge
 from repro.observability.context import histogram as _metric_histogram
+from repro.observability.context import publish as _publish
+from repro.observability.ledger import RunLedger, stage_table
 from repro.resilience.breaker import CircuitBreaker
 from repro.resilience.diagnostics import Diagnostics
 from repro.resilience.faults import FaultPlan
@@ -65,6 +76,7 @@ from repro.service.journal import BatchJournal
 from repro.service.watchdog import JobOutcome, RemoteJobError, run_job_isolated
 from repro.store.artifacts import ResultStore
 from repro.store.cache import analyze_cached
+from repro.store.fingerprint import fingerprint_config
 from repro.store.lock import StoreLock
 
 __all__ = ["BatchConfig", "BatchReport", "run_batch"]
@@ -74,6 +86,29 @@ _JOB_SECONDS_BOUNDS = (0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 15.0, 60.0, 300.0)
 
 #: Journal states a resume may trust (successful terminals).
 _RESUMABLE_STATES = (str(JobState.DONE), str(JobState.CACHED))
+
+#: Terminal job state -> bus event kind.
+_TERMINAL_EVENTS = {
+    JobState.DONE: "job_finished",
+    JobState.CACHED: "job_cached",
+    JobState.FAILED: "job_failed",
+    JobState.TIMEOUT: "job_timeout",
+    JobState.CANCELLED: "job_cancelled",
+}
+
+
+def _publish_terminal(record: JobRecord) -> None:
+    """Announce a job's terminal state on the telemetry bus."""
+    kind = _TERMINAL_EVENTS.get(record.state)
+    if kind is None:  # pragma: no cover - only terminal states reach here
+        return
+    payload: Dict[str, object] = {
+        "wall_s": round(record.wall_s, 6),
+        "attempts": record.attempts,
+    }
+    if record.error:
+        payload["error"] = record.error
+    _publish(kind, label=record.spec.label, **payload)
 
 
 @dataclass(frozen=True)
@@ -99,6 +134,9 @@ class BatchConfig:
     breaker_threshold: int = 3
     #: Injected faults (chaos tests / TAB benches); ``None`` in production.
     faults: Optional[FaultPlan] = None
+    #: Append one telemetry record to ``<store>/telemetry/runs.jsonl``
+    #: after the batch (only when observability is enabled).
+    ledger: bool = True
 
     def __post_init__(self) -> None:
         if self.n_workers < 1:
@@ -186,6 +224,42 @@ class BatchReport:
         """Fraction of successful jobs served from the store."""
         successes = self.n_done + self.n_cached
         return self.n_cached / successes if successes else 0.0
+
+    def state_counts(self) -> Dict[str, int]:
+        """``{state: count}`` over every record (zero states omitted)."""
+        counts: Dict[str, int] = {}
+        for record in self.records:
+            key = str(record.state)
+            counts[key] = counts.get(key, 0) + 1
+        return counts
+
+    def to_dict(self) -> Dict[str, object]:
+        """Machine-readable report for ``repro batch --json``."""
+        return {
+            "n_jobs": self.n_jobs,
+            "states": self.state_counts(),
+            "n_resumed": self.n_resumed,
+            "cache_hit_ratio": round(self.cache_hit_ratio, 4),
+            "wall_s": round(self.wall_s, 6),
+            "ok": self.ok,
+            "interrupted": self.interrupted,
+            "jobs": [
+                {
+                    "trace": record.spec.trace_path,
+                    "label": record.spec.label,
+                    "state": str(record.state),
+                    "attempts": record.attempts,
+                    "wall_s": round(record.wall_s, 6),
+                    "fingerprint": record.fingerprint,
+                    "n_clusters": record.n_clusters,
+                    "n_phases": record.n_phases,
+                    "worst_diagnostic": record.worst_diagnostic,
+                    "resumed": record.resumed,
+                    "error": record.error,
+                }
+                for record in self.records
+            ],
+        }
 
     # ------------------------------------------------------------------
     def render_status(self) -> str:
@@ -325,6 +399,7 @@ def _run_job(
     record.state = JobState.RUNNING
     start = time.perf_counter()
     label = record.spec.label
+    _publish("job_started", label=label)
     hang_s = config.faults.hang_s(label) if config.faults else None
 
     def attempt() -> JobOutcome:
@@ -390,6 +465,7 @@ def _run_job(
         with lock:
             pending[0] -= 1
             _metric_gauge("service.queue_depth").set(pending[0])
+        _publish_terminal(record)
         finish(record)
 
 
@@ -444,6 +520,7 @@ def run_batch(
         with lock:
             pending[0] -= 1
             _metric_gauge("service.queue_depth").set(pending[0])
+        _publish_terminal(record)
         finish(record)
 
     previous_handlers = _install_signal_handlers(cancel)
@@ -484,6 +561,21 @@ def run_batch(
         runnable = [r for r in records if not r.state.terminal]
         pending = [len(runnable)]
         _metric_gauge("service.queue_depth").set(pending[0])
+        _publish(
+            "batch_started",
+            n_jobs=len(records),
+            n_runnable=len(runnable),
+            resumed=n_resumed,
+            n_workers=cfg.n_workers,
+        )
+        for record in records:
+            if record.resumed:
+                _publish(
+                    "job_cached", label=record.spec.label, resumed=True,
+                    wall_s=0.0, attempts=0,
+                )
+        for record in runnable:
+            _publish("job_queued", label=record.spec.label)
 
         # ------------------------------------------------------------------
         # dispatch
@@ -522,9 +614,62 @@ def run_batch(
         if store_lock is not None:
             store_lock.release()
     wall_s = time.perf_counter() - start
-    return BatchReport(
+    report = BatchReport(
         records=records,
         wall_s=wall_s,
         diagnostics=diagnostics,
         interrupted=cancel.reason if cancel.tripped else None,
     )
+    _publish(
+        "batch_drained",
+        n_jobs=report.n_jobs,
+        done=report.n_done,
+        cached=report.n_cached,
+        failed=report.n_failed,
+        timeout=report.n_timeout,
+        cancelled=report.n_cancelled,
+        wall_s=round(wall_s, 6),
+        interrupted=report.interrupted,
+    )
+    if cfg.ledger:
+        _append_ledger_record(report, store, cfg)
+    return report
+
+
+def _append_ledger_record(
+    report: BatchReport, store: ResultStore, cfg: BatchConfig
+) -> None:
+    """Record this batch in the store's telemetry ledger (best effort).
+
+    Skipped silently when observability is disabled — there is no span
+    tree or metrics snapshot worth persisting, and the no-op fast path
+    must stay free.  An unwritable ledger degrades to a diagnostics
+    warning; it never fails the batch it describes.
+    """
+    obs = _current_obs()
+    if not obs.enabled:
+        return
+    try:
+        ledger = RunLedger(store.root)
+        ledger.append(
+            ledger.build_record(
+                kind="batch",
+                wall_s=report.wall_s,
+                stages=stage_table(obs.profile()),
+                metrics=dict(obs.metrics.snapshot()),
+                config_fingerprint=fingerprint_config(
+                    cfg.analyzer, salvage=cfg.salvage
+                ),
+                n_jobs=report.n_jobs,
+                states=report.state_counts(),
+                cache_hit_ratio=round(report.cache_hit_ratio, 4),
+                interrupted=report.interrupted,
+            )
+        )
+    except OSError as exc:
+        report.diagnostics.warning(
+            "service",
+            "telemetry ledger write failed; run not recorded",
+            error=str(exc),
+            path=RunLedger(store.root).path,
+        )

@@ -14,6 +14,11 @@ retry policy may retry before recording the job as ``TIMEOUT``.
 The worker sends back only the small :class:`JobOutcome` summary the
 :class:`~repro.service.jobs.JobRecord` needs; the analysis result itself
 travels through the content-addressed store, exactly as in inline mode.
+
+While it waits, the watchdog doubles as the job's pulse: every ~0.5s it
+publishes a ``watchdog_heartbeat`` event (elapsed vs deadline) on the
+telemetry bus, which the ``--live`` dashboard renders as a countdown on
+the slowest running jobs.
 """
 
 from __future__ import annotations
@@ -28,12 +33,16 @@ from typing import Any, Dict, Optional
 from repro.analysis.pipeline import AnalyzerConfig
 from repro.errors import AnalysisError, DeadlineExceededError
 from repro.observability.context import counter as _metric_counter
+from repro.observability.context import publish as _publish
 from repro.service.jobs import JobSpec
 
 __all__ = ["JobOutcome", "RemoteJobError", "run_job_isolated"]
 
 #: How often the watchdog polls the worker's pipe (seconds).
 _POLL_S = 0.02
+
+#: How often the watchdog publishes a heartbeat for a live job (seconds).
+_HEARTBEAT_S = 0.5
 
 #: Grace between SIGTERM and SIGKILL when a deadline fires (seconds).
 _KILL_GRACE_S = 0.25
@@ -148,7 +157,9 @@ def run_job_isolated(
     )
     process.start()
     child_conn.close()
-    deadline = time.monotonic() + deadline_s
+    started = time.monotonic()
+    deadline = started + deadline_s
+    next_heartbeat = started + _HEARTBEAT_S
     payload: Optional[Dict[str, Any]] = None
     try:
         while True:
@@ -167,7 +178,19 @@ def run_job_isolated(
                     except EOFError:
                         payload = None
                 break
-            if time.monotonic() >= deadline:
+            now = time.monotonic()
+            if now >= next_heartbeat:
+                # The poll loop doubles as the job's pulse: elapsed vs
+                # deadline feeds the live dashboard's countdown.
+                _publish(
+                    "watchdog_heartbeat",
+                    label=spec.label,
+                    elapsed_s=round(now - started, 3),
+                    deadline_s=deadline_s,
+                    pid=process.pid,
+                )
+                next_heartbeat = now + _HEARTBEAT_S
+            if now >= deadline:
                 _kill_worker(process)
                 raise DeadlineExceededError(
                     f"job {spec.label} overran its {deadline_s:g}s deadline; "

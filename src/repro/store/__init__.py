@@ -33,6 +33,7 @@ from repro.store.fingerprint import (
     config_fingerprint_dict,
     config_from_dict,
     config_to_dict,
+    fingerprint_config,
     fingerprint_trace_file,
     fingerprint_trace_text,
 )
@@ -54,6 +55,7 @@ __all__ = [
     "config_to_dict",
     "config_from_dict",
     "config_fingerprint_dict",
+    "fingerprint_config",
     "fingerprint_trace_file",
     "fingerprint_trace_text",
     "ResultStore",

@@ -31,6 +31,7 @@ __all__ = [
     "config_to_dict",
     "config_from_dict",
     "config_fingerprint_dict",
+    "fingerprint_config",
     "fingerprint_trace_file",
     "fingerprint_trace_text",
 ]
@@ -95,6 +96,23 @@ def _combine(trace_digest: str, config: AnalyzerConfig, salvage: bool) -> str:
         [
             FINGERPRINT_FORMAT,
             trace_digest,
+            _canonical_config_json(config),
+            f"salvage={bool(salvage)}",
+        ]
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def fingerprint_config(config: AnalyzerConfig, salvage: bool = False) -> str:
+    """Trace-independent digest of the semantic configuration alone.
+
+    The telemetry ledger stamps runs with this so ``repro perf`` can
+    tell a genuine performance level shift from a config change that
+    legitimately altered the work done per run.
+    """
+    payload = "\n".join(
+        [
+            FINGERPRINT_FORMAT,
             _canonical_config_json(config),
             f"salvage={bool(salvage)}",
         ]

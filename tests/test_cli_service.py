@@ -96,6 +96,118 @@ class TestCliBatch:
         assert "interrupted" in capsys.readouterr().err
 
 
+class TestCliBatchTelemetry:
+    def test_json_report_on_stdout(self, service_dirs, tmp_path, capsys):
+        import json
+
+        store = str(tmp_path / "json-store")
+        assert main(["-q", "batch", service_dirs.traces,
+                     "--store", store, "--json"]) == 0
+        captured = capsys.readouterr()
+        report = json.loads(captured.out)
+        assert report["n_jobs"] == 2
+        assert report["ok"] is True
+        assert {j["label"] for j in report["jobs"]} == {"run1.rpt", "run2.rpt"}
+        # the human-readable table moved to stderr
+        assert "hit ratio" in captured.err
+
+    def test_live_falls_back_when_not_a_tty(self, service_dirs, tmp_path,
+                                            capsys):
+        store = str(tmp_path / "live-store")
+        assert main(["-q", "batch", service_dirs.traces,
+                     "--store", store, "--live"]) == 0
+        captured = capsys.readouterr()
+        # no ANSI dashboard frames on a captured (non-TTY) stderr
+        assert "\x1b[" not in captured.err
+        assert "hit ratio" in captured.out
+
+    def test_metrics_port_serves_during_batch(self, service_dirs, tmp_path,
+                                              capsys):
+        store = str(tmp_path / "scrape-store")
+        assert main(["-q", "batch", service_dirs.traces,
+                     "--store", store, "--metrics-port", "0"]) == 0
+        err = capsys.readouterr().err
+        assert "telemetry: serving /metrics and /healthz" in err
+
+    def test_batch_appends_ledger_record(self, service_dirs, tmp_path):
+        from repro.observability import RunLedger
+
+        store = str(tmp_path / "ledger-store")
+        assert main(["-q", "batch", service_dirs.traces,
+                     "--store", store]) == 0
+        records = RunLedger(store).records()
+        assert len(records) == 1
+        assert records[0]["kind"] == "batch"
+        assert records[0]["n_jobs"] == 2
+        assert records[0]["stages"]  # profiled stage table came along
+
+
+class TestCliPerf:
+    @staticmethod
+    def _write_history(store_root, fold_walls):
+        from repro.observability import RunLedger
+
+        ledger = RunLedger(store_root)
+        for wall in fold_walls:
+            ledger.append(ledger.build_record(
+                kind="batch", wall_s=wall + 0.5,
+                stages={"fold": {"calls": 1, "wall_s": wall,
+                                 "self_wall_s": wall, "cpu_s": wall}},
+                metrics={},
+            ))
+
+    def test_history_renders_stages(self, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        self._write_history(store, [1.0, 1.1, 0.9])
+        assert main(["-q", "perf", "history", store]) == 0
+        out = capsys.readouterr().out
+        assert "fold" in out
+        assert "(total)" in out
+
+    def test_history_empty_store_exits_zero(self, tmp_path, capsys):
+        assert main(["-q", "perf", "history", str(tmp_path / "none")]) == 0
+        assert "no telemetry records" in capsys.readouterr().out
+
+    def test_history_unknown_stage_exits_one(self, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        self._write_history(store, [1.0])
+        assert main(["-q", "perf", "history", store,
+                     "--stage", "nope"]) == 1
+        assert "nope" in capsys.readouterr().err
+
+    def test_check_gate_trips_on_slowdown(self, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        self._write_history(store, [1.0] * 8 + [2.0] * 8)
+        assert main(["-q", "perf", "check", store, "--gate"]) == 1
+        out = capsys.readouterr().out
+        assert "regressed" in out
+        assert "run 9" in out
+
+    def test_check_gate_passes_on_flat_history(self, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        self._write_history(store, [1.0] * 16)
+        assert main(["-q", "perf", "check", store, "--gate"]) == 0
+        assert "0 regression(s)" in capsys.readouterr().out
+
+    def test_check_without_gate_reports_but_passes(self, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        self._write_history(store, [1.0] * 8 + [2.0] * 8)
+        assert main(["-q", "perf", "check", store]) == 0
+        assert "regressed" in capsys.readouterr().out
+
+    def test_check_empty_store_exits_zero(self, tmp_path, capsys):
+        assert main(["-q", "perf", "check", str(tmp_path / "none"),
+                     "--gate"]) == 0
+        assert "no telemetry records" in capsys.readouterr().out
+
+    def test_check_bad_threshold_exits_one(self, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        self._write_history(store, [1.0] * 16)
+        assert main(["-q", "perf", "check", store,
+                     "--threshold", "0.5"]) == 1
+        assert "threshold" in capsys.readouterr().err
+
+
 class TestCliStoreFsck:
     def test_healthy_store_exits_zero(self, service_dirs, capsys):
         assert main(["-q", "store", "fsck", service_dirs.store]) == 0

@@ -1,0 +1,163 @@
+"""Concurrent writers on the metrics registry and the telemetry bus.
+
+The batch scheduler's workers, the watchdog thread, and a live scrape
+handler all touch the same :class:`MetricsRegistry` at once; these tests
+hammer it from barrier-released threads and assert *exact* totals — a
+lost update anywhere fails the count.
+"""
+
+from __future__ import annotations
+
+import pickle
+import threading
+
+from repro.observability import (
+    JobStateTracker,
+    MetricsRegistry,
+    TelemetryBus,
+)
+
+N_THREADS = 8
+N_OPS = 500
+
+
+def _run_threads(worker):
+    """Start N_THREADS running ``worker(i)``, released simultaneously."""
+    barrier = threading.Barrier(N_THREADS)
+
+    def body(i):
+        barrier.wait()
+        worker(i)
+
+    threads = [
+        threading.Thread(target=body, args=(i,)) for i in range(N_THREADS)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+
+
+class TestConcurrentMetrics:
+    def test_counter_increments_are_not_lost(self):
+        registry = MetricsRegistry()
+
+        def worker(i):
+            for _ in range(N_OPS):
+                registry.counter("jobs.done").inc()
+
+        _run_threads(worker)
+        assert registry.counter("jobs.done").value == N_THREADS * N_OPS
+
+    def test_histogram_observations_are_not_lost(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("job.seconds", bounds=(0.5, 1.5))
+
+        def worker(i):
+            for _ in range(N_OPS):
+                hist.observe(1.0)
+
+        _run_threads(worker)
+        assert hist.count == N_THREADS * N_OPS
+        assert hist.total == N_THREADS * N_OPS * 1.0
+        # every observation landed in exactly one bucket
+        assert sum(hist.bucket_counts) == N_THREADS * N_OPS
+
+    def test_get_or_create_race_yields_one_instrument(self):
+        registry = MetricsRegistry()
+        seen = []
+        lock = threading.Lock()
+
+        def worker(i):
+            c = registry.counter("contended")
+            c.inc()
+            with lock:
+                seen.append(c)
+
+        _run_threads(worker)
+        assert len({id(c) for c in seen}) == 1
+        assert registry.counter("contended").value == N_THREADS
+
+    def test_snapshot_while_writing_stays_consistent(self):
+        registry = MetricsRegistry()
+        stop = threading.Event()
+
+        def writer():
+            while not stop.is_set():
+                registry.counter("w").inc()
+                registry.histogram("h").observe(1.0)
+
+        t = threading.Thread(target=writer)
+        t.start()
+        try:
+            for _ in range(50):
+                snap = registry.snapshot()
+                if "h.count" in snap:
+                    # sum/count never observed out of step
+                    assert snap["h.sum"] == snap["h.count"] * 1.0
+        finally:
+            stop.set()
+            t.join()
+
+    def test_registry_picklable_despite_locks(self):
+        registry = MetricsRegistry()
+        registry.counter("a").inc(2)
+        registry.histogram("h").observe(0.5)
+        clone = pickle.loads(pickle.dumps(registry))
+        assert clone.counter("a").value == 2
+        # the clone's locks were recreated and still work
+        clone.counter("a").inc()
+        clone.histogram("h").observe(1.5)
+        assert clone.counter("a").value == 3
+
+    def test_merge_after_roundtrip_keeps_totals(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("n").inc(5)
+        a.histogram("h").observe(1.0)
+        b.counter("n").inc(7)
+        b.histogram("h").observe(3.0)
+        a.merge(pickle.loads(pickle.dumps(b)))
+        assert a.counter("n").value == 12
+        assert a.histogram("h").count == 2
+        assert a.histogram("h").total == 4.0
+
+
+class TestConcurrentBus:
+    def test_parallel_publish_counts_every_event(self):
+        bus = TelemetryBus()
+        registry = MetricsRegistry()
+        tracker = JobStateTracker(registry=registry)
+        bus.subscribe(tracker)
+
+        def worker(i):
+            for j in range(N_OPS):
+                label = f"job-{i}-{j}"
+                bus.publish("job_started", label=label)
+                bus.publish("job_finished", label=label, wall_s=0.0)
+
+        _run_threads(worker)
+        assert bus.n_published == N_THREADS * N_OPS * 2
+        assert bus.n_subscriber_errors == 0
+        assert tracker.counts() == {"done": N_THREADS * N_OPS}
+        assert registry.snapshot()["service.live.done"] == N_THREADS * N_OPS
+
+    def test_subscribe_during_publish_storm(self):
+        bus = TelemetryBus()
+        stop = threading.Event()
+
+        def publisher():
+            while not stop.is_set():
+                bus.publish("job_queued", label="x")
+
+        t = threading.Thread(target=publisher)
+        t.start()
+        try:
+            for _ in range(100):
+                sink = []
+                bus.subscribe(sink.append)
+                bus.unsubscribe(sink.append)
+        finally:
+            stop.set()
+            t.join()
+        assert bus.n_subscribers == 0
+        assert bus.n_subscriber_errors == 0

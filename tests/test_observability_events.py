@@ -1,0 +1,174 @@
+"""Telemetry bus: publish/subscribe, typed kinds, the null fast path,
+and the JobStateTracker that feeds /healthz and the live gauges."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ReproError
+from repro.observability import (
+    EVENT_KINDS,
+    NULL_BUS,
+    JobStateTracker,
+    MetricsRegistry,
+    Observability,
+    TelemetryBus,
+    publish,
+)
+from repro.observability.events import JOB_STATE_EVENTS
+
+
+class TestTelemetryBus:
+    def test_publish_delivers_to_subscribers(self):
+        bus = TelemetryBus()
+        seen = []
+        bus.subscribe(seen.append)
+        event = bus.publish("job_started", label="a.rpt", attempt=2)
+        assert [e.kind for e in seen] == ["job_started"]
+        assert event.label == "a.rpt"
+        assert event.payload == {"attempt": 2}
+        assert event.ts > 0
+        assert bus.n_published == 1
+
+    def test_unknown_kind_rejected(self):
+        bus = TelemetryBus()
+        with pytest.raises(ReproError, match="unknown event kind"):
+            bus.publish("job_exploded")
+
+    def test_every_declared_kind_publishable(self):
+        bus = TelemetryBus()
+        for kind in sorted(EVENT_KINDS):
+            assert bus.publish(kind, label="x").kind == kind
+
+    def test_unsubscribe(self):
+        bus = TelemetryBus()
+        seen = []
+        bus.subscribe(seen.append)
+        bus.unsubscribe(seen.append)
+        bus.publish("job_queued", label="a")
+        assert seen == []
+        # unsubscribing an unknown subscriber is harmless
+        bus.unsubscribe(seen.append)
+
+    def test_double_subscribe_delivers_once(self):
+        bus = TelemetryBus()
+        seen = []
+        bus.subscribe(seen.append)
+        bus.subscribe(seen.append)
+        bus.publish("job_queued", label="a")
+        assert len(seen) == 1
+
+    def test_subscriber_error_is_contained(self):
+        bus = TelemetryBus()
+        seen = []
+
+        def bad(event):
+            raise ValueError("boom")
+
+        bus.subscribe(bad)
+        bus.subscribe(seen.append)
+        event = bus.publish("job_failed", label="a")
+        # the healthy subscriber still got the event
+        assert seen == [event]
+        assert bus.n_subscriber_errors == 1
+        assert "ValueError: boom" in bus.last_subscriber_error
+
+    def test_to_dict_is_flat_and_json_able(self):
+        import json
+
+        bus = TelemetryBus()
+        event = bus.publish("watchdog_heartbeat", label="a.rpt",
+                            elapsed_s=1.5, deadline_s=10.0)
+        data = event.to_dict()
+        assert data["event"] == "watchdog_heartbeat"
+        assert data["label"] == "a.rpt"
+        assert data["elapsed_s"] == 1.5
+        json.dumps(data)
+
+    def test_payload_cannot_shadow_envelope(self):
+        bus = TelemetryBus()
+        event = bus.publish("job_queued", label="a", ts=-1.0)
+        assert event.to_dict()["ts"] == event.ts != -1.0
+
+
+class TestNullBus:
+    def test_disabled_context_uses_shared_null_bus(self):
+        disabled = Observability(enabled=False)
+        assert disabled.events is NULL_BUS
+        assert disabled.events.publish("job_started", label="a") is None
+
+    def test_null_subscribe_refused(self):
+        with pytest.raises(ReproError, match="disabled"):
+            NULL_BUS.subscribe(lambda e: None)
+
+    def test_module_accessor_follows_context(self):
+        # Default context is disabled: publish is a no-op returning None.
+        assert publish("job_started", label="a") is None
+        obs = Observability()
+        seen = []
+        obs.events.subscribe(seen.append)
+        with obs.activate():
+            event = publish("job_finished", label="a", wall_s=0.1)
+        assert event is not None and seen == [event]
+        # ...and the context pops back to disabled afterwards.
+        assert publish("job_started", label="a") is None
+
+    def test_enabled_observability_gets_private_bus(self):
+        a, b = Observability(), Observability()
+        assert a.events is not b.events
+
+
+class TestJobStateTracker:
+    def _feed(self, tracker, bus):
+        bus.subscribe(tracker)
+        bus.publish("batch_started", n_jobs=3)
+        for label in ("a", "b", "c"):
+            bus.publish("job_queued", label=label)
+        bus.publish("job_started", label="a")
+        bus.publish("job_started", label="b")
+        bus.publish("job_finished", label="a", wall_s=0.5)
+
+    def test_counts_follow_lifecycle(self):
+        bus, tracker = TelemetryBus(), JobStateTracker()
+        self._feed(tracker, bus)
+        assert tracker.counts() == {"queued": 1, "running": 1, "done": 1}
+        assert tracker.n_total == 3
+
+    def test_running_jobs_sorted_slowest_first(self):
+        bus, tracker = TelemetryBus(), JobStateTracker()
+        bus.subscribe(tracker)
+        bus.publish("job_started", label="slow")
+        bus.publish("job_started", label="fast")
+        jobs = tracker.running_jobs()
+        assert [label for label, _ in jobs] == ["slow", "fast"]
+        assert all(elapsed >= 0 for _, elapsed in jobs)
+
+    def test_snapshot_shape(self):
+        bus, tracker = TelemetryBus(), JobStateTracker()
+        self._feed(tracker, bus)
+        bus.publish("batch_drained", n_jobs=3)
+        snap = tracker.snapshot()
+        assert snap["n_jobs"] == 3
+        assert snap["n_terminal"] == 1
+        assert snap["batch_done"] is True
+        assert snap["running"][0]["label"] == "b"
+
+    def test_live_gauges_maintained(self):
+        registry = MetricsRegistry()
+        bus = TelemetryBus()
+        tracker = JobStateTracker(registry=registry)
+        self._feed(tracker, bus)
+        snapshot = registry.snapshot()
+        for state in JOB_STATE_EVENTS.values():
+            assert f"service.live.{state}" in snapshot
+        assert snapshot["service.live.running"] == 1
+        assert snapshot["service.live.done"] == 1
+        assert snapshot["service.live.failed"] == 0
+
+    def test_heartbeat_does_not_change_state(self):
+        bus, tracker = TelemetryBus(), JobStateTracker()
+        bus.subscribe(tracker)
+        bus.publish("job_started", label="a")
+        bus.publish("watchdog_heartbeat", label="a", elapsed_s=1.0,
+                    deadline_s=5.0)
+        assert tracker.counts() == {"running": 1}

@@ -1,0 +1,175 @@
+"""OpenMetrics rendering, the strict validator, and the scrape server."""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.errors import ReproError
+from repro.observability import (
+    JobStateTracker,
+    MetricsRegistry,
+    Observability,
+    TelemetryServer,
+    metric_name,
+    render_openmetrics,
+    validate_openmetrics,
+)
+
+
+def _filled_registry() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    registry.counter("store.hits").inc(3)
+    registry.gauge("service.queue_depth").set(2)
+    hist = registry.histogram("service.job_seconds", bounds=(0.1, 1.0, 10.0))
+    hist.observe(0.05)
+    hist.observe(0.5)
+    hist.observe(5.0)
+    return registry
+
+
+class TestMetricName:
+    def test_dots_become_underscores_with_prefix(self):
+        assert metric_name("service.jobs.done") == "repro_service_jobs_done"
+
+    def test_hostile_characters_sanitized(self):
+        assert metric_name('x-y z"w') == "repro_x_y_z_w"
+
+
+class TestRender:
+    def test_roundtrips_through_validator(self):
+        text = render_openmetrics(_filled_registry())
+        families = validate_openmetrics(text)
+        assert families == {
+            "repro_store_hits": "counter",
+            "repro_service_queue_depth": "gauge",
+            "repro_service_job_seconds": "histogram",
+        }
+
+    def test_counter_exposed_as_total(self):
+        text = render_openmetrics(_filled_registry())
+        assert "repro_store_hits_total 3" in text
+
+    def test_histogram_buckets_cumulative(self):
+        lines = render_openmetrics(_filled_registry()).splitlines()
+        buckets = [l for l in lines if "_bucket" in l]
+        assert buckets == [
+            'repro_service_job_seconds_bucket{le="0.1"} 1',
+            'repro_service_job_seconds_bucket{le="1"} 2',
+            'repro_service_job_seconds_bucket{le="10"} 3',
+            'repro_service_job_seconds_bucket{le="+Inf"} 3',
+        ]
+        assert "repro_service_job_seconds_count 3" in lines
+
+    def test_unset_gauge_omitted(self):
+        registry = MetricsRegistry()
+        registry.gauge("never.set")
+        registry.counter("c").inc()
+        text = render_openmetrics(registry)
+        assert "never_set" not in text
+
+    def test_empty_registry_is_just_eof(self):
+        assert render_openmetrics(MetricsRegistry()) == "# EOF\n"
+
+    def test_ends_with_eof(self):
+        assert render_openmetrics(_filled_registry()).endswith("# EOF\n")
+
+
+class TestValidator:
+    def test_missing_eof_rejected(self):
+        with pytest.raises(ReproError, match="EOF"):
+            validate_openmetrics("# TYPE a counter\na_total 1\n")
+
+    def test_sample_without_type_rejected(self):
+        with pytest.raises(ReproError, match="no TYPE"):
+            validate_openmetrics("mystery_metric 1\n# EOF")
+
+    def test_non_numeric_value_rejected(self):
+        with pytest.raises(ReproError, match="bad value"):
+            validate_openmetrics("# TYPE a gauge\na banana\n# EOF")
+
+    def test_blank_line_rejected(self):
+        with pytest.raises(ReproError, match="blank"):
+            validate_openmetrics("# TYPE a gauge\n\na 1\n# EOF")
+
+
+class TestTelemetryServer:
+    def test_metrics_and_healthz(self):
+        obs = Observability()
+        tracker = JobStateTracker(registry=obs.metrics)
+        obs.events.subscribe(tracker)
+        obs.events.publish("batch_started", n_jobs=2)
+        obs.events.publish("job_started", label="a.rpt")
+        obs.counter("store.misses").inc()
+        with TelemetryServer(obs.metrics, tracker=tracker) as server:
+            assert server.port != 0  # ephemeral port was bound
+            with urllib.request.urlopen(server.url + "/metrics") as resp:
+                assert "openmetrics-text" in resp.headers["Content-Type"]
+                text = resp.read().decode()
+            with urllib.request.urlopen(server.url + "/healthz") as resp:
+                health = json.loads(resp.read().decode())
+        families = validate_openmetrics(text)
+        # job-state gauges are present during the "run"
+        assert "repro_service_live_running" in families
+        assert "repro_service_live_running 1" in text
+        assert health["status"] == "ok"
+        assert health["states"] == {"running": 1}
+        assert health["n_jobs"] == 2
+
+    def test_unknown_path_404(self):
+        with TelemetryServer(MetricsRegistry()) as server:
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urllib.request.urlopen(server.url + "/nope")
+            assert excinfo.value.code == 404
+
+    def test_close_idempotent_and_start_reentrant(self):
+        server = TelemetryServer(MetricsRegistry())
+        port = server.start()
+        assert server.start() == port
+        server.close()
+        server.close()
+
+    def test_bind_conflict_raises_repro_error(self):
+        with TelemetryServer(MetricsRegistry()) as server:
+            clash = TelemetryServer(MetricsRegistry(), port=server.port)
+            with pytest.raises(ReproError, match="cannot bind"):
+                clash.start()
+
+    def test_scrape_during_running_batch(self, tmp_path, multiphase_trace_file):
+        """A live scrape mid-batch sees job-state gauges (acceptance)."""
+        import shutil
+        import threading
+
+        from repro.service import BatchConfig, JobSpec, run_batch
+        from repro.store import ResultStore
+
+        traces = []
+        for i in range(2):
+            dst = tmp_path / f"run{i}.rpt"
+            shutil.copy(multiphase_trace_file, dst)
+            traces.append(JobSpec(trace_path=str(dst)))
+        obs = Observability()
+        tracker = JobStateTracker(registry=obs.metrics)
+        obs.events.subscribe(tracker)
+        store = ResultStore(str(tmp_path / "store"))
+        mid_batch_text = []
+
+        def scrape_once(event):
+            # Subscriber: scrape on the first terminal event, i.e. while
+            # the batch is provably still between jobs.
+            if event.kind == "job_finished" and not mid_batch_text:
+                with urllib.request.urlopen(server.url + "/metrics") as resp:
+                    mid_batch_text.append(resp.read().decode())
+
+        obs.events.subscribe(scrape_once)
+        with TelemetryServer(obs.metrics, tracker=tracker) as server:
+            with obs.activate():
+                report = run_batch(traces, store, BatchConfig())
+        assert report.ok
+        assert mid_batch_text, "no scrape happened during the batch"
+        families = validate_openmetrics(mid_batch_text[0])
+        assert "repro_service_live_done" in families
+        assert threading.active_count() >= 1  # server thread cleaned up

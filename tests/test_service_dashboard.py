@@ -1,0 +1,123 @@
+"""The --live dashboard: frame content, in-place redraw, throttling."""
+
+from __future__ import annotations
+
+import io
+
+from repro.observability import TelemetryBus
+from repro.service import LiveDashboard
+
+
+def _bus_with(dash):
+    bus = TelemetryBus()
+    bus.subscribe(dash)
+    return bus
+
+
+class TestRenderLines:
+    def test_frame_reflects_lifecycle(self):
+        dash = LiveDashboard(stream=io.StringIO())
+        bus = _bus_with(dash)
+        bus.publish("batch_started", n_jobs=3)
+        for label in ("a", "b", "c"):
+            bus.publish("job_queued", label=label)
+        bus.publish("job_started", label="a")
+        bus.publish("job_finished", label="a", wall_s=0.2)
+        bus.publish("job_started", label="b")
+        lines = dash.render_lines()
+        assert "1/3 finished" in lines[0]
+        assert "1 running" in lines[0]
+        assert "queued 1" in lines[1]
+        assert "done 1" in lines[1]
+        # the running job is listed with its elapsed time
+        assert any(line.strip().startswith("> b") for line in lines[2:])
+
+    def test_heartbeat_shows_deadline(self):
+        dash = LiveDashboard(stream=io.StringIO())
+        bus = _bus_with(dash)
+        bus.publish("job_started", label="slow.rpt")
+        bus.publish("watchdog_heartbeat", label="slow.rpt",
+                    elapsed_s=4.0, deadline_s=30.0)
+        frame = "\n".join(dash.render_lines())
+        assert "4.0s of 30s deadline" in frame
+
+    def test_heartbeat_cleared_on_terminal_state(self):
+        dash = LiveDashboard(stream=io.StringIO())
+        bus = _bus_with(dash)
+        bus.publish("job_started", label="a")
+        bus.publish("watchdog_heartbeat", label="a",
+                    elapsed_s=1.0, deadline_s=9.0)
+        bus.publish("job_timeout", label="a", wall_s=9.0)
+        frame = "\n".join(dash.render_lines())
+        assert "deadline" not in frame
+        assert "timeout 1" in frame
+
+    def test_eta_done_when_batch_drained(self):
+        dash = LiveDashboard(stream=io.StringIO())
+        bus = _bus_with(dash)
+        bus.publish("batch_started", n_jobs=1)
+        bus.publish("job_queued", label="a")
+        bus.publish("job_started", label="a")
+        bus.publish("job_finished", label="a", wall_s=0.1)
+        bus.publish("batch_drained", n_jobs=1)
+        assert "ETA done" in dash.render_lines()[0]
+
+    def test_top_running_caps_job_lines(self):
+        dash = LiveDashboard(stream=io.StringIO(), top_running=2)
+        bus = _bus_with(dash)
+        for i in range(5):
+            bus.publish("job_started", label=f"j{i}")
+        job_lines = [l for l in dash.render_lines() if l.strip().startswith(">")]
+        assert len(job_lines) == 2
+
+
+class TestDrawing:
+    def test_first_draw_has_no_cursor_movement(self):
+        stream = io.StringIO()
+        dash = LiveDashboard(stream=stream)
+        bus = _bus_with(dash)
+        bus.publish("job_queued", label="a")  # force kind -> draws
+        out = stream.getvalue()
+        assert out and not out.startswith("\x1b[")
+        assert out.endswith("\n")
+
+    def test_redraw_erases_previous_block(self):
+        stream = io.StringIO()
+        dash = LiveDashboard(stream=stream)
+        bus = _bus_with(dash)
+        bus.publish("job_queued", label="a")
+        bus.publish("job_started", label="a")
+        # second frame rewinds over the first (2 lines) and erases
+        assert "\x1b[2F\x1b[0J" in stream.getvalue()
+
+    def test_non_force_events_are_throttled(self):
+        stream = io.StringIO()
+        dash = LiveDashboard(stream=stream, refresh_s=3600.0)
+        bus = _bus_with(dash)
+        bus.publish("job_started", label="a")  # force: draws
+        first = stream.getvalue()
+        for _ in range(10):
+            bus.publish("watchdog_heartbeat", label="a",
+                        elapsed_s=1.0, deadline_s=9.0)
+        assert stream.getvalue() == first  # heartbeats throttled away
+
+    def test_close_idempotent_and_final(self):
+        stream = io.StringIO()
+        dash = LiveDashboard(stream=stream)
+        bus = _bus_with(dash)
+        bus.publish("job_queued", label="a")
+        dash.close()
+        size = len(stream.getvalue())
+        dash.close()  # idempotent: no extra frame
+        assert len(stream.getvalue()) == size
+        bus.publish("job_started", label="a")  # closed: no redraw either
+        assert len(stream.getvalue()) == size
+
+    def test_dead_stream_goes_quiet(self):
+        stream = io.StringIO()
+        dash = LiveDashboard(stream=stream)
+        bus = _bus_with(dash)
+        stream.close()
+        bus.publish("job_queued", label="a")  # ValueError swallowed
+        bus.publish("job_started", label="a")
+        assert dash.tracker.counts()["running"] == 1  # still tracking
