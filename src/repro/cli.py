@@ -543,6 +543,23 @@ def _cmd_perf_check(args: argparse.Namespace) -> int:
     return 1 if args.gate and not report.ok else 0
 
 
+def _cmd_selftest(args: argparse.Namespace) -> int:
+    from repro.verify import available_suites, run_selftest
+
+    if args.list_suites:
+        for name in available_suites():
+            print(name)
+        return 0
+    report = run_selftest(full=args.full, seed=args.seed, suites=args.suite)
+    print(report.render())
+    if args.report:
+        with open(args.report, "w", encoding="utf-8") as fh:
+            json.dump(report.to_dict(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"report written to {args.report}", file=sys.stderr)
+    return 0 if report.ok else 1
+
+
 def _cmd_demo(args: argparse.Namespace) -> int:
     app = _build_app(args)
     core = _core()
@@ -825,6 +842,49 @@ def build_parser() -> argparse.ArgumentParser:
         "insufficient, never failed (default 8, the fitter's floor)",
     )
     p_perf_check.set_defaults(func=_cmd_perf_check)
+
+    p_selftest = sub.add_parser(
+        "selftest",
+        help="differential self-verification: optimized stages vs scalar "
+        "oracles on seeded corpora (exit 1 on any divergence)",
+    )
+    scale = p_selftest.add_mutually_exclusive_group()
+    scale.add_argument(
+        "--quick",
+        action="store_true",
+        help="small corpora sized for CI (the default)",
+    )
+    scale.add_argument(
+        "--full",
+        action="store_true",
+        help="larger corpora and more random draws per suite",
+    )
+    p_selftest.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        metavar="N",
+        help="corpus seed (a divergence report names the seed that "
+        "reproduces it; default 0)",
+    )
+    p_selftest.add_argument(
+        "--suite",
+        action="append",
+        metavar="NAME",
+        help="run only this suite (repeatable; see --list)",
+    )
+    p_selftest.add_argument(
+        "--list",
+        action="store_true",
+        dest="list_suites",
+        help="list available suites and exit",
+    )
+    p_selftest.add_argument(
+        "--report",
+        metavar="PATH",
+        help="also write the structured JSON divergence report to PATH",
+    )
+    p_selftest.set_defaults(func=_cmd_selftest)
 
     p_demo = sub.add_parser("demo", help="full methodology on a built-in app")
     _add_app_options(p_demo)

@@ -192,9 +192,9 @@ class DBSCAN:
         for start in range(0, n, self.block):
             stop = min(start + self.block, n)
             chunk = points[start:stop]
-            # ||a-b||^2 = ||a||^2 + ||b||^2 - 2 a.b, clipped for fp safety
+            # ||a-b||^2 = ||a||^2 + ||b||^2 - 2 a.b
             d2 = norms[start:stop, None] + norms[None, :] - 2.0 * chunk @ points.T
-            np.clip(d2, 0.0, None, out=d2)
+            _snap_identity_noise(d2, norms[start:stop], norms)
             within = d2 <= sq_eps
             for row in range(stop - start):
                 neighborhoods.append(np.flatnonzero(within[row]))
@@ -234,7 +234,7 @@ class DBSCAN:
                     + cand_norms[None, :]
                     - 2.0 * points[rows] @ cand_points.T
                 )
-                np.clip(d2, 0.0, None, out=d2)
+                _snap_identity_noise(d2, norms[rows], cand_norms)
                 within = d2 <= sq_eps
                 for row in range(rows.size):
                     neighborhoods[int(rows[row])] = cand[
@@ -337,6 +337,35 @@ def estimate_eps(
     return eps
 
 
+#: Error-bound scale for the norms-identity distance expansion: the
+#: computed ``||a||^2 + ||b||^2 - 2 a.b`` differs from the true squared
+#: distance by at most a few ulps of the largest intermediate, i.e.
+#: O(eps_mach * (||a||^2 + ||b||^2)).  16 covers the accumulated
+#: rounding of the dot product with a comfortable margin while staying
+#: ~1e5 below any distance the identity can actually resolve.
+_IDENTITY_NOISE = 16.0 * float(np.finfo(np.float64).eps)
+
+
+def _snap_identity_noise(
+    d2: np.ndarray, row_norms: np.ndarray, col_norms: np.ndarray
+) -> np.ndarray:
+    """Snap norms-identity squared distances below their error bound to 0.
+
+    The identity cancels catastrophically when a ~ b: exact duplicates
+    come out as ~eps_mach * ||a||^2 instead of 0, which is ~1e-7 after
+    the sqrt on O(1) standardized features.  That broke the documented
+    degenerate-geometry contract of :func:`estimate_eps` (duplicate-heavy
+    clouds never reached the 1e-9 floor) and made the eps-ball test miss
+    exact duplicates at tiny radii.  A value at or below the identity's
+    own error bound is indistinguishable from a true zero, so it becomes
+    exactly zero (negatives included).  Surfaced by the ``eps``
+    differential suite (``repro selftest --suite eps --seed 2``).
+    """
+    np.clip(d2, 0.0, None, out=d2)
+    d2[d2 <= _IDENTITY_NOISE * (row_norms[:, None] + col_norms[None, :])] = 0.0
+    return d2
+
+
 def _kdist_rows(
     points: np.ndarray, norms: np.ndarray, k: int, rows: np.ndarray
 ) -> np.ndarray:
@@ -346,7 +375,7 @@ def _kdist_rows(
     for start in range(0, rows.size, block):
         sub = rows[start : start + block]
         d2 = norms[sub, None] + norms[None, :] - 2.0 * points[sub] @ points.T
-        np.clip(d2, 0.0, None, out=d2)
+        _snap_identity_noise(d2, norms[sub], norms)
         part = np.partition(d2, k, axis=1)[:, k]
         out[start : start + block] = np.sqrt(part)
     return out
@@ -387,7 +416,7 @@ def _kdist_grid(
                 + cand_norms[None, :]
                 - 2.0 * points[rows] @ cand_points.T
             )
-            np.clip(d2, 0.0, None, out=d2)
+            _snap_identity_noise(d2, norms[rows], cand_norms)
             part = np.partition(d2, k, axis=1)[:, k]
             kd = np.sqrt(part)
             # The 3^d neighbor cells are guaranteed to contain every point
@@ -454,7 +483,7 @@ def estimate_eps_quantile(
         n = points.shape[0]
     norms = np.einsum("ij,ij->i", points, points)
     d2 = norms[:, None] + norms[None, :] - 2.0 * points @ points.T
-    np.clip(d2, 0.0, None, out=d2)
+    _snap_identity_noise(d2, norms, norms)
     distances = np.sqrt(d2[np.triu_indices(n, k=1)])
     positive = distances[distances > 0]
     if positive.size == 0:

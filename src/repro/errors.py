@@ -30,6 +30,7 @@ __all__ = [
     "StoreIntegrityError",
     "AmbiguousPrefixError",
     "StoreLockError",
+    "VerificationError",
 ]
 
 
@@ -123,3 +124,11 @@ class AmbiguousPrefixError(AnalysisError):
 
 class StoreLockError(ReproError):
     """The store's advisory batch lock is held by another process."""
+
+
+class VerificationError(ReproError):
+    """The differential self-verification harness itself failed — an
+    oracle hit an input it cannot handle (e.g. a singular design it has
+    no rank-deficiency path for), or a suite was asked for by a name it
+    does not have.  Distinct from a *divergence*, which is a finding the
+    harness reports, not an error it raises."""

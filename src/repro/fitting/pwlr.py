@@ -98,7 +98,24 @@ class PiecewiseLinearModel:
         )
 
     def predict(self, x) -> np.ndarray:
-        """Evaluate the curve at ``x`` (vectorized)."""
+        """Evaluate the curve at ``x`` (vectorized).
+
+        Evaluation contract (pinned by ``tests/test_property_pwlr.py``
+        and the selftest ``predict`` oracle suite):
+
+        - The curve is **continuous everywhere**, including at interior
+          breakpoints: segments join at the shared knot value.
+        - Segment selection is **right-continuous** — exactly at an
+          interior breakpoint ``b_i`` the point belongs to the segment
+          *starting* there, so an infinitesimal step to the right stays
+          on the same segment (``slope_at`` agrees).
+        - Outside ``[0, 1]`` the curve is **extended linearly**, not
+          clamped: ``x < 0`` extrapolates the first segment's line and
+          ``x > 1`` the last segment's.  ``x == 1.0`` lies on the last
+          segment (there is no knot beyond it to switch to).
+        - Scalar input returns a Python ``float``; array input returns
+          an array of the broadcast shape.
+        """
         xs = np.atleast_1d(np.asarray(x, dtype=float))
         knots = self.knots
         values = self.knot_values()
@@ -107,7 +124,15 @@ class PiecewiseLinearModel:
         return out if np.ndim(x) else float(out[0])
 
     def slope_at(self, x) -> np.ndarray:
-        """Segment slope at ``x`` (vectorized; right-continuous)."""
+        """Segment slope at ``x`` (vectorized).
+
+        Follows the same segment-selection contract as :meth:`predict`:
+        **right-continuous** at interior breakpoints (``slope_at(b_i)``
+        is the slope of the segment starting at ``b_i``), and clamped to
+        the edge segments outside ``[0, 1]`` — ``x <= 0`` reports the
+        first slope, ``x >= 1`` the last — matching the linear extension
+        :meth:`predict` applies there.  Scalar in, ``float`` out.
+        """
         xs = np.atleast_1d(np.asarray(x, dtype=float))
         idx = np.clip(
             np.searchsorted(self.knots, xs, side="right") - 1, 0, self.n_segments - 1

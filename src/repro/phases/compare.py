@@ -1,14 +1,15 @@
 """Scoring detected phase boundaries against ground truth.
 
-Used only by tests/benchmarks (TAB-1, FIG-4): greedy one-to-one matching of
-detected to true boundaries within a normalized-time tolerance, yielding
-precision/recall/F1 and the mean absolute position error over matches.
+Used by tests/benchmarks (TAB-1, FIG-4) and the verification harness:
+optimal one-to-one matching of detected to true boundaries within a
+normalized-time tolerance, yielding precision/recall/F1 and the mean
+absolute position error over matches.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import Sequence, Tuple
 
 import numpy as np
 
@@ -19,7 +20,15 @@ __all__ = ["BoundaryScore", "match_boundaries"]
 
 @dataclass(frozen=True)
 class BoundaryScore:
-    """Boundary-detection outcome."""
+    """Boundary-detection outcome.
+
+    ``mean_abs_error`` is defined **only over matched pairs**: when
+    ``n_matched == 0`` there is no error distribution to average and the
+    value is NaN by contract (never 0.0, which would read as a perfect
+    score).  Consumers aggregating scores must guard on ``n_matched``
+    before using it — see ``bench_tab1_phase_detection`` for the
+    canonical guard.
+    """
 
     n_true: int
     n_detected: int
@@ -55,44 +64,57 @@ class BoundaryScore:
         )
 
 
+def _better(a: Tuple[int, float], b: Tuple[int, float]) -> Tuple[int, float]:
+    """The preferable ``(n_matched, total_error)`` outcome: more matches
+    first, smaller total error on ties."""
+    if a[0] != b[0]:
+        return a if a[0] > b[0] else b
+    return a if a[1] <= b[1] else b
+
+
 def match_boundaries(
     detected: Sequence[float],
     truth: Sequence[float],
     tolerance: float = 0.02,
 ) -> BoundaryScore:
-    """Greedy nearest-first matching of boundary positions.
+    """Optimal one-to-one matching of boundary positions.
 
-    Candidate pairs within ``tolerance`` are taken in order of increasing
-    distance, each boundary used at most once — the standard assignment
-    heuristic for changepoint evaluation.
+    Candidate pairs within ``tolerance`` are assigned so that the number
+    of matches is **maximized**, and — among maximum-cardinality
+    assignments — the total absolute position error is minimized.
+
+    Greedy heuristics (taking pairs in input order, or even nearest
+    pair first) are not equivalent: a detected boundary can claim the
+    only true boundary another detection could reach, losing a feasible
+    match and mis-scoring F1 (pinned in ``tests/test_phases.py``).  For
+    1-D positions an optimal assignment always exists that preserves
+    order (uncrossing two matched pairs never increases either gap), so
+    a quadratic dynamic program over the two sorted sequences is exact.
     """
     if tolerance <= 0:
         raise PhaseError(f"tolerance must be positive, got {tolerance}")
     det = np.sort(np.asarray(detected, dtype=float))
     tru = np.sort(np.asarray(truth, dtype=float))
+    n, m = int(det.size), int(tru.size)
 
-    pairs: List[Tuple[float, int, int]] = []
-    for i, d in enumerate(det):
-        for j, t in enumerate(tru):
-            gap = abs(d - t)
+    # best[i][j]: optimal (n_matched, total_error) over det[:i] vs tru[:j].
+    best = [[(0, 0.0)] * (m + 1) for _ in range(n + 1)]
+    for i in range(1, n + 1):
+        row = best[i]
+        prev = best[i - 1]
+        for j in range(1, m + 1):
+            outcome = _better(prev[j], row[j - 1])
+            gap = abs(float(det[i - 1]) - float(tru[j - 1]))
             if gap <= tolerance:
-                pairs.append((gap, i, j))
-    pairs.sort()
-
-    used_det = set()
-    used_tru = set()
-    errors: List[float] = []
-    for gap, i, j in pairs:
-        if i in used_det or j in used_tru:
-            continue
-        used_det.add(i)
-        used_tru.add(j)
-        errors.append(gap)
+                matched, total = prev[j - 1]
+                outcome = _better(outcome, (matched + 1, total + gap))
+            row[j] = outcome
+    n_matched, total_error = best[n][m]
 
     return BoundaryScore(
-        n_true=int(tru.size),
-        n_detected=int(det.size),
-        n_matched=len(errors),
-        mean_abs_error=float(np.mean(errors)) if errors else float("nan"),
+        n_true=m,
+        n_detected=n,
+        n_matched=n_matched,
+        mean_abs_error=(total_error / n_matched) if n_matched else float("nan"),
         tolerance=float(tolerance),
     )

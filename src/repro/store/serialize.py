@@ -7,7 +7,9 @@ semantics (Python's ``json`` module already guarantees shortest-repr
 round-trip for doubles), integer-keyed mappings are encoded as pairs so
 keys keep their type, and diagnostic context values that JSON cannot
 represent natively (nested int-keyed dicts, tuples) are carried as tagged
-``repr`` literals restored with :func:`ast.literal_eval`.
+``repr`` literals restored by a literal evaluator that also accepts the
+``nan``/``inf`` names ``repr`` emits for non-finite floats (which the
+stdlib :func:`ast.literal_eval` rejects).
 
 The raw folded sample arrays (tens of thousands of points per cluster)
 are deliberately summarized rather than stored: a stored result answers
@@ -129,6 +131,12 @@ class CallstacksSummary:
 # ----------------------------------------------------------------------
 _LITERAL_TAG = "!literal"
 
+#: The two non-finite float names ``repr`` emits inside containers.
+#: ``ast.literal_eval`` rejects them ("malformed node"), so the decoder
+#: below resolves them itself — a divergence the selftest round-trip
+#: suite surfaced on diagnostics carrying NaN/inf context values.
+_SPECIAL_FLOAT_NAMES = {"nan": float("nan"), "inf": float("inf")}
+
 
 def _encode_value(value: object) -> object:
     """JSON-safe encoding of one diagnostic-context / attr value.
@@ -143,9 +151,51 @@ def _encode_value(value: object) -> object:
     return {_LITERAL_TAG: repr(value)}
 
 
+def _eval_literal_node(node: ast.AST) -> object:
+    if isinstance(node, ast.Constant):
+        return node.value
+    if isinstance(node, ast.Name) and node.id in _SPECIAL_FLOAT_NAMES:
+        return _SPECIAL_FLOAT_NAMES[node.id]
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, (ast.UAdd, ast.USub)):
+        operand = _eval_literal_node(node.operand)
+        if isinstance(operand, (int, float)) and not isinstance(operand, bool):
+            return operand if isinstance(node.op, ast.UAdd) else -operand
+    elif isinstance(node, ast.Tuple):
+        return tuple(_eval_literal_node(item) for item in node.elts)
+    elif isinstance(node, ast.List):
+        return [_eval_literal_node(item) for item in node.elts]
+    elif isinstance(node, ast.Set):
+        return {_eval_literal_node(item) for item in node.elts}
+    elif isinstance(node, ast.Dict):
+        if any(key is None for key in node.keys):
+            raise AnalysisError("dict unpacking is not a literal")
+        return {
+            _eval_literal_node(key): _eval_literal_node(value)
+            for key, value in zip(node.keys, node.values)
+        }
+    raise AnalysisError(
+        f"unsupported construct in stored literal: {ast.dump(node)}"
+    )
+
+
+def _safe_literal_eval(text: str) -> object:
+    """``ast.literal_eval`` extended to accept the bare ``nan``/``inf``
+    names that ``repr`` produces for non-finite floats inside containers
+    (e.g. ``repr((float('nan'), 1.0)) == '(nan, 1.0)'``), which the
+    stdlib evaluator rejects.  Only literal containers, constants, and
+    signed numbers are accepted; anything else raises
+    :class:`~repro.errors.AnalysisError`.
+    """
+    try:
+        node = ast.parse(text.strip(), mode="eval").body
+    except SyntaxError as exc:
+        raise AnalysisError(f"malformed stored literal: {text!r}") from exc
+    return _eval_literal_node(node)
+
+
 def _decode_value(value: object) -> object:
     if isinstance(value, dict) and set(value) == {_LITERAL_TAG}:
-        return ast.literal_eval(value[_LITERAL_TAG])
+        return _safe_literal_eval(value[_LITERAL_TAG])
     return value
 
 

@@ -1,0 +1,32 @@
+"""Differential self-verification of the optimized pipeline.
+
+Three layers, run together by ``repro selftest``:
+
+- :mod:`repro.verify.oracles` — deliberately-naive scalar reference
+  implementations of the core stages, sharing no code with the
+  optimized paths;
+- :mod:`repro.verify.corpus` — seeded and adversarial input corpora;
+- :mod:`repro.verify.differential` — the runner executing the
+  equivalence and metamorphic suites and reporting structured
+  divergences (stage, seed, max abs/ulp delta, repro command).
+
+See ``docs/VERIFICATION.md`` for the oracle inventory, the bit-exact vs
+tolerance contract of every suite, and how to replay a divergence.
+"""
+
+from repro.verify.differential import (
+    Divergence,
+    SelftestReport,
+    SuiteResult,
+    available_suites,
+    run_selftest,
+)
+import repro.verify.metamorphic  # noqa: F401  (registers the meta_* suites)
+
+__all__ = [
+    "Divergence",
+    "SelftestReport",
+    "SuiteResult",
+    "available_suites",
+    "run_selftest",
+]

@@ -97,6 +97,21 @@ class TestEstimateEps:
         eps = estimate_eps(points)
         assert eps > 0
 
+    def test_duplicate_sites_hit_degenerate_floor(self):
+        # Exact duplicates have k-dist 0, so the estimate must reach the
+        # documented degenerate floor -- not a ~1e-7 artifact of
+        # catastrophic cancellation in the norms-identity expansion
+        # (||a||^2 + ||b||^2 - 2 a.b on identical O(1) points).  At that
+        # floor DBSCAN must still group the duplicates.
+        rng = np.random.default_rng(2)
+        sites = rng.normal(size=(5, 3)) * 3.0
+        points = np.repeat(sites, 12, axis=0)
+        eps = estimate_eps(points, k=4)
+        assert eps == 1e-9
+        result = DBSCAN(eps=eps, min_pts=4, index="blocked").fit(points)
+        assert result.n_clusters == 5
+        assert result.noise_fraction == 0.0
+
 
 class TestGridIndex:
     """The grid spatial index must be invisible: byte-identical labels."""

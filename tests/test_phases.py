@@ -184,3 +184,19 @@ class TestMatchBoundaries:
     def test_f1_zero_when_nothing_matches(self):
         score = match_boundaries([0.1], [0.9])
         assert score.f1 == 0.0
+
+    def test_greedy_trap_cardinality(self):
+        # Nearest-first greedy pairs 0.510 with 0.512 and strands 0.530
+        # against 0.505 (gap 0.025 > tolerance).  The optimal one-to-one
+        # assignment crosses the pairs and matches both.
+        score = match_boundaries([0.510, 0.530], [0.505, 0.512], tolerance=0.02)
+        assert score.n_matched == 2
+        assert score.f1 == 1.0
+        assert score.mean_abs_error == pytest.approx((0.005 + 0.018) / 2)
+
+    def test_minimal_error_among_max_cardinality(self):
+        # Both detected boundaries can match either truth; the matching
+        # must pick the error-minimizing assignment, not just any maximum.
+        score = match_boundaries([0.30, 0.32], [0.30, 0.32], tolerance=0.05)
+        assert score.n_matched == 2
+        assert score.mean_abs_error == 0.0

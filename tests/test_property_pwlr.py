@@ -120,3 +120,66 @@ class TestAutoFitProperties:
         assert np.all(model.breakpoints > 0.0)
         assert np.all(model.breakpoints < 1.0)
         assert np.all(np.diff(model.breakpoints) > 0)
+
+
+class TestPredictContract:
+    """Pin the documented predict/slope_at contract (see pwlr docstrings):
+    right-continuous segment selection at breakpoints, linear extension
+    (not clamping) outside [0, 1], scalar calls return plain floats."""
+
+    def _model(self, spec, seed):
+        breaks, slopes = spec
+        rng = np.random.default_rng(seed)
+        x = np.sort(rng.uniform(0.0, 1.0, 200))
+        y = eval_pwl(x, breaks, slopes) + rng.normal(0, 0.02, x.size)
+        return fit_fixed_breakpoints(x, y, breaks)
+
+    @given(pwl_specs(), st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_right_continuous_at_breakpoints(self, spec, seed):
+        model = self._model(spec, seed)
+        for i, b in enumerate(model.breakpoints):
+            # at the breakpoint the value is the knot value and the slope
+            # is the slope of the segment that *starts* there
+            assert model.predict(b) == pytest.approx(
+                model.knot_values()[i + 1], rel=1e-12, abs=1e-12
+            )
+            assert model.slope_at(b) == model.slopes[i + 1]
+            just_right = np.nextafter(b, 1.0)
+            assert model.slope_at(just_right) == model.slopes[i + 1]
+            just_left = np.nextafter(b, 0.0)
+            assert model.slope_at(just_left) == model.slopes[i]
+
+    @given(pwl_specs(), st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_linear_extension_outside_unit_interval(self, spec, seed):
+        model = self._model(spec, seed)
+        for t in (0.1, 0.5, 2.0):
+            low = model.predict(-t)
+            assert low == pytest.approx(
+                model.predict(0.0) - model.slopes[0] * t, rel=1e-9, abs=1e-12
+            )
+            high = model.predict(1.0 + t)
+            assert high == pytest.approx(
+                model.predict(1.0) + model.slopes[-1] * t, rel=1e-9, abs=1e-12
+            )
+            assert model.slope_at(-t) == model.slopes[0]
+            assert model.slope_at(1.0 + t) == model.slopes[-1]
+
+    @given(pwl_specs(), st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=10, deadline=None)
+    def test_scalar_calls_return_floats(self, spec, seed):
+        model = self._model(spec, seed)
+        assert isinstance(model.predict(0.5), float)
+        assert isinstance(model.slope_at(0.5), float)
+        vec = model.predict(np.array([0.25, 0.75]))
+        assert isinstance(vec, np.ndarray) and vec.shape == (2,)
+
+    @given(pwl_specs(), st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=10, deadline=None)
+    def test_one_maps_to_last_segment(self, spec, seed):
+        model = self._model(spec, seed)
+        assert model.slope_at(1.0) == model.slopes[-1]
+        assert model.predict(1.0) == pytest.approx(
+            model.knot_values()[-1], rel=1e-12, abs=1e-12
+        )

@@ -159,3 +159,89 @@ class TestConfigCodec:
         data["not_a_knob"] = 1
         with pytest.raises(ConfigurationError, match="unknown fields"):
             config_from_dict(data)
+
+
+class TestNonFiniteAndDegenerate:
+    """Hostile-but-legal payloads: NaN/inf diagnostic context values and
+    zero-slope (plateau) segment models must survive the codec."""
+
+    def _hostile_diagnostics(self):
+        import math
+
+        from repro.resilience.diagnostics import Diagnostics
+
+        diags = Diagnostics()
+        diags.warning(
+            "folding",
+            "probe rate not finite",
+            rate=math.nan,
+            limit=math.inf,
+            window=(math.nan, 1.0),
+            nested={1: (-math.inf, 0.0)},
+        )
+        return diags
+
+    def test_nonfinite_diagnostic_context_roundtrip(self, multiphase_artifacts):
+        import math
+
+        hostile = dataclasses.replace(
+            multiphase_artifacts.result, diagnostics=self._hostile_diagnostics()
+        )
+        text = result_to_json(hostile)
+        restored = result_from_json(text)
+        assert result_to_json(restored) == text
+        ctx = restored.diagnostics.events[-1].context
+        assert math.isnan(ctx["rate"])
+        assert ctx["limit"] == math.inf
+        assert math.isnan(ctx["window"][0]) and ctx["window"][1] == 1.0
+        assert ctx["nested"][1] == (-math.inf, 0.0)
+
+    def test_stdlib_literal_eval_cannot_parse_nan_containers(self):
+        # Pins why the codec needs its own evaluator: ast.literal_eval
+        # rejects the bare ``nan``/``inf`` names that repr() emits inside
+        # containers, so '(nan, 1.0)' -- a perfectly legal context value
+        # repr -- is unparseable with the stdlib helper alone.
+        import ast
+        import math
+
+        from repro.store.serialize import _safe_literal_eval
+
+        text = repr((math.nan, 1.0))
+        assert text == "(nan, 1.0)"
+        with pytest.raises(ValueError):
+            ast.literal_eval(text)
+        value = _safe_literal_eval(text)
+        assert math.isnan(value[0]) and value[1] == 1.0
+        assert _safe_literal_eval("-inf") == -math.inf
+        with pytest.raises(AnalysisError):
+            _safe_literal_eval("__import__('os')")
+
+    def test_zero_slope_segments_roundtrip(self, multiphase_artifacts):
+        data = result_to_dict(multiphase_artifacts.result)
+        for cluster in data["clusters"]:
+            for model in cluster["phase_set"]["counter_models"].values():
+                model["slopes"] = [0.0] * len(model["slopes"])
+        restored = result_from_dict(data)
+        text = result_to_json(restored)
+        assert result_to_json(result_from_json(text)) == text
+        for cluster in restored.clusters:
+            assert not cluster.phase_set.pivot_model.slopes.any()
+            assert cluster.phase_set.pivot_model.slope_at(0.5) == 0.0
+
+    def test_nonfinite_result_survives_store_artifact_path(
+        self, multiphase_artifacts, tmp_path
+    ):
+        # Same hostile payload, but through the full repro-result/1
+        # artifact path: put -> digest-verified read -> identical JSON.
+        import math
+
+        from repro.store import ResultStore
+
+        hostile = dataclasses.replace(
+            multiphase_artifacts.result, diagnostics=self._hostile_diagnostics()
+        )
+        store = ResultStore(str(tmp_path / "store"))
+        store.put("a" * 64, hostile)
+        restored = store.get("a" * 64)
+        assert result_to_json(restored) == result_to_json(hostile)
+        assert math.isnan(restored.diagnostics.events[-1].context["rate"])
