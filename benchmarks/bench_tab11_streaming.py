@@ -1,0 +1,248 @@
+"""TAB-11 — streaming phase detection: bounded memory at live throughput.
+
+``repro watch`` follows a growing trace with a model that must not grow
+with the trace: bursts live in fixed-capacity per-cluster reservoirs, so
+the retained working set — and with it peak RSS — has a ceiling that is a
+function of the *configuration*, not of the trace length.  Claims:
+
+* retained bursts never exceed the documented ceiling
+  ``4*warmup_bursts + (n_clusters + 1) * reservoir_capacity``;
+* streaming a trace >= 10x the reservoir coverage peaks at essentially
+  the same RSS as streaming a 1x trace (<= 1.6x + fixed slack, measured
+  in separate child processes so allocator reuse cannot mask growth);
+* steady-state ingest keeps up with any realistic producer, and online
+  cluster assignment is microseconds per burst.
+
+Each RSS point runs in its own child process (this file re-executed with
+``--child``) reporting ``ru_maxrss``; the parent compares the points.
+``--smoke`` runs the 1x/10x pair on small traces and asserts the bounds.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import time
+from typing import Dict, List
+
+EXP_ID = "TAB-11"
+CLAIM = "stream RSS is flat in trace length; retained bursts obey the ceiling"
+
+#: RSS(10x) may be at most this factor of RSS(1x), plus SLACK_MIB.
+RSS_GROWTH_FACTOR = 1.6
+RSS_SLACK_MIB = 32.0
+
+RESERVOIR = 32
+WARMUP = 16
+
+FULL_SCALES = (1, 3, 10)
+SMOKE_SCALES = (1, 10)
+FULL_BASE_ITERATIONS = 120
+SMOKE_BASE_ITERATIONS = 60
+
+
+def _write_scaled_trace(path: str, iterations: int, seed: int = 5) -> None:
+    from repro.machine.cpu import CoreModel
+    from repro.machine.spec import MachineSpec
+    from repro.runtime.engine import ExecutionEngine
+    from repro.runtime.tracer import Tracer, TracerConfig
+    from repro.trace.writer import write_trace
+    from repro.workload.apps import multiphase_app
+
+    core = CoreModel(MachineSpec())
+    timeline = ExecutionEngine(core, seed=seed).run(
+        multiphase_app(iterations=iterations, ranks=2)
+    )
+    trace = Tracer(TracerConfig(seed=seed)).trace(timeline)
+    write_trace(trace, path)
+
+
+def _child_stream(trace_path: str, reservoir: int, warmup: int) -> None:
+    """Stream ``trace_path`` start to finish; print peak-RSS metrics as JSON.
+
+    Runs in a fresh process so ``ru_maxrss`` prices exactly one streaming
+    session — the parent never streams in its own address space.
+    """
+    import resource
+
+    from repro.stream import StreamConfig, StreamEngine, TraceTailSource
+
+    config = StreamConfig(reservoir_capacity=reservoir, warmup_bursts=warmup)
+    engine = StreamEngine(config)
+    source = TraceTailSource(trace_path, chunk_size=1 << 16)
+    t0 = time.perf_counter()
+    for text in source.drain():
+        engine.process_text(text)
+    ingest_wall = time.perf_counter() - t0
+    report = engine.report()
+    n_clusters = engine.model.n_clusters if engine.model is not None else 0
+    ceiling = 4 * warmup + (n_clusters + 1) * reservoir
+    source.close()
+    print(json.dumps({
+        "ru_maxrss_kib": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
+        "n_records": report.n_records,
+        "n_bursts": report.n_bursts,
+        "n_retained": report.n_retained_bursts,
+        "ceiling": ceiling,
+        "ingest_wall_s": ingest_wall,
+    }))
+
+
+def _spawn_child(trace_path: str) -> Dict[str, float]:
+    src = os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (os.path.abspath(src), env.get("PYTHONPATH")) if p
+    )
+    proc = subprocess.run(
+        [sys.executable, os.path.abspath(__file__), "--child", trace_path,
+         str(RESERVOIR), str(WARMUP)],
+        capture_output=True, text=True, env=env, check=False,
+    )
+    if proc.returncode != 0:
+        raise RuntimeError(f"child stream failed: {proc.stderr}")
+    return json.loads(proc.stdout)
+
+
+def _assignment_latency_us(trace_path: str, n_rounds: int = 2000) -> float:
+    """Mean online-assignment cost per burst, microseconds."""
+    from repro.stream import StreamConfig, StreamEngine, TraceTailSource
+
+    engine = StreamEngine(
+        StreamConfig(reservoir_capacity=RESERVOIR, warmup_bursts=WARMUP)
+    )
+    source = TraceTailSource(trace_path)
+    for text in source.drain():
+        engine.process_text(text)
+    source.close()
+    assert engine.model is not None, "model never became ready"
+    bursts = [
+        burst
+        for pool in engine.reservoirs.values()
+        for burst in pool.items
+    ]
+    assert bursts, "no retained bursts to assign"
+    t0 = time.perf_counter()
+    for i in range(n_rounds):
+        engine.model.assign(bursts[i % len(bursts)])
+    return 1e6 * (time.perf_counter() - t0) / n_rounds
+
+
+def _rows(scales, base_iterations, workdir) -> List[Dict[str, float]]:
+    rows = []
+    for scale in scales:
+        path = os.path.join(workdir, f"stream_{scale}x.rpt")
+        _write_scaled_trace(path, iterations=base_iterations * scale)
+        metrics = _spawn_child(path)
+        rows.append({
+            "scale": scale,
+            "n_records": metrics["n_records"],
+            "n_bursts": metrics["n_bursts"],
+            "n_retained": metrics["n_retained"],
+            "ceiling": metrics["ceiling"],
+            "rss_mib": metrics["ru_maxrss_kib"] / 1024.0,
+            "records_per_s": metrics["n_records"] / max(
+                metrics["ingest_wall_s"], 1e-9
+            ),
+        })
+    return rows
+
+
+def _assert_bounds(rows: List[Dict[str, float]]) -> None:
+    for row in rows:
+        assert row["n_retained"] <= row["ceiling"], (
+            f"{row['scale']}x retained {row['n_retained']} bursts "
+            f"> ceiling {row['ceiling']}"
+        )
+        assert row["records_per_s"] > 0
+    first, last = rows[0], rows[-1]
+    assert last["n_bursts"] >= 10 * first["ceiling"] / 4, (
+        "largest trace is not comfortably past reservoir coverage"
+    )
+    budget = first["rss_mib"] * RSS_GROWTH_FACTOR + RSS_SLACK_MIB
+    assert last["rss_mib"] <= budget, (
+        f"RSS grew with trace length: {last['rss_mib']:.1f} MiB at "
+        f"{last['scale']}x vs {first['rss_mib']:.1f} MiB at "
+        f"{first['scale']}x (budget {budget:.1f} MiB)"
+    )
+
+
+def _print_rows(rows: List[Dict[str, float]], latency_us: float) -> None:
+    print(f"{'scale':>6} {'records':>9} {'bursts':>7} {'retained':>8} "
+          f"{'ceiling':>7} {'RSS':>9} {'ingest':>12}")
+    for row in rows:
+        print(
+            f"{row['scale']:>5}x {row['n_records']:>9d} "
+            f"{row['n_bursts']:>7d} {row['n_retained']:>8d} "
+            f"{row['ceiling']:>7d} {row['rss_mib']:>7.1f}MB "
+            f"{row['records_per_s']:>8.0f}rec/s"
+        )
+    print(f"online assignment: {latency_us:.1f} us/burst")
+
+
+def smoke() -> None:
+    """CI entry point: 1x vs 10x pair on small traces, strict bounds."""
+    import tempfile
+
+    import common
+
+    common.print_header(EXP_ID, CLAIM)
+    with tempfile.TemporaryDirectory(prefix="tab11-") as workdir:
+        rows = _rows(SMOKE_SCALES, SMOKE_BASE_ITERATIONS, workdir)
+        latency = _assignment_latency_us(
+            os.path.join(workdir, f"stream_{SMOKE_SCALES[0]}x.rpt")
+        )
+    _print_rows(rows, latency)
+    _assert_bounds(rows)
+    print("TAB-11 smoke: PASS")
+
+
+def test_tab11_streaming(benchmark, tmp_path):
+    path = str(tmp_path / "stream_1x.rpt")
+    _write_scaled_trace(path, iterations=SMOKE_BASE_ITERATIONS)
+    latency_us = benchmark.pedantic(
+        lambda: _assignment_latency_us(path, n_rounds=500),
+        rounds=1, iterations=1,
+    )
+    assert latency_us < 1000.0  # well under a millisecond per burst
+    metrics = _spawn_child(path)
+    assert metrics["n_retained"] <= metrics["ceiling"]
+
+
+def main() -> None:
+    import tempfile
+
+    import common
+    from repro.viz.series import FigureSeries
+
+    common.print_header(EXP_ID, CLAIM)
+    with tempfile.TemporaryDirectory(prefix="tab11-") as workdir:
+        rows = _rows(FULL_SCALES, FULL_BASE_ITERATIONS, workdir)
+        latency = _assignment_latency_us(
+            os.path.join(workdir, f"stream_{FULL_SCALES[0]}x.rpt")
+        )
+    _print_rows(rows, latency)
+    _assert_bounds(rows)
+    series = FigureSeries("tab11_streaming")
+    for column in (
+        "scale", "n_records", "n_bursts", "n_retained", "ceiling",
+        "rss_mib", "records_per_s",
+    ):
+        series.add_column(column, [row[column] for row in rows])
+    print(f"\nseries written to {common.save_series(series)}")
+
+
+if __name__ == "__main__":
+    if "--child" in sys.argv[1:]:
+        index = sys.argv.index("--child")
+        _child_stream(
+            sys.argv[index + 1],
+            int(sys.argv[index + 2]),
+            int(sys.argv[index + 3]),
+        )
+    elif "--smoke" in sys.argv[1:]:
+        smoke()
+    else:
+        main()

@@ -36,6 +36,7 @@ BENCHES = [
     "bench_tab8_resilience",
     "bench_tab9_observability",
     "bench_tab10_service",
+    "bench_tab11_streaming",
 ]
 
 

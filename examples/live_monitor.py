@@ -1,0 +1,105 @@
+#!/usr/bin/env python
+"""Live monitor: follow a growing trace and react to phase changes.
+
+A producer thread "runs" the multiphase application and appends its trace
+record-by-record with :class:`~repro.trace.writer.TraceTailWriter` — the
+same discipline a real instrumented run would use.  Meanwhile the main
+thread follows the file with :class:`~repro.stream.StreamEngine`,
+subscribing to the telemetry bus so model refreshes, drift, and
+phase-structure changes print the moment they are detected.  When the
+producer finishes, ``finalize()`` re-reads the completed file through the
+exact batch pipeline, so the printed summary is identical to what
+``repro analyze`` would report.
+
+Run:  python examples/live_monitor.py
+"""
+
+import os
+import tempfile
+import threading
+import time
+
+from repro import CoreModel, MachineSpec, multiphase_app
+from repro.observability import Observability
+from repro.analysis.report import render_report
+from repro.runtime.engine import ExecutionEngine
+from repro.runtime.tracer import Tracer, TracerConfig
+from repro.stream import StreamConfig, StreamEngine, TraceTailSource
+from repro.trace.writer import TraceTailWriter
+
+LIVE_KINDS = {
+    "stream_model_refreshed": "model refreshed",
+    "stream_drift": "drift detected",
+    "stream_phase_change": "phase structure changed",
+    "stream_checkpoint": "checkpoint saved",
+}
+
+
+def produce(trace, path: str) -> None:
+    """Append the trace record-by-record, pacing like a live run."""
+    records = sorted(
+        list(trace.instrumentation) + list(trace.samples),
+        key=lambda r: r.time,
+    )
+    with TraceTailWriter.create(
+        path,
+        trace.app_name,
+        trace.n_ranks,
+        counters=list(trace.counter_names()),
+        metadata=trace.metadata,
+    ) as writer:
+        for record in trace.states:
+            writer.append(record)
+        for i, record in enumerate(records):
+            writer.append(record)
+            if i % 100 == 0:
+                time.sleep(0.05)  # the "application" doing work
+
+
+def on_event(event) -> None:
+    label = LIVE_KINDS.get(event.kind)
+    if label is not None:
+        print(f"[live] {label}: {event.payload}")
+
+
+def main() -> None:
+    # 1. Simulate the application once to get a trace worth streaming.
+    core = CoreModel(MachineSpec())
+    timeline = ExecutionEngine(core, seed=11).run(
+        multiphase_app(iterations=150, ranks=2)
+    )
+    trace = Tracer(TracerConfig(seed=11)).trace(timeline)
+
+    handle, path = tempfile.mkstemp(suffix=".rpt", prefix="live-monitor-")
+    os.close(handle)
+    os.unlink(path)  # the producer creates it with the preamble
+    producer = threading.Thread(target=produce, args=(trace, path))
+    producer.start()
+    while not os.path.exists(path):
+        time.sleep(0.01)
+
+    # 2. Follow the growing file with live telemetry.
+    obs = Observability()
+    try:
+        with obs.activate():
+            obs.events.subscribe(on_event)
+            engine = StreamEngine(StreamConfig())
+            source = TraceTailSource(path)
+            reason = engine.follow(
+                source, poll_interval=0.1, idle_timeout=2.0
+            )
+            print(f"[live] stream ended ({reason})")
+
+            # 3. Finalize: exact batch-equivalent result from the same file.
+            result = engine.finalize(source)
+            source.close()
+            print(engine.report().render())
+        print()
+        print(render_report(result))
+    finally:
+        producer.join()
+        os.unlink(path)
+
+
+if __name__ == "__main__":
+    main()

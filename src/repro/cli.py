@@ -8,8 +8,11 @@ Mirrors the real toolchain's workflow split::
     python -m repro check run.rpt                 # validate a trace file
     python -m repro check run.rpt --salvage       # ...salvaging what it can
     python -m repro analyze run.rpt               # folding analysis + report
+    python -m repro analyze - < run.rpt           # any input may be stdin (-)
     python -m repro analyze run.rpt --profile p.json --log-jsonl ev.jsonl
     python -m repro analyze run.rpt --store st/   # read-through result cache
+    python -m repro watch run.rpt --json          # follow a growing trace
+    python -m repro watch run.rpt --checkpoint c.json --metrics-port 9461
     python -m repro report p.json                 # where-did-the-time-go
     python -m repro demo --app pmemd --optimize   # full methodology + case study
     python -m repro batch traces/ --store st/     # analyze a whole directory
@@ -36,10 +39,13 @@ recovers nothing.
 from __future__ import annotations
 
 import argparse
+import contextlib
 import json
 import logging
 import os
+import signal
 import sys
+import tempfile
 import time
 from typing import Callable, Dict, List, Optional
 
@@ -56,6 +62,7 @@ from repro.errors import (
     ReproError,
     SalvageError,
     StoreLockError,
+    StreamError,
     TraceFormatError,
 )
 from repro.machine.cpu import CoreModel
@@ -93,7 +100,16 @@ from repro.store import (
     ResultStore,
     analyze_cached,
     fingerprint_config,
+    fingerprint_trace_file,
     fsck_store,
+    result_to_dict,
+)
+from repro.stream import (
+    StreamConfig,
+    StreamEngine,
+    TraceTailSource,
+    resume_engine,
+    save_checkpoint,
 )
 from repro.trace.reader import read_trace, read_trace_salvaged
 from repro.trace.stats import compute_stats
@@ -190,7 +206,35 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+@contextlib.contextmanager
+def _input_path(path: str, suffix: str = ".rpt"):
+    """Yield a real filesystem path for ``path``; ``-`` spools stdin.
+
+    Every command that names an input file accepts ``-`` through this:
+    stdin is copied to a temp file (removed on exit from the block), so
+    downstream code — including byte-hashing store fingerprints — only
+    ever sees ordinary paths.
+    """
+    if path != "-":
+        yield path
+        return
+    fd, tmp = tempfile.mkstemp(prefix="repro-stdin-", suffix=suffix)
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            for chunk in iter(lambda: sys.stdin.read(1 << 16), ""):
+                handle.write(chunk)
+        yield tmp
+    finally:
+        os.unlink(tmp)
+
+
 def _cmd_check(args: argparse.Namespace) -> int:
+    with _input_path(args.trace) as trace_path:
+        args.trace = trace_path
+        return _cmd_check_impl(args)
+
+
+def _cmd_check_impl(args: argparse.Namespace) -> int:
     if not os.path.exists(args.trace):
         print(f"check FAILED: no such file: {args.trace}")
         return 2
@@ -233,6 +277,12 @@ def _cmd_check(args: argparse.Namespace) -> int:
 
 
 def _cmd_analyze(args: argparse.Namespace) -> int:
+    with _input_path(args.trace) as trace_path:
+        args.trace = trace_path
+        return _cmd_analyze_impl(args)
+
+
+def _cmd_analyze_impl(args: argparse.Namespace) -> int:
     if args.jobs < 1:
         raise SystemExit(f"--jobs must be >= 1, got {args.jobs}")
     config = AnalyzerConfig(n_jobs=args.jobs)
@@ -296,7 +346,172 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_watch(args: argparse.Namespace) -> int:
+    from_stdin = args.trace == "-"
+    if from_stdin and (args.checkpoint or args.resume):
+        print("watch: --checkpoint/--resume need a real file, not stdin",
+              file=sys.stderr)
+        return 1
+    if args.resume and not args.checkpoint:
+        print("watch: --resume needs --checkpoint PATH", file=sys.stderr)
+        return 1
+    try:
+        config = StreamConfig(
+            warmup_bursts=args.warmup,
+            reservoir_capacity=args.reservoir,
+            refit_every=args.refit_every,
+            seed=args.seed,
+            salvage=args.salvage,
+        )
+    except StreamError as exc:
+        print(f"watch: {exc}", file=sys.stderr)
+        return 1
+
+    try:
+        if args.resume:
+            engine, source = resume_engine(args.checkpoint, args.trace, config)
+            print(
+                f"watch: resumed from {args.checkpoint} at byte "
+                f"{source.offset} ({engine.n_records} records in)",
+                file=sys.stderr,
+            )
+        elif from_stdin:
+            engine = StreamEngine(config)
+            source = TraceTailSource.from_stream(sys.stdin)
+        else:
+            if not os.path.exists(args.trace):
+                print(f"watch: no such file: {args.trace}", file=sys.stderr)
+                return 1
+            engine = StreamEngine(config)
+            source = TraceTailSource(args.trace)
+    except StreamError as exc:
+        print(f"watch: {exc}", file=sys.stderr)
+        return 1
+
+    # File mode needs a stop condition; without one, "the trace stopped
+    # growing" is the only sane default.
+    idle_timeout = args.until_idle
+    if not from_stdin and idle_timeout is None and args.max_seconds is None:
+        idle_timeout = 5.0
+
+    interrupted = {"flag": False}
+
+    def _on_sigint(_signum, _frame):
+        interrupted["flag"] = True
+
+    def _checkpoint(eng: StreamEngine, src: TraceTailSource) -> None:
+        digest = save_checkpoint(args.checkpoint, eng, src)
+        eng.n_checkpoints += 1
+        eng_obs.publish(
+            "stream_checkpoint",
+            label="watch",
+            path=args.checkpoint,
+            offset=src.offset,
+            digest=digest[:12],
+        )
+
+    eng_obs = Observability()
+    server = None
+    previous_handler = signal.signal(signal.SIGINT, _on_sigint)
+    start = time.perf_counter()
+    try:
+        if args.metrics_port is not None:
+            server = TelemetryServer(eng_obs.metrics, port=args.metrics_port)
+            try:
+                port = server.start()
+            except ReproError as exc:
+                print(f"watch: {exc}", file=sys.stderr)
+                return 1
+            print(
+                f"telemetry: serving /metrics on http://127.0.0.1:{port}",
+                file=sys.stderr,
+            )
+        with eng_obs.activate():
+            try:
+                reason = engine.follow(
+                    source,
+                    poll_interval=args.poll,
+                    idle_timeout=idle_timeout,
+                    max_seconds=args.max_seconds,
+                    on_checkpoint=_checkpoint if args.checkpoint else None,
+                    checkpoint_every=(
+                        args.checkpoint_every if args.checkpoint else None
+                    ),
+                    should_stop=lambda: interrupted["flag"],
+                )
+            except StreamError as exc:
+                print(f"watch: {exc}", file=sys.stderr)
+                return 1
+            if reason == "stopped":
+                if args.checkpoint:
+                    _checkpoint(engine, source)
+                    print(
+                        f"watch: interrupted; checkpoint saved to "
+                        f"{args.checkpoint} (resume with --resume)",
+                        file=sys.stderr,
+                    )
+                else:
+                    print("watch: interrupted before finalization",
+                          file=sys.stderr)
+                print(engine.report().render(), file=sys.stderr)
+                return 130
+            result = engine.finalize(source)
+        wall_s = time.perf_counter() - start
+    finally:
+        signal.signal(signal.SIGINT, previous_handler)
+        if server is not None:
+            server.close()
+        source.close()
+        if from_stdin:
+            # The stdin spool outlives the source only until finalize has
+            # re-read it; it is ours to remove.
+            with contextlib.suppress(OSError):
+                os.unlink(source.final_path())
+
+    if args.store:
+        if from_stdin:
+            print("watch: --store skipped for stdin input (no stable "
+                  "trace file to fingerprint)", file=sys.stderr)
+        else:
+            store = ResultStore(args.store)
+            fingerprint = fingerprint_trace_file(
+                args.trace, config.analyzer, salvage=config.salvage
+            )
+            store.put(fingerprint, result, meta={"source": "watch"})
+            print(
+                f"store: finalized result stored ({fingerprint[:12]}) "
+                f"in {args.store}",
+                file=sys.stderr,
+            )
+            _record_ledger_run(
+                args.store, "watch", wall_s, eng_obs.profile(),
+                eng_obs.metrics.snapshot(), config.analyzer,
+            )
+
+    report = engine.report()
+    if args.json:
+        document = {
+            "format": "repro-watch/1",
+            "reason": reason,
+            "stream": report.to_dict(),
+            "result": result_to_dict(result),
+        }
+        print(json.dumps(document, indent=1, sort_keys=True))
+        print(report.render(), file=sys.stderr)
+    else:
+        hints = generate_hints(result)
+        print(render_report(result, hints))
+        print(report.render(), file=sys.stderr)
+    return 0
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
+    with _input_path(args.profile, suffix=".json") as profile_path:
+        args.profile = profile_path
+        return _cmd_report_impl(args)
+
+
+def _cmd_report_impl(args: argparse.Namespace) -> int:
     try:
         profile, metrics = read_profile_json(args.profile)
     except (OSError, ReproError) as exc:
@@ -626,7 +841,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_check = sub.add_parser(
         "check", help="validate a trace file (exit 0 = usable)"
     )
-    p_check.add_argument("trace", help="trace file path")
+    p_check.add_argument("trace", help="trace file path, or - for stdin")
     p_check.add_argument(
         "--salvage",
         action="store_true",
@@ -640,7 +855,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_check.set_defaults(func=_cmd_check)
 
     p_analyze = sub.add_parser("analyze", help="folding analysis of a trace file")
-    p_analyze.add_argument("trace", help="trace file path")
+    p_analyze.add_argument("trace", help="trace file path, or - for stdin")
     p_analyze.add_argument(
         "--profile",
         metavar="PATH",
@@ -678,10 +893,114 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_analyze.set_defaults(func=_cmd_analyze)
 
+    p_watch = sub.add_parser(
+        "watch",
+        help="follow a growing trace, keep a live phase model, and emit "
+        "the exact batch result once it stops",
+    )
+    p_watch.add_argument(
+        "trace", help="trace file to follow (may still be growing), or - for stdin"
+    )
+    p_watch.add_argument(
+        "--until-idle",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="finalize once the file has not grown for this long "
+        "(default 5s in file mode when no other stop condition is given)",
+    )
+    p_watch.add_argument(
+        "--max-seconds",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="finalize after at most this much wall time",
+    )
+    p_watch.add_argument(
+        "--poll",
+        type=float,
+        default=0.2,
+        metavar="SECONDS",
+        help="poll interval while waiting for new bytes (default 0.2)",
+    )
+    p_watch.add_argument(
+        "--json",
+        action="store_true",
+        help="print {format, reason, stream, result} as JSON on stdout "
+        "(the human summary moves to stderr)",
+    )
+    p_watch.add_argument(
+        "--store",
+        metavar="DIR",
+        help="store the finalized result under the analyze-compatible "
+        "trace+config fingerprint (a later `analyze --store` cache-hits it)",
+    )
+    p_watch.add_argument(
+        "--checkpoint",
+        metavar="PATH",
+        help="periodically save resumable engine state to PATH "
+        "(also saved on Ctrl-C)",
+    )
+    p_watch.add_argument(
+        "--checkpoint-every",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help="checkpoint cadence (default 30; needs --checkpoint)",
+    )
+    p_watch.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume from --checkpoint PATH instead of starting fresh",
+    )
+    p_watch.add_argument(
+        "--metrics-port",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help="serve OpenMetrics stream.live.* gauges on localhost:PORT "
+        "(0 = ephemeral)",
+    )
+    p_watch.add_argument(
+        "--salvage",
+        action="store_true",
+        help="finalize with the salvage read policy (matches "
+        "`check --salvage` + a salvage analysis)",
+    )
+    p_watch.add_argument(
+        "--warmup",
+        type=int,
+        default=48,
+        metavar="N",
+        help="bursts collected before the first online model fit (default 48)",
+    )
+    p_watch.add_argument(
+        "--reservoir",
+        type=int,
+        default=64,
+        metavar="N",
+        help="per-cluster reservoir capacity bounding live memory (default 64)",
+    )
+    p_watch.add_argument(
+        "--refit-every",
+        type=int,
+        default=32,
+        metavar="N",
+        help="refold + refit a cluster every N assigned bursts (default 32)",
+    )
+    p_watch.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        metavar="N",
+        help="reservoir-sampling seed (default 0)",
+    )
+    p_watch.set_defaults(func=_cmd_watch)
+
     p_report = sub.add_parser(
         "report", help="render a profile written by `analyze --profile`"
     )
-    p_report.add_argument("profile", help="profile JSON path")
+    p_report.add_argument("profile", help="profile JSON path, or - for stdin")
     p_report.add_argument(
         "--chrome",
         metavar="PATH",

@@ -31,6 +31,7 @@ __all__ = [
     "AmbiguousPrefixError",
     "StoreLockError",
     "VerificationError",
+    "StreamError",
 ]
 
 
@@ -132,3 +133,10 @@ class VerificationError(ReproError):
     no rank-deficiency path for), or a suite was asked for by a name it
     does not have.  Distinct from a *divergence*, which is a finding the
     harness reports, not an error it raises."""
+
+
+class StreamError(ReproError):
+    """The live streaming engine cannot continue — the followed source
+    disappeared, a checkpoint is corrupt or was taken against different
+    bytes/configuration, or finalization was requested before the
+    underlying trace was complete."""

@@ -48,6 +48,14 @@ EVENT_KINDS = frozenset(
         "job_timeout",
         "job_cancelled",
         "watchdog_heartbeat",
+        # live streaming (repro.stream / `repro watch`)
+        "stream_started",
+        "stream_progress",
+        "stream_model_refreshed",
+        "stream_phase_change",
+        "stream_drift",
+        "stream_checkpoint",
+        "stream_finalized",
     }
 )
 

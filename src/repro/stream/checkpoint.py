@@ -1,0 +1,141 @@
+"""Crash-safe checkpoint/resume for the streaming engine.
+
+A checkpoint is one JSON artifact (format ``repro-stream-ckpt/1``)
+holding the complete serialized :class:`~repro.stream.engine.StreamEngine`
+state plus the *consumption cursor*: the byte offset the engine has
+consumed and the SHA-256 of exactly that prefix.  It is written with the
+store's atomic-artifact discipline — temp file in the destination
+directory, flush + fsync, then :func:`os.replace` — so a crash mid-write
+leaves either the previous checkpoint or none, never a torn one.
+
+Resume (:func:`resume_engine`) refuses two classes of stale checkpoint
+loudly rather than silently diverging:
+
+* **config mismatch** — the checkpoint embeds the full
+  :class:`~repro.stream.engine.StreamConfig`; resuming with a different
+  one raises :class:`~repro.errors.StreamError` (the online state is
+  only meaningful under the config that produced it);
+* **prefix mismatch** — the followed file is re-hashed up to the saved
+  offset (:meth:`~repro.stream.source.TraceTailSource.seek_to`); a file
+  that shrank or was rewritten in place fails the digest check.
+
+An embedded digest over the payload additionally rejects truncated or
+hand-edited checkpoint files.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from typing import Dict, Optional, Tuple
+
+from repro.errors import StreamError
+from repro.stream.engine import StreamConfig, StreamEngine
+from repro.stream.source import TraceTailSource
+
+__all__ = ["CHECKPOINT_FORMAT", "save_checkpoint", "load_checkpoint", "resume_engine"]
+
+CHECKPOINT_FORMAT = "repro-stream-ckpt/1"
+
+
+def _canonical(payload: Dict[str, object]) -> str:
+    # sort_keys + tight separators: one canonical byte sequence per
+    # payload, so the digest is reproducible across writes.
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def save_checkpoint(
+    path: str, engine: StreamEngine, source: TraceTailSource
+) -> str:
+    """Atomically write a checkpoint of ``engine`` following ``source``.
+
+    Returns the payload digest.  Publishes nothing itself — the caller
+    owns the ``stream_checkpoint`` event so it can attach context.
+    """
+    payload: Dict[str, object] = {
+        "offset": source.offset,
+        "prefix_sha256": source.prefix_digest(),
+        "source_path": os.path.abspath(source.final_path()),
+        "engine": engine.state_to_dict(),
+    }
+    text = _canonical(payload)
+    digest = hashlib.sha256(text.encode("utf-8")).hexdigest()
+    document = {
+        "format": CHECKPOINT_FORMAT,
+        "digest": digest,
+        "payload": payload,
+    }
+    directory = os.path.dirname(os.path.abspath(path)) or "."
+    fd, tmp = tempfile.mkstemp(dir=directory, prefix=".ckpt-", suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            json.dump(document, handle, sort_keys=True, separators=(",", ":"))
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        if os.path.exists(tmp):
+            os.unlink(tmp)
+        raise
+    return digest
+
+
+def load_checkpoint(path: str) -> Dict[str, object]:
+    """Read and verify a checkpoint file; returns the payload dict.
+
+    Raises :class:`~repro.errors.StreamError` on a missing file, a wrong
+    format marker, or a payload whose digest does not match — a torn or
+    edited checkpoint must never silently seed a resumed stream.
+    """
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            document = json.load(handle)
+    except OSError as exc:
+        raise StreamError(f"cannot read checkpoint {path}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise StreamError(f"checkpoint {path} is not valid JSON: {exc}") from exc
+    if not isinstance(document, dict) or document.get("format") != CHECKPOINT_FORMAT:
+        raise StreamError(
+            f"checkpoint {path}: expected format {CHECKPOINT_FORMAT!r}, "
+            f"got {document.get('format') if isinstance(document, dict) else type(document).__name__!r}"
+        )
+    payload = document.get("payload")
+    if not isinstance(payload, dict):
+        raise StreamError(f"checkpoint {path}: missing payload")
+    digest = hashlib.sha256(_canonical(payload).encode("utf-8")).hexdigest()
+    if digest != document.get("digest"):
+        raise StreamError(
+            f"checkpoint {path}: payload digest mismatch "
+            f"(file corrupt or hand-edited)"
+        )
+    return payload
+
+
+def resume_engine(
+    checkpoint_path: str,
+    trace_path: str,
+    expected_config: Optional[StreamConfig] = None,
+) -> Tuple[StreamEngine, TraceTailSource]:
+    """Rebuild an engine + positioned source from a checkpoint.
+
+    ``trace_path`` is the file to keep following; it must carry the same
+    byte prefix the checkpoint consumed (verified by re-hash).  When the
+    caller knows which configuration it wants (``expected_config``), a
+    checkpoint taken under a different one is refused — online state is
+    only meaningful under the config that produced it.  The returned
+    source is positioned at the saved offset, ready for
+    :meth:`~repro.stream.engine.StreamEngine.follow`.
+    """
+    payload = load_checkpoint(checkpoint_path)
+    engine = StreamEngine.from_state(payload["engine"])  # type: ignore[arg-type]
+    if expected_config is not None and expected_config.to_dict() != engine.config.to_dict():
+        raise StreamError(
+            f"checkpoint {checkpoint_path} was taken under a different "
+            f"stream configuration; refusing to resume (re-run without "
+            f"--resume, or with matching options)"
+        )
+    source = TraceTailSource(trace_path)
+    source.seek_to(int(payload["offset"]), str(payload["prefix_sha256"]))
+    return engine, source

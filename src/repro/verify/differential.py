@@ -723,6 +723,145 @@ def _suite_resume(ctx: SelftestContext) -> Tuple[int, List[Divergence]]:
     return 1, out
 
 
+@_suite("stream")
+def _suite_stream(ctx: SelftestContext) -> Tuple[int, List[Divergence]]:
+    """Streamed chunk-at-a-time analysis vs cold batch analyze — the
+    finalized result JSON must be byte-identical, on clean traces
+    (strict) and on adversarially corrupted ones (salvage vs salvage).
+    The live parser's drop counts must also match the batch salvage."""
+    from repro.analysis.pipeline import FoldingAnalyzer
+    from repro.resilience.inject import CorruptionSpec, corrupt_trace_text
+    from repro.store.serialize import result_to_json
+    from repro.stream.engine import StreamConfig, StreamEngine
+    from repro.stream.source import TraceTailSource
+    from repro.trace.reader import read_trace, read_trace_salvaged
+
+    out: List[Divergence] = []
+    n_cases = 0
+
+    def run_stream(path: str, salvage: bool, chunk: int) -> Tuple[str, int]:
+        engine = StreamEngine(StreamConfig(salvage=salvage))
+        source = TraceTailSource(path, chunk_size=chunk)
+        for text in source.drain():
+            engine.process_text(text)
+        result = engine.finalize(source)
+        return result_to_json(result), engine.parser.report.n_lines_dropped
+
+    # clean traces, strict finalization, torn-tail-inducing chunk sizes
+    # (quick mode keeps one odd chunk size per trace; full adds a big one)
+    chunks = (997, 1 << 16) if ctx.full else (997,)
+    for i, path in enumerate(ctx.trace_paths()):
+        for chunk in chunks:
+            n_cases += 1
+            got, _ = run_stream(path, salvage=False, chunk=chunk)
+            want = result_to_json(FoldingAnalyzer().analyze(read_trace(path)))
+            if got != want:
+                out.append(
+                    Divergence(
+                        "stream", f"clean{i}-chunk{chunk}", ctx.seed,
+                        "finalized stream result differs from batch analyze",
+                    )
+                )
+
+    # adversarial corpus, salvage on both sides
+    base = open(ctx.trace_paths()[0], encoding="utf-8").read()
+    corruptions = [
+        ("torn", [CorruptionSpec("truncate", 0.03)]),
+        ("mixed", [
+            CorruptionSpec("bitflip_fields", 0.03),
+            CorruptionSpec("duplicate_records", 0.05),
+            CorruptionSpec("nan_counters", 0.02),
+            CorruptionSpec("truncate", 0.01),
+        ]),
+    ]
+    if ctx.full:
+        corruptions += [
+            ("bitflip", [CorruptionSpec("bitflip_fields", 0.05)]),
+            ("dup", [CorruptionSpec("duplicate_records", 0.10)]),
+        ]
+    for name, specs in corruptions:
+        n_cases += 1
+        bad = corrupt_trace_text(base, specs, seed=ctx.seed)
+        path = os.path.join(ctx.workdir, f"stream-{name}.rpt")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(bad)
+        got, got_drops = run_stream(path, salvage=True, chunk=1013)
+        trace, report = read_trace_salvaged(path)
+        want = result_to_json(FoldingAnalyzer().analyze(trace, salvage=report))
+        if got != want:
+            out.append(
+                Divergence(
+                    "stream", name, ctx.seed,
+                    "salvage stream result differs from batch salvage analyze",
+                )
+            )
+        if got_drops != report.n_lines_dropped:
+            out.append(
+                Divergence(
+                    "stream", f"{name}-drops", ctx.seed,
+                    f"live parser dropped {got_drops} lines, "
+                    f"batch salvage dropped {report.n_lines_dropped}",
+                )
+            )
+    return n_cases, out
+
+
+@_suite("stream_resume")
+def _suite_stream_resume(ctx: SelftestContext) -> Tuple[int, List[Divergence]]:
+    """A stream checkpointed mid-file and resumed in a fresh engine must
+    finalize to the byte-identical result AND identical live counters of
+    an uninterrupted stream."""
+    from repro.store.serialize import result_to_json
+    from repro.stream.checkpoint import resume_engine, save_checkpoint
+    from repro.stream.engine import StreamConfig, StreamEngine
+    from repro.stream.source import TraceTailSource
+
+    path = ctx.trace_paths()[0]
+    chunk = 2048
+
+    straight = StreamEngine(StreamConfig())
+    source = TraceTailSource(path, chunk_size=chunk)
+    for text in source.drain():
+        straight.process_text(text)
+    want = result_to_json(straight.finalize(source))
+    want_report = straight.report().to_dict()
+
+    interrupted = StreamEngine(StreamConfig())
+    source = TraceTailSource(path, chunk_size=chunk)
+    for _ in range(5):
+        interrupted.process_text(source.read_available())
+    ckpt = os.path.join(ctx.workdir, "stream-resume.ckpt")
+    save_checkpoint(ckpt, interrupted, source)
+    del interrupted, source
+
+    resumed, source = resume_engine(ckpt, path)
+    for text in source.drain():
+        resumed.process_text(text)
+    got = result_to_json(resumed.finalize(source))
+    got_report = resumed.report().to_dict()
+
+    out: List[Divergence] = []
+    if got != want:
+        out.append(
+            Divergence(
+                "stream_resume", "result", ctx.seed,
+                "resumed stream result differs from the uninterrupted run",
+            )
+        )
+    if got_report != want_report:
+        diffs = {
+            key for key in want_report
+            if got_report.get(key) != want_report[key]
+        }
+        out.append(
+            Divergence(
+                "stream_resume", "counters", ctx.seed,
+                f"live counters diverged after resume: {sorted(diffs)}",
+            )
+        )
+    return 1, out
+
+
 # ----------------------------------------------------------------------
 # runner
 # ----------------------------------------------------------------------

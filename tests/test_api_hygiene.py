@@ -23,6 +23,7 @@ SUBPACKAGES = [
     "repro.runtime",
     "repro.signal",
     "repro.source",
+    "repro.stream",
     "repro.trace",
     "repro.util",
     "repro.viz",
