@@ -16,6 +16,13 @@ and the vectorized fold against the pre-optimization implementations
 Correctness is asserted, not assumed: labels must be byte-identical and
 folded arrays bit-for-bit equal.  ``--smoke`` runs a small configuration
 with strict identity checks and lenient timing floors, suitable for CI.
+
+Third section — **pwlr-kernel**: the moments search kernel
+(``search_kernel="moments"``) against the exact dense evaluator on the
+same series, across sample counts at the default configuration.  The
+kernels must select bit-identical models with identical
+``pwlr.candidate_evaluations``; the smoke gate requires >=5x wall-time
+reduction at n=5000.
 """
 
 from __future__ import annotations
@@ -48,6 +55,10 @@ FAST_PATH_BURSTS = 20000
 SMOKE_BURSTS = 4000
 SAMPLES_PER_BURST = 8
 COUNTERS = ("PAPI_TOT_INS", "PAPI_L3_TCM")
+
+PWLR_KERNEL_POINTS = (1000, 2000, 5000)
+PWLR_KERNEL_SMOKE_POINTS = 5000
+PWLR_KERNEL_SMOKE_FLOOR = 5.0
 
 
 def _study(optimized: bool):
@@ -283,6 +294,88 @@ def print_fast_path(report: Dict[str, float]) -> None:
     print("  labels byte-identical, folds bit-for-bit: verified")
 
 
+# ----------------------------------------------------------------------
+# pwlr-kernel: moments search kernel vs the exact dense evaluator
+# ----------------------------------------------------------------------
+
+def _pwlr_series(n_points: int, seed: int = 29):
+    """A folded-counter-like series: 4-phase monotone PWL curve through
+    (0,0)-(1,1) plus sampling noise."""
+    rng = np.random.default_rng(seed)
+    x = np.sort(rng.uniform(0.0, 1.0, n_points))
+    knots = np.array([0.0, 0.25, 0.55, 0.8, 1.0])
+    slopes = np.array([0.4, 2.2, 0.7, 1.3])
+    vals = np.concatenate([[0.0], np.cumsum(slopes * np.diff(knots))])
+    idx = np.clip(np.searchsorted(knots, x, side="right") - 1, 0, slopes.size - 1)
+    y = vals[idx] + slopes[idx] * (x - knots[idx])
+    y = y / vals[-1] + rng.normal(0.0, 0.01, n_points)
+    return x, y
+
+
+def _timed_fit(x: np.ndarray, y: np.ndarray, kernel: str):
+    from repro.fitting.pwlr import PWLRConfig, fit_pwlr
+    from repro.observability import Observability
+
+    cfg = PWLRConfig(search_kernel=kernel)
+    obs = Observability(collect_rss=False)
+    with obs.activate():
+        t0 = time.perf_counter()
+        model = fit_pwlr(x, y, cfg)
+        wall = time.perf_counter() - t0
+    return model, wall, obs.metrics.snapshot()
+
+
+def pwlr_kernel_report(n_points: int) -> Dict[str, float]:
+    """Time one default-config ``fit_pwlr`` under both kernels on the
+    same series, asserting bit-identical models and identical candidate
+    evaluation counts.  Returns timings + counter-derived rates."""
+    x, y = _pwlr_series(n_points)
+    model_m, wall_m, snap_m = _timed_fit(x, y, "moments")
+    model_e, wall_e, snap_e = _timed_fit(x, y, "exact")
+
+    assert model_m.breakpoints.tobytes() == model_e.breakpoints.tobytes(), (
+        "kernels selected different breakpoints"
+    )
+    assert (
+        model_m.slopes.tobytes() == model_e.slopes.tobytes()
+        and model_m.intercept == model_e.intercept
+        and model_m.sse == model_e.sse
+    ), "kernels produced different final models"
+    evals_m = snap_m["pwlr.candidate_evaluations"]
+    evals_e = snap_e["pwlr.candidate_evaluations"]
+    assert evals_m == evals_e, (
+        f"candidate evaluations differ between kernels: {evals_m} vs {evals_e}"
+    )
+
+    return {
+        "n_points": float(n_points),
+        "n_breakpoints": float(model_m.breakpoints.size),
+        "moments_s": wall_m,
+        "exact_s": wall_e,
+        "speedup": wall_e / max(wall_m, 1e-12),
+        "evals": float(evals_m),
+        "moments_evals_per_s": evals_m / max(wall_m, 1e-12),
+        "exact_evals_per_s": evals_e / max(wall_e, 1e-12),
+        "cache_hit_rate": snap_m["pwlr.search_cache_hits"] / max(evals_m, 1),
+    }
+
+
+def print_pwlr_kernel(reports: List[Dict[str, float]]) -> None:
+    print("pwlr-kernel: moments vs exact search (default PWLRConfig):")
+    print(
+        "  n        exact       moments     speedup   evals   "
+        "evals/s (moments)   cache-hit"
+    )
+    for r in reports:
+        print(
+            f"  {int(r['n_points']):<7}  {r['exact_s']:>7.2f}s  "
+            f"{r['moments_s']:>8.3f}s  {r['speedup']:>7.1f}x  "
+            f"{int(r['evals']):>5}  {r['moments_evals_per_s']:>12.0f}        "
+            f"{r['cache_hit_rate']:>6.1%}"
+        )
+    print("  models bit-identical, candidate evaluations equal: verified")
+
+
 def smoke() -> None:
     """CI entry point: small scale, strict identity, lenient timing floors.
 
@@ -300,6 +393,12 @@ def smoke() -> None:
         f"fast-path end-to-end speedup collapsed: "
         f"{report['end_to_end_speedup']:.2f}x"
     )
+    kernel = pwlr_kernel_report(PWLR_KERNEL_SMOKE_POINTS)
+    print_pwlr_kernel([kernel])
+    assert kernel["speedup"] >= PWLR_KERNEL_SMOKE_FLOOR, (
+        f"moments kernel speedup below the {PWLR_KERNEL_SMOKE_FLOOR:.0f}x "
+        f"floor at n={PWLR_KERNEL_SMOKE_POINTS}: {kernel['speedup']:.2f}x"
+    )
     print("TAB-7 smoke: PASS")
 
 
@@ -310,6 +409,15 @@ def test_tab7_fast_path(benchmark):
     # identity is asserted inside; here only sanity on the shape
     assert report["n_clusters"] >= 2
     assert report["cluster_speedup"] > 1.0
+
+
+def test_tab7_pwlr_kernel(benchmark):
+    report = benchmark.pedantic(
+        lambda: pwlr_kernel_report(PWLR_KERNEL_SMOKE_POINTS), rounds=1, iterations=1
+    )
+    # bit-identity + equal eval counts are asserted inside
+    assert report["speedup"] > 1.0
+    assert report["n_breakpoints"] >= 2
 
 
 def main() -> None:
@@ -336,6 +444,9 @@ def main() -> None:
     print()
     print("--- analysis-pipeline fast path ---")
     print_fast_path(fast_path_report(FAST_PATH_BURSTS))
+    print()
+    print("--- pwlr search kernel ---")
+    print_pwlr_kernel([pwlr_kernel_report(n) for n in PWLR_KERNEL_POINTS])
 
 
 if __name__ == "__main__":

@@ -13,12 +13,14 @@ machine model's exact ground truth.
 """
 
 from repro.fitting.linear import weighted_lstsq
+from repro.fitting.moments import MomentProfile
 from repro.fitting.pwlr import (
     PiecewiseLinearModel,
     PWLRConfig,
     fit_fixed_breakpoints,
     fit_pwlr,
     refit_slopes,
+    refit_slopes_many,
 )
 from repro.fitting.model_selection import bic, aic, merge_insignificant
 from repro.fitting.kernel_smooth import KernelSmoother, smoother_breakpoints
@@ -26,11 +28,13 @@ from repro.fitting.evaluation import FitEvaluation, evaluate_fit
 
 __all__ = [
     "weighted_lstsq",
+    "MomentProfile",
     "PiecewiseLinearModel",
     "PWLRConfig",
     "fit_pwlr",
     "fit_fixed_breakpoints",
     "refit_slopes",
+    "refit_slopes_many",
     "bic",
     "aic",
     "merge_insignificant",

@@ -18,12 +18,26 @@ local refinement, and the breakpoint *count* is selected by BIC (see
 :mod:`repro.fitting.model_selection`), followed by a merge pass that
 removes boundaries between segments with statistically indistinguishable
 slopes.
+
+The search ranks thousands of candidate configurations per fit;
+``PWLRConfig.search_kernel`` chooses how those rankings are computed.
+``"moments"`` evaluates candidates through the prefix-moment normal
+equations of :mod:`repro.fitting.moments` — O(k^3) per candidate,
+independent of the sample count, batched over the whole grid —
+``"exact"`` keeps the dense per-candidate least squares, and ``"auto"``
+(the default) picks by data size and geometry.  Either way the kernel
+only *ranks*: the selected breakpoints are always refit through the
+exact (optionally NNLS-constrained, anchored) path, and both kernels
+select identical breakpoints — enforced by the ``pwlr_kernel`` selftest
+suite, which also checks full-pipeline results stay byte-identical
+through the store codec.
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 from scipy.optimize import minimize_scalar, nnls
@@ -31,6 +45,7 @@ from scipy.optimize import minimize_scalar, nnls
 from repro.errors import FittingError
 from repro.fitting.linear import weighted_lstsq
 from repro.fitting import model_selection
+from repro.fitting.moments import MomentProfile
 from repro.observability.context import counter as _metric_counter
 from repro.observability.context import histogram as _metric_histogram
 from repro.observability.context import span as _span
@@ -41,7 +56,23 @@ __all__ = [
     "fit_fixed_breakpoints",
     "fit_pwlr",
     "refit_slopes",
+    "refit_slopes_many",
 ]
+
+
+def _evaluate_pwl(
+    knots: np.ndarray, slopes: np.ndarray, intercept: float, xs: np.ndarray
+) -> np.ndarray:
+    """Evaluate a continuous PWL curve at ``xs``.
+
+    Single source of the evaluation arithmetic shared by
+    :meth:`PiecewiseLinearModel.predict` and the post-fit residual pass
+    in :func:`fit_fixed_breakpoints` — both must produce bit-identical
+    values for the reported data SSE to match a later re-prediction.
+    """
+    values = intercept + np.concatenate([[0.0], np.cumsum(slopes * np.diff(knots))])
+    idx = np.clip(np.searchsorted(knots, xs, side="right") - 1, 0, slopes.size - 1)
+    return values[idx] + slopes[idx] * (xs - knots[idx])
 
 
 @dataclass(frozen=True)
@@ -117,10 +148,7 @@ class PiecewiseLinearModel:
           an array of the broadcast shape.
         """
         xs = np.atleast_1d(np.asarray(x, dtype=float))
-        knots = self.knots
-        values = self.knot_values()
-        idx = np.clip(np.searchsorted(knots, xs, side="right") - 1, 0, self.n_segments - 1)
-        out = values[idx] + self.slopes[idx] * (xs - knots[idx])
+        out = _evaluate_pwl(self.knots, self.slopes, self.intercept, xs)
         return out if np.ndim(x) else float(out[0])
 
     def slope_at(self, x) -> np.ndarray:
@@ -187,6 +215,15 @@ class PWLRConfig:
         knee, which a PWL fit splits with two nearby breakpoints) and are
         merged into their weaker-boundary neighbor by the phase-detection
         stage.
+    search_kernel:
+        How candidate configurations are *ranked* during the breakpoint
+        search: ``"moments"`` uses the n-independent prefix-moment
+        kernel (:mod:`repro.fitting.moments`), ``"exact"`` the dense
+        per-candidate least squares, ``"auto"`` (default) picks moments
+        for large well-conditioned series and exact otherwise.  Both
+        kernels select identical breakpoints and results (the selected
+        configuration is always refit through the exact path), so this
+        knob is excluded from store fingerprints like ``n_jobs``.
     """
 
     max_breakpoints: int = 11
@@ -199,6 +236,7 @@ class PWLRConfig:
     merge_slope_tol: float = 0.12
     refine_passes: int = 2
     min_phase_span: float = 0.02
+    search_kernel: str = "auto"
 
     def __post_init__(self) -> None:
         if self.max_breakpoints < 0:
@@ -219,6 +257,11 @@ class PWLRConfig:
             raise FittingError(
                 f"min_phase_span must be in [0, 0.5): {self.min_phase_span}"
             )
+        if self.search_kernel not in ("auto", "moments", "exact"):
+            raise FittingError(
+                "search_kernel must be 'auto', 'moments' or 'exact': "
+                f"{self.search_kernel!r}"
+            )
 
 
 # ----------------------------------------------------------------------
@@ -235,6 +278,27 @@ def _segment_basis(x: np.ndarray, breakpoints: np.ndarray) -> np.ndarray:
     lo = knots[:-1]
     hi = knots[1:]
     return np.clip(x[:, None], lo[None, :], hi[None, :]) - lo[None, :]
+
+
+def _finish_model(
+    x: np.ndarray,
+    y: np.ndarray,
+    bp: np.ndarray,
+    intercept: float,
+    slopes: np.ndarray,
+) -> PiecewiseLinearModel:
+    """Assemble the fitted model, reporting the *data* SSE (anchors
+    excluded) so BIC compares models on the same likelihood."""
+    slopes = np.asarray(slopes, dtype=float)
+    knots = np.concatenate([[0.0], bp, [1.0]])
+    residuals = y - _evaluate_pwl(knots, slopes, intercept, x)
+    return PiecewiseLinearModel(
+        breakpoints=bp,
+        slopes=slopes,
+        intercept=intercept,
+        sse=float(residuals @ residuals),
+        n_points=int(x.size),
+    )
 
 
 def fit_fixed_breakpoints(
@@ -277,32 +341,169 @@ def fit_fixed_breakpoints(
         coeffs, _ = nnls(design * sqrt_w[:, None], y_fit * sqrt_w)
         intercept = float(coeffs[0] - coeffs[1])
         slopes = coeffs[2:]
-        predictions = intercept + basis @ slopes
-        residuals = (y_fit - predictions) * sqrt_w
-        sse_w = float(residuals @ residuals)
     else:
         design = np.column_stack([np.ones_like(x_fit), basis])
-        coeffs, sse_w = weighted_lstsq(design, y_fit, weights)
+        coeffs, _ = weighted_lstsq(design, y_fit, weights)
         intercept = float(coeffs[0])
         slopes = coeffs[1:]
+    return _finish_model(x, y, bp, intercept, slopes)
 
-    # Report the *data* SSE (anchors excluded) so BIC compares models on
-    # the same likelihood.
-    model = PiecewiseLinearModel(
-        breakpoints=bp,
-        slopes=np.asarray(slopes, dtype=float),
-        intercept=intercept,
-        sse=0.0,
-        n_points=n,
-    )
-    data_residuals = y - model.predict(x)
-    return PiecewiseLinearModel(
-        breakpoints=bp,
-        slopes=model.slopes,
-        intercept=model.intercept,
-        sse=float(data_residuals @ data_residuals),
-        n_points=n,
-    )
+
+# ----------------------------------------------------------------------
+# search scorer: kernel selection, batching, memoization
+# ----------------------------------------------------------------------
+
+#: Below this many samples the dense evaluator is as fast as a batched
+#: moments solve, so "auto" keeps the reference path.
+_AUTO_MIN_POINTS = 512
+
+#: "auto" requires this many distinct abscissae per model parameter —
+#: degenerate geometries (heavily duplicated x) condition the normal
+#: equations badly and stay on the exact path.
+_AUTO_DISTINCT_FACTOR = 8
+
+#: Per-fit memo-cache bound (rounded-tuple LRU).
+_SEARCH_CACHE_MAX = 8192
+
+
+class _SearchScorer:
+    """Candidate-configuration evaluator behind the breakpoint search.
+
+    Resolves ``PWLRConfig.search_kernel`` to the grid evaluator
+    ("moments": batched prefix-moment solves; "exact": per-candidate
+    dense lstsq), memoizes repeated configurations across refinement
+    passes (rounded-tuple LRU), and accumulates the evaluation count
+    flushed once per fit to ``pwlr.candidate_evaluations`` — requested
+    evaluations count whether or not the cache absorbs them, so the
+    counter is kernel- and cache-independent.
+
+    Continuous (off-grid) refinement evaluates through
+    :meth:`fit_continuous`, which always uses the shared moments profile
+    with its deterministic exact escape — *regardless of the kernel* —
+    so the scalar minimizer sees bit-identical objective values under
+    either kernel.  Grid stages are pure comparisons and the final fit
+    is always exact, which together make the two kernels select
+    identical breakpoints and serialize byte-identical results.
+    """
+
+    def __init__(self, x: np.ndarray, y: np.ndarray, cfg: "PWLRConfig") -> None:
+        self.x = x
+        self.y = y
+        self.cfg = cfg
+        self.n = int(x.size)
+        self.kernel = self._resolve_kernel(cfg, x, y)
+        self.n_evals = 0
+        self.n_cache_hits = 0
+        self.n_exact_escapes = 0
+        self._cache: "OrderedDict[tuple, PiecewiseLinearModel]" = OrderedDict()
+        try:
+            self._profile: Optional[MomentProfile] = MomentProfile(
+                x, y, anchor=cfg.anchor, anchor_weight=cfg.anchor_weight
+            )
+        except FittingError:
+            self._profile = None
+
+    @staticmethod
+    def _resolve_kernel(cfg: "PWLRConfig", x: np.ndarray, y: np.ndarray) -> str:
+        if cfg.search_kernel != "auto":
+            return cfg.search_kernel
+        if x.size < _AUTO_MIN_POINTS:
+            return "exact"
+        if not (np.all(np.isfinite(x)) and np.all(np.isfinite(y))):
+            return "exact"
+        if np.unique(x).size < _AUTO_DISTINCT_FACTOR * (cfg.max_breakpoints + 2):
+            return "exact"
+        return "moments"
+
+    # -- public evaluation API -----------------------------------------
+    def fit_one(self, breaks: Sequence[float]) -> PiecewiseLinearModel:
+        """Evaluate one configuration with the kernel-selected evaluator."""
+        return self.fit_many([list(breaks)])[0]
+
+    def fit_many(
+        self, configs: Sequence[Sequence[float]]
+    ) -> List[PiecewiseLinearModel]:
+        """Evaluate a batch of configurations (kernel evaluator)."""
+        return self._evaluate(configs, self.kernel)
+
+    def fit_continuous(self, breaks: Sequence[float]) -> PiecewiseLinearModel:
+        """Evaluate one off-grid configuration on the shared moments
+        profile (kernel-independent; exact escape when unreliable)."""
+        return self._evaluate([list(breaks)], "moments")[0]
+
+    # -- internals ------------------------------------------------------
+    def _evaluate(
+        self, configs: Sequence[Sequence[float]], domain: str
+    ) -> List[PiecewiseLinearModel]:
+        self.n_evals += len(configs)
+        models: List[Optional[PiecewiseLinearModel]] = [None] * len(configs)
+        keys: List[tuple] = []
+        missing: List[int] = []
+        for i, breaks in enumerate(configs):
+            key = (domain, tuple(round(float(b), 12) for b in breaks))
+            keys.append(key)
+            hit = self._cache.get(key)
+            if hit is not None:
+                self.n_cache_hits += 1
+                self._cache.move_to_end(key)
+                models[i] = hit
+            else:
+                missing.append(i)
+        if missing:
+            if domain == "moments":
+                fresh = self._eval_moments([configs[i] for i in missing])
+            else:
+                fresh = [self._eval_exact(configs[i]) for i in missing]
+            for i, model in zip(missing, fresh):
+                models[i] = model
+                self._cache[keys[i]] = model
+                if len(self._cache) > _SEARCH_CACHE_MAX:
+                    self._cache.popitem(last=False)
+        return models  # type: ignore[return-value]
+
+    def _eval_exact(self, breaks: Sequence[float]) -> PiecewiseLinearModel:
+        # Rank with the unconstrained solver: orders of magnitude faster
+        # than NNLS and equally good at *ranking* configurations by SSE.
+        return fit_fixed_breakpoints(
+            self.x,
+            self.y,
+            breaks,
+            anchor=self.cfg.anchor,
+            anchor_weight=self.cfg.anchor_weight,
+            monotone=False,
+        )
+
+    def _eval_moments(
+        self, configs: Sequence[Sequence[float]]
+    ) -> List[PiecewiseLinearModel]:
+        if self._profile is None:
+            self.n_exact_escapes += len(configs)
+            return [self._eval_exact(b) for b in configs]
+        models: List[Optional[PiecewiseLinearModel]] = [None] * len(configs)
+        by_len: Dict[int, List[int]] = {}
+        for i, breaks in enumerate(configs):
+            by_len.setdefault(len(breaks), []).append(i)
+        for length, idxs in by_len.items():
+            bp = np.asarray(
+                [configs[i] for i in idxs], dtype=float
+            ).reshape(len(idxs), length)
+            coeffs, sse, ok = self._profile.evaluate_many(bp)
+            for row, i in enumerate(idxs):
+                if ok[row]:
+                    models[i] = PiecewiseLinearModel(
+                        breakpoints=np.asarray(configs[i], dtype=float),
+                        slopes=coeffs[row, 1:].copy(),
+                        intercept=float(coeffs[row, 0]),
+                        sse=float(sse[row]),
+                        n_points=self.n,
+                    )
+                else:
+                    # Precision escape: near-interpolating or singular
+                    # configurations re-rank through the dense path so
+                    # cancellation noise never decides a comparison.
+                    self.n_exact_escapes += 1
+                    models[i] = self._eval_exact(configs[i])
+        return models  # type: ignore[return-value]
 
 
 # ----------------------------------------------------------------------
@@ -330,9 +531,13 @@ def fit_pwlr(
     if x.size < 8:
         raise FittingError(f"need at least 8 points for the search, got {x.size}")
     with _span("fit_pwlr", n_points=int(x.size)) as rec:
-        model, n_evals = _fit_pwlr_impl(x, y, cfg)
+        model, scorer = _fit_pwlr_impl(x, y, cfg)
     _metric_counter("pwlr.fits").inc()
-    _metric_counter("pwlr.candidate_evaluations").inc(n_evals)
+    _metric_counter("pwlr.candidate_evaluations").inc(scorer.n_evals)
+    _metric_counter(f"pwlr.kernel.{scorer.kernel}").inc()
+    _metric_counter("pwlr.search_cache_hits").inc(scorer.n_cache_hits)
+    if scorer.n_exact_escapes:
+        _metric_counter("pwlr.search_exact_escapes").inc(scorer.n_exact_escapes)
     if rec is not None:
         _metric_histogram("pwlr.fit_seconds").observe(rec.wall_s)
     return model
@@ -340,27 +545,13 @@ def fit_pwlr(
 
 def _fit_pwlr_impl(
     x: np.ndarray, y: np.ndarray, cfg: "PWLRConfig"
-) -> Tuple[PiecewiseLinearModel, int]:
+) -> Tuple[PiecewiseLinearModel, _SearchScorer]:
     grid = np.linspace(cfg.min_separation, 1.0 - cfg.min_separation, cfg.n_candidates)
-    # Evaluation count is accumulated locally and flushed to the metrics
-    # registry once per fit: the search calls fast_fit thousands of times
-    # and must not pay a context lookup per call.
-    n_evals = 0
-
-    def fast_fit(breaks: Sequence[float]) -> PiecewiseLinearModel:
-        # Search with the unconstrained solver (plain lstsq): orders of
-        # magnitude faster than NNLS and equally good at *ranking*
-        # breakpoint configurations by SSE.
-        nonlocal n_evals
-        n_evals += 1
-        return fit_fixed_breakpoints(
-            x,
-            y,
-            breaks,
-            anchor=cfg.anchor,
-            anchor_weight=cfg.anchor_weight,
-            monotone=False,
-        )
+    # The scorer owns the kernel choice, the per-fit memo cache and the
+    # evaluation count, which is accumulated locally and flushed to the
+    # metrics registry once per fit: the search evaluates thousands of
+    # configurations and must not pay a context lookup per call.
+    scorer = _SearchScorer(x, y, cfg)
 
     def final_fit(breaks: Sequence[float]) -> PiecewiseLinearModel:
         return fit_fixed_breakpoints(
@@ -373,26 +564,28 @@ def _fit_pwlr_impl(
         )
 
     current: List[float] = []
-    model = fast_fit(current)
+    model = scorer.fit_one(current)
     best_breaks: List[float] = []
     best_bic = model_selection.bic(model.sse, model.n_points, _n_params(model))
     worsening = 0
 
     while len(current) < cfg.max_breakpoints:
-        addition = _best_addition(fast_fit, current, grid, cfg.min_separation)
+        addition = _best_addition(scorer, current, grid, cfg.min_separation)
         if addition is None:
             break
         current, model = addition
         for _ in range(cfg.refine_passes):
             current, model = _refine_positions(
-                fast_fit, current, model, grid, cfg.min_separation
+                scorer, current, model, grid, cfg.min_separation
             )
         # Refine positions off-grid before judging this k: BIC must compare
         # each breakpoint count at its best achievable positions, not at
         # grid-quantized ones (a sharp knee between grid points otherwise
         # makes k+2 staircases look better than the true k).
-        current = _continuous_refine(fast_fit, current, cfg.min_separation, passes=1)
-        model = fast_fit(current)
+        current = _continuous_refine(
+            scorer.fit_continuous, current, cfg.min_separation, passes=1
+        )
+        model = scorer.fit_one(current)
         candidate_bic = model_selection.bic(model.sse, model.n_points, _n_params(model))
         if candidate_bic < best_bic:
             best_bic = candidate_bic
@@ -407,7 +600,9 @@ def _fit_pwlr_impl(
     # with sharp knees that quantization splits one true boundary into two
     # neighboring grid points.  A bounded 1-D minimization per breakpoint
     # recovers the exact position (exact on noiseless data).
-    best_breaks = _continuous_refine(fast_fit, best_breaks, cfg.min_separation)
+    best_breaks = _continuous_refine(
+        scorer.fit_continuous, best_breaks, cfg.min_separation
+    )
 
     best_model = final_fit(best_breaks)
     while True:
@@ -424,7 +619,7 @@ def _fit_pwlr_impl(
                 best_model = final_fit(cleaned)
         if best_model.breakpoints.size == before:
             break
-    return best_model, n_evals
+    return best_model, scorer
 
 
 def _n_params(model: PiecewiseLinearModel) -> int:
@@ -432,15 +627,21 @@ def _n_params(model: PiecewiseLinearModel) -> int:
     return 1 + model.n_segments + model.breakpoints.size
 
 
-def _best_addition(fit_at, current: List[float], grid: np.ndarray, min_sep: float):
-    """Try every candidate; return (breaks, model) of the best insertion."""
-    best = None
-    best_sse = np.inf
+def _best_addition(
+    scorer: _SearchScorer, current: List[float], grid: np.ndarray, min_sep: float
+):
+    """Score every candidate insertion in one batch; return the
+    ``(breaks, model)`` of the best one (first wins on ties)."""
+    trials: List[List[float]] = []
     for candidate in grid:
         if any(abs(candidate - b) < min_sep for b in current):
             continue
-        trial_breaks = sorted(current + [float(candidate)])
-        trial = fit_at(trial_breaks)
+        trials.append(sorted(current + [float(candidate)]))
+    if not trials:
+        return None
+    best = None
+    best_sse = np.inf
+    for trial_breaks, trial in zip(trials, scorer.fit_many(trials)):
         if trial.sse < best_sse:
             best_sse = trial.sse
             best = (trial_breaks, trial)
@@ -448,14 +649,15 @@ def _best_addition(fit_at, current: List[float], grid: np.ndarray, min_sep: floa
 
 
 def _refine_positions(
-    fit_at,
+    scorer: _SearchScorer,
     current: List[float],
     model: PiecewiseLinearModel,
     grid: np.ndarray,
     min_sep: float,
     window: int = 5,
 ):
-    """Coordinate descent on breakpoint positions, ``window`` grid steps wide."""
+    """Coordinate descent on breakpoint positions, ``window`` grid steps
+    wide; each breakpoint's window is scored as one batch."""
     breaks = list(current)
     best_model = model
     for i in range(len(breaks)):
@@ -463,29 +665,42 @@ def _refine_positions(
         anchor_idx = int(np.argmin(np.abs(grid - breaks[i])))
         lo = max(0, anchor_idx - window)
         hi = min(grid.size, anchor_idx + window + 1)
-        best_pos = breaks[i]
+        positions: List[float] = []
+        trials: List[List[float]] = []
         for candidate in grid[lo:hi]:
             if any(abs(candidate - b) < min_sep for b in others):
                 continue
-            trial_breaks = sorted(others + [float(candidate)])
-            trial = fit_at(trial_breaks)
-            if trial.sse < best_model.sse - 1e-15:
-                best_model = trial
-                best_pos = float(candidate)
+            positions.append(float(candidate))
+            trials.append(sorted(others + [float(candidate)]))
+        best_pos = breaks[i]
+        if trials:
+            for position, trial in zip(positions, scorer.fit_many(trials)):
+                if trial.sse < best_model.sse - 1e-15:
+                    best_model = trial
+                    best_pos = position
         breaks[i] = best_pos
         breaks.sort()
     return breaks, best_model
 
 
 def _continuous_refine(
-    fast_fit,
+    fit_at,
     breaks: List[float],
     min_sep: float,
     passes: int = 2,
     xatol: float = 1e-5,
 ) -> List[float]:
-    """Coordinate descent with continuous (off-grid) breakpoint positions."""
+    """Coordinate descent with continuous (off-grid) breakpoint positions.
+
+    ``objective(breaks[i])`` is the SSE of the *whole current
+    configuration* — the same value for every ``i`` — so it is computed
+    once up front and carried across accepted moves instead of being
+    re-fit after every minimizer call.
+    """
     breaks = sorted(float(b) for b in breaks)
+    if not breaks:
+        return breaks
+    current_sse: Optional[float] = None
     for _ in range(passes):
         for i in range(len(breaks)):
             lo = (breaks[i - 1] + min_sep) if i > 0 else min_sep
@@ -495,13 +710,16 @@ def _continuous_refine(
             others = breaks[:i] + breaks[i + 1 :]
 
             def objective(position: float) -> float:
-                return fast_fit(sorted(others + [float(position)])).sse
+                return fit_at(sorted(others + [float(position)])).sse
 
+            if current_sse is None:
+                current_sse = objective(breaks[i])
             result = minimize_scalar(
                 objective, bounds=(lo, hi), method="bounded", options={"xatol": xatol}
             )
-            if result.fun <= objective(breaks[i]):
+            if result.fun <= current_sse:
                 breaks[i] = float(result.x)
+                current_sse = float(result.fun)
         breaks.sort()
     return breaks
 
@@ -542,7 +760,9 @@ def refit_slopes(
 
     The pipeline finds breakpoints once on the pivot counter (instructions)
     and re-estimates per-segment slopes for every other counter at those
-    shared boundaries, so all metrics describe the same phases.
+    shared boundaries, so all metrics describe the same phases.  When
+    several counters share the same abscissa, prefer
+    :func:`refit_slopes_many`, which builds the design matrix once.
     """
     _metric_counter("pwlr.refits").inc()
     return fit_fixed_breakpoints(
@@ -553,3 +773,77 @@ def refit_slopes(
         anchor_weight=anchor_weight,
         monotone=monotone,
     )
+
+
+def refit_slopes_many(
+    x: np.ndarray,
+    ys: Sequence[np.ndarray],
+    model: PiecewiseLinearModel,
+    anchor: bool = True,
+    anchor_weight: float = 0.25,
+    monotone: bool = True,
+) -> List[PiecewiseLinearModel]:
+    """Batched :func:`refit_slopes`: many counters sharing one abscissa.
+
+    The phase pipeline re-estimates *every* counter's slopes at the same
+    shared boundaries; calling :func:`refit_slopes` per counter rebuilds
+    an identical design matrix (segment basis + anchor rows + weight
+    scaling) each time.  This factors the design once: the monotone path
+    then runs one NNLS per counter against the shared pre-scaled design
+    — **bit-identical** to the per-counter path — and the unconstrained
+    path solves every counter at once through a precomputed
+    pseudo-inverse of the scaled design (equal within solver roundoff).
+
+    Returns one fitted model per entry of ``ys``, in order.
+    """
+    x = np.asarray(x, dtype=float)
+    if x.ndim != 1:
+        raise FittingError(f"x must be a 1-D array: {x.shape}")
+    if x.size < 2:
+        raise FittingError(f"need at least 2 points to fit, got {x.size}")
+    targets = [np.asarray(yy, dtype=float) for yy in ys]
+    for yy in targets:
+        if yy.shape != x.shape:
+            raise FittingError(
+                f"x/y must be equal-length 1-D arrays: {x.shape} vs {yy.shape}"
+            )
+    if not targets:
+        return []
+    bp = np.sort(np.asarray(model.breakpoints, dtype=float))
+    if bp.size and (bp[0] <= 0.0 or bp[-1] >= 1.0):
+        raise FittingError(f"breakpoints must be interior to (0,1): {bp}")
+
+    n = x.size
+    if anchor:
+        w_anchor = anchor_weight * n
+        x_fit = np.concatenate([x, [0.0, 1.0]])
+        weights = np.concatenate([np.ones(n), [w_anchor, w_anchor]])
+    else:
+        x_fit, weights = x, np.ones(n)
+    basis = _segment_basis(x_fit, bp)
+    sqrt_w = np.sqrt(weights)
+
+    def target_vector(yy: np.ndarray) -> np.ndarray:
+        return np.concatenate([yy, [0.0, 1.0]]) if anchor else yy
+
+    _metric_counter("pwlr.refits").inc(len(targets))
+    _metric_counter("pwlr.refit_batches").inc()
+
+    out: List[PiecewiseLinearModel] = []
+    if monotone:
+        design = np.column_stack([np.ones_like(x_fit), -np.ones_like(x_fit), basis])
+        scaled = design * sqrt_w[:, None]
+        for yy in targets:
+            coeffs, _ = nnls(scaled, target_vector(yy) * sqrt_w)
+            out.append(
+                _finish_model(x, yy, bp, float(coeffs[0] - coeffs[1]), coeffs[2:])
+            )
+    else:
+        design = np.column_stack([np.ones_like(x_fit), basis])
+        scaled = design * sqrt_w[:, None]
+        pseudo_inverse = np.linalg.pinv(scaled)
+        stacked = np.stack([target_vector(yy) for yy in targets], axis=1)
+        coeffs = pseudo_inverse @ (stacked * sqrt_w[:, None])
+        for j, yy in enumerate(targets):
+            out.append(_finish_model(x, yy, bp, float(coeffs[0, j]), coeffs[1:, j]))
+    return out

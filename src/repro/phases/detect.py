@@ -21,7 +21,13 @@ import numpy as np
 from repro.counters.derived import compute_metrics
 from repro.errors import FittingError, PhaseError
 from repro.fitting.kernel_smooth import KernelSmoother, smoother_breakpoints
-from repro.fitting.pwlr import PiecewiseLinearModel, PWLRConfig, fit_pwlr, refit_slopes
+from repro.fitting.pwlr import (
+    PiecewiseLinearModel,
+    PWLRConfig,
+    fit_pwlr,
+    refit_slopes,
+    refit_slopes_many,
+)
 from repro.folding.fold import FoldedCounter
 from repro.observability.context import counter as _metric_counter
 from repro.observability.context import span as _span
@@ -234,11 +240,13 @@ def _detect_phases_impl(
     #    insignificant for every counter
     refit_failed: set = set()
 
-    def refit_all(breaks: Sequence[float]) -> Dict[str, PiecewiseLinearModel]:
-        models: Dict[str, PiecewiseLinearModel] = {}
-        for counter, fc in folded.items():
-            if counter in refit_failed:
-                continue
+    def refit_one_by_one(
+        counters: Sequence[str],
+        breaks: Sequence[float],
+        models: Dict[str, PiecewiseLinearModel],
+    ) -> None:
+        for counter in counters:
+            fc = folded[counter]
             try:
                 models[counter] = refit_slopes(
                     fc.x,
@@ -262,7 +270,35 @@ def _detect_phases_impl(
                     counter=counter,
                     error=str(exc),
                 )
-        return models
+
+    def refit_all(breaks: Sequence[float]) -> Dict[str, PiecewiseLinearModel]:
+        # Counters folded from the same instances share one abscissa, so
+        # their refits share one design matrix: batch each group through
+        # refit_slopes_many (bit-identical to the per-counter path) and
+        # keep the per-counter loop as the fallback that preserves the
+        # drop-one-counter failure semantics.
+        groups: Dict[bytes, List[str]] = {}
+        for counter, fc in folded.items():
+            if counter in refit_failed:
+                continue
+            groups.setdefault(fc.x.tobytes(), []).append(counter)
+        models: Dict[str, PiecewiseLinearModel] = {}
+        for counters in groups.values():
+            try:
+                fitted = refit_slopes_many(
+                    folded[counters[0]].x,
+                    [folded[c].y for c in counters],
+                    _shell_model(breaks),
+                    anchor=cfg.anchor,
+                    anchor_weight=cfg.anchor_weight,
+                    monotone=cfg.monotone,
+                )
+            except FittingError:
+                refit_one_by_one(counters, breaks, models)
+            else:
+                for counter, model in zip(counters, fitted):
+                    models[counter] = model
+        return {c: models[c] for c in folded if c in models}
 
     counter_models = refit_all(merged)
     boundaries = list(merged)

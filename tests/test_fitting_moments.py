@@ -1,0 +1,299 @@
+"""Moments search kernel: property tests, degenerate-geometry fallback,
+kernel equivalence, memoization and the batched multi-counter refit."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import FittingError
+from repro.fitting.moments import MomentProfile
+from repro.fitting.pwlr import (
+    PWLRConfig,
+    _SearchScorer,
+    fit_fixed_breakpoints,
+    fit_pwlr,
+    refit_slopes,
+    refit_slopes_many,
+)
+from repro.observability.context import Observability
+
+
+# ----------------------------------------------------------------------
+# reference implementation: dense weighted least squares
+# ----------------------------------------------------------------------
+def dense_reference(x, y, w, breaks, anchor, anchor_weight=0.25):
+    """Unconstrained anchored weighted PWL fit the long way; returns the
+    weighted *data* SSE (anchors excluded)."""
+    n = x.size
+    breaks = np.asarray(sorted(breaks), dtype=float)
+    if anchor:
+        wa = anchor_weight * n
+        x_fit = np.concatenate([x, [0.0, 1.0]])
+        y_fit = np.concatenate([y, [0.0, 1.0]])
+        w_fit = np.concatenate([w, [wa, wa]])
+    else:
+        x_fit, y_fit, w_fit = x, y, w
+    knots = np.concatenate([[0.0], breaks, [1.0]])
+
+    def basis(xs):
+        return np.clip(xs[:, None], knots[:-1][None, :], knots[1:][None, :]) - knots[
+            :-1
+        ][None, :]
+
+    design = np.column_stack([np.ones_like(x_fit), basis(x_fit)])
+    sw = np.sqrt(w_fit)
+    coeffs, *_ = np.linalg.lstsq(design * sw[:, None], y_fit * sw, rcond=None)
+    pred = coeffs[0] + basis(x) @ coeffs[1:]
+    return coeffs, float(np.sum(w * (y - pred) ** 2))
+
+
+@st.composite
+def moment_cases(draw):
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    n = draw(st.integers(min_value=16, max_value=400))
+    k = draw(st.integers(min_value=0, max_value=5))
+    anchor = draw(st.booleans())
+    weighted = draw(st.booleans())
+    rng = np.random.default_rng(seed)
+    x = np.sort(rng.uniform(0.0, 1.0, n))
+    y = np.cumsum(rng.uniform(0.0, 0.02, n)) + rng.normal(0.0, 0.05, n)
+    w = rng.uniform(0.5, 2.0, n) if weighted else np.ones(n)
+    # Well-posed geometries only: every segment must hold at least one
+    # sample, otherwise its basis column is constant over the data and
+    # the system is legitimately singular (the kernel escapes to exact,
+    # which the degenerate-geometry tests below cover).
+    breaks = []
+    prev = 0.0
+    for p in sorted(rng.uniform(0.05, 0.95, k)):
+        if (
+            p - prev >= 0.05
+            and np.any((x >= prev) & (x < p))
+            and np.any(x >= p)
+        ):
+            breaks.append(float(p))
+            prev = p
+    return x, y, w, breaks, anchor, weighted
+
+
+class TestMomentProfileMath:
+    @given(moment_cases())
+    @settings(max_examples=60, deadline=None, derandomize=True)
+    def test_sse_matches_dense_lstsq(self, case):
+        """Moments-kernel SSE == dense weighted-lstsq SSE (rtol=1e-9)."""
+        x, y, w, breaks, anchor, weighted = case
+        profile = MomentProfile(
+            x, y, weights=w if weighted else None, anchor=anchor
+        )
+        coeffs, sse, ok = profile.evaluate_one(breaks)
+        ref_coeffs, ref_sse = dense_reference(x, y, w, breaks, anchor)
+        assert ok
+        assert sse == pytest.approx(ref_sse, rel=1e-9, abs=1e-12)
+        assert np.allclose(coeffs, ref_coeffs, rtol=1e-6, atol=1e-8)
+
+    def test_unsorted_input_matches_sorted(self):
+        rng = np.random.default_rng(3)
+        x = rng.uniform(0.0, 1.0, 200)
+        y = x**2 + rng.normal(0.0, 0.01, 200)
+        order = np.argsort(x, kind="stable")
+        a = MomentProfile(x, y).evaluate_one([0.4, 0.7])
+        b = MomentProfile(x[order], y[order]).evaluate_one([0.4, 0.7])
+        assert a[1] == b[1]
+        assert np.array_equal(a[0], b[0])
+
+    def test_near_interpolating_fit_is_flagged_not_ok(self):
+        """Noiseless PWL data at its true breakpoints: the quadratic form
+        is pure cancellation noise, so the row must escape to exact."""
+        x = np.linspace(0.0, 1.0, 240)
+        knots = np.array([0.0, 0.4, 1.0])
+        slopes = np.array([0.5, 2.0])
+        vals = np.concatenate([[0.0], np.cumsum(slopes * np.diff(knots))])
+        idx = np.clip(np.searchsorted(knots, x, side="right") - 1, 0, 1)
+        y = (vals[idx] + slopes[idx] * (x - knots[idx])) / vals[-1]
+        _, sse, ok = MomentProfile(x, y).evaluate_one([0.4])
+        assert not ok
+
+    def test_singular_system_is_flagged_not_ok(self):
+        """A segment holding no samples (and a shared near-zero span)
+        makes the normal equations singular — NaN row, ok False."""
+        x = np.concatenate([np.linspace(0.0, 0.4, 100), np.linspace(0.6, 1.0, 100)])
+        y = x.copy()
+        profile = MomentProfile(x, y, anchor=False)
+        _, _, ok = profile.evaluate_many(
+            np.array([[0.45, 0.45000000001, 0.55]])
+        )
+        assert not ok[0]
+
+    def test_input_validation(self):
+        with pytest.raises(FittingError):
+            MomentProfile(np.array([0.5]), np.array([0.5]))
+        with pytest.raises(FittingError):
+            MomentProfile(np.linspace(0, 1, 10), np.zeros(9))
+        with pytest.raises(FittingError):
+            MomentProfile(
+                np.linspace(0, 1, 10), np.zeros(10), weights=np.ones(4)
+            )
+
+
+class TestKernelSelection:
+    def test_config_rejects_unknown_kernel(self):
+        with pytest.raises(FittingError):
+            PWLRConfig(search_kernel="fast")
+
+    def test_auto_small_series_uses_exact(self):
+        rng = np.random.default_rng(0)
+        x = np.sort(rng.uniform(0, 1, 200))
+        y = x + rng.normal(0, 0.01, 200)
+        assert _SearchScorer(x, y, PWLRConfig()).kernel == "exact"
+
+    def test_auto_large_series_uses_moments(self):
+        rng = np.random.default_rng(0)
+        x = np.sort(rng.uniform(0, 1, 2000))
+        y = x + rng.normal(0, 0.01, 2000)
+        assert _SearchScorer(x, y, PWLRConfig()).kernel == "moments"
+
+    def test_auto_degenerate_duplicate_x_falls_back_to_exact(self):
+        """n is large enough for moments, but only 30 distinct abscissae
+        — "auto" must stay on the exact path (and say so in metrics)."""
+        rng = np.random.default_rng(1)
+        x = np.repeat(np.linspace(0.0, 1.0, 30), 20)
+        y = x + rng.normal(0, 0.01, x.size)
+        assert x.size >= 512
+        assert _SearchScorer(x, y, PWLRConfig()).kernel == "exact"
+        obs = Observability(collect_rss=False)
+        with obs.activate():
+            fit_pwlr(x, y)
+        snap = obs.metrics.snapshot()
+        assert snap.get("pwlr.kernel.exact") == 1
+        assert "pwlr.kernel.moments" not in snap
+
+    def test_auto_nonfinite_input_falls_back_to_exact(self):
+        x = np.sort(np.random.default_rng(2).uniform(0, 1, 600))
+        y = x.copy()
+        y[5] = np.nan
+        assert _SearchScorer(x, y, PWLRConfig()).kernel == "exact"
+
+    def test_forced_kernel_wins_over_auto_heuristics(self):
+        rng = np.random.default_rng(3)
+        x = np.sort(rng.uniform(0, 1, 100))
+        y = x + rng.normal(0, 0.01, 100)
+        assert _SearchScorer(x, y, PWLRConfig(search_kernel="moments")).kernel == (
+            "moments"
+        )
+
+
+class TestKernelEquivalence:
+    @pytest.mark.parametrize("n", [200, 1500])
+    def test_kernels_select_identical_models(self, n):
+        rng = np.random.default_rng(7)
+        x = np.sort(rng.uniform(0.0, 1.0, n))
+        knots = np.array([0.0, 0.3, 0.7, 1.0])
+        slopes = np.array([0.5, 2.0, 0.8])
+        vals = np.concatenate([[0.0], np.cumsum(slopes * np.diff(knots))])
+        idx = np.clip(np.searchsorted(knots, x, side="right") - 1, 0, 2)
+        y = vals[idx] + slopes[idx] * (x - knots[idx]) + rng.normal(0, 0.01, n)
+        fits = {
+            kernel: fit_pwlr(x, y, PWLRConfig(search_kernel=kernel))
+            for kernel in ("moments", "exact")
+        }
+        a, b = fits["moments"], fits["exact"]
+        assert np.array_equal(a.breakpoints, b.breakpoints)
+        assert np.array_equal(a.slopes, b.slopes)
+        assert a.intercept == b.intercept
+        assert a.sse == b.sse
+
+    def test_candidate_evaluations_kernel_independent(self):
+        rng = np.random.default_rng(11)
+        x = np.sort(rng.uniform(0.0, 1.0, 900))
+        y = np.minimum(x * 2.0, 0.6 + 0.5 * x) + rng.normal(0, 0.02, 900)
+        counts = {}
+        for kernel in ("moments", "exact"):
+            obs = Observability(collect_rss=False)
+            with obs.activate():
+                fit_pwlr(x, y, PWLRConfig(search_kernel=kernel))
+            counts[kernel] = obs.metrics.snapshot()["pwlr.candidate_evaluations"]
+        assert counts["moments"] == counts["exact"]
+
+    def test_search_cache_hits_published(self):
+        rng = np.random.default_rng(13)
+        x = np.sort(rng.uniform(0.0, 1.0, 600))
+        y = x**2 + rng.normal(0, 0.02, 600)
+        obs = Observability(collect_rss=False)
+        with obs.activate():
+            fit_pwlr(x, y, PWLRConfig(search_kernel="moments"))
+        snap = obs.metrics.snapshot()
+        assert snap["pwlr.search_cache_hits"] > 0
+        assert snap["pwlr.kernel.moments"] == 1
+
+
+class TestFingerprintInvariance:
+    def test_search_kernel_excluded_from_fingerprint(self):
+        from repro.analysis.pipeline import AnalyzerConfig
+        from repro.store.fingerprint import fingerprint_config
+
+        digests = {
+            kernel: fingerprint_config(
+                AnalyzerConfig(
+                    pwlr=dataclasses.replace(PWLRConfig(), search_kernel=kernel)
+                )
+            )
+            for kernel in ("auto", "moments", "exact")
+        }
+        assert len(set(digests.values())) == 1
+        assert digests["auto"] == fingerprint_config(AnalyzerConfig())
+
+    def test_stored_config_roundtrips_search_kernel(self):
+        from repro.analysis.pipeline import AnalyzerConfig
+        from repro.store.fingerprint import config_from_dict, config_to_dict
+
+        cfg = AnalyzerConfig(
+            pwlr=dataclasses.replace(PWLRConfig(), search_kernel="exact")
+        )
+        assert config_from_dict(config_to_dict(cfg)).pwlr.search_kernel == "exact"
+
+
+class TestRefitSlopesMany:
+    def _make(self, n=300, n_counters=4, seed=5):
+        rng = np.random.default_rng(seed)
+        x = np.sort(rng.uniform(0.0, 1.0, n))
+        ys = [
+            np.cumsum(rng.uniform(0.0, 0.02, n)) + rng.normal(0, 0.02, n)
+            for _ in range(n_counters)
+        ]
+        model = fit_pwlr(x, ys[0])
+        return x, ys, model
+
+    def test_monotone_batch_bit_identical_to_loop(self):
+        x, ys, model = self._make()
+        batched = refit_slopes_many(x, ys, model)
+        for yy, got in zip(ys, batched):
+            want = refit_slopes(x, yy, model)
+            assert np.array_equal(got.breakpoints, want.breakpoints)
+            assert np.array_equal(got.slopes, want.slopes)
+            assert got.intercept == want.intercept
+            assert got.sse == want.sse
+
+    def test_unconstrained_batch_matches_loop(self):
+        x, ys, model = self._make()
+        batched = refit_slopes_many(x, ys, model, monotone=False)
+        for yy, got in zip(ys, batched):
+            want = refit_slopes(x, yy, model, monotone=False)
+            assert np.allclose(got.slopes, want.slopes, rtol=1e-9, atol=1e-11)
+            assert got.intercept == pytest.approx(want.intercept, rel=1e-9, abs=1e-11)
+            assert got.sse == pytest.approx(want.sse, rel=1e-9, abs=1e-12)
+
+    def test_counts_one_refit_per_counter(self):
+        x, ys, model = self._make(n_counters=3)
+        obs = Observability(collect_rss=False)
+        with obs.activate():
+            refit_slopes_many(x, ys, model)
+        snap = obs.metrics.snapshot()
+        assert snap["pwlr.refits"] == 3
+        assert snap["pwlr.refit_batches"] == 1
+
+    def test_empty_batch_and_validation(self):
+        x, ys, model = self._make()
+        assert refit_slopes_many(x, [], model) == []
+        with pytest.raises(FittingError):
+            refit_slopes_many(x, [ys[0][:-1]], model)

@@ -173,12 +173,19 @@ class TestPWLRFallbackChain:
         assert victims, "fixture cluster folds only the pivot"
         victim = victims[0]
         real_refit = detect_mod.refit_slopes
+        real_many = detect_mod.refit_slopes_many
+
+        def selective_many(x, ys, model, **kwargs):
+            if any(np.array_equal(yy, folded[victim].y) for yy in ys):
+                raise FittingError("forced batch refit failure")
+            return real_many(x, ys, model, **kwargs)
 
         def selective(x, y, model, **kwargs):
             if np.array_equal(y, folded[victim].y):
                 raise FittingError("forced refit failure")
             return real_refit(x, y, model, **kwargs)
 
+        monkeypatch.setattr(detect_mod, "refit_slopes_many", selective_many)
         monkeypatch.setattr(detect_mod, "refit_slopes", selective)
         diag = Diagnostics()
         phase_set = detect_phases(folded, diagnostics=diag, allow_fallback=True)
@@ -192,12 +199,19 @@ class TestPWLRFallbackChain:
     ):
         folded = multiphase_artifacts.result.clusters[0].folded
         real_refit = detect_mod.refit_slopes
+        real_many = detect_mod.refit_slopes_many
+
+        def selective_many(x, ys, model, **kwargs):
+            if any(np.array_equal(yy, folded[PIVOT].y) for yy in ys):
+                raise FittingError("forced batch refit failure")
+            return real_many(x, ys, model, **kwargs)
 
         def selective(x, y, model, **kwargs):
             if np.array_equal(y, folded[PIVOT].y):
                 raise FittingError("forced pivot refit failure")
             return real_refit(x, y, model, **kwargs)
 
+        monkeypatch.setattr(detect_mod, "refit_slopes_many", selective_many)
         monkeypatch.setattr(detect_mod, "refit_slopes", selective)
         with pytest.raises(FittingError, match="pivot"):
             detect_phases(folded, diagnostics=Diagnostics(), allow_fallback=True)

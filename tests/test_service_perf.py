@@ -9,6 +9,8 @@ from repro.service import check_history, fit_duration_series, stage_series
 from repro.service.perf import (
     MIN_RUNS,
     TOTAL_STAGE,
+    kernel_history,
+    kernel_shift_note,
     segment_levels,
 )
 
@@ -131,3 +133,46 @@ class TestCheckHistory:
         report = check_history([])
         assert report.ok
         assert report.verdicts == []
+
+
+class TestKernelAttribution:
+    def _with_kernel(self, records, labels):
+        counter = {"moments": "pwlr.kernel.moments", "exact": "pwlr.kernel.exact"}
+        for record, label in zip(records, labels):
+            if label == "mixed":
+                record["metrics"] = {
+                    "pwlr.kernel.moments": 2, "pwlr.kernel.exact": 1
+                }
+            elif label in counter:
+                record["metrics"] = {counter[label]: 3}
+        return records
+
+    def test_kernel_history_labels(self):
+        records = self._with_kernel(
+            _history({"fit": [1.0] * 4}),
+            ["exact", "moments", "mixed", "-"],
+        )
+        assert kernel_history(records) == ["exact", "moments", "mixed", "-"]
+
+    def test_shift_note_uniform_and_transition(self):
+        uniform = self._with_kernel(
+            _history({"fit": [1.0] * 3}), ["moments"] * 3
+        )
+        assert "moments for all 3 run(s)" in kernel_shift_note(uniform)
+        shifted = self._with_kernel(
+            _history({"fit": [1.0] * 4}),
+            ["exact", "exact", "moments", "moments"],
+        )
+        note = kernel_shift_note(shifted)
+        assert "exact (runs 1-2)" in note and "moments (runs 3-4)" in note
+        assert kernel_shift_note(_history({"fit": [1.0] * 2})) == ""
+
+    def test_fit_stage_verdict_annotated_on_kernel_change(self):
+        walls = {"fit_pwlr": [1.0] * 8 + [2.0] * 8, "fold": [1.0] * 16}
+        records = self._with_kernel(
+            _history(walls), ["exact"] * 8 + ["moments"] * 8
+        )
+        report = check_history(records)
+        by_stage = {v.stage: v for v in report.verdicts}
+        assert "search kernel exact->moments at run 9" in by_stage["fit_pwlr"].note
+        assert "search kernel" not in by_stage["fold"].note
